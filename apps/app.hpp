@@ -1,0 +1,71 @@
+// Benchmark application interface.
+//
+// Each app re-implements the computation and SHARING STRUCTURE of one of
+// the paper's five evaluation programs (section 6): Barnes, Ocean, Mp3d,
+// Matrix Multiply, Tomcatv -- plus Jacobi, the section 2 running example.
+// Apps run in three families of variants:
+//   * None     -- the unannotated program;
+//   * Hand     -- the program with hand-inserted CICO directives,
+//                 reproducing the imperfections section 6 attributes to
+//                 the hand-annotated versions (see each app's header);
+//   * Cachier  -- the unannotated body driven by a Cachier-built
+//                 DirectivePlan (prefetch on or off).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "cico/sim/machine.hpp"
+
+namespace cico::apps {
+
+enum class Variant : std::uint8_t {
+  None,        ///< unannotated
+  Hand,        ///< hand-inserted CICO directives
+  HandPf,      ///< hand CICO + hand-placed prefetches
+  Cachier,     ///< Cachier plan (directives only)
+  CachierPf,   ///< Cachier plan with prefetch planning
+};
+
+[[nodiscard]] constexpr const char* variant_name(Variant v) {
+  switch (v) {
+    case Variant::None: return "none";
+    case Variant::Hand: return "hand";
+    case Variant::HandPf: return "hand+pf";
+    case Variant::Cachier: return "cachier";
+    case Variant::CachierPf: return "cachier+pf";
+  }
+  return "?";
+}
+
+/// Does this variant execute hand-inserted directives in the app body?
+[[nodiscard]] constexpr bool is_hand(Variant v) {
+  return v == Variant::Hand || v == Variant::HandPf;
+}
+
+class App {
+ public:
+  virtual ~App() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Allocate labelled shared regions on `m` and initialize data.
+  /// Called exactly once, before Machine::run.
+  virtual void setup(sim::Machine& m, Variant v) = 0;
+
+  /// Per-node program (runs on every simulated node).
+  virtual void body(sim::Proc& p) = 0;
+
+  /// Check computational results after the run (where the algorithm is
+  /// deterministic; apps with benign races document what they check).
+  [[nodiscard]] virtual bool verify() const { return true; }
+};
+
+/// Creates a fresh App for a given input data set.  The paper used
+/// DIFFERENT inputs for trace collection and for measurement (section 6),
+/// so the factory takes the input seed.
+using AppFactory = std::function<std::unique_ptr<App>(std::uint64_t seed)>;
+
+}  // namespace cico::apps

@@ -1,0 +1,341 @@
+#include "apps/barnes.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "cico/common/rng.hpp"
+
+namespace cico::apps {
+
+namespace {
+constexpr std::int64_t kEmpty = -1;
+constexpr std::int64_t enc_body(std::size_t b) {
+  return -(static_cast<std::int64_t>(b) + 2);
+}
+constexpr bool is_body(std::int64_t v) { return v <= -2; }
+constexpr std::size_t dec_body(std::int64_t v) {
+  return static_cast<std::size_t>(-v - 2);
+}
+}  // namespace
+
+void Barnes::setup(sim::Machine& m, Variant v) {
+  variant_ = v;
+  nodes_ = m.config().nodes;
+  const std::size_t nb = cfg_.bodies;
+  if (nb < nodes_) throw std::invalid_argument("barnes: too few bodies");
+  pool_cap_ = 4 * nb;
+
+  // Body positions and masses are read through TREE LEAVES during the
+  // force phase -- data-dependent, pointer-reached accesses, exactly the
+  // pattern the paper says defeats prefetch insertion -- so they are
+  // marked irregular along with the tree pool.  Velocities are touched
+  // only by their owner's loops (regular).
+  bx_ = std::make_unique<sim::SharedArray<double>>(m, "BX", nb, false);
+  by_ = std::make_unique<sim::SharedArray<double>>(m, "BY", nb, false);
+  bz_ = std::make_unique<sim::SharedArray<double>>(m, "BZ", nb, false);
+  bvx_ = std::make_unique<sim::SharedArray<double>>(m, "BVX", nb);
+  bvy_ = std::make_unique<sim::SharedArray<double>>(m, "BVY", nb);
+  bvz_ = std::make_unique<sim::SharedArray<double>>(m, "BVZ", nb);
+  bm_ = std::make_unique<sim::SharedArray<double>>(m, "BMASS", nb, false);
+  // The octree pool: pointer-based, data-dependent access -> irregular.
+  tchild_ = std::make_unique<sim::SharedArray<std::int64_t>>(m, "TCHILD",
+                                                             pool_cap_ * 8,
+                                                             false);
+  tcx_ = std::make_unique<sim::SharedArray<double>>(m, "TCX", pool_cap_, false);
+  tcy_ = std::make_unique<sim::SharedArray<double>>(m, "TCY", pool_cap_, false);
+  tcz_ = std::make_unique<sim::SharedArray<double>>(m, "TCZ", pool_cap_, false);
+  tm_ = std::make_unique<sim::SharedArray<double>>(m, "TMASS", pool_cap_, false);
+  tmeta_ = std::make_unique<sim::SharedArray<std::int64_t>>(m, "TMETA", 4,
+                                                            false);
+
+  PcRegistry& pcs = m.pcs();
+  pc_binit_ = pcs.intern("barnes", 1, "body init");
+  pc_bpos_ = pcs.intern("barnes", 10, "body position");
+  pc_bvel_ = pcs.intern("barnes", 11, "body velocity");
+  pc_bmass_ = pcs.intern("barnes", 12, "body mass");
+  pc_tchild_ = pcs.intern("barnes", 20, "tree child[]");
+  pc_tcom_ = pcs.intern("barnes", 21, "tree com/mass");
+  pc_tmeta_ = pcs.intern("barnes", 22, "tree meta");
+  pc_bar_ = pcs.intern("barnes", 30, "barrier");
+}
+
+std::int64_t Barnes::child_of(sim::Proc& p, std::size_t cell, int octant) {
+  return tchild_->ld(p, cell * 8 + static_cast<std::size_t>(octant), pc_tchild_);
+}
+
+void Barnes::set_child(sim::Proc& p, std::size_t cell, int octant,
+                       std::int64_t v) {
+  tchild_->st(p, cell * 8 + static_cast<std::size_t>(octant), v, pc_tchild_);
+}
+
+void Barnes::build_tree(sim::Proc& p) {
+  // Node 0 rebuilds the octree over [0,1)^3 (SPLASH builds in parallel
+  // with per-cell locks; the build is a small fraction of the step, and a
+  // serial build preserves the property that matters to Cachier: the tree
+  // blocks are EXCLUSIVE at one node when every other node starts reading
+  // them).
+  std::size_t ncells = 1;
+  for (std::size_t s = 0; s < 8; ++s) set_child(p, 0, static_cast<int>(s), kEmpty);
+
+  auto octant_of = [](double x, double y, double z, double cx, double cy,
+                      double cz) {
+    return (x >= cx ? 4 : 0) + (y >= cy ? 2 : 0) + (z >= cz ? 1 : 0);
+  };
+
+  for (std::size_t b = 0; b < cfg_.bodies; ++b) {
+    const double x = bx_->ld(p, b, pc_bpos_);
+    const double y = by_->ld(p, b, pc_bpos_);
+    const double z = bz_->ld(p, b, pc_bpos_);
+    std::size_t cell = 0;
+    double cx = 0.5, cy = 0.5, cz = 0.5, half = 0.25;
+    for (int depth = 0; depth < 40; ++depth) {
+      const int oct = octant_of(x, y, z, cx, cy, cz);
+      const std::int64_t ch = child_of(p, cell, oct);
+      if (ch == kEmpty) {
+        set_child(p, cell, oct, enc_body(b));
+        break;
+      }
+      if (is_body(ch)) {
+        // Split: allocate a new cell, push the resident body down.
+        if (ncells >= pool_cap_) throw std::runtime_error("barnes: pool full");
+        const std::size_t fresh = ncells++;
+        for (int s = 0; s < 8; ++s) set_child(p, fresh, s, kEmpty);
+        const std::size_t other = dec_body(ch);
+        const double ox = bx_->ld(p, other, pc_bpos_);
+        const double oy = by_->ld(p, other, pc_bpos_);
+        const double oz = bz_->ld(p, other, pc_bpos_);
+        const double ncx = cx + (x >= cx ? half : -half);
+        const double ncy = cy + (y >= cy ? half : -half);
+        const double ncz = cz + (z >= cz ? half : -half);
+        // Degenerate guard: coincident points would split forever.
+        if (std::abs(ox - x) + std::abs(oy - y) + std::abs(oz - z) < 1e-12) {
+          set_child(p, cell, oct, enc_body(b));  // drop the duplicate
+          break;
+        }
+        set_child(p, fresh, octant_of(ox, oy, oz, ncx, ncy, ncz), enc_body(other));
+        set_child(p, cell, oct, static_cast<std::int64_t>(fresh));
+        // continue descent into `fresh` on the next loop iteration
+        cell = fresh;
+        cx = ncx;
+        cy = ncy;
+        cz = ncz;
+        half *= 0.5;
+        const int noct = octant_of(x, y, z, cx, cy, cz);
+        const std::int64_t nch = child_of(p, cell, noct);
+        if (nch == kEmpty) {
+          set_child(p, cell, noct, enc_body(b));
+          break;
+        }
+        continue;  // collision again: loop splits further
+      }
+      cell = static_cast<std::size_t>(ch);
+      cx += (x >= cx ? half : -half);
+      cy += (y >= cy ? half : -half);
+      cz += (z >= cz ? half : -half);
+      half *= 0.5;
+    }
+    p.compute(20);
+  }
+
+  // Centres of mass, iterative post-order.
+  std::vector<std::pair<std::size_t, int>> stack{{0, 0}};
+  std::vector<double> acc_m(ncells, 0.0), acc_x(ncells, 0.0),
+      acc_y(ncells, 0.0), acc_z(ncells, 0.0);
+  while (!stack.empty()) {
+    const auto [cell, phase] = stack.back();  // copy: pushes may reallocate
+    if (phase == 0) {
+      stack.back().second = 1;
+      for (int s = 0; s < 8; ++s) {
+        const std::int64_t ch = child_of(p, cell, s);
+        if (!is_body(ch) && ch != kEmpty) {
+          stack.emplace_back(static_cast<std::size_t>(ch), 0);
+        }
+      }
+      continue;
+    }
+    // Children cells are done; bodies contribute directly.
+    double m = 0, sx = 0, sy = 0, sz = 0;
+    for (int s = 0; s < 8; ++s) {
+      const std::int64_t ch = child_of(p, cell, s);
+      if (ch == kEmpty) continue;
+      if (is_body(ch)) {
+        const std::size_t b = dec_body(ch);
+        const double bm = bm_->ld(p, b, pc_bmass_);
+        m += bm;
+        sx += bm * bx_->ld(p, b, pc_bpos_);
+        sy += bm * by_->ld(p, b, pc_bpos_);
+        sz += bm * bz_->ld(p, b, pc_bpos_);
+      } else {
+        const auto cc = static_cast<std::size_t>(ch);
+        m += acc_m[cc];
+        sx += acc_x[cc];
+        sy += acc_y[cc];
+        sz += acc_z[cc];
+      }
+    }
+    acc_m[cell] = m;
+    acc_x[cell] = sx;
+    acc_y[cell] = sy;
+    acc_z[cell] = sz;
+    tm_->st(p, cell, m, pc_tcom_);
+    tcx_->st(p, cell, m > 0 ? sx / m : 0.0, pc_tcom_);
+    tcy_->st(p, cell, m > 0 ? sy / m : 0.0, pc_tcom_);
+    tcz_->st(p, cell, m > 0 ? sz / m : 0.0, pc_tcom_);
+    p.compute(10);
+    stack.pop_back();
+  }
+  tmeta_->st(p, 0, static_cast<std::int64_t>(ncells), pc_tmeta_);
+
+  if (is_hand(variant_)) {
+    // Hand annotation, with the section 6 flaw: "missed a few
+    // annotations" -- a slice of the tree pool is never checked in, so
+    // those blocks still recall from node 0 during the force epoch.
+    const auto kept = [](std::uint64_t bytes) { return bytes * 3 / 4; };
+    p.check_in(tchild_->addr_of(0), kept(tchild_->bytes()));
+    p.check_in(tcx_->addr_of(0), kept(tcx_->bytes()));
+    p.check_in(tcy_->addr_of(0), kept(tcy_->bytes()));
+    p.check_in(tcz_->addr_of(0), kept(tcz_->bytes()));
+    p.check_in(tm_->addr_of(0), kept(tm_->bytes()));
+  }
+}
+
+Barnes::Vec3 Barnes::force_on(sim::Proc& p, std::size_t body) {
+  const double x = bx_->ld(p, body, pc_bpos_);
+  const double y = by_->ld(p, body, pc_bpos_);
+  const double z = bz_->ld(p, body, pc_bpos_);
+  Vec3 f;
+  const double eps = 1e-4;
+
+  std::vector<std::pair<std::int64_t, double>> stack{{0, 0.5}};
+  while (!stack.empty()) {
+    const auto [id, half] = stack.back();
+    stack.pop_back();
+    if (is_body(id)) {
+      const std::size_t b = dec_body(id);
+      if (b == body) continue;
+      const double ox = bx_->ld(p, b, pc_bpos_);
+      const double oy = by_->ld(p, b, pc_bpos_);
+      const double oz = bz_->ld(p, b, pc_bpos_);
+      const double om = bm_->ld(p, b, pc_bmass_);
+      const double dx = ox - x, dy = oy - y, dz = oz - z;
+      const double d2 = dx * dx + dy * dy + dz * dz + eps;
+      const double inv = om / (d2 * std::sqrt(d2));
+      f.x += dx * inv;
+      f.y += dy * inv;
+      f.z += dz * inv;
+      p.compute(20);
+      continue;
+    }
+    const auto cell = static_cast<std::size_t>(id);
+    const double cmx = tcx_->ld(p, cell, pc_tcom_);
+    const double cmy = tcy_->ld(p, cell, pc_tcom_);
+    const double cmz = tcz_->ld(p, cell, pc_tcom_);
+    const double cm = tm_->ld(p, cell, pc_tcom_);
+    const double dx = cmx - x, dy = cmy - y, dz = cmz - z;
+    const double d2 = dx * dx + dy * dy + dz * dz + eps;
+    const double size = 4.0 * half;  // full cell edge
+    if (size * size < cfg_.theta * cfg_.theta * d2) {
+      const double inv = cm / (d2 * std::sqrt(d2));
+      f.x += dx * inv;
+      f.y += dy * inv;
+      f.z += dz * inv;
+      p.compute(20);
+    } else {
+      for (int s = 0; s < 8; ++s) {
+        const std::int64_t ch = child_of(p, cell, s);
+        if (ch != kEmpty) stack.emplace_back(ch, half * 0.5);
+      }
+      p.compute(10);
+    }
+  }
+  return f;
+}
+
+void Barnes::body(sim::Proc& p) {
+  const std::size_t nb = cfg_.bodies;
+  const std::size_t per = nb / nodes_;
+  const std::size_t extra = nb % nodes_;
+  const std::size_t lo = p.id() * per + std::min<std::size_t>(p.id(), extra);
+  const std::size_t hi = lo + per + (p.id() < extra ? 1 : 0);
+
+  // Epoch 0: owner-initialized Plummer-ish cluster in [0,1)^3.
+  Rng r(seed_ * 0x2545f4914f6cdd1dULL + p.id() * 977);
+  for (std::size_t b = lo; b < hi; ++b) {
+    bx_->st(p, b, 0.1 + 0.8 * r.uniform(), pc_binit_);
+    by_->st(p, b, 0.1 + 0.8 * r.uniform(), pc_binit_);
+    bz_->st(p, b, 0.1 + 0.8 * r.uniform(), pc_binit_);
+    bvx_->st(p, b, r.range(-0.01, 0.01), pc_binit_);
+    bvy_->st(p, b, r.range(-0.01, 0.01), pc_binit_);
+    bvz_->st(p, b, r.range(-0.01, 0.01), pc_binit_);
+    bm_->st(p, b, 1.0 / static_cast<double>(nb), pc_binit_);
+  }
+  if (is_hand(variant_)) {
+    // Hand: release own bodies so node 0's tree build reads them cheaply.
+    p.check_in(bx_->addr_of(lo), (hi - lo) * sizeof(double));
+    p.check_in(by_->addr_of(lo), (hi - lo) * sizeof(double));
+    p.check_in(bz_->addr_of(lo), (hi - lo) * sizeof(double));
+    p.check_in(bm_->addr_of(lo), (hi - lo) * sizeof(double));
+  }
+  p.barrier(pc_bar_);
+
+  for (std::size_t step = 0; step < cfg_.steps; ++step) {
+    // --- Build epoch (serial, node 0) ---
+    if (p.id() == 0) build_tree(p);
+    p.barrier(pc_bar_);
+
+    // --- Force epoch ---
+    for (std::size_t b = lo; b < hi; ++b) {
+      const Vec3 f = force_on(p, b);
+      bvx_->st(p, b, bvx_->ld(p, b, pc_bvel_) + cfg_.dt * f.x, pc_bvel_);
+      bvy_->st(p, b, bvy_->ld(p, b, pc_bvel_) + cfg_.dt * f.y, pc_bvel_);
+      bvz_->st(p, b, bvz_->ld(p, b, pc_bvel_) + cfg_.dt * f.z, pc_bvel_);
+    }
+    p.barrier(pc_bar_);
+
+    // --- Update epoch ---
+    for (std::size_t b = lo; b < hi; ++b) {
+      auto wrap = [](double v) {
+        if (v < 0.0) return 1e-6;
+        if (v >= 1.0) return 1.0 - 1e-6;
+        return v;
+      };
+      bx_->st(p, b,
+              wrap(bx_->ld(p, b, pc_bpos_) +
+                   cfg_.dt * bvx_->ld(p, b, pc_bvel_)),
+              pc_bpos_);
+      by_->st(p, b,
+              wrap(by_->ld(p, b, pc_bpos_) +
+                   cfg_.dt * bvy_->ld(p, b, pc_bvel_)),
+              pc_bpos_);
+      bz_->st(p, b,
+              wrap(bz_->ld(p, b, pc_bpos_) +
+                   cfg_.dt * bvz_->ld(p, b, pc_bvel_)),
+              pc_bpos_);
+      p.compute(10);
+    }
+    if (is_hand(variant_)) {
+      // Hand: release the freshly moved positions -- the next build epoch
+      // (node 0) and everyone's force traversals read them.
+      p.check_in(bx_->addr_of(lo), (hi - lo) * sizeof(double));
+      p.check_in(by_->addr_of(lo), (hi - lo) * sizeof(double));
+      p.check_in(bz_->addr_of(lo), (hi - lo) * sizeof(double));
+    }
+    p.barrier(pc_bar_);
+  }
+}
+
+bool Barnes::verify() const {
+  // Deterministic schedule; check positions are finite and in the box and
+  // that the last tree's root mass equals the total mass.
+  double total = 0;
+  for (std::size_t b = 0; b < cfg_.bodies; ++b) {
+    total += bm_->raw(b);
+    for (const auto* arr : {bx_.get(), by_.get(), bz_.get()}) {
+      const double v = arr->raw(b);
+      if (!std::isfinite(v) || v < 0.0 || v > 1.0) return false;
+    }
+  }
+  return std::abs(tm_->raw(0) - total) < 1e-6;
+}
+
+}  // namespace cico::apps

@@ -1,0 +1,87 @@
+// Barnes -- gravitational N-body simulation with the Barnes-Hut octree
+// (SPLASH).  The paper simulated 1024 bodies.
+//
+// This is the paper's showcase for WHY Cachier needs dynamic information:
+// the octree is a pointer-based structure that static analysis cannot
+// annotate ("Cachier performed better on programs with complex, dynamic
+// memory access"), while the trace sees exactly which tree blocks move
+// between processors.  It is also why prefetching fails here: tree-walk
+// addresses are data-dependent, so the tree region is marked irregular
+// and the prefetch planner skips it ("The prefetch annotations are not
+// very successful ... due to the program's complicated pointer data
+// structures").
+//
+// Epoch structure per time step (3 epochs):
+//   build  -- node 0 rebuilds the octree (writes the tree pool; every
+//             other node will read those blocks next epoch, so Cachier
+//             checks them in -- the win the hand version partly misses);
+//   force  -- every node walks the tree for its own bodies
+//             (read-shared tree, own-body acc writes);
+//   update -- every node integrates its own bodies' positions.
+//
+// Sharing degree is LOW (25.5% shared loads, 1.3% shared stores, section
+// 6), so the overall improvement is moderate (~11%).
+//
+// Hand variant: checks in only the FIRST HALF of the tree pool after the
+// build ("the hand-annotated version missed a few annotations").
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "cico/sim/shared_array.hpp"
+
+namespace cico::apps {
+
+struct BarnesConfig {
+  std::size_t bodies = 1024;  ///< paper: 1024
+  std::size_t steps = 3;
+  double theta = 0.6;         ///< opening criterion
+  double dt = 0.05;
+};
+
+class Barnes : public App {
+ public:
+  Barnes(BarnesConfig cfg, std::uint64_t seed) : cfg_(cfg), seed_(seed) {}
+
+  [[nodiscard]] std::string_view name() const override { return "barnes"; }
+  void setup(sim::Machine& m, Variant v) override;
+  void body(sim::Proc& p) override;
+  [[nodiscard]] bool verify() const override;
+
+ private:
+  struct Vec3 {
+    double x = 0, y = 0, z = 0;
+  };
+
+  void build_tree(sim::Proc& p);
+  Vec3 force_on(sim::Proc& p, std::size_t body);
+
+  // Tree pool accessors (simulated shared accesses).
+  [[nodiscard]] std::int64_t child_of(sim::Proc& p, std::size_t cell,
+                                      int octant);
+  void set_child(sim::Proc& p, std::size_t cell, int octant, std::int64_t v);
+
+  BarnesConfig cfg_;
+  std::uint64_t seed_;
+  Variant variant_ = Variant::None;
+  std::uint32_t nodes_ = 0;
+  std::size_t pool_cap_ = 0;
+
+  // Bodies (owner-partitioned, regular).
+  std::unique_ptr<sim::SharedArray<double>> bx_, by_, bz_;   // position
+  std::unique_ptr<sim::SharedArray<double>> bvx_, bvy_, bvz_;  // velocity
+  std::unique_ptr<sim::SharedArray<double>> bm_;             // mass
+  // Octree pool (irregular / pointer-based).  children: 8 slots per cell,
+  // >=0 body index encoded as -(body+2), internal cell index as cell id,
+  // -1 empty.  com/cm hold centre of mass and total mass.
+  std::unique_ptr<sim::SharedArray<std::int64_t>> tchild_;
+  std::unique_ptr<sim::SharedArray<double>> tcx_, tcy_, tcz_, tm_;
+  std::unique_ptr<sim::SharedArray<std::int64_t>> tmeta_;  // [0]=cell count
+
+  PcId pc_binit_ = 0, pc_bpos_ = 0, pc_bvel_ = 0, pc_bmass_ = 0,
+       pc_tchild_ = 0, pc_tcom_ = 0, pc_tmeta_ = 0, pc_bar_ = 0;
+};
+
+}  // namespace cico::apps

@@ -1,0 +1,181 @@
+#include "apps/jacobi.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "cico/common/rng.hpp"
+
+namespace cico::apps {
+
+double Jacobi::init_val(std::size_t i, std::size_t j) const {
+  Rng r(seed_ * 0x94d049bb133111ebULL + i * 257 + j);
+  return r.uniform();
+}
+
+void Jacobi::setup(sim::Machine& m, Variant v) {
+  variant_ = v;
+  if (m.config().nodes != cfg_.p * cfg_.p) {
+    throw std::invalid_argument("jacobi: nodes must equal P^2");
+  }
+  if (cfg_.n % cfg_.p != 0) {
+    throw std::invalid_argument("jacobi: N must be a multiple of P");
+  }
+  if ((cfg_.n / cfg_.p) % 4 != 0) {
+    throw std::invalid_argument("jacobi: N/P must be a multiple of 4 (block alignment)");
+  }
+  const std::size_t rows = cfg_.n + 2;   // halo rows
+  const std::size_t width = cfg_.n + 8;  // interior starts at column 4:
+                                         // processor column blocks are then
+                                         // cache-block aligned (no false
+                                         // sharing across column cuts)
+  u_ = std::make_unique<sim::SharedArray2<double>>(m, "U", rows, width);
+  v_ = std::make_unique<sim::SharedArray2<double>>(m, "V", rows, width);
+
+  PcRegistry& pcs = m.pcs();
+  pc_init_ = pcs.intern("jacobi", 1, "U init");
+  pc_ld_ = pcs.intern("jacobi", 10, "U[i,j] stencil read");
+  pc_st_ = pcs.intern("jacobi", 11, "U[i,j] = stencil");
+  pc_bnd_ = pcs.intern("jacobi", 12, "boundary row/col copy");
+  pc_bar_ = pcs.intern("jacobi", 20, "barrier");
+
+  // Host reference (double-buffered Jacobi is order-independent).
+  ref_.assign(rows * rows, 0.0);
+  std::vector<double> cur(rows * rows), nxt(rows * rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < rows; ++j) {
+      cur[i * rows + j] = init_val(i, j);
+    }
+  }
+  nxt = cur;
+  for (std::size_t t = 0; t < cfg_.steps; ++t) {
+    for (std::size_t i = 1; i <= cfg_.n; ++i) {
+      for (std::size_t j = 1; j <= cfg_.n; ++j) {
+        nxt[i * rows + j] =
+            0.25 * (cur[(i - 1) * rows + j] + cur[(i + 1) * rows + j] +
+                    cur[i * rows + j - 1] + cur[i * rows + j + 1]);
+      }
+    }
+    std::swap(cur, nxt);
+  }
+  ref_ = cur;
+}
+
+void Jacobi::body(sim::Proc& p) {
+  const std::size_t rows = cfg_.n + 2;
+  const std::size_t width = cfg_.n + 8;
+  const std::size_t bs = cfg_.n / cfg_.p;  // block edge per processor
+  const std::uint32_t pi = p.id() / cfg_.p;
+  const std::uint32_t pj = p.id() % cfg_.p;
+  const std::size_t li = 1 + pi * bs, ui = li + bs;
+  // Logical columns 0..n+1 live at simulated columns 3..n+4, so each
+  // processor's column range starts block-aligned (lj+3 = 4 + pj*bs).
+  constexpr std::size_t kC = 3;
+  const std::size_t lj = 1 + pj * bs, uj = lj + bs;
+
+  // Epoch 0: node 0 initializes both buffers.
+  if (p.id() == 0) {
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = 0; j < width; ++j) {
+        const double val =
+            (j >= kC && j - kC < rows) ? init_val(i, j - kC) : 0.0;
+        u_->st(p, i, j, val, pc_init_);
+        v_->st(p, i, j, val, pc_init_);
+      }
+    }
+    if (is_hand(variant_)) {
+      p.check_in(u_->base(), u_->bytes());
+      p.check_in(v_->base(), v_->bytes());
+    }
+  }
+  p.barrier(pc_bar_);
+
+  // The section 2.1 cache-fit listing: one check_out_X of the processor's
+  // whole block, outside the time loop.
+  sim::SharedArray2<double>* src = u_.get();
+  sim::SharedArray2<double>* dst = v_.get();
+  if (is_hand(variant_) && cfg_.cache_fits) {
+    for (std::size_t i = li; i < ui; ++i) {
+      p.check_out_x(u_->addr_of(i, lj + kC), bs * sizeof(double));
+      p.check_out_x(v_->addr_of(i, lj + kC), bs * sizeof(double));
+    }
+  }
+
+  for (std::size_t t = 0; t < cfg_.steps; ++t) {
+    // "copy boundary rows & columns to local arrays"
+    std::vector<double> top(bs), bot(bs), lef(bs), rig(bs);
+    if (is_hand(variant_)) {
+      p.check_out_s(src->addr_of(li - 1, lj + kC), bs * sizeof(double));
+      p.check_out_s(src->addr_of(ui, lj + kC), bs * sizeof(double));
+      // Boundary columns: one block per element (strided).
+      for (std::size_t i = li; i < ui; ++i) {
+        p.check_out_s(src->addr_of(i, lj - 1 + kC), sizeof(double));
+        p.check_out_s(src->addr_of(i, uj + kC), sizeof(double));
+      }
+    }
+    for (std::size_t k = 0; k < bs; ++k) {
+      top[k] = src->ld(p, li - 1, lj + k + kC, pc_bnd_);
+      bot[k] = src->ld(p, ui, lj + k + kC, pc_bnd_);
+      lef[k] = src->ld(p, li + k, lj - 1 + kC, pc_bnd_);
+      rig[k] = src->ld(p, li + k, uj + kC, pc_bnd_);
+    }
+    if (is_hand(variant_)) {
+      // "check_in Boundary rows & columns"
+      p.check_in(src->addr_of(li - 1, lj + kC), bs * sizeof(double));
+      p.check_in(src->addr_of(ui, lj + kC), bs * sizeof(double));
+      for (std::size_t i = li; i < ui; ++i) {
+        p.check_in(src->addr_of(i, lj - 1 + kC), sizeof(double));
+        p.check_in(src->addr_of(i, uj + kC), sizeof(double));
+      }
+    }
+
+    // "compute stencil on cols & rows" -- interior from src, halo columns
+    // and rows from the private copies.
+    for (std::size_t i = li; i < ui; ++i) {
+      if (is_hand(variant_) && !cfg_.cache_fits) {
+        // Column-fit listing: check rows out inside the time loop.
+        p.check_out_x(dst->addr_of(i, lj + kC), bs * sizeof(double));
+      }
+      for (std::size_t j = lj; j < uj; ++j) {
+        const double up =
+            i == li ? top[j - lj] : src->ld(p, i - 1, j + kC, pc_ld_);
+        const double dn =
+            i + 1 == ui ? bot[j - lj] : src->ld(p, i + 1, j + kC, pc_ld_);
+        const double le =
+            j == lj ? lef[i - li] : src->ld(p, i, j - 1 + kC, pc_ld_);
+        const double ri =
+            j + 1 == uj ? rig[i - li] : src->ld(p, i, j + 1 + kC, pc_ld_);
+        dst->st(p, i, j + kC, 0.25 * (up + dn + le + ri), pc_st_);
+        p.compute(4);
+      }
+      if (is_hand(variant_) && !cfg_.cache_fits) {
+        p.check_in(dst->addr_of(i, lj + kC), bs * sizeof(double));
+      }
+    }
+    p.barrier(pc_bar_);
+    std::swap(src, dst);
+  }
+
+  if (is_hand(variant_) && cfg_.cache_fits) {
+    // "check_in U[Lip:Uip, Ljp:Ujp]" after the time loop.
+    for (std::size_t i = li; i < ui; ++i) {
+      p.check_in(u_->addr_of(i, lj + kC), bs * sizeof(double));
+      p.check_in(v_->addr_of(i, lj + kC), bs * sizeof(double));
+    }
+  }
+}
+
+bool Jacobi::verify() const {
+  const std::size_t rows = cfg_.n + 2;
+  const sim::SharedArray2<double>* fin =
+      (cfg_.steps % 2 == 0) ? u_.get() : v_.get();
+  for (std::size_t i = 1; i <= cfg_.n; ++i) {
+    for (std::size_t j = 1; j <= cfg_.n; ++j) {
+      if (std::abs(fin->raw(i, j + 3) - ref_[i * rows + j]) > 1e-9) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace cico::apps

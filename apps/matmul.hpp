@@ -1,0 +1,85 @@
+// Matrix Multiply -- the paper's running example (sections 4.4, 5) and one
+// of the five Fig. 6 benchmarks.
+//
+// "Unconventional" decomposition (Fig. 5): each of the P = prow x pcol
+// processors owns a block of B (rows Lk..Uk, columns Lj..Uj).  A is
+// read-shared; C is read-write shared: the prow processors of one column
+// stripe all accumulate into the same C[i,j] elements, a DELIBERATE data
+// race the paper's Cachier flags (section 4.4) and section 5 removes by
+// restructuring.
+//
+// Epochs:  0: node 0 initializes A, B, C ("one processor initializes the
+//             matrices with random values", section 6);
+//          1: the multiply.
+//
+// Hand annotations (Variant::Hand), per section 6's description of the
+// hand version ("a few unnecessary annotations", prefetches
+// "inappropriately placed"):
+//   * check_in of A, B, C after initialization (correct, the big win);
+//   * check_out_X / check_in around each C block update (correct);
+//   * an explicit check_out_S of each A row segment (UNNECESSARY -- the
+//     protocol checks shared reads out implicitly; pure overhead);
+//   * HandPf: prefetch_S of the B row issued immediately before its use
+//     -- too late to hide any latency.
+//
+// The restructured variant implements the section 5 rewrite: accumulate
+// into a private copy, then merge into C under per-block locks.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "cico/sim/shared_array.hpp"
+
+namespace cico::apps {
+
+struct MatMulConfig {
+  std::size_t n = 96;        ///< matrix dimension (paper: 256)
+  std::uint32_t prow = 8;    ///< processors along B's rows (k blocks)
+  std::uint32_t pcol = 4;    ///< processors along B's columns (j blocks)
+  /// true  -> the section 4.4 "unconventional" decomposition whose shared
+  ///          C accumulation races (used by the E5/E6 experiments);
+  /// false -> the conventional BLOCKED multiply of the Fig. 6 evaluation
+  ///          ("multiplies two matrices by dividing them into blocks"):
+  ///          each processor owns a disjoint C block, so the CICO wins are
+  ///          the post-initialization check-ins and the exclusive
+  ///          check-outs of the read-then-written C elements.
+  bool racy = false;
+  bool restructured = false; ///< section 5 rewrite (implies the racy pattern)
+};
+
+class MatMul : public App {
+ public:
+  MatMul(MatMulConfig cfg, std::uint64_t seed) : cfg_(cfg), seed_(seed) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return cfg_.restructured ? "matmul_rs" : "matmul";
+  }
+  void setup(sim::Machine& m, Variant v) override;
+  void body(sim::Proc& p) override;
+  [[nodiscard]] bool verify() const override;
+
+  [[nodiscard]] const MatMulConfig& config() const { return cfg_; }
+
+ private:
+  void blocked_body(sim::Proc& p);
+  void racy_body(sim::Proc& p);
+  void restructured_body(sim::Proc& p);
+  [[nodiscard]] double in_val(std::size_t i, std::size_t j,
+                              std::uint64_t salt) const;
+
+  MatMulConfig cfg_;
+  std::uint64_t seed_;
+  Variant variant_ = Variant::None;
+  std::unique_ptr<sim::SharedArray2<double>> a_, b_, c_;
+  std::vector<std::vector<double>> priv_c_;  // per-node private partials
+  std::vector<double> ref_;                  // host-computed reference
+  // Access-site ids (the "program counters" of the Fig. 3 trace).
+  PcId pc_init_a_ = 0, pc_init_b_ = 0, pc_init_c_ = 0;
+  PcId pc_ld_a_ = 0, pc_ld_b_ = 0, pc_ld_c_ = 0, pc_st_c_ = 0;
+  PcId pc_copyin_ = 0, pc_merge_ld_ = 0, pc_merge_st_ = 0;
+  PcId pc_bar_ = 0;
+};
+
+}  // namespace cico::apps

@@ -1,0 +1,153 @@
+#include "apps/mp3d.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "cico/common/rng.hpp"
+
+namespace cico::apps {
+
+std::size_t Mp3d::cell_of(double x, double y, double z) const {
+  const auto clampi = [&](double v) {
+    const auto c = static_cast<std::size_t>(v * static_cast<double>(cfg_.cells_per_dim));
+    return std::min(c, cfg_.cells_per_dim - 1);
+  };
+  return (clampi(x) * cfg_.cells_per_dim + clampi(y)) * cfg_.cells_per_dim +
+         clampi(z);
+}
+
+void Mp3d::setup(sim::Machine& m, Variant v) {
+  variant_ = v;
+  nodes_ = m.config().nodes;
+  const std::size_t nm = cfg_.molecules;
+  if (nm < nodes_) throw std::invalid_argument("mp3d: too few molecules");
+  // Molecule arrays are "regular" (index-partitioned); the cell array is
+  // marked irregular: which cells a molecule touches is data-dependent
+  // scatter, beyond static prefetch analysis.
+  px_ = std::make_unique<sim::SharedArray<double>>(m, "PX", nm);
+  py_ = std::make_unique<sim::SharedArray<double>>(m, "PY", nm);
+  pz_ = std::make_unique<sim::SharedArray<double>>(m, "PZ", nm);
+  vx_ = std::make_unique<sim::SharedArray<double>>(m, "VX", nm);
+  vy_ = std::make_unique<sim::SharedArray<double>>(m, "VY", nm);
+  vz_ = std::make_unique<sim::SharedArray<double>>(m, "VZ", nm);
+  const std::size_t nc =
+      cfg_.cells_per_dim * cfg_.cells_per_dim * cfg_.cells_per_dim;
+  cell_count_ =
+      std::make_unique<sim::SharedArray<double>>(m, "CELLCNT", nc, false);
+  cell_mom_ =
+      std::make_unique<sim::SharedArray<double>>(m, "CELLMOM", nc, false);
+
+  PcRegistry& pcs = m.pcs();
+  pc_init_ = pcs.intern("mp3d", 1, "molecule init");
+  pc_pos_ld_ = pcs.intern("mp3d", 10, "pos[i]");
+  pc_pos_st_ = pcs.intern("mp3d", 11, "pos[i] = moved");
+  pc_vel_ld_ = pcs.intern("mp3d", 12, "vel[i]");
+  pc_vel_st_ = pcs.intern("mp3d", 13, "vel[i] = collided");
+  pc_cell_ld_ = pcs.intern("mp3d", 14, "cell[c]");
+  pc_cell_st_ = pcs.intern("mp3d", 15, "cell[c] += ...");
+  pc_bar_ = pcs.intern("mp3d", 20, "barrier");
+}
+
+void Mp3d::body(sim::Proc& p) {
+  const std::size_t nm = cfg_.molecules;
+  const std::size_t per = nm / nodes_;
+  const std::size_t extra = nm % nodes_;
+  const std::size_t lo = p.id() * per + std::min<std::size_t>(p.id(), extra);
+  const std::size_t hi = lo + per + (p.id() < extra ? 1 : 0);
+
+  // Epoch 0: owner-initialized molecules (seed-dependent input set).
+  Rng r(seed_ * 0xb5297a4d3f8c2e01ULL + p.id());
+  for (std::size_t i = lo; i < hi; ++i) {
+    px_->st(p, i, r.uniform(), pc_init_);
+    py_->st(p, i, r.uniform(), pc_init_);
+    pz_->st(p, i, r.uniform(), pc_init_);
+    vx_->st(p, i, r.range(-0.02, 0.02), pc_init_);
+    vy_->st(p, i, r.range(-0.02, 0.02), pc_init_);
+    vz_->st(p, i, r.range(-0.02, 0.02), pc_init_);
+  }
+  p.barrier(pc_bar_);
+
+  const std::size_t dpb = 32 / sizeof(double);  // doubles per cache block
+
+  for (std::size_t step = 0; step < cfg_.steps; ++step) {
+    // --- Move epoch ---
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (is_hand(variant_) && i % dpb == 0) {
+        p.check_out_x(px_->addr_of(i), dpb * sizeof(double));
+        p.check_out_x(py_->addr_of(i), dpb * sizeof(double));
+        p.check_out_x(pz_->addr_of(i), dpb * sizeof(double));
+      }
+      double x = px_->ld(p, i, pc_pos_ld_);
+      double y = py_->ld(p, i, pc_pos_ld_);
+      double z = pz_->ld(p, i, pc_pos_ld_);
+      const double dx = vx_->ld(p, i, pc_vel_ld_);
+      const double dy = vy_->ld(p, i, pc_vel_ld_);
+      const double dz = vz_->ld(p, i, pc_vel_ld_);
+      // Reflecting walls keep positions in [0,1).
+      auto bounce = [](double v) {
+        if (v < 0.0) return -v;
+        if (v >= 1.0) return 2.0 - v - 1e-12;
+        return v;
+      };
+      x = bounce(x + dx);
+      y = bounce(y + dy);
+      z = bounce(z + dz);
+      px_->st(p, i, x, pc_pos_st_);
+      py_->st(p, i, y, pc_pos_st_);
+      pz_->st(p, i, z, pc_pos_st_);
+      p.compute(36);
+
+      if (is_hand(variant_) && (i % dpb == dpb - 1 || i + 1 == hi)) {
+        // TOO-EARLY hand check-in: the collide epoch of this same node
+        // still needs these blocks (it re-reads pos), so this forces a
+        // re-checkout -- one of the two hand failure modes of section 6.
+        const std::size_t head = (i / dpb) * dpb;
+        p.check_in(px_->addr_of(head), dpb * sizeof(double));
+        p.check_in(py_->addr_of(head), dpb * sizeof(double));
+        p.check_in(pz_->addr_of(head), dpb * sizeof(double));
+      }
+
+      // Racy scatter into the space cells (no locks -- as in SPLASH
+      // Mp3d).  The hand version NEGLECTS these entirely.
+      const std::size_t c = cell_of(x, y, z);
+      const double cnt = cell_count_->ld(p, c, pc_cell_ld_);
+      cell_count_->st(p, c, cnt + 1.0, pc_cell_st_);
+      const double mom = cell_mom_->ld(p, c, pc_cell_ld_);
+      cell_mom_->st(p, c, mom + dx + dy + dz, pc_cell_st_);
+      p.compute(6);
+    }
+    p.barrier(pc_bar_);
+
+    // --- Collide epoch ---
+    for (std::size_t i = lo; i < hi; ++i) {
+      const double x = px_->ld(p, i, pc_pos_ld_);
+      const double y = py_->ld(p, i, pc_pos_ld_);
+      const double z = pz_->ld(p, i, pc_pos_ld_);
+      const std::size_t c = cell_of(x, y, z);
+      const double cnt = cell_count_->ld(p, c, pc_cell_ld_);
+      const double mom = cell_mom_->ld(p, c, pc_cell_ld_);
+      if (cnt > 1.0) {
+        const double f = 1.0 - 0.01 * (mom / cnt);
+        vx_->st(p, i, vx_->ld(p, i, pc_vel_ld_) * f, pc_vel_st_);
+        vy_->st(p, i, vy_->ld(p, i, pc_vel_ld_) * f, pc_vel_st_);
+        vz_->st(p, i, vz_->ld(p, i, pc_vel_ld_) * f, pc_vel_st_);
+      }
+      p.compute(40);
+    }
+    p.barrier(pc_bar_);
+  }
+}
+
+bool Mp3d::verify() const {
+  // Cell updates race (inherited from SPLASH Mp3d), so cell sums are not
+  // deterministic; molecule positions must stay in bounds and finite.
+  for (std::size_t i = 0; i < cfg_.molecules; i += 3) {
+    for (const auto* arr : {px_.get(), py_.get(), pz_.get()}) {
+      const double v = arr->raw(i);
+      if (!std::isfinite(v) || v < 0.0 || v >= 1.0) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace cico::apps

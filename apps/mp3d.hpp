@@ -1,0 +1,69 @@
+// Mp3d -- rarefied hypersonic flow of idealized diatomic molecules in a
+// 3-D active space (SPLASH).  The paper simulated 50,000 molecules for 10
+// time steps; sizes here are scaled (see EXPERIMENTS.md).
+//
+// Why Mp3d is the paper's best case (25% over unannotated, 45% over
+// hand): it has very high write sharing (71% shared loads / 80% shared
+// stores, section 6) and a famously racy update pattern -- every molecule
+// scatters unsynchronized read-modify-write updates into the space-cell
+// array shared by all processors (original SPLASH Mp3d accepted these
+// races for statistical reasons).  Cachier flags the races and wraps each
+// cell update in a tight check_out_X/check_in pair, turning every
+// contended access from a software-trap recall into a cheap fill.
+//
+// Structure per time step (2 epochs):
+//   move    -- each node advances its own molecules and accumulates
+//              (count, momentum) into the cells the molecules land in
+//              (racy shared RMW scatter);
+//   collide -- each node reads the cells of its molecules and perturbs
+//              molecule velocities (shared reads of the cell array that
+//              some OTHER node will write next epoch -> Performance ci).
+//
+// Hand variant (the failure modes section 6 describes: "checking-in cache
+// blocks too early ... as well as neglecting to check-in blocks"):
+//   * checks its molecule blocks in right after the position update,
+//     BEFORE the velocity update in the same epoch (too early ->
+//     re-checkout churn on its own data);
+//   * does not annotate the cell array at all (misses the main win).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "cico/sim/shared_array.hpp"
+
+namespace cico::apps {
+
+struct Mp3dConfig {
+  std::size_t molecules = 4096;  ///< paper: 50,000
+  std::size_t steps = 6;         ///< paper: 10
+  std::size_t cells_per_dim = 12; ///< 12^3 = 1728 space cells
+};
+
+class Mp3d : public App {
+ public:
+  Mp3d(Mp3dConfig cfg, std::uint64_t seed) : cfg_(cfg), seed_(seed) {}
+
+  [[nodiscard]] std::string_view name() const override { return "mp3d"; }
+  void setup(sim::Machine& m, Variant v) override;
+  void body(sim::Proc& p) override;
+  [[nodiscard]] bool verify() const override;
+
+ private:
+  [[nodiscard]] std::size_t cell_of(double x, double y, double z) const;
+
+  Mp3dConfig cfg_;
+  std::uint64_t seed_;
+  Variant variant_ = Variant::None;
+  std::uint32_t nodes_ = 0;
+  // Molecule state: position + velocity, partitioned by owner.
+  std::unique_ptr<sim::SharedArray<double>> px_, py_, pz_;
+  std::unique_ptr<sim::SharedArray<double>> vx_, vy_, vz_;
+  // Space cells: molecule count and accumulated momentum (racy).
+  std::unique_ptr<sim::SharedArray<double>> cell_count_, cell_mom_;
+  PcId pc_init_ = 0, pc_pos_ld_ = 0, pc_pos_st_ = 0, pc_vel_ld_ = 0,
+       pc_vel_st_ = 0, pc_cell_ld_ = 0, pc_cell_st_ = 0, pc_bar_ = 0;
+};
+
+}  // namespace cico::apps

@@ -1,0 +1,151 @@
+#include "apps/ocean.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "cico/common/rng.hpp"
+
+namespace cico::apps {
+
+namespace {
+/// Columns allocated per split-array row, padded to a cache-block multiple
+/// so strip rows never straddle blocks across owners.
+std::size_t padded_cols(std::size_t n) {
+  const std::size_t cols = (n + 2) / 2;
+  return (cols + 3) / 4 * 4;
+}
+}  // namespace
+
+double Ocean::init_val(std::size_t i, std::size_t j) const {
+  Rng r(seed_ * 0x9e3779b97f4a7c15ULL + i * 1099511628211ULL + j);
+  return r.uniform();
+}
+
+void Ocean::setup(sim::Machine& m, Variant v) {
+  variant_ = v;
+  nodes_ = m.config().nodes;
+  if (cfg_.n % 2 != 0) throw std::invalid_argument("ocean: n must be even");
+  if (cfg_.n < nodes_) throw std::invalid_argument("ocean: grid too small");
+  const std::size_t rows = cfg_.n + 2;
+  const std::size_t cols = padded_cols(cfg_.n);
+  red_ = std::make_unique<sim::SharedArray2<double>>(m, "RED", rows, cols);
+  black_ = std::make_unique<sim::SharedArray2<double>>(m, "BLACK", rows, cols);
+
+  PcRegistry& pcs = m.pcs();
+  pc_init_ = pcs.intern("ocean", 1, "grid init");
+  pc_ld_ = pcs.intern("ocean", 10, "stencil read");
+  pc_st_ = pcs.intern("ocean", 11, "cell update");
+  pc_bar_ = pcs.intern("ocean", 20, "barrier");
+
+  // Host reference on the full grid, same red-black schedule.
+  ref_.assign(rows * rows, 0.0);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < rows; ++j) {
+      ref_[i * rows + j] = init_val(i, j);
+    }
+  }
+  for (std::size_t it = 0; it < cfg_.iters; ++it) {
+    for (int colour = 0; colour < 2; ++colour) {
+      for (std::size_t i = 1; i <= cfg_.n; ++i) {
+        for (std::size_t j = 1; j <= cfg_.n; ++j) {
+          if (((i + j) & 1u) != static_cast<unsigned>(colour)) continue;
+          const double st =
+              0.25 * (ref_[(i - 1) * rows + j] + ref_[(i + 1) * rows + j] +
+                      ref_[i * rows + j + 1] + ref_[i * rows + j - 1]);
+          ref_[i * rows + j] += cfg_.omega * (st - ref_[i * rows + j]);
+        }
+      }
+    }
+  }
+}
+
+void Ocean::half_sweep(sim::Proc& p, int colour, std::size_t li,
+                       std::size_t ui) {
+  // colour 0: update RED (i+j even) reading BLACK; colour 1: the reverse.
+  sim::SharedArray2<double>* dst = colour == 0 ? red_.get() : black_.get();
+  sim::SharedArray2<double>* src = colour == 0 ? black_.get() : red_.get();
+
+  if (variant_ == Variant::HandPf) {
+    p.prefetch_s(src->row_addr(li - 1), src->row_bytes());
+    p.prefetch_s(src->row_addr(ui), src->row_bytes());
+  }
+  for (std::size_t i = li; i < ui; ++i) {
+    // dst row i holds cells with column parity par = (i + colour) & 1.
+    const std::size_t par = (i + static_cast<std::size_t>(colour)) & 1u;
+    for (std::size_t k = 0; k < (cfg_.n + 2) / 2; ++k) {
+      const std::size_t j = 2 * k + par;
+      if (j < 1 || j > cfg_.n) continue;
+      // Neighbours of (i, j) are the other colour:
+      //   (i-1, j), (i+1, j)      -> src rows i-1 / i+1, same k
+      //   (i, j-1)                -> src row i, k - 1 + par
+      //   (i, j+1)                -> src row i, k + par
+      const double up = src->ld(p, i - 1, k, pc_ld_);
+      const double dn = src->ld(p, i + 1, k, pc_ld_);
+      const double le = src->ld(p, i, k - 1 + par, pc_ld_);
+      const double ri = src->ld(p, i, k + par, pc_ld_);
+      const double cur = dst->ld(p, i, k, pc_ld_);
+      const double st = 0.25 * (up + dn + le + ri);
+      dst->st(p, i, k, cur + cfg_.omega * (st - cur), pc_st_);
+      p.compute(cfg_.flops);
+    }
+  }
+  if (is_hand(variant_)) {
+    // Hand: release the strip's bottom edge row of the freshly written
+    // colour; FORGETS the top edge row (section 6: Cachier ~7% ahead).
+    p.check_in(dst->row_addr(ui - 1), dst->row_bytes());
+  }
+  p.barrier(pc_bar_);
+}
+
+void Ocean::body(sim::Proc& p) {
+  const std::size_t rows = cfg_.n + 2;
+  const std::size_t cols = padded_cols(cfg_.n);
+  // Epoch 0: node 0 initializes both colour arrays (full grid + halo).
+  if (p.id() == 0) {
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t k = 0; k < cols; ++k) {
+        const std::size_t jr = 2 * k + (i & 1u);       // red column
+        const std::size_t jb = 2 * k + 1 - (i & 1u);   // black column
+        red_->st(p, i, k, jr < rows ? init_val(i, jr) : 0.0, pc_init_);
+        black_->st(p, i, k, jb < rows ? init_val(i, jb) : 0.0, pc_init_);
+      }
+    }
+    if (is_hand(variant_)) {
+      p.check_in(red_->base(), red_->bytes());
+      p.check_in(black_->base(), black_->bytes());
+    }
+  }
+  p.barrier(pc_bar_);
+
+  const std::size_t per = cfg_.n / nodes_;
+  const std::size_t extra = cfg_.n % nodes_;
+  const std::size_t li = 1 + p.id() * per + std::min<std::size_t>(p.id(), extra);
+  const std::size_t ui = li + per + (p.id() < extra ? 1 : 0);
+
+  if (is_hand(variant_)) {
+    // Hand: take the whole strip exclusive once, before iterating.
+    p.check_out_x(red_->row_addr(li), (ui - li) * red_->row_bytes());
+    p.check_out_x(black_->row_addr(li), (ui - li) * black_->row_bytes());
+  }
+  for (std::size_t it = 0; it < cfg_.iters; ++it) {
+    half_sweep(p, 0, li, ui);
+    half_sweep(p, 1, li, ui);
+  }
+}
+
+bool Ocean::verify() const {
+  const std::size_t rows = cfg_.n + 2;
+  for (std::size_t i = 1; i <= cfg_.n; ++i) {
+    for (std::size_t j = 1; j <= cfg_.n; ++j) {
+      const std::size_t par = (i + j) & 1u;  // 0 = red
+      const std::size_t k = j / 2;           // note: j = 2k + (j & 1)
+      const double got = par == 0 ? red_->raw(i, (j - (i & 1u)) / 2)
+                                  : black_->raw(i, (j - (1 - (i & 1u))) / 2);
+      if (std::abs(got - ref_[i * rows + j]) > 1e-9) return false;
+      (void)k;
+    }
+  }
+  return true;
+}
+
+}  // namespace cico::apps

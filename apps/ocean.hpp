@@ -1,0 +1,65 @@
+// Ocean -- cuboidal ocean basin simulation (SPLASH), reproduced as its
+// computational core: red-black Gauss-Seidel with Successive Over
+// Relaxation on a 2-D grid (the paper simulated a 98x98 grid).
+//
+// Layout: the red and black checkerboard cells live in SEPARATE arrays
+// (the standard split-grid layout SPLASH-style solvers use).  Each
+// half-sweep (one epoch) updates one colour reading only the other, so a
+// strip's edge rows are pure producer-consumer traffic between
+// neighbours: written by their owner in one epoch, read by the neighbour
+// in the next.  That is exactly the pattern Dir1SW punishes without
+// check-ins (every first foreign read recalls an exclusive copy through a
+// software trap; every owner re-write upgrades through another) and that
+// Cachier's Performance check-in equations repair.  Ocean has the highest
+// degree of sharing among the benchmarks (88% of loads / 68% of stores,
+// section 6), which is why the paper saw its largest improvements here
+// and on Mp3d (20%, 25% with prefetch).
+//
+// Hand variant: takes the strip exclusive once up front and checks in the
+// strip's BOTTOM edge row after each sweep -- but forgets the TOP edge
+// row, so upward neighbours keep trapping (the suboptimality that leaves
+// Cachier ~7% ahead, section 6).  HandPf prefetches the neighbour edge
+// rows at the start of each sweep.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "cico/sim/shared_array.hpp"
+
+namespace cico::apps {
+
+struct OceanConfig {
+  std::size_t n = 98;      ///< grid dimension (paper: 98); n even
+  std::size_t iters = 6;   ///< SOR iterations (each = 2 epochs)
+  double omega = 1.5;      ///< over-relaxation factor
+  Cycle flops = 48;        ///< non-memory work per cell update
+};
+
+class Ocean : public App {
+ public:
+  Ocean(OceanConfig cfg, std::uint64_t seed) : cfg_(cfg), seed_(seed) {}
+
+  [[nodiscard]] std::string_view name() const override { return "ocean"; }
+  void setup(sim::Machine& m, Variant v) override;
+  void body(sim::Proc& p) override;
+  [[nodiscard]] bool verify() const override;
+
+ private:
+  [[nodiscard]] double init_val(std::size_t i, std::size_t j) const;
+  // One half-sweep: update `dst` colour from `src` colour.
+  void half_sweep(sim::Proc& p, int colour, std::size_t li, std::size_t ui);
+
+  OceanConfig cfg_;
+  std::uint64_t seed_;
+  Variant variant_ = Variant::None;
+  std::uint32_t nodes_ = 0;
+  // red_[i][k] = cell (i, 2k + (i&1)); black_[i][k] = cell (i, 2k + !(i&1)).
+  // Both have (n+2) rows and (n+2)/2 columns (halo included).
+  std::unique_ptr<sim::SharedArray2<double>> red_, black_;
+  std::vector<double> ref_;  // full-grid host reference
+  PcId pc_init_ = 0, pc_ld_ = 0, pc_st_ = 0, pc_bar_ = 0;
+};
+
+}  // namespace cico::apps

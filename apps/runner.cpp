@@ -1,0 +1,95 @@
+#include "apps/runner.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace cico::apps {
+
+trace::Trace Harness::collect_trace() {
+  sim::SimConfig sc = cfg_.sim;
+  sc.trace_mode = cfg_.flush_at_barriers;
+  sim::Machine m(sc);
+  trace::TraceWriter w;
+  m.set_trace_writer(&w);
+  auto app = factory_(cfg_.trace_seed);
+  app->setup(m, Variant::None);
+  w.set_labels(m.heap().trace_labels());
+  m.run([&](sim::Proc& p) { app->body(p); });
+  trace::Trace t = w.take();
+  cachier::SharingAnalyzer sa(t, cfg_.sim.cache);
+  report_ = sa.report(t, m.pcs());
+  return t;
+}
+
+sim::DirectivePlan Harness::build_plan(const cachier::PlanOptions& opt) {
+  trace::Trace t = collect_trace();
+  cachier::PlanBuilder pb(t, cfg_.sim.cache);
+  return pb.build(opt);
+}
+
+RunResult Harness::measure(Variant v, const sim::DirectivePlan* plan) {
+  sim::Machine m(cfg_.sim);
+  if (plan != nullptr) m.set_plan(plan);
+  auto app = factory_(cfg_.measure_seed);
+  app->setup(m, v);
+  m.run([&](sim::Proc& p) { app->body(p); });
+
+  RunResult r;
+  r.app = std::string(app->name());
+  r.variant = variant_name(v);
+  r.time = m.exec_time();
+  r.verified = app->verify();
+  for (std::size_t s = 0; s < kStatCount; ++s) {
+    r.totals[s] = m.stats().total(static_cast<Stat>(s));
+  }
+  return r;
+}
+
+std::vector<RunResult> Harness::run_variants(
+    const std::vector<Variant>& variants) {
+  sim::DirectivePlan plan, plan_pf;
+  bool have_plan = false, have_plan_pf = false;
+  std::vector<RunResult> out;
+  for (Variant v : variants) {
+    const sim::DirectivePlan* p = nullptr;
+    if (v == Variant::Cachier) {
+      if (!have_plan) {
+        plan = build_plan({.mode = cachier::Mode::Performance});
+        have_plan = true;
+      }
+      p = &plan;
+    } else if (v == Variant::CachierPf) {
+      if (!have_plan_pf) {
+        plan_pf = build_plan(
+            {.mode = cachier::Mode::Performance, .prefetch = true});
+        have_plan_pf = true;
+      }
+      p = &plan_pf;
+    }
+    out.push_back(measure(v, p));
+  }
+  return out;
+}
+
+std::string format_fig6_rows(const std::vector<RunResult>& results) {
+  std::ostringstream os;
+  if (results.empty()) return "";
+  const RunResult* base = nullptr;
+  for (const auto& r : results) {
+    if (r.variant == "none") base = &r;
+  }
+  os << std::left << std::setw(12) << results.front().app;
+  for (const auto& r : results) {
+    std::ostringstream cell;
+    cell << r.variant << "=";
+    if (base != nullptr) {
+      cell << std::fixed << std::setprecision(3) << r.normalized_to(*base);
+    } else {
+      cell << r.time;
+    }
+    os << std::setw(20) << cell.str();
+  }
+  return os.str();
+}
+
+}  // namespace cico::apps

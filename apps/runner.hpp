@@ -1,0 +1,77 @@
+// Harness that reproduces the paper's experimental pipeline (Fig. 1):
+// trace the unannotated program on one input, feed the trace to Cachier,
+// then measure all variants on a DIFFERENT input.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "cico/cachier/cachier.hpp"
+#include "cico/sim/config.hpp"
+#include "cico/trace/trace.hpp"
+
+namespace cico::apps {
+
+/// Snapshot of one measured run.
+struct RunResult {
+  std::string app;
+  std::string variant;
+  Cycle time = 0;
+  bool verified = true;
+  std::array<std::uint64_t, kStatCount> totals{};
+
+  [[nodiscard]] std::uint64_t stat(Stat s) const {
+    return totals[static_cast<std::size_t>(s)];
+  }
+  /// Normalized against a baseline run (the paper's Fig. 6 metric).
+  [[nodiscard]] double normalized_to(const RunResult& base) const {
+    return static_cast<double>(time) / static_cast<double>(base.time);
+  }
+};
+
+struct HarnessConfig {
+  sim::SimConfig sim{};             // paper defaults: 32 nodes, 256KB/4way/32B
+  std::uint64_t trace_seed = 1;     // input used to generate the trace
+  std::uint64_t measure_seed = 2;   // input used for measurement
+  /// Flush shared-data caches at barriers while tracing (section 3.3).
+  /// Turning this off degrades trace completeness -- the A3 ablation.
+  bool flush_at_barriers = true;
+};
+
+class Harness {
+ public:
+  Harness(AppFactory factory, HarnessConfig cfg)
+      : factory_(std::move(factory)), cfg_(cfg) {}
+
+  /// Runs the unannotated app in trace mode and returns the Fig. 3 trace.
+  [[nodiscard]] trace::Trace collect_trace();
+
+  /// Trace -> Cachier -> plan.
+  [[nodiscard]] sim::DirectivePlan build_plan(const cachier::PlanOptions& opt);
+
+  /// Measures one variant (plan may be null for None/Hand).
+  [[nodiscard]] RunResult measure(Variant v,
+                                  const sim::DirectivePlan* plan = nullptr);
+
+  /// Full paper pipeline for one app: returns results for the requested
+  /// variants, building Cachier plans as needed.
+  [[nodiscard]] std::vector<RunResult> run_variants(
+      const std::vector<Variant>& variants);
+
+  [[nodiscard]] const HarnessConfig& config() const { return cfg_; }
+
+  /// The sharing report (races/false sharing) from the last collect_trace.
+  [[nodiscard]] const std::string& sharing_report() const { return report_; }
+
+ private:
+  AppFactory factory_;
+  HarnessConfig cfg_;
+  std::string report_;
+};
+
+/// Pretty-prints a table of normalized execution times (Fig. 6 style).
+std::string format_fig6_rows(const std::vector<RunResult>& results);
+
+}  // namespace cico::apps

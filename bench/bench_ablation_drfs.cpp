@@ -1,0 +1,65 @@
+// A1 -- ablation of the DRFS terms of the section 4.1 equations.
+//
+// (a) ignore_drfs: treat every block as uncontended (no tight
+//     check-out/check-in around raced / falsely-shared data).  Mp3d and
+//     the racy matrix multiply should lose most of their improvement --
+//     the DRFS terms are where their win lives.
+// (b) fs literal: the paper's one-line false-sharing definition without
+//     the "requires a writer" qualifier (see SharingOptions) -- read-only
+//     co-resident blocks get per-access check-ins, devastating
+//     read-shared structures like the Barnes octree.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+using namespace cico;
+using namespace cico::apps;
+using namespace cico::bench;
+
+namespace {
+
+void run_app(const char* name, const AppFactory& f, bool fs_literal_case) {
+  Harness h(f, fig6_config());
+  const RunResult none = h.measure(Variant::None);
+
+  cachier::PlanOptions full{.mode = cachier::Mode::Performance};
+  sim::DirectivePlan plan_full = h.build_plan(full);
+  const RunResult with = h.measure(Variant::Cachier, &plan_full);
+
+  cachier::PlanOptions ablate = full;
+  if (fs_literal_case) {
+    ablate.sharing.fs_requires_write = false;
+  } else {
+    ablate.chooser.ignore_drfs = true;
+  }
+  sim::DirectivePlan plan_abl = h.build_plan(ablate);
+  const RunResult without = h.measure(Variant::Cachier, &plan_abl);
+
+  std::printf("%-8s %-12s cachier=%.3f  ablated=%.3f\n", name,
+              fs_literal_case ? "fs-literal" : "no-drfs",
+              with.normalized_to(none), without.normalized_to(none));
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "A1: DRFS-term ablation (normalized exec time; lower is better)");
+  std::printf("-- drop DRFS handling entirely --\n");
+  {
+    MatMulConfig mc;
+    mc.n = 64;
+    mc.racy = true;
+    run_app("matmul*", [mc](std::uint64_t s) {
+      return std::make_unique<MatMul>(mc, s);
+    }, false);
+  }
+  run_app("mp3d", mp3d_factory(), false);
+  std::printf("-- paper-literal false sharing (no writer required) --\n");
+  run_app("barnes", barnes_factory(), true);
+  std::printf(
+      "\nExpected: dropping DRFS hurts the racy apps; the literal FS\n"
+      "definition hurts Barnes badly (its read-shared octree gets tight\n"
+      "check-ins).  (*racy section 4.4 decomposition)\n");
+  return 0;
+}

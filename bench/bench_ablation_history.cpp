@@ -1,0 +1,45 @@
+// A2 -- ablation of the single-epoch history terms (SW_{i-1} / S_{i+1}):
+// "This annotation placement models caches and helps to eliminate many
+// unnecessary check-in, check-out pairs at epoch boundaries" (section
+// 4.1).  Without history every epoch re-checks-out and re-checks-in its
+// whole working set; iterative apps (Ocean, Tomcatv) pay for it.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+using namespace cico;
+using namespace cico::apps;
+using namespace cico::bench;
+
+namespace {
+
+void run_app(const char* name, const AppFactory& f) {
+  Harness h(f, fig6_config());
+  const RunResult none = h.measure(Variant::None);
+  sim::DirectivePlan with_hist =
+      h.build_plan({.mode = cachier::Mode::Performance, .use_history = true});
+  sim::DirectivePlan no_hist =
+      h.build_plan({.mode = cachier::Mode::Performance, .use_history = false});
+  const RunResult rw = h.measure(Variant::Cachier, &with_hist);
+  const RunResult rn = h.measure(Variant::Cachier, &no_hist);
+  std::printf(
+      "%-8s with-history=%.3f (ci=%llu)   no-history=%.3f (ci=%llu)\n", name,
+      rw.normalized_to(none),
+      static_cast<unsigned long long>(rw.stat(Stat::CheckIns)),
+      rn.normalized_to(none),
+      static_cast<unsigned long long>(rn.stat(Stat::CheckIns)));
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "A2: single-epoch-history ablation (normalized exec time)\n"
+      "history off => every epoch re-checks out/in its whole working set");
+  run_app("ocean", ocean_factory());
+  run_app("tomcatv", tomcatv_factory());
+  run_app("matmul", matmul_factory());
+  std::printf("\nExpected: no-history issues many more check-ins and runs "
+              "slower.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// E1 -- Figure 6: normalized execution time of the five benchmarks,
+// {unannotated, hand CICO, Cachier CICO, Cachier CICO + prefetch}, on 32
+// simulated Dir1SW nodes (256 KB / 4-way / 32 B caches).
+//
+// Paper-reported improvements (section 6 text):
+//   Matrix Multiply: Cachier 16% (20% with prefetch), slightly ahead of
+//                    hand; hand prefetches were misplaced.
+//   Barnes:          Cachier 11% over none, 2% over hand; prefetch adds
+//                    little (pointer structures).
+//   Tomcatv:         no large effect (90% computation).
+//   Ocean:           20% (25% with prefetch); 7% over hand.
+//   Mp3d:            25% over none, 45% over hand (hand is WORSE than
+//                    unannotated: checked in too early + missing
+//                    check-ins).
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+
+using namespace cico;
+using namespace cico::apps;
+using namespace cico::bench;
+
+namespace {
+
+struct PaperRow {
+  const char* hand;
+  const char* cachier;
+  const char* cachier_pf;
+};
+
+void run_one(const char* name, const AppFactory& f, const PaperRow& paper,
+             bool include_hand_pf = false) {
+  Harness h(f, fig6_config());
+  std::vector<Variant> vs{Variant::None, Variant::Hand, Variant::Cachier,
+                          Variant::CachierPf};
+  if (include_hand_pf) vs.insert(vs.begin() + 2, Variant::HandPf);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto rs = h.run_variants(vs);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  const RunResult& base = rs.front();
+  std::printf("%-10s", name);
+  for (const auto& r : rs) {
+    std::printf("  %s=%.3f", r.variant.c_str(), r.normalized_to(base));
+    if (!r.verified) std::printf("(!VERIFY)");
+  }
+  std::printf("   [paper: hand=%s cachier=%s cachier+pf=%s]  (%.1fs)\n",
+              paper.hand, paper.cachier, paper.cachier_pf,
+              std::chrono::duration<double>(t1 - t0).count());
+  std::printf("           ");
+  for (const auto& r : rs) {
+    std::printf("  %s: traps=%llu wf=%llu ci=%llu",
+                r.variant.c_str(),
+                static_cast<unsigned long long>(r.stat(Stat::Traps)),
+                static_cast<unsigned long long>(r.stat(Stat::WriteFaults)),
+                static_cast<unsigned long long>(r.stat(Stat::CheckIns)));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Figure 6: normalized execution time (lower is better), 32 nodes\n"
+      "variants: none / hand CICO / Cachier CICO / Cachier CICO+prefetch");
+  run_one("matmul", matmul_factory(),
+          {"~0.85", "~0.84", "~0.80"}, /*include_hand_pf=*/true);
+  run_one("barnes", barnes_factory(), {"~0.91", "~0.89", "~0.89"});
+  run_one("tomcatv", tomcatv_factory(), {"~1.00", "~1.00", "~1.00"});
+  run_one("ocean", ocean_factory(), {"~0.87", "~0.80", "~0.75"});
+  run_one("mp3d", mp3d_factory(), {"~1.36", "~0.75", "~0.75"});
+  std::printf(
+      "\nShape checks (paper section 6): Cachier beats hand on every app;\n"
+      "Mp3d hand is WORSE than unannotated; Tomcatv is flat; prefetch helps\n"
+      "MatMul/Ocean, does little for Barnes/Mp3d.\n");
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Micro-benchmarks (google-benchmark) for the substrate hot paths: cache
+// lookup/insert, Dir1SW service, trace ingestion and epoch-set analysis.
+// These bound the simulator's own throughput, not the paper's results.
+#include <benchmark/benchmark.h>
+
+#include "cico/cachier/cachier.hpp"
+#include "cico/mem/cache.hpp"
+#include "cico/net/network.hpp"
+#include "cico/proto/dir1sw.hpp"
+
+namespace {
+
+using namespace cico;
+
+void BM_CacheHit(benchmark::State& state) {
+  mem::CacheGeometry g;
+  mem::Cache c(g);
+  for (Block b = 0; b < 1024; ++b) c.insert(b, mem::LineState::Shared);
+  Block b = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.state_of(b));
+    c.touch(b);
+    b = (b + 7) % 1024;
+  }
+}
+BENCHMARK(BM_CacheHit);
+
+void BM_CacheInsertEvict(benchmark::State& state) {
+  mem::CacheGeometry g;
+  g.size_bytes = 4096;
+  mem::Cache c(g);
+  Block b = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.insert(b++, mem::LineState::Exclusive));
+  }
+}
+BENCHMARK(BM_CacheInsertEvict);
+
+class NullCaches : public proto::CacheControl {
+ public:
+  [[nodiscard]] mem::LineState peek(NodeId, Block) const override {
+    return mem::LineState::Invalid;
+  }
+  void invalidate(NodeId, Block) override {}
+  void downgrade(NodeId, Block) override {}
+  void push_shared(NodeId, Block) override {}
+};
+
+void BM_Dir1SWHardwareFill(benchmark::State& state) {
+  CostModel cost;
+  Stats stats(32);
+  net::Network net(cost, stats);
+  NullCaches caches;
+  proto::Dir1SW dir(32, cost, net, stats, caches);
+  Cycle t = 0;
+  Block b = 0;
+  for (auto _ : state) {
+    auto r = dir.get_exclusive(0, b, t);
+    dir.put(0, b, true, r.done_at, true);
+    t = r.done_at;
+    b = (b + 1) % 4096;
+  }
+}
+BENCHMARK(BM_Dir1SWHardwareFill);
+
+void BM_Dir1SWTrapPath(benchmark::State& state) {
+  CostModel cost;
+  Stats stats(32);
+  net::Network net(cost, stats);
+  NullCaches caches;
+  proto::Dir1SW dir(32, cost, net, stats, caches);
+  Cycle t = 0;
+  for (auto _ : state) {
+    auto r1 = dir.get_exclusive(1, 5, t);
+    auto r2 = dir.get_exclusive(2, 5, r1.done_at);  // recall trap
+    t = r2.done_at;
+  }
+}
+BENCHMARK(BM_Dir1SWTrapPath);
+
+trace::Trace synth_trace(std::size_t misses) {
+  trace::Trace t;
+  t.misses.reserve(misses);
+  std::uint64_t s = 42;
+  for (std::size_t i = 0; i < misses; ++i) {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    trace::MissRecord m;
+    m.epoch = static_cast<EpochId>(i * 8 / misses);
+    m.node = static_cast<NodeId>((s >> 33) % 32);
+    m.kind = static_cast<trace::MissKind>((s >> 20) % 3);
+    m.addr = 0x1000 + ((s >> 8) % 4096) * 8;
+    m.size = 8;
+    m.pc = 1;
+    t.misses.push_back(m);
+  }
+  return t;
+}
+
+void BM_EpochDbBuild(benchmark::State& state) {
+  trace::Trace t = synth_trace(static_cast<std::size_t>(state.range(0)));
+  mem::CacheGeometry g;
+  for (auto _ : state) {
+    cachier::EpochDB db(t, g);
+    benchmark::DoNotOptimize(db.epochs());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EpochDbBuild)->Arg(1024)->Arg(16384);
+
+void BM_SharingAnalysis(benchmark::State& state) {
+  trace::Trace t = synth_trace(static_cast<std::size_t>(state.range(0)));
+  mem::CacheGeometry g;
+  for (auto _ : state) {
+    cachier::SharingAnalyzer sa(t, g);
+    benchmark::DoNotOptimize(sa.races().size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SharingAnalysis)->Arg(1024)->Arg(16384);
+
+void BM_PlanBuild(benchmark::State& state) {
+  trace::Trace t = synth_trace(16384);
+  mem::CacheGeometry g;
+  cachier::PlanBuilder pb(t, g);
+  for (auto _ : state) {
+    auto plan = pb.build({.mode = cachier::Mode::Performance});
+    benchmark::DoNotOptimize(plan.entries());
+  }
+}
+BENCHMARK(BM_PlanBuild);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// E6 -- the section 5 restructuring experiment: the "unconventional"
+// matrix multiply races on the shared result matrix C; copying to a
+// private array and merging under locks cuts the check-outs of C from
+// ~N^3 (one per element update -- exactly what the paper counts for the
+// original program) to ~N^2 P/2 and removes the unsynchronized race.
+//
+// Measured here per variant: total check-out directives, data races
+// Cachier flags, traps, and execution time.  (Cachier ignores locks, per
+// section 3.1, so the merge phase's lock-protected updates are still
+// REPORTED as potential races -- the paper makes the same observation:
+// "...out of which there is a cache block race on only N^2 P/4 of them
+// which is protected by a lock".)
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+using namespace cico;
+using namespace cico::apps;
+using namespace cico::bench;
+
+namespace {
+
+void run_n(std::size_t n) {
+  for (bool restructured : {false, true}) {
+    MatMulConfig mc;
+    mc.n = n;
+    mc.racy = true;
+    mc.restructured = restructured;
+    Harness h([mc](std::uint64_t s) { return std::make_unique<MatMul>(mc, s); },
+              fig6_config());
+    trace::Trace t = h.collect_trace();
+    cachier::SharingAnalyzer sa(t, fig6_config().sim.cache);
+    cachier::PlanBuilder pb(t, fig6_config().sim.cache);
+    sim::DirectivePlan plan = pb.build({.mode = cachier::Mode::Performance});
+    RunResult r = h.measure(restructured ? Variant::Hand : Variant::Cachier,
+                            restructured ? nullptr : &plan);
+    // For the restructured program the explicit directives ARE the
+    // annotations of the section 5 listing.
+    const std::uint64_t checkouts =
+        r.stat(Stat::CheckOutX) + r.stat(Stat::CheckOutS);
+    const double n3 = static_cast<double>(n) * n * n;
+    // Our grid: prow*pcol = 32 processors; copy+merge phases touch
+    // 2 * N * (N/(4*pcol)) blocks per processor.
+    const double n2p = 2.0 * static_cast<double>(n) * n / (4.0 * 4.0) * 32.0;
+    std::printf(
+        "N=%-4zu %-13s checkouts=%-9llu (model %s=%8.0f)  races=%-6zu "
+        "traps=%-7llu time=%llu ok=%d\n",
+        n, restructured ? "restructured" : "original",
+        static_cast<unsigned long long>(checkouts),
+        restructured ? "N^2*P/2" : "  N^3  ", restructured ? n2p : n3,
+        sa.races().size(), static_cast<unsigned long long>(r.stat(Stat::Traps)),
+        static_cast<unsigned long long>(r.time), static_cast<int>(r.verified));
+  }
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Section 5: restructuring the racy matrix multiply\n"
+      "original: Cachier Performance annotations (check_out_X per racy\n"
+      "          update -> ~N^3 checkouts);  restructured: the section 5\n"
+      "          listing's explicit annotations (~N^2*P/2 checkouts)");
+  for (std::size_t n : {32u, 64u}) run_n(n);
+  std::printf(
+      "\nExpected: restructured checkouts drop from ~N^3 to ~N^2*P/2 and\n"
+      "execution time falls several-fold.  The restructured trace shows NO\n"
+      "races at all: the merge updates hit in blocks the explicit\n"
+      "check_out_X just fetched, and the Fig. 3 trace records only MISSES\n"
+      "(section 7) -- the lock-protected block contention the paper counts\n"
+      "as N^2*P/4 is real but invisible to the miss-only race detector.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Shared helpers for the experiment benches: table printing, app
+// factories with the default (scaled-down) Fig. 6 workload sizes, and an
+// environment scale knob.
+//
+// Every bench prints the PAPER's reported value next to the measured one
+// so the reproduction can be judged at a glance (EXPERIMENTS.md records a
+// full run).  Absolute cycle counts are not expected to match a 1994
+// CM-5; the SHAPE -- who wins, by roughly what factor -- is the target.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "apps/barnes.hpp"
+#include "apps/jacobi.hpp"
+#include "apps/matmul.hpp"
+#include "apps/mp3d.hpp"
+#include "apps/ocean.hpp"
+#include "apps/runner.hpp"
+#include "apps/tomcatv.hpp"
+
+namespace cico::bench {
+
+/// CICO_BENCH_SCALE=0.5 halves workload sizes (quick runs), =2 doubles.
+inline double env_scale() {
+  const char* s = std::getenv("CICO_BENCH_SCALE");
+  if (s == nullptr) return 1.0;
+  const double v = std::atof(s);
+  return v > 0.0 ? v : 1.0;
+}
+
+inline std::size_t scaled(std::size_t base, double lo_cap = 1) {
+  const auto v = static_cast<std::size_t>(static_cast<double>(base) * env_scale());
+  return v < static_cast<std::size_t>(lo_cap) ? static_cast<std::size_t>(lo_cap) : v;
+}
+
+// --- Default Fig. 6 workloads (paper sizes in comments) -------------------
+
+inline apps::AppFactory matmul_factory() {
+  apps::MatMulConfig c;                       // paper: 256x256
+  c.n = (scaled(96) + 31) / 32 * 32;          // multiple of the 8x4 grid
+  if (c.n < 32) c.n = 32;
+  return [c](std::uint64_t s) { return std::make_unique<apps::MatMul>(c, s); };
+}
+
+inline apps::AppFactory ocean_factory() {
+  apps::OceanConfig c;                        // paper: 98x98
+  c.n = (scaled(98) + 1) / 2 * 2;
+  if (c.n < 64) c.n = 64;
+  c.iters = 6;
+  return [c](std::uint64_t s) { return std::make_unique<apps::Ocean>(c, s); };
+}
+
+inline apps::AppFactory tomcatv_factory() {
+  apps::TomcatvConfig c;                      // paper: 1024x1024, 10 iters
+  c.rows = scaled(256);
+  c.cols = scaled(128);
+  c.iters = 4;
+  return [c](std::uint64_t s) { return std::make_unique<apps::Tomcatv>(c, s); };
+}
+
+inline apps::AppFactory mp3d_factory() {
+  apps::Mp3dConfig c;                         // paper: 50,000 mol, 10 steps
+  c.molecules = scaled(4096);
+  c.steps = 6;
+  return [c](std::uint64_t s) { return std::make_unique<apps::Mp3d>(c, s); };
+}
+
+inline apps::AppFactory barnes_factory() {
+  apps::BarnesConfig c;                       // paper: 1024 bodies
+  c.bodies = scaled(1024);
+  c.steps = 2;
+  return [c](std::uint64_t s) { return std::make_unique<apps::Barnes>(c, s); };
+}
+
+/// Standard Fig. 6 harness config: 32 nodes, 256 KB 4-way 32 B caches.
+inline apps::HarnessConfig fig6_config() {
+  apps::HarnessConfig hc;
+  hc.sim.nodes = 32;
+  hc.trace_seed = 1;
+  hc.measure_seed = 2;  // the paper used different inputs (section 6)
+  return hc;
+}
+
+inline void print_header(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+}  // namespace cico::bench

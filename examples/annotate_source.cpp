@@ -1,0 +1,110 @@
+// Source-to-source annotation demo: the paper's section 4.4 example.
+//
+// The "unconventional" matrix multiply is written in MiniPar, traced on
+// the Dir1SW simulator, and handed to Cachier.  The program prints:
+//   * the unannotated source,
+//   * the naive per-access annotation (the section 4.3 strawman),
+//   * Cachier's Programmer-CICO annotation (checkouts near epoch starts,
+//     check-ins near epoch ends, tight annotations around the racy C
+//     update), and
+//   * Cachier's Performance-CICO annotation (the section 4.4 listing:
+//     no explicit check_out_S, check_out_X C[i,j] before the racy update,
+//     check_in right after),
+// plus the data races Cachier flags.
+//
+// Build & run:   ./build/examples/annotate_source
+#include <cstdio>
+
+#include "cico/lang/interp.hpp"
+#include "cico/lang/parser.hpp"
+#include "cico/lang/unparse.hpp"
+#include "cico/srcann/annotator.hpp"
+
+using namespace cico;
+
+namespace {
+
+constexpr const char* kMatmul = R"(# Section 4.4 matrix multiply (unconventional decomposition):
+# each processor owns a block of B; C is updated concurrently.
+const N = 16;
+const PR = 4;
+const PC = 2;
+shared real A[N, N];
+shared real B[N, N];
+shared real C[N, N];
+parallel
+  if pid == 0 then
+    for i = 0 to N - 1 do
+      for j = 0 to N - 1 do
+        A[i, j] = i + j;
+        B[i, j] = i - j;
+        C[i, j] = 0;
+      od
+    od
+  fi
+  barrier;
+  private kb = (pid - pid % PC) / PC;
+  private jb = pid % PC;
+  private lk = kb * (N / PR);
+  private uk = lk + N / PR - 1;
+  private lj = jb * (N / PC);
+  private uj = lj + N / PC - 1;
+  for i = 0 to N - 1 do
+    for k = lk to uk do
+      private t = A[i, k];
+      for j = lj to uj do
+        C[i, j] = C[i, j] + t * B[k, j];
+      od
+    od
+  od
+  barrier;
+end
+)";
+
+void banner(const char* title) {
+  std::printf("\n========== %s ==========\n", title);
+}
+
+}  // namespace
+
+int main() {
+  lang::Program prog = lang::parse(kMatmul);
+  banner("unannotated MiniPar source");
+  std::printf("%s", lang::unparse(prog).c_str());
+
+  banner("naive per-access annotation (section 4.3 strawman)");
+  std::printf("%s", lang::unparse(srcann::annotate_naive(prog)).c_str());
+
+  // Trace the unannotated program (8 nodes = PR x PC).
+  sim::SimConfig cfg;
+  cfg.nodes = 8;
+  cfg.trace_mode = true;
+  sim::Machine m(cfg);
+  trace::TraceWriter w;
+  m.set_trace_writer(&w);
+  lang::LoadedProgram lp(prog, m);
+  w.set_labels(m.heap().trace_labels());
+  m.run([&](sim::Proc& p) { lp.run_node(p); });
+  trace::Trace t = w.take();
+  std::printf("\n(trace: %zu miss records, %u epochs)\n", t.misses.size(),
+              t.num_epochs());
+
+  for (auto mode : {cachier::Mode::Programmer, cachier::Mode::Performance}) {
+    srcann::AnnotateResult res =
+        srcann::annotate(prog, t, lp, cfg.cache, {.mode = mode});
+    banner(mode == cachier::Mode::Programmer
+               ? "Cachier Programmer CICO (section 4.4, first listing)"
+               : "Cachier Performance CICO (section 4.4, second listing)");
+    std::printf("%s", lang::unparse(res.program).c_str());
+    std::printf(
+        "\n[%zu annotations inserted, %zu loops generated, %zu races "
+        "flagged, %zu falsely-shared blocks]\n",
+        res.inserted, res.generated_loops, res.races, res.false_shares);
+  }
+
+  // Race report, mapped to source via the labelled regions.
+  cachier::SharingAnalyzer sa(t, cfg.cache);
+  banner("sharing report");
+  std::printf("%s", sa.report(t, m.pcs(), 8).c_str());
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Race & false-sharing detection demo.
+//
+// Besides inserting annotations, Cachier "informs a programmer of
+// potential data races and false sharing" so they can add locks or pad
+// data structures (sections 1, 4.3).  This example builds a workload with
+// one of each defect, traces it, prints Cachier's report, then applies
+// the recommended fixes and shows the defects (and the slowdown) gone.
+//
+// Build & run:   ./build/examples/race_detective
+#include <cstdio>
+
+#include "cico/cachier/cachier.hpp"
+#include "cico/sim/machine.hpp"
+#include "cico/sim/shared_array.hpp"
+
+using namespace cico;
+
+namespace {
+
+struct Result {
+  trace::Trace trace;
+  Cycle time = 0;
+  std::string report;
+};
+
+Result run(bool fixed) {
+  sim::SimConfig cfg;
+  cfg.nodes = 4;
+  cfg.trace_mode = true;
+  sim::Machine m(cfg);
+  trace::TraceWriter w;
+  m.set_trace_writer(&w);
+
+  // Defect 1: a shared accumulator raced by all nodes (fix: a lock).
+  sim::SharedArray<double> total(m, "total", 1);
+  // Defect 2: per-node counters packed into one cache block (fix: pad to
+  // one counter per block).
+  const std::size_t stride = fixed ? 4 : 1;  // 4 doubles = one 32 B block
+  sim::SharedArray<double> counters(m, "counters", 4 * stride);
+
+  const PcId pc_tot = m.pcs().intern("race_detective", 10, "total += x");
+  const PcId pc_cnt = m.pcs().intern("race_detective", 20, "counters[me]++");
+  w.set_labels(m.heap().trace_labels());
+
+  m.run([&](sim::Proc& p) {
+    for (int rep = 0; rep < 50; ++rep) {
+      if (fixed) p.lock(total.base());
+      total.st(p, 0, total.ld(p, 0, pc_tot) + 1.0, pc_tot);
+      if (fixed) p.unlock(total.base());
+      const std::size_t slot = p.id() * stride;
+      counters.st(p, slot, counters.ld(p, slot, pc_cnt) + 1.0, pc_cnt);
+      p.compute(20);
+    }
+  });
+
+  Result r;
+  r.trace = w.take();
+  r.time = m.exec_time();
+  cachier::SharingAnalyzer sa(r.trace, cfg.cache);
+  r.report = sa.report(r.trace, m.pcs(), 6);
+  std::printf("%s:  exec=%llu cycles, lost updates possible=%s\n",
+              fixed ? "FIXED (lock + padding)" : "BUGGY",
+              static_cast<unsigned long long>(r.time), fixed ? "no" : "yes");
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("--- buggy version ---\n");
+  Result buggy = run(false);
+  std::printf("%s\n", buggy.report.c_str());
+
+  std::printf("--- after applying Cachier's advice ---\n");
+  Result fixed = run(true);
+  std::printf("%s\n", fixed.report.c_str());
+
+  cachier::SharingAnalyzer sb(buggy.trace, sim::SimConfig{}.cache);
+  cachier::SharingAnalyzer sf(fixed.trace, sim::SimConfig{}.cache);
+  std::printf("false-sharing blocks: buggy=%zu fixed=%zu\n",
+              sb.false_shares().size(), sf.false_shares().size());
+  std::printf("raced addresses:      buggy=%zu fixed=%zu (the remaining\n"
+              "  'race' is the lock-protected accumulator -- Cachier ignores\n"
+              "  locks by design, section 3.1)\n",
+              sb.races().size(), sf.races().size());
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Umbrella header: the Cachier tool's public API.
+//
+// Typical use (mirrors Fig. 1 of the paper):
+//
+//   // 1. Run the unannotated program in trace mode.
+//   sim::SimConfig tc;  tc.trace_mode = true;
+//   sim::Machine tracer_machine(tc);
+//   trace::TraceWriter w;
+//   tracer_machine.set_trace_writer(&w);
+//   ... build workload, run ...
+//   trace::Trace t = w.take();
+//
+//   // 2. Feed the trace to Cachier.
+//   cachier::PlanBuilder cachier(t, tc.cache);
+//   sim::DirectivePlan plan =
+//       cachier.build({.mode = cachier::Mode::Performance});
+//
+//   // 3. Re-run the program with the annotations as memory directives.
+//   sim::Machine m({});
+//   m.set_plan(&plan);
+//   ... run, compare exec_time() ...
+#pragma once
+
+#include "cico/cachier/chooser.hpp"
+#include "cico/cachier/epoch_db.hpp"
+#include "cico/cachier/plan_builder.hpp"
+#include "cico/cachier/sharing.hpp"

@@ -1,0 +1,130 @@
+#include "cico/cachier/chooser.hpp"
+
+namespace cico::cachier {
+
+namespace {
+
+/// a - b
+BlockSet minus(const BlockSet& a, const BlockSet& b) {
+  BlockSet out;
+  for (Block x : a) {
+    if (!b.contains(x)) out.insert(x);
+  }
+  return out;
+}
+
+/// a ^ b (intersection)
+BlockSet intersect(const BlockSet& a, const BlockSet& b) {
+  BlockSet out;
+  const BlockSet& small = a.size() <= b.size() ? a : b;
+  const BlockSet& large = a.size() <= b.size() ? b : a;
+  for (Block x : small) {
+    if (large.contains(x)) out.insert(x);
+  }
+  return out;
+}
+
+void merge_into(BlockSet& dst, const BlockSet& src) {
+  dst.insert(src.begin(), src.end());
+}
+
+void partition_by(const BlockSet& src, const BlockSet& pred, BlockSet& in_pred,
+                  BlockSet& not_in_pred) {
+  for (Block x : src) {
+    (pred.contains(x) ? in_pred : not_in_pred).insert(x);
+  }
+}
+
+}  // namespace
+
+AnnotationSets AnnotationChooser::choose(EpochId e, NodeId n, Mode mode) const {
+  AnnotationSets out;
+  const NodeEpochData& cur = db_->at(e, n);
+  if (cur.empty()) return out;
+  // Out-of-range lookups return a shared empty record, which is exactly
+  // the semantics needed for the first and last epochs.
+  const NodeEpochData& prev = e > 0 ? db_->at(e - 1, n) : db_->at(db_->epochs(), n);
+  const NodeEpochData& next = db_->at(e + 1, n);
+  static const EpochSharing kNoSharing{};
+  const EpochSharing& sh =
+      opt_.ignore_drfs ? kNoSharing : sharing_->epoch(e);
+
+  if (mode == Mode::Programmer) {
+    // co_x = !DRFS{SW_i - SW_{i-1}} + DRFS{SW_i}
+    {
+      BlockSet fresh_plain, fresh_drfs;
+      partition_by(minus(cur.SW, prev.SW), sh.drfs_blocks, fresh_drfs,
+                   fresh_plain);
+      out.co_x = fresh_plain;
+      merge_into(out.co_x, intersect(cur.SW, sh.drfs_blocks));
+      out.co_x_start = std::move(fresh_plain);
+      // Tight DRFS check_out_X: write misses already fetch exclusive at
+      // the access; read-then-write (WF) blocks need an exclusive fetch at
+      // the first read.
+      for (Block b : intersect(cur.SW, sh.drfs_blocks)) {
+        if (cur.WF.contains(b)) out.fetch_exclusive.insert(b);
+      }
+    }
+    // co_s = !FS{SR_i - SR_{i-1}} + FS{SR_i}
+    {
+      BlockSet fresh_plain, fresh_fs;
+      partition_by(minus(cur.SR, prev.SR), sh.fs_blocks, fresh_fs, fresh_plain);
+      out.co_s = fresh_plain;
+      merge_into(out.co_s, intersect(cur.SR, sh.fs_blocks));
+      out.co_s_start = std::move(fresh_plain);
+      // Tight FS check_out_S is implicit at the read miss itself; the
+      // tight check-in below provides the pairing.
+    }
+    // ci = !DRFS{S_i - S_{i+1}} + DRFS{S_i}
+    {
+      BlockSet leaving_plain, leaving_drfs;
+      partition_by(minus(cur.S, next.S), sh.drfs_blocks, leaving_drfs,
+                   leaving_plain);
+      out.ci = leaving_plain;
+      merge_into(out.ci, intersect(cur.S, sh.drfs_blocks));
+      out.ci_end = std::move(leaving_plain);
+      out.ci_tight = intersect(cur.S, sh.drfs_blocks);
+    }
+    return out;
+  }
+
+  // --- Performance CICO ---
+  // co_x = !DRFS{WF_i - SW_{i-1}} + DRFS{WF_i}, realized as
+  // fetch-exclusive-on-first-read.
+  {
+    for (Block b : minus(cur.WF, prev.SW)) {
+      if (!sh.drfs_blocks.contains(b)) out.fetch_exclusive.insert(b);
+    }
+    merge_into(out.fetch_exclusive, intersect(cur.WF, sh.drfs_blocks));
+    out.co_x = out.fetch_exclusive;
+  }
+  // co_s = {}  (implicit at each read miss; an explicit annotation would
+  // only add address-generation overhead -- section 4.1).
+  // ci: three terms (see header).  The literal term 1 is
+  // SW_i - SW_{i+1}(same node); the refined default keeps a block ONLY
+  // when this node is the sole user of it next epoch -- then holding the
+  // copy is free (hits / sole-sharer hardware upgrade), whereas checking
+  // in a block some OTHER node touches next converts that node's trap
+  // into a cheap fill.  (The literal form both re-fetches blocks the same
+  // node re-reads and pins blocks other nodes only READ next epoch.)
+  {
+    auto keep = [&](Block b) {
+      if (opt_.literal_perf_ci) return next.SW.contains(b);
+      return db_->sole_user(e + 1, b, n);
+    };
+    for (Block b : cur.SW) {
+      if (!keep(b) && !sh.drfs_blocks.contains(b)) out.ci_end.insert(b);
+    }
+    for (Block b : intersect(cur.SR, db_->epoch_sw_union(e + 1))) {
+      if (sh.drfs_blocks.contains(b)) continue;
+      if (!opt_.literal_perf_ci && db_->sole_user(e + 1, b, n)) continue;
+      out.ci_end.insert(b);
+    }
+    out.ci_tight = intersect(cur.S, sh.drfs_blocks);
+    out.ci = out.ci_end;
+    merge_into(out.ci, out.ci_tight);
+  }
+  return out;
+}
+
+}  // namespace cico::cachier

@@ -1,0 +1,99 @@
+// The annotation-selection equations of section 4.1.
+//
+// Programmer CICO (expose ALL communication so the programmer can reason
+// about it):
+//   co_x[i] = !DRFS{ SW_i - SW_{i-1} } + DRFS{ SW_i }
+//   co_s[i] = !FS  { SR_i - SR_{i-1} } + FS  { SR_i }
+//   ci  [i] = !DRFS{ S_i  - S_{i+1}  } + DRFS{ S_i  }
+//
+// Performance CICO (minimize overhead: Dir1SW already performs an implicit
+// check-out at every miss, so only annotations that SAVE traffic remain):
+//   co_x[i] = !DRFS{ WF_i - SW_{i-1} } + DRFS{ WF_i }
+//             (WF = shared write faults: blocks read before written; the
+//              explicit check_out_X goes immediately before the read)
+//   co_s[i] = {}
+//   ci  [i] = !DRFS{ SW_i - SW_{i+1}(same node) }
+//           + !DRFS{ SR_i  ^ SW_{i+1}(ANY node) }
+//           + DRFS { S_i }
+//
+// All prior/next-epoch sets are per-node ("checked out in the previous
+// epoch by the same processor") except the second Performance check-in
+// term, which the paper states as "will be written by some processor in
+// the next epoch".
+//
+// The result distinguishes epoch-boundary placements from "tight"
+// placements around each access (DRFS blocks), which is how section 4.2's
+// placement rules are realized at runtime.
+#pragma once
+
+#include "cico/cachier/epoch_db.hpp"
+#include "cico/cachier/sharing.hpp"
+
+namespace cico::cachier {
+
+enum class Mode { Programmer, Performance };
+
+[[nodiscard]] inline const char* mode_name(Mode m) {
+  return m == Mode::Programmer ? "programmer" : "performance";
+}
+
+/// Chosen annotations for one (epoch, node).
+///
+/// `co_x` / `co_s` / `ci` are the raw outputs of the section 4.1
+/// equations (what the paper's worked Fig. 4 example lists); the
+/// remaining members are their placement split per section 4.2, which the
+/// runtime plan and the source annotator consume.
+struct AnnotationSets {
+  // Raw equation outputs.
+  BlockSet co_x;
+  BlockSet co_s;
+  BlockSet ci;
+  // Placed at epoch start / end (non-DRFS blocks).
+  BlockSet co_x_start;
+  BlockSet co_s_start;
+  BlockSet ci_end;
+  // Placed tightly around each access (DRFS blocks).
+  BlockSet ci_tight;
+  // Blocks whose FIRST READ should fetch exclusive (check_out_X placed
+  // immediately before a read-then-write; subsumes the tight co_x).
+  BlockSet fetch_exclusive;
+
+  [[nodiscard]] std::size_t total() const {
+    return co_x_start.size() + co_s_start.size() + ci_end.size() +
+           ci_tight.size() + fetch_exclusive.size();
+  }
+};
+
+class AnnotationChooser {
+ public:
+  struct Options {
+    /// Performance check-in term 1, paper-literal, is
+    ///   SW_i - SW_{i+1}(same node)
+    /// ("...and are not going to be WRITTEN by the same processor in the
+    /// next epoch").  Taken literally this also checks in blocks the same
+    /// processor immediately RE-READS, wasting a refill for zero protocol
+    /// benefit -- and the Programmer equation's S_{i+1} shows the
+    /// intended semantics is "not used again".  Default: subtract
+    /// S_{i+1}(same node).  Set true for the paper-literal form (used by
+    /// the ablation benches).
+    bool literal_perf_ci = false;
+    /// A1 ablation: pretend no block is ever involved in a data race or
+    /// false sharing (drops every DRFS term from the equations).
+    bool ignore_drfs = false;
+  };
+
+  AnnotationChooser(const EpochDB& db, const SharingAnalyzer& sharing)
+      : db_(&db), sharing_(&sharing) {}
+  AnnotationChooser(const EpochDB& db, const SharingAnalyzer& sharing,
+                    Options opt)
+      : db_(&db), sharing_(&sharing), opt_(opt) {}
+
+  [[nodiscard]] AnnotationSets choose(EpochId e, NodeId n, Mode mode) const;
+
+ private:
+  const EpochDB* db_;
+  const SharingAnalyzer* sharing_;
+  Options opt_;
+};
+
+}  // namespace cico::cachier

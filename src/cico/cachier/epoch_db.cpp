@@ -1,0 +1,69 @@
+#include "cico/cachier/epoch_db.hpp"
+
+#include <algorithm>
+
+namespace cico::cachier {
+
+EpochDB::EpochDB(const trace::Trace& t, const mem::CacheGeometry& g) : geo_(g) {
+  epochs_ = t.num_epochs();
+  for (const auto& m : t.misses) nodes_ = std::max(nodes_, m.node + 1);
+  for (const auto& b : t.barriers) nodes_ = std::max(nodes_, b.node + 1);
+  data_.resize(static_cast<std::size_t>(epochs_) * nodes_);
+  sw_union_.resize(epochs_);
+  users_.resize(epochs_);
+
+  for (const auto& m : t.misses) {
+    users_[m.epoch][g.block_of(m.addr)] |= 1ULL << (m.node % 64);
+  }
+
+  auto slot = [&](EpochId e, NodeId n) -> NodeEpochData& {
+    return data_[static_cast<std::size_t>(e) * nodes_ + n];
+  };
+
+  for (const auto& m : t.misses) {
+    NodeEpochData& d = slot(m.epoch, m.node);
+    switch (m.kind) {
+      case trace::MissKind::ReadMiss: d.read_words.insert(m.addr); break;
+      case trace::MissKind::WriteMiss: d.write_words.insert(m.addr); break;
+      case trace::MissKind::WriteFault: d.fault_words.insert(m.addr); break;
+    }
+  }
+
+  // Reclassification: a block with a write fault moves from the read side
+  // to the write side.
+  for (EpochId e = 0; e < epochs_; ++e) {
+    for (NodeId n = 0; n < nodes_; ++n) {
+      NodeEpochData& d = slot(e, n);
+      for (Addr a : d.write_words) d.SW.insert(geo_.block_of(a));
+      for (Addr a : d.fault_words) {
+        d.SW.insert(geo_.block_of(a));
+        d.WF.insert(geo_.block_of(a));
+      }
+      for (Addr a : d.read_words) {
+        const Block b = geo_.block_of(a);
+        if (!d.WF.contains(b) && !d.SW.contains(b)) d.SR.insert(b);
+      }
+      d.S = d.SW;
+      d.S.insert(d.SR.begin(), d.SR.end());
+      sw_union_[e].insert(d.SW.begin(), d.SW.end());
+    }
+  }
+}
+
+const NodeEpochData& EpochDB::at(EpochId e, NodeId n) const {
+  if (e >= epochs_ || n >= nodes_) return empty_;
+  return data_[static_cast<std::size_t>(e) * nodes_ + n];
+}
+
+const BlockSet& EpochDB::epoch_sw_union(EpochId e) const {
+  if (e >= epochs_) return empty_blocks_;
+  return sw_union_[e];
+}
+
+std::uint64_t EpochDB::users_of(EpochId e, Block b) const {
+  if (e >= epochs_) return 0;
+  auto it = users_[e].find(b);
+  return it == users_[e].end() ? 0 : it->second;
+}
+
+}  // namespace cico::cachier

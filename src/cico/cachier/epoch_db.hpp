@@ -1,0 +1,79 @@
+// Epoch database: the first, dynamic phase of Cachier (section 4).
+//
+// "Trace processing consists of removing addresses involved in shared
+//  write faults from the list of shared read misses, updating the list of
+//  shared write misses to include addresses involved in shared write
+//  faults, and storing labelling information contained in the trace."
+//
+// EpochDB ingests a Fig. 3 trace and produces, per (epoch, node):
+//   SW  -- shared-write block set  (write misses + write faults)
+//   SR  -- shared-read block set   (read misses - write-faulted blocks)
+//   WF  -- write-fault block set   (blocks read before being written;
+//          the only candidates for Performance-CICO check_out_X)
+//   S   -- SW + SR
+// Word-level access sets are kept too, since data races are defined on
+// addresses while false sharing is defined on blocks.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cico/common/types.hpp"
+#include "cico/mem/geometry.hpp"
+#include "cico/trace/trace.hpp"
+
+namespace cico::cachier {
+
+using BlockSet = std::unordered_set<Block>;
+using WordSet = std::unordered_set<Addr>;
+
+struct NodeEpochData {
+  WordSet read_words;   ///< word addresses of shared read misses
+  WordSet write_words;  ///< word addresses of shared write misses
+  WordSet fault_words;  ///< word addresses of shared write faults
+  BlockSet SW;          ///< shared-write blocks (see file comment)
+  BlockSet SR;          ///< shared-read blocks
+  BlockSet WF;          ///< write-fault (read-then-write) blocks
+  BlockSet S;           ///< SW + SR
+
+  [[nodiscard]] bool empty() const { return S.empty(); }
+};
+
+class EpochDB {
+ public:
+  EpochDB(const trace::Trace& t, const mem::CacheGeometry& g);
+
+  [[nodiscard]] EpochId epochs() const { return epochs_; }
+  [[nodiscard]] std::uint32_t nodes() const { return nodes_; }
+  [[nodiscard]] const mem::CacheGeometry& geometry() const { return geo_; }
+
+  /// Data for (epoch, node); a shared empty record when out of range.
+  [[nodiscard]] const NodeEpochData& at(EpochId e, NodeId n) const;
+
+  /// Union of SW over all nodes for an epoch (used by the Performance-CICO
+  /// check-in rule: "will be written by SOME processor in the next epoch").
+  [[nodiscard]] const BlockSet& epoch_sw_union(EpochId e) const;
+
+  /// Bitmask of the nodes that touch block b in epoch e (bit n%64 set for
+  /// node n).  0 when nobody does.
+  [[nodiscard]] std::uint64_t users_of(EpochId e, Block b) const;
+
+  /// True when node n is the ONLY node touching block b in epoch e.
+  [[nodiscard]] bool sole_user(EpochId e, Block b, NodeId n) const {
+    return users_of(e, b) == (1ULL << (n % 64));
+  }
+
+ private:
+  mem::CacheGeometry geo_;
+  EpochId epochs_ = 0;
+  std::uint32_t nodes_ = 0;
+  // data_[e * nodes_ + n]
+  std::vector<NodeEpochData> data_;
+  std::vector<BlockSet> sw_union_;
+  std::vector<std::unordered_map<Block, std::uint64_t>> users_;
+  NodeEpochData empty_;
+  BlockSet empty_blocks_;
+};
+
+}  // namespace cico::cachier

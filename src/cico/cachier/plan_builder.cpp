@@ -1,0 +1,213 @@
+#include "cico/cachier/plan_builder.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace cico::cachier {
+
+PlanBuilder::PlanBuilder(const trace::Trace& trace,
+                         const mem::CacheGeometry& geo)
+    : trace_(&trace), geo_(geo) {}
+
+std::vector<sim::BlockRun> PlanBuilder::to_runs(const BlockSet& s) {
+  std::vector<Block> sorted(s.begin(), s.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<sim::BlockRun> runs;
+  for (Block b : sorted) {
+    if (!runs.empty() && runs.back().last + 1 == b) {
+      runs.back().last = b;
+    } else {
+      runs.push_back(sim::BlockRun{b, b});
+    }
+  }
+  return runs;
+}
+
+sim::DirectivePlan PlanBuilder::build(const PlanOptions& opt) const {
+  summary_ = PlanSummary{};
+
+  // If history is disabled (A2 ablation), analyze a trace whose epochs are
+  // presented to the chooser with empty neighbours by post-filtering below
+  // -- simpler: we just skip the subtraction by treating prev/next as
+  // empty, which we emulate by running the chooser on a modified DB.  The
+  // chooser reads the DB directly, so we instead implement the ablation by
+  // unioning: when use_history is false, co sets become SW_i / SR_i and ci
+  // becomes S_i (the raw, history-free placement).
+  EpochDB db(*trace_, geo_);
+  SharingAnalyzer sharing(*trace_, geo_, opt.sharing);
+  AnnotationChooser chooser(db, sharing, opt.chooser);
+
+  summary_.races = sharing.races().size();
+  summary_.false_shares = sharing.false_shares().size();
+
+  // Which blocks belong to regular (loop-affine) regions?
+  auto block_is_regular = [&](Block b) {
+    const trace::RegionLabel* r = trace_->region_of(geo_.base_of(b));
+    return r != nullptr && r->regular;
+  };
+
+  // Region-level generalization of a tight block set (see PlanOptions).
+  // Two triggers:
+  //  * an IRREGULAR region with a non-trivial footprint in the set --
+  //    which blocks of a scatter/pointer structure are hot is exactly the
+  //    input-dependent information a block-exact plan cannot carry across
+  //    inputs, so the annotation must name the whole structure;
+  //  * a regular region most of whose blocks are already in the set.
+  auto generalize = [&](BlockSet& set) {
+    if (!opt.region_generalize || set.empty()) return;
+    for (const trace::RegionLabel& r : trace_->labels) {
+      const Block first = geo_.block_of(r.base);
+      const Block last = geo_.block_of(r.base + r.bytes - 1);
+      const auto extent = static_cast<double>(last - first + 1);
+      std::size_t in = 0;
+      for (Block b = first; b <= last; ++b) in += set.contains(b);
+      const bool irregular_hot = !r.regular && in >= 8;
+      const bool mostly_covered =
+          in > 0 &&
+          static_cast<double>(in) >= opt.region_generalize_threshold * extent;
+      if (!irregular_hot && !mostly_covered) continue;
+      for (Block b = first; b <= last; ++b) set.insert(b);
+    }
+  };
+
+  const std::uint64_t capacity_blocks = static_cast<std::uint64_t>(
+      static_cast<double>(geo_.num_blocks()) * opt.capacity_fraction);
+
+  sim::DirectivePlan plan;
+  for (EpochId e = 0; e < db.epochs(); ++e) {
+    for (NodeId n = 0; n < db.nodes(); ++n) {
+      AnnotationSets sets = chooser.choose(e, n, opt.mode);
+      if (!opt.use_history) {
+        // A2 ablation: pretend the neighbouring epochs are empty.
+        const NodeEpochData& cur = db.at(e, n);
+        const EpochSharing& sh = sharing.epoch(e);
+        sets.co_x_start.clear();
+        sets.co_s_start.clear();
+        sets.ci_end.clear();
+        for (Block b : cur.SW) {
+          if (!sh.drfs_blocks.contains(b)) sets.co_x_start.insert(b);
+        }
+        for (Block b : cur.SR) {
+          if (!sh.fs_blocks.contains(b)) sets.co_s_start.insert(b);
+        }
+        for (Block b : cur.S) {
+          if (!sh.drfs_blocks.contains(b)) sets.ci_end.insert(b);
+        }
+        if (opt.mode == Mode::Performance) {
+          sets.co_x_start.clear();
+          sets.co_s_start.clear();
+        }
+      }
+      if (sets.total() == 0 && !opt.prefetch) continue;
+
+      // Tight check-ins: read-only contended blocks check in after any
+      // access; written ones after the write (the section 4.4 placement).
+      // Only the WRITE-side set is generalized to whole regions -- a
+      // write-fired check-in is safe on a block the trace never saw,
+      // whereas an access-fired one would split a read-modify-write.
+      BlockSet tight_read, tight_write;
+      {
+        const NodeEpochData& cur = db.at(e, n);
+        for (Block b : sets.ci_tight) {
+          if (!cur.SW.contains(b) && cur.SR.contains(b)) {
+            tight_read.insert(b);
+          } else {
+            tight_write.insert(b);
+          }
+        }
+      }
+      generalize(tight_write);
+      generalize(sets.fetch_exclusive);
+
+      sim::NodeEpochDirectives ned;
+
+      // Capacity-constrained epoch-start checkouts (Programmer mode).
+      std::uint64_t budget = capacity_blocks;
+      BlockSet co_x_fit, co_s_fit;
+      for (Block b : sets.co_x_start) {
+        if (budget > 0) {
+          co_x_fit.insert(b);
+          --budget;
+        } else {
+          // Spill: keep the exclusive-fetch semantics at the access.
+          if (db.at(e, n).WF.contains(b)) sets.fetch_exclusive.insert(b);
+          ++summary_.capacity_spills;
+        }
+      }
+      for (Block b : sets.co_s_start) {
+        if (budget > 0) {
+          co_s_fit.insert(b);
+          --budget;
+        } else {
+          ++summary_.capacity_spills;  // falls back to the implicit checkout
+        }
+      }
+
+      for (const sim::BlockRun& r : to_runs(co_x_fit)) {
+        ned.at_start.push_back({sim::DirectiveKind::CheckOutX, r});
+        summary_.start_checkout_blocks += r.count();
+      }
+      for (const sim::BlockRun& r : to_runs(co_s_fit)) {
+        ned.at_start.push_back({sim::DirectiveKind::CheckOutS, r});
+        summary_.start_checkout_blocks += r.count();
+      }
+      for (const sim::BlockRun& r : to_runs(sets.ci_end)) {
+        ned.at_end.push_back({sim::DirectiveKind::CheckIn, r});
+        summary_.end_checkin_blocks += r.count();
+      }
+      ned.fetch_exclusive = std::move(sets.fetch_exclusive);
+      summary_.fetch_exclusive_blocks += ned.fetch_exclusive.size();
+      ned.checkin_after_access = std::move(tight_read);
+      ned.checkin_after_write = std::move(tight_write);
+      summary_.tight_checkin_blocks +=
+          ned.checkin_after_access.size() + ned.checkin_after_write.size();
+
+      // Prefetch planning: the epoch's expected misses, regular regions
+      // only, non-DRFS only, capped.
+      if (opt.prefetch) {
+        const NodeEpochData& cur = db.at(e, n);
+        const EpochSharing& sh = sharing.epoch(e);
+        BlockSet pf_x, pf_s;
+        std::size_t issued = 0;
+        auto want = [&](Block b) {
+          return issued < opt.max_prefetch_blocks &&
+                 !sh.drfs_blocks.contains(b) && block_is_regular(b);
+        };
+        // Only READ-side misses are prefetched: blocks the epoch reads
+        // (SR) and blocks it reads-then-writes (WF, fetched exclusive).
+        // Pure write misses gain nothing from prefetching that the write
+        // itself would not already get, and prefetching a store stream
+        // with trace-perfect foresight is beyond what the paper's tool
+        // (or any compiler scheme it cites) could do.
+        for (Block b : cur.WF) {
+          if (want(b)) {
+            pf_x.insert(b);
+            ++issued;
+          }
+        }
+        for (Block b : cur.SR) {
+          if (want(b)) {
+            pf_s.insert(b);
+            ++issued;
+          }
+        }
+        // Start-checkouts already fetch their blocks; skip those.
+        for (Block b : co_x_fit) pf_x.erase(b);
+        for (Block b : co_s_fit) pf_s.erase(b);
+        for (const sim::BlockRun& r : to_runs(pf_x)) {
+          ned.at_start.push_back({sim::DirectiveKind::PrefetchX, r});
+          summary_.prefetch_blocks += r.count();
+        }
+        for (const sim::BlockRun& r : to_runs(pf_s)) {
+          ned.at_start.push_back({sim::DirectiveKind::PrefetchS, r});
+          summary_.prefetch_blocks += r.count();
+        }
+      }
+
+      if (!ned.empty()) plan.at(n, e) = std::move(ned);
+    }
+  }
+  return plan;
+}
+
+}  // namespace cico::cachier

@@ -1,0 +1,93 @@
+// PlanBuilder: Cachier's second phase for compiled (plan-driven) programs.
+//
+// Converts the per-(epoch, node) annotation sets chosen by the section 4.1
+// equations into a runtime DirectivePlan, applying the PLACEMENT rules of
+// section 4.2:
+//   * non-DRFS check-outs go "as close to the beginning of the epoch as
+//     possible under cache size constraints" -> at_start runs, capped at a
+//     configurable fraction of cache capacity (Cachier "models the finite
+//     capacity of a cache (but not its limited associativity)");
+//     check-outs that do not fit degrade gracefully to fetch-exclusive
+//     (check_out_X) or to the protocol's implicit checkout (check_out_S);
+//   * non-DRFS check-ins go at the end of the epoch -> at_end runs;
+//   * DRFS blocks are handled tightly: fetch-exclusive on first read and
+//     check-in immediately after every access;
+//   * prefetches (when enabled) are issued pipelined at epoch start for
+//     the blocks the epoch will miss on, but ONLY for blocks in regions
+//     whose access pattern is statically regular -- Cachier's prefetch
+//     insertion leans on loop analysis, which pointer-chasing code (e.g.
+//     Barnes' tree) defeats; the paper reports exactly that (section 6).
+//
+// Contiguous blocks are merged into runs, the runtime analogue of the
+// collapsed `A[lo:hi]` annotations of section 4.3.
+#pragma once
+
+#include <cstdint>
+
+#include "cico/cachier/chooser.hpp"
+#include "cico/cachier/epoch_db.hpp"
+#include "cico/cachier/sharing.hpp"
+#include "cico/sim/plan.hpp"
+
+namespace cico::cachier {
+
+struct PlanOptions {
+  Mode mode = Mode::Performance;
+  bool prefetch = false;
+  /// Fraction of the cache the epoch-start checkouts may claim.
+  double capacity_fraction = 0.75;
+  /// Cap on prefetches issued per (node, epoch).
+  std::size_t max_prefetch_blocks = 4096;
+  /// Detection options forwarded to the sharing analyzer.
+  SharingOptions sharing{};
+  /// Equation options forwarded to the chooser (paper-literal Performance
+  /// check-in term; see AnnotationChooser::Options).
+  AnnotationChooser::Options chooser{};
+  /// Apply the single-epoch history terms (SW_{i-1} etc.).  Disabling this
+  /// re-checks-out everything every epoch -- the A2 ablation.
+  bool use_history = true;
+  /// Region-level generalization: when a large fraction of a labelled
+  /// region's blocks are contended (DRFS) or read-then-written in an
+  /// epoch, extend the tight sets to the WHOLE region.  This is how the
+  /// paper's annotations stay valid on a DIFFERENT input than the traced
+  /// one (section 4.5): the annotation names the data structure ("the
+  /// cell array is contended"), not the particular addresses one input
+  /// happened to touch.  Both hooks are consulted only at actual
+  /// accesses, so over-approximating is safe.
+  bool region_generalize = true;
+  /// Fraction of a region's blocks that must be in a tight set before the
+  /// set is generalized to the region.
+  double region_generalize_threshold = 0.25;
+};
+
+/// Summary of a built plan (tests & reports).
+struct PlanSummary {
+  std::uint64_t start_checkout_blocks = 0;
+  std::uint64_t end_checkin_blocks = 0;
+  std::uint64_t fetch_exclusive_blocks = 0;
+  std::uint64_t tight_checkin_blocks = 0;
+  std::uint64_t prefetch_blocks = 0;
+  std::uint64_t capacity_spills = 0;  ///< checkouts demoted for capacity
+  std::uint64_t races = 0;
+  std::uint64_t false_shares = 0;
+};
+
+class PlanBuilder {
+ public:
+  /// Builds a plan from a trace.  The trace's region labels drive the
+  /// regular/irregular prefetch distinction.
+  PlanBuilder(const trace::Trace& trace, const mem::CacheGeometry& geo);
+
+  [[nodiscard]] sim::DirectivePlan build(const PlanOptions& opt) const;
+  [[nodiscard]] PlanSummary last_summary() const { return summary_; }
+
+  /// Merge a sorted block list into maximal contiguous runs.
+  [[nodiscard]] static std::vector<sim::BlockRun> to_runs(const BlockSet& s);
+
+ private:
+  const trace::Trace* trace_;
+  mem::CacheGeometry geo_;
+  mutable PlanSummary summary_{};
+};
+
+}  // namespace cico::cachier

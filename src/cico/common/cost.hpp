@@ -1,0 +1,55 @@
+// CICO / Dir1SW cost model.
+//
+// The paper evaluates *normalized* execution time, so only the relative
+// magnitudes matter.  Defaults are chosen to match the CICO cost model of
+// Larus et al. [13] and the Dir1SW description of Hill et al. [10]:
+// a cache hit costs ~1 cycle, a remote miss ~100 cycles, and a software
+// directory trap several hundred cycles on top of that.
+#pragma once
+
+#include "cico/common/types.hpp"
+
+namespace cico {
+
+/// All latencies/occupancies used by the network, directory and runtime.
+/// Every field is configurable; EXPERIMENTS.md records the defaults used
+/// for the reproduced results.
+struct CostModel {
+  /// Cache hit, charged inline on the issuing node.
+  Cycle hit = 1;
+  /// One-way network hop latency (request or reply).
+  Cycle net_hop = 40;
+  /// Directory hardware occupancy for a request the Dir1SW hardware can
+  /// handle without trapping.
+  Cycle dir_hw = 10;
+  /// Extra latency when a request traps to the software protocol handler
+  /// on the home node (Dir1SW's defining cost).
+  Cycle dir_trap = 240;
+  /// Software handler occupancy per invalidation it must send.
+  Cycle inval_per_sharer = 20;
+  /// DRAM access at the home node (read or write of a block).
+  Cycle mem_access = 30;
+  /// Full barrier synchronization across all nodes.
+  Cycle barrier = 200;
+  /// Lock acquire/release message handling.
+  Cycle lock = 40;
+  /// Address generation + issue overhead of one *explicit* CICO directive.
+  /// This is the overhead the paper cites as the reason Performance CICO
+  /// omits redundant check_out_S annotations (section 4.1).
+  Cycle directive_issue = 6;
+  /// Issue cost of a non-blocking prefetch.
+  Cycle prefetch_issue = 2;
+  /// Minimum spacing between successive prefetch COMPLETIONS at one node:
+  /// the node's network interface / memory port streams at most one block
+  /// per this many cycles, so bulk prefetching cannot summon the whole
+  /// working set instantly (it pipelines, bandwidth-limited).
+  Cycle prefetch_min_gap = 24;
+
+  /// Latency of an ordinary two-hop miss serviced in hardware:
+  /// request hop + directory + memory + data reply hop.
+  [[nodiscard]] Cycle hw_miss_latency() const {
+    return net_hop + dir_hw + mem_access + net_hop;
+  }
+};
+
+}  // namespace cico

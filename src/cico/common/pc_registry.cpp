@@ -1,0 +1,34 @@
+#include "cico/common/pc_registry.hpp"
+
+#include <sstream>
+
+namespace cico {
+
+PcId PcRegistry::intern(std::string_view file, int line, std::string_view name) {
+  std::string key;
+  key.reserve(file.size() + name.size() + 16);
+  key.append(file);
+  key.push_back(':');
+  key.append(std::to_string(line));
+  key.push_back(':');
+  key.append(name);
+  auto [it, inserted] = index_.try_emplace(key, static_cast<PcId>(infos_.size()));
+  if (inserted) {
+    infos_.push_back(PcInfo{std::string(file), line, std::string(name)});
+  }
+  return it->second;
+}
+
+std::string PcRegistry::describe(PcId pc) const {
+  const PcInfo& pi = info(pc);
+  std::ostringstream os;
+  if (!pi.file.empty()) {
+    os << pi.file << ':' << pi.line;
+    if (!pi.name.empty()) os << '(' << pi.name << ')';
+  } else {
+    os << pi.name;
+  }
+  return os.str();
+}
+
+}  // namespace cico

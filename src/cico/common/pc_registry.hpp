@@ -1,0 +1,49 @@
+// Program-counter registry.
+//
+// The WWT trace records the program counter of each miss; Cachier's static
+// phase maps those PCs back to lines of program text (section 3.3/4).  In
+// this reproduction a PcId is an interned static access site: benchmarks
+// written against the runtime API intern one PcId per access expression,
+// and the MiniPar interpreter interns one per AST node, so traces can be
+// mapped back to source either way.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "cico/common/types.hpp"
+
+namespace cico {
+
+/// Source location + human-readable name of a static access site.
+struct PcInfo {
+  std::string file;
+  int line = 0;
+  std::string name;  ///< e.g. "C[i,j] +=" -- used in reports
+};
+
+/// Interns access sites.  PcId 0 (kNoPc) is reserved for "unknown".
+class PcRegistry {
+ public:
+  PcRegistry() { infos_.push_back({"", 0, "<none>"}); }
+
+  /// Interns (file,line,name); returns the same id for identical triples.
+  PcId intern(std::string_view file, int line, std::string_view name);
+
+  /// Convenience overload: name only.
+  PcId intern(std::string_view name) { return intern("", 0, name); }
+
+  [[nodiscard]] const PcInfo& info(PcId pc) const { return infos_.at(pc); }
+  [[nodiscard]] std::size_t size() const { return infos_.size(); }
+
+  /// "file:line(name)" or just the name when no file is known.
+  [[nodiscard]] std::string describe(PcId pc) const;
+
+ private:
+  std::vector<PcInfo> infos_;
+  std::unordered_map<std::string, PcId> index_;
+};
+
+}  // namespace cico

@@ -1,0 +1,38 @@
+// Deterministic pseudo-random number generation.
+//
+// Benchmarks need reproducible inputs (the trace run and the measurement
+// run of section 6 use *different* data sets, but each must be stable from
+// run to run, so results are deterministic).  SplitMix64 is tiny, fast and
+// well distributed.
+#pragma once
+
+#include <cstdint>
+
+namespace cico {
+
+/// SplitMix64 generator.  Deterministic given its seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound).
+  std::uint64_t below(std::uint64_t bound) { return bound == 0 ? 0 : next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double range(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace cico

@@ -1,0 +1,37 @@
+#include "cico/common/stats.hpp"
+
+namespace cico {
+
+std::string_view stat_name(Stat s) {
+  switch (s) {
+    case Stat::SharedLoads: return "shared_loads";
+    case Stat::SharedStores: return "shared_stores";
+    case Stat::ReadMisses: return "read_misses";
+    case Stat::WriteMisses: return "write_misses";
+    case Stat::WriteFaults: return "write_faults";
+    case Stat::Traps: return "traps";
+    case Stat::Invalidations: return "invalidations";
+    case Stat::Recalls: return "recalls";
+    case Stat::Messages: return "messages";
+    case Stat::Writebacks: return "writebacks";
+    case Stat::Evictions: return "evictions";
+    case Stat::CheckOutX: return "check_out_x";
+    case Stat::CheckOutS: return "check_out_s";
+    case Stat::CheckIns: return "check_ins";
+    case Stat::PrefetchIssued: return "prefetch_issued";
+    case Stat::PrefetchUseful: return "prefetch_useful";
+    case Stat::PrefetchLate: return "prefetch_late";
+    case Stat::PrefetchDropped: return "prefetch_dropped";
+    case Stat::Barriers: return "barriers";
+    case Stat::LockAcquires: return "lock_acquires";
+    case Stat::LockContended: return "lock_contended";
+    case Stat::StallCycles: return "stall_cycles";
+    case Stat::DirectiveCycles: return "directive_cycles";
+    case Stat::ComputeCycles: return "compute_cycles";
+    case Stat::PostStores: return "post_stores";
+    case Stat::Count_: break;
+  }
+  return "unknown";
+}
+
+}  // namespace cico

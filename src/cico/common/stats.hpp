@@ -1,0 +1,86 @@
+// Per-node event counters.
+//
+// Counters are written on the hot path by the owning node's thread (cache
+// hits) and by the boundary-phase thread while all node threads are parked
+// (misses, protocol events), so no synchronization is required -- the
+// engine's windowed schedule guarantees exclusive access.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "cico/common/types.hpp"
+
+namespace cico {
+
+/// Every event class the simulator counts.  Keep in sync with stat_name().
+enum class Stat : std::uint32_t {
+  SharedLoads,       ///< shared-data loads issued (hits + misses)
+  SharedStores,      ///< shared-data stores issued
+  ReadMisses,        ///< shared read misses (GetS sent)
+  WriteMisses,       ///< shared write misses (GetX sent, block not cached)
+  WriteFaults,       ///< stores to a Shared copy (upgrade requests)
+  Traps,             ///< Dir1SW software traps
+  Invalidations,     ///< invalidation messages sent by the software handler
+  Recalls,           ///< exclusive-copy recalls by the software handler
+  Messages,          ///< total network messages
+  Writebacks,        ///< dirty blocks written back to memory
+  Evictions,         ///< capacity/conflict evictions
+  CheckOutX,         ///< explicit check_out_X directives issued
+  CheckOutS,         ///< explicit check_out_S directives issued
+  CheckIns,          ///< explicit check_in directives issued
+  PrefetchIssued,    ///< prefetch_X/prefetch_S directives issued
+  PrefetchUseful,    ///< prefetched block later hit before eviction
+  PrefetchLate,      ///< access arrived before prefetch completed (partial)
+  PrefetchDropped,   ///< prefetch would have trapped; protocol dropped it
+  Barriers,          ///< barrier episodes completed (per node)
+  LockAcquires,      ///< lock acquisitions
+  LockContended,     ///< lock acquisitions that had to queue
+  StallCycles,       ///< cycles spent waiting on the memory system
+  DirectiveCycles,   ///< cycles spent issuing directives
+  ComputeCycles,     ///< cycles charged via Proc::compute (private work)
+  PostStores,        ///< post_store directives issued (extension)
+  Count_
+};
+
+inline constexpr std::size_t kStatCount = static_cast<std::size_t>(Stat::Count_);
+
+/// Human-readable name for a counter (used by reports and benches).
+[[nodiscard]] std::string_view stat_name(Stat s);
+
+/// Fixed-size per-node counter table.
+class Stats {
+ public:
+  explicit Stats(std::size_t nodes) : per_node_(nodes) {}
+
+  void add(NodeId n, Stat s, std::uint64_t v = 1) {
+    per_node_[n][static_cast<std::size_t>(s)] += v;
+  }
+
+  [[nodiscard]] std::uint64_t node(NodeId n, Stat s) const {
+    return per_node_[n][static_cast<std::size_t>(s)];
+  }
+
+  /// Sum of a counter over all nodes.
+  [[nodiscard]] std::uint64_t total(Stat s) const {
+    std::uint64_t t = 0;
+    for (const auto& row : per_node_) t += row[static_cast<std::size_t>(s)];
+    return t;
+  }
+
+  [[nodiscard]] std::size_t nodes() const { return per_node_.size(); }
+
+  void reset() {
+    for (auto& row : per_node_) row.fill(0);
+  }
+
+ private:
+  struct Row : std::array<std::uint64_t, kStatCount> {
+    Row() { fill(0); }
+  };
+  std::vector<Row> per_node_;
+};
+
+}  // namespace cico

@@ -1,0 +1,39 @@
+// Fundamental scalar types shared by every cico library.
+//
+// The reproduction models a 32-node cache-coherent shared-memory machine
+// (the paper's simulated CM-5 running the Dir1SW protocol under the
+// Wisconsin Wind Tunnel).  Addresses are byte addresses in a simulated
+// shared address space; block numbers are addresses divided by the cache
+// block size; cycles are virtual processor cycles.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace cico {
+
+/// Byte address in the simulated shared address space.
+using Addr = std::uint64_t;
+
+/// Cache-block number (Addr / block_bytes).
+using Block = std::uint64_t;
+
+/// Virtual time, in processor cycles.
+using Cycle = std::uint64_t;
+
+/// Processor-node identifier, 0 .. nodes-1.
+using NodeId = std::uint32_t;
+
+/// Barrier-delimited epoch index (the paper's program model, Fig. 2).
+using EpochId = std::uint32_t;
+
+/// Static program-counter identifier: one per source access site.
+/// Interned through PcRegistry so traces can be mapped back to program text.
+using PcId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr PcId kNoPc = 0;
+inline constexpr Cycle kNever = std::numeric_limits<Cycle>::max();
+
+}  // namespace cico

@@ -1,0 +1,116 @@
+#include "cico/lang/ast.hpp"
+
+namespace cico::lang {
+
+ExprPtr Expr::clone() const {
+  auto e = std::make_unique<Expr>();
+  e->id = id;
+  e->loc = loc;
+  e->kind = kind;
+  e->number = number;
+  e->name = name;
+  e->bop = bop;
+  e->uop = uop;
+  e->is_min = is_min;
+  e->args.reserve(args.size());
+  for (const auto& a : args) e->args.push_back(a->clone());
+  return e;
+}
+
+RangeExpr RangeExpr::clone() const {
+  RangeExpr r;
+  if (lo) r.lo = lo->clone();
+  if (hi) r.hi = hi->clone();
+  return r;
+}
+
+ArrayRef ArrayRef::clone() const {
+  ArrayRef r;
+  r.id = id;
+  r.loc = loc;
+  r.name = name;
+  r.ranges.reserve(ranges.size());
+  for (const auto& x : ranges) r.ranges.push_back(x.clone());
+  return r;
+}
+
+StmtPtr Stmt::clone() const {
+  auto s = std::make_unique<Stmt>();
+  s->id = id;
+  s->loc = loc;
+  s->kind = kind;
+  s->name = name;
+  for (const auto& d : dims) s->dims.push_back(d->clone());
+  for (const auto& d : subs) s->subs.push_back(d->clone());
+  if (rhs) s->rhs = rhs->clone();
+  if (lo) s->lo = lo->clone();
+  if (hi) s->hi = hi->clone();
+  if (step) s->step = step->clone();
+  if (cond) s->cond = cond->clone();
+  for (const auto& b : body) s->body.push_back(b->clone());
+  for (const auto& b : else_body) s->else_body.push_back(b->clone());
+  s->dir = dir;
+  if (ref) s->ref = std::make_unique<ArrayRef>(ref->clone());
+  s->synthesized = synthesized;
+  return s;
+}
+
+Program Program::clone() const {
+  Program p;
+  p.next_id = next_id;
+  for (const auto& d : decls) p.decls.push_back(d->clone());
+  for (const auto& b : body) p.body.push_back(b->clone());
+  return p;
+}
+
+ExprPtr make_number(Program& p, double v) {
+  auto e = std::make_unique<Expr>();
+  e->id = p.next_id++;
+  e->kind = ExprKind::Number;
+  e->number = v;
+  return e;
+}
+
+ExprPtr make_var(Program& p, std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->id = p.next_id++;
+  e->kind = ExprKind::Var;
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr make_binary(Program& p, BinOp op, ExprPtr a, ExprPtr b) {
+  auto e = std::make_unique<Expr>();
+  e->id = p.next_id++;
+  e->kind = ExprKind::Binary;
+  e->bop = op;
+  e->args.push_back(std::move(a));
+  e->args.push_back(std::move(b));
+  return e;
+}
+
+StmtPtr make_directive(Program& p, sim::DirectiveKind k, ArrayRef ref) {
+  auto s = std::make_unique<Stmt>();
+  s->id = p.next_id++;
+  s->kind = StmtKind::Directive;
+  s->dir = k;
+  s->ref = std::make_unique<ArrayRef>(std::move(ref));
+  s->ref->id = p.next_id++;
+  s->synthesized = true;
+  return s;
+}
+
+StmtPtr make_for(Program& p, std::string var, ExprPtr lo, ExprPtr hi,
+                 std::vector<StmtPtr> body) {
+  auto s = std::make_unique<Stmt>();
+  s->id = p.next_id++;
+  s->kind = StmtKind::For;
+  s->name = std::move(var);
+  s->lo = std::move(lo);
+  s->hi = std::move(hi);
+  s->body = std::move(body);
+  s->synthesized = true;
+  return s;
+}
+
+}  // namespace cico::lang

@@ -1,0 +1,138 @@
+// MiniPar abstract syntax tree.
+//
+// One tagged node type for expressions and one for statements keeps the
+// tree easy to build, clone (the annotator synthesizes directive
+// statements and loops) and unparse.  Every node carries a unique AstId;
+// the interpreter interns one simulator PcId per accessing node, so trace
+// records map back to source statements -- the paper's "map ... program
+// counters to lines in the program text" (section 4).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cico/sim/plan.hpp"  // sim::DirectiveKind
+
+namespace cico::lang {
+
+using AstId = std::uint32_t;
+
+struct SrcLoc {
+  int line = 0;
+  int col = 0;
+};
+
+// --- Expressions -----------------------------------------------------------
+
+enum class ExprKind : std::uint8_t {
+  Number,   ///< literal
+  Var,      ///< scalar variable (const, private or loop variable)
+  Pid,      ///< this processor's id
+  Nprocs,   ///< processor count
+  Index,    ///< array element A[e] or A[e1, e2]
+  Unary,    ///< -e, !e
+  Binary,   ///< e1 op e2
+  MinMax,   ///< min(a,b) / max(a,b)
+};
+
+enum class BinOp : std::uint8_t {
+  Add, Sub, Mul, Div, Mod, Eq, Ne, Lt, Le, Gt, Ge, And, Or,
+};
+
+enum class UnOp : std::uint8_t { Neg, Not };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  AstId id = 0;
+  SrcLoc loc;
+  ExprKind kind = ExprKind::Number;
+  double number = 0;        // Number
+  std::string name;         // Var / Index
+  BinOp bop = BinOp::Add;   // Binary
+  UnOp uop = UnOp::Neg;     // Unary
+  bool is_min = true;       // MinMax
+  std::vector<ExprPtr> args;  // operands / subscripts
+
+  [[nodiscard]] ExprPtr clone() const;
+};
+
+/// Inclusive slice `lo : hi` (hi null => the single element `lo`).
+struct RangeExpr {
+  ExprPtr lo;
+  ExprPtr hi;
+
+  [[nodiscard]] RangeExpr clone() const;
+};
+
+/// `A[r]` or `A[r1, r2]` as it appears in directive statements.
+struct ArrayRef {
+  AstId id = 0;
+  SrcLoc loc;
+  std::string name;
+  std::vector<RangeExpr> ranges;
+
+  [[nodiscard]] ArrayRef clone() const;
+};
+
+// --- Statements --------------------------------------------------------
+
+enum class StmtKind : std::uint8_t {
+  SharedDecl,  ///< shared real A[N] / A[N, M];
+  ConstDecl,   ///< const N = expr;
+  Private,     ///< private x = expr;
+  Assign,      ///< lvalue = expr;
+  For,         ///< for v = lo to hi [step s] do ... od
+  If,          ///< if cond then ... [else ...] fi
+  Barrier,     ///< barrier;
+  Lock,        ///< lock A[e...];
+  Unlock,      ///< unlock A[e...];
+  Directive,   ///< check_out_X/S, check_in, prefetch_X/S  A[ranges];
+  Compute,     ///< compute expr;   (charge local work)
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  AstId id = 0;
+  SrcLoc loc;
+  StmtKind kind = StmtKind::Barrier;
+
+  std::string name;            // decl/assign/private target, for-variable
+  std::vector<ExprPtr> dims;   // SharedDecl dimensions
+  std::vector<ExprPtr> subs;   // Assign lvalue subscripts (empty = scalar)
+  ExprPtr rhs;                 // ConstDecl / Private / Assign / Compute value
+  ExprPtr lo, hi, step;        // For bounds (step null = 1)
+  ExprPtr cond;                // If condition
+  std::vector<StmtPtr> body;   // For / If-then
+  std::vector<StmtPtr> else_body;  // If-else
+  sim::DirectiveKind dir = sim::DirectiveKind::CheckIn;  // Directive
+  std::unique_ptr<ArrayRef> ref;  // Directive / Lock / Unlock target
+  bool synthesized = false;    ///< inserted by the annotator (not user code)
+
+  [[nodiscard]] StmtPtr clone() const;
+};
+
+/// A whole program: declarations, then the parallel block.
+struct Program {
+  std::vector<StmtPtr> decls;
+  std::vector<StmtPtr> body;
+  AstId next_id = 1;
+
+  [[nodiscard]] Program clone() const;
+};
+
+// --- Construction helpers (used by parser and annotator) --------------------
+
+ExprPtr make_number(Program& p, double v);
+ExprPtr make_var(Program& p, std::string name);
+ExprPtr make_binary(Program& p, BinOp op, ExprPtr a, ExprPtr b);
+StmtPtr make_directive(Program& p, sim::DirectiveKind k, ArrayRef ref);
+StmtPtr make_for(Program& p, std::string var, ExprPtr lo, ExprPtr hi,
+                 std::vector<StmtPtr> body);
+
+}  // namespace cico::lang

@@ -1,0 +1,203 @@
+#include "cico/lang/lexer.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace cico::lang {
+
+std::string_view tok_name(Tok t) {
+  switch (t) {
+    case Tok::Number: return "number";
+    case Tok::Ident: return "identifier";
+    case Tok::KwShared: return "'shared'";
+    case Tok::KwReal: return "'real'";
+    case Tok::KwConst: return "'const'";
+    case Tok::KwPrivate: return "'private'";
+    case Tok::KwParallel: return "'parallel'";
+    case Tok::KwEnd: return "'end'";
+    case Tok::KwFor: return "'for'";
+    case Tok::KwTo: return "'to'";
+    case Tok::KwStep: return "'step'";
+    case Tok::KwDo: return "'do'";
+    case Tok::KwOd: return "'od'";
+    case Tok::KwIf: return "'if'";
+    case Tok::KwThen: return "'then'";
+    case Tok::KwElse: return "'else'";
+    case Tok::KwFi: return "'fi'";
+    case Tok::KwBarrier: return "'barrier'";
+    case Tok::KwLock: return "'lock'";
+    case Tok::KwUnlock: return "'unlock'";
+    case Tok::KwCheckOutX: return "'check_out_X'";
+    case Tok::KwCheckOutS: return "'check_out_S'";
+    case Tok::KwCheckIn: return "'check_in'";
+    case Tok::KwPrefetchX: return "'prefetch_X'";
+    case Tok::KwPrefetchS: return "'prefetch_S'";
+    case Tok::KwPid: return "'pid'";
+    case Tok::KwNprocs: return "'nprocs'";
+    case Tok::KwMin: return "'min'";
+    case Tok::KwMax: return "'max'";
+    case Tok::KwCompute: return "'compute'";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBracket: return "'['";
+    case Tok::RBracket: return "']'";
+    case Tok::Comma: return "','";
+    case Tok::Semicolon: return "';'";
+    case Tok::Colon: return "':'";
+    case Tok::Assign: return "'='";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::Star: return "'*'";
+    case Tok::Slash: return "'/'";
+    case Tok::Percent: return "'%'";
+    case Tok::Eq: return "'=='";
+    case Tok::Ne: return "'!='";
+    case Tok::Lt: return "'<'";
+    case Tok::Le: return "'<='";
+    case Tok::Gt: return "'>'";
+    case Tok::Ge: return "'>='";
+    case Tok::AndAnd: return "'&&'";
+    case Tok::OrOr: return "'||'";
+    case Tok::Not: return "'!'";
+    case Tok::Eof: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string_view, Tok>& keywords() {
+  static const std::unordered_map<std::string_view, Tok> kw = {
+      {"shared", Tok::KwShared},       {"real", Tok::KwReal},
+      {"const", Tok::KwConst},         {"private", Tok::KwPrivate},
+      {"parallel", Tok::KwParallel},   {"end", Tok::KwEnd},
+      {"for", Tok::KwFor},             {"to", Tok::KwTo},
+      {"step", Tok::KwStep},           {"do", Tok::KwDo},
+      {"od", Tok::KwOd},               {"if", Tok::KwIf},
+      {"then", Tok::KwThen},           {"else", Tok::KwElse},
+      {"fi", Tok::KwFi},               {"barrier", Tok::KwBarrier},
+      {"lock", Tok::KwLock},           {"unlock", Tok::KwUnlock},
+      {"check_out_X", Tok::KwCheckOutX},
+      {"check_out_S", Tok::KwCheckOutS},
+      {"check_in", Tok::KwCheckIn},    {"prefetch_X", Tok::KwPrefetchX},
+      {"prefetch_S", Tok::KwPrefetchS},
+      {"pid", Tok::KwPid},             {"nprocs", Tok::KwNprocs},
+      {"min", Tok::KwMin},             {"max", Tok::KwMax},
+      {"compute", Tok::KwCompute},
+  };
+  return kw;
+}
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view src) {
+  std::vector<Token> out;
+  int line = 1, col = 1;
+  std::size_t i = 0;
+
+  auto make = [&](Tok k) {
+    Token t;
+    t.kind = k;
+    t.line = line;
+    t.col = col;
+    return t;
+  };
+  auto advance = [&](std::size_t n = 1) {
+    for (std::size_t k = 0; k < n && i < src.size(); ++k) {
+      if (src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+      ++i;
+    }
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+      continue;
+    }
+    if (c == '#') {
+      while (i < src.size() && src[i] != '\n') advance();
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && i + 1 < src.size() &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])) != 0)) {
+      Token t = make(Tok::Number);
+      std::size_t start = i;
+      while (i < src.size() &&
+             (std::isdigit(static_cast<unsigned char>(src[i])) != 0 ||
+              src[i] == '.' || src[i] == 'e' || src[i] == 'E' ||
+              ((src[i] == '+' || src[i] == '-') && i > start &&
+               (src[i - 1] == 'e' || src[i - 1] == 'E')))) {
+        advance();
+      }
+      t.text = std::string(src.substr(start, i - start));
+      try {
+        t.number = std::stod(t.text);
+      } catch (const std::exception&) {
+        throw ParseError("bad number literal '" + t.text + "'", t.line, t.col);
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      Token t = make(Tok::Ident);
+      std::size_t start = i;
+      while (i < src.size() &&
+             (std::isalnum(static_cast<unsigned char>(src[i])) != 0 ||
+              src[i] == '_')) {
+        advance();
+      }
+      t.text = std::string(src.substr(start, i - start));
+      auto it = keywords().find(t.text);
+      if (it != keywords().end()) t.kind = it->second;
+      out.push_back(std::move(t));
+      continue;
+    }
+    // operators / punctuation
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < src.size() && src[i + 1] == b;
+    };
+    Token t = make(Tok::Eof);
+    if (two('=', '=')) { t.kind = Tok::Eq; advance(2); }
+    else if (two('!', '=')) { t.kind = Tok::Ne; advance(2); }
+    else if (two('<', '=')) { t.kind = Tok::Le; advance(2); }
+    else if (two('>', '=')) { t.kind = Tok::Ge; advance(2); }
+    else if (two('&', '&')) { t.kind = Tok::AndAnd; advance(2); }
+    else if (two('|', '|')) { t.kind = Tok::OrOr; advance(2); }
+    else {
+      switch (c) {
+        case '(': t.kind = Tok::LParen; break;
+        case ')': t.kind = Tok::RParen; break;
+        case '[': t.kind = Tok::LBracket; break;
+        case ']': t.kind = Tok::RBracket; break;
+        case ',': t.kind = Tok::Comma; break;
+        case ';': t.kind = Tok::Semicolon; break;
+        case ':': t.kind = Tok::Colon; break;
+        case '=': t.kind = Tok::Assign; break;
+        case '+': t.kind = Tok::Plus; break;
+        case '-': t.kind = Tok::Minus; break;
+        case '*': t.kind = Tok::Star; break;
+        case '/': t.kind = Tok::Slash; break;
+        case '%': t.kind = Tok::Percent; break;
+        case '<': t.kind = Tok::Lt; break;
+        case '>': t.kind = Tok::Gt; break;
+        case '!': t.kind = Tok::Not; break;
+        default:
+          throw ParseError(std::string("unexpected character '") + c + "'",
+                           line, col);
+      }
+      advance();
+    }
+    out.push_back(std::move(t));
+  }
+  out.push_back(Token{Tok::Eof, "", 0, line, col});
+  return out;
+}
+
+}  // namespace cico::lang

@@ -1,0 +1,32 @@
+// MiniPar lexer: hand-written scanner producing the token stream the
+// recursive-descent parser consumes.  `#` starts a comment to end of line.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cico/lang/token.hpp"
+
+namespace cico::lang {
+
+/// Thrown on any lexical or syntactic error, with line/column context.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& msg, int line, int col)
+      : std::runtime_error(msg + " (line " + std::to_string(line) + ", col " +
+                           std::to_string(col) + ")"),
+        line_(line),
+        col_(col) {}
+  [[nodiscard]] int line() const { return line_; }
+  [[nodiscard]] int col() const { return col_; }
+
+ private:
+  int line_;
+  int col_;
+};
+
+/// Tokenizes the whole source (the final token is always Eof).
+[[nodiscard]] std::vector<Token> lex(std::string_view src);
+
+}  // namespace cico::lang

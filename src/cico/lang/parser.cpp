@@ -1,0 +1,366 @@
+#include "cico/lang/parser.hpp"
+
+namespace cico::lang {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : toks_(lex(src)) {}
+
+  Program run() {
+    Program p;
+    prog_ = &p;
+    while (!at(Tok::KwParallel)) {
+      if (at(Tok::Eof)) fail("expected 'parallel' block");
+      p.decls.push_back(decl());
+    }
+    expect(Tok::KwParallel);
+    p.body = block({Tok::KwEnd});
+    expect(Tok::KwEnd);
+    expect(Tok::Eof);
+    return p;
+  }
+
+ private:
+  [[nodiscard]] const Token& cur() const { return toks_[pos_]; }
+  [[nodiscard]] bool at(Tok k) const { return cur().kind == k; }
+  Token eat() { return toks_[pos_++]; }
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(msg + ", got " + std::string(tok_name(cur().kind)),
+                     cur().line, cur().col);
+  }
+  Token expect(Tok k) {
+    if (!at(k)) fail("expected " + std::string(tok_name(k)));
+    return eat();
+  }
+
+  AstId fresh() { return prog_->next_id++; }
+
+  StmtPtr new_stmt(StmtKind k) {
+    auto s = std::make_unique<Stmt>();
+    s->id = fresh();
+    s->kind = k;
+    s->loc = SrcLoc{cur().line, cur().col};
+    return s;
+  }
+  ExprPtr new_expr(ExprKind k) {
+    auto e = std::make_unique<Expr>();
+    e->id = fresh();
+    e->kind = k;
+    e->loc = SrcLoc{cur().line, cur().col};
+    return e;
+  }
+
+  StmtPtr decl() {
+    if (at(Tok::KwShared)) {
+      auto s = new_stmt(StmtKind::SharedDecl);
+      eat();
+      expect(Tok::KwReal);
+      s->name = expect(Tok::Ident).text;
+      expect(Tok::LBracket);
+      s->dims.push_back(expr());
+      if (at(Tok::Comma)) {
+        eat();
+        s->dims.push_back(expr());
+      }
+      expect(Tok::RBracket);
+      expect(Tok::Semicolon);
+      return s;
+    }
+    if (at(Tok::KwConst)) {
+      auto s = new_stmt(StmtKind::ConstDecl);
+      eat();
+      s->name = expect(Tok::Ident).text;
+      expect(Tok::Assign);
+      s->rhs = expr();
+      expect(Tok::Semicolon);
+      return s;
+    }
+    fail("expected 'shared' or 'const' declaration");
+  }
+
+  std::vector<StmtPtr> block(std::initializer_list<Tok> stops) {
+    std::vector<StmtPtr> out;
+    for (;;) {
+      for (Tok s : stops) {
+        if (at(s)) return out;
+      }
+      if (at(Tok::Eof)) fail("unterminated block");
+      out.push_back(stmt());
+    }
+  }
+
+  StmtPtr stmt() {
+    switch (cur().kind) {
+      case Tok::KwFor: {
+        auto s = new_stmt(StmtKind::For);
+        eat();
+        s->name = expect(Tok::Ident).text;
+        expect(Tok::Assign);
+        s->lo = expr();
+        expect(Tok::KwTo);
+        s->hi = expr();
+        if (at(Tok::KwStep)) {
+          eat();
+          s->step = expr();
+        }
+        expect(Tok::KwDo);
+        s->body = block({Tok::KwOd});
+        expect(Tok::KwOd);
+        return s;
+      }
+      case Tok::KwIf: {
+        auto s = new_stmt(StmtKind::If);
+        eat();
+        s->cond = expr();
+        expect(Tok::KwThen);
+        s->body = block({Tok::KwElse, Tok::KwFi});
+        if (at(Tok::KwElse)) {
+          eat();
+          s->else_body = block({Tok::KwFi});
+        }
+        expect(Tok::KwFi);
+        return s;
+      }
+      case Tok::KwBarrier: {
+        auto s = new_stmt(StmtKind::Barrier);
+        eat();
+        expect(Tok::Semicolon);
+        return s;
+      }
+      case Tok::KwLock:
+      case Tok::KwUnlock: {
+        auto s = new_stmt(cur().kind == Tok::KwLock ? StmtKind::Lock
+                                                    : StmtKind::Unlock);
+        eat();
+        s->ref = std::make_unique<ArrayRef>(array_ref());
+        expect(Tok::Semicolon);
+        return s;
+      }
+      case Tok::KwCheckOutX:
+      case Tok::KwCheckOutS:
+      case Tok::KwCheckIn:
+      case Tok::KwPrefetchX:
+      case Tok::KwPrefetchS: {
+        auto s = new_stmt(StmtKind::Directive);
+        switch (cur().kind) {
+          case Tok::KwCheckOutX: s->dir = sim::DirectiveKind::CheckOutX; break;
+          case Tok::KwCheckOutS: s->dir = sim::DirectiveKind::CheckOutS; break;
+          case Tok::KwCheckIn: s->dir = sim::DirectiveKind::CheckIn; break;
+          case Tok::KwPrefetchX: s->dir = sim::DirectiveKind::PrefetchX; break;
+          default: s->dir = sim::DirectiveKind::PrefetchS; break;
+        }
+        eat();
+        s->ref = std::make_unique<ArrayRef>(array_ref());
+        expect(Tok::Semicolon);
+        return s;
+      }
+      case Tok::KwCompute: {
+        auto s = new_stmt(StmtKind::Compute);
+        eat();
+        s->rhs = expr();
+        expect(Tok::Semicolon);
+        return s;
+      }
+      case Tok::KwPrivate: {
+        auto s = new_stmt(StmtKind::Private);
+        eat();
+        s->name = expect(Tok::Ident).text;
+        expect(Tok::Assign);
+        s->rhs = expr();
+        expect(Tok::Semicolon);
+        return s;
+      }
+      case Tok::Ident: {
+        auto s = new_stmt(StmtKind::Assign);
+        s->name = eat().text;
+        if (at(Tok::LBracket)) {
+          eat();
+          s->subs.push_back(expr());
+          if (at(Tok::Comma)) {
+            eat();
+            s->subs.push_back(expr());
+          }
+          expect(Tok::RBracket);
+        }
+        expect(Tok::Assign);
+        s->rhs = expr();
+        expect(Tok::Semicolon);
+        return s;
+      }
+      default:
+        fail("expected a statement");
+    }
+  }
+
+  ArrayRef array_ref() {
+    ArrayRef r;
+    r.id = fresh();
+    r.loc = SrcLoc{cur().line, cur().col};
+    r.name = expect(Tok::Ident).text;
+    expect(Tok::LBracket);
+    r.ranges.push_back(range());
+    if (at(Tok::Comma)) {
+      eat();
+      r.ranges.push_back(range());
+    }
+    expect(Tok::RBracket);
+    return r;
+  }
+
+  RangeExpr range() {
+    RangeExpr r;
+    r.lo = expr();
+    if (at(Tok::Colon)) {
+      eat();
+      r.hi = expr();
+    }
+    return r;
+  }
+
+  // --- expressions, precedence climbing ---
+  ExprPtr expr() { return or_expr(); }
+
+  ExprPtr or_expr() {
+    ExprPtr e = and_expr();
+    while (at(Tok::OrOr)) {
+      eat();
+      e = binary(BinOp::Or, std::move(e), and_expr());
+    }
+    return e;
+  }
+  ExprPtr and_expr() {
+    ExprPtr e = cmp_expr();
+    while (at(Tok::AndAnd)) {
+      eat();
+      e = binary(BinOp::And, std::move(e), cmp_expr());
+    }
+    return e;
+  }
+  ExprPtr cmp_expr() {
+    ExprPtr e = add_expr();
+    for (;;) {
+      BinOp op;
+      switch (cur().kind) {
+        case Tok::Eq: op = BinOp::Eq; break;
+        case Tok::Ne: op = BinOp::Ne; break;
+        case Tok::Lt: op = BinOp::Lt; break;
+        case Tok::Le: op = BinOp::Le; break;
+        case Tok::Gt: op = BinOp::Gt; break;
+        case Tok::Ge: op = BinOp::Ge; break;
+        default: return e;
+      }
+      eat();
+      e = binary(op, std::move(e), add_expr());
+    }
+  }
+  ExprPtr add_expr() {
+    ExprPtr e = mul_expr();
+    for (;;) {
+      if (at(Tok::Plus)) {
+        eat();
+        e = binary(BinOp::Add, std::move(e), mul_expr());
+      } else if (at(Tok::Minus)) {
+        eat();
+        e = binary(BinOp::Sub, std::move(e), mul_expr());
+      } else {
+        return e;
+      }
+    }
+  }
+  ExprPtr mul_expr() {
+    ExprPtr e = unary_expr();
+    for (;;) {
+      BinOp op;
+      if (at(Tok::Star)) op = BinOp::Mul;
+      else if (at(Tok::Slash)) op = BinOp::Div;
+      else if (at(Tok::Percent)) op = BinOp::Mod;
+      else return e;
+      eat();
+      e = binary(op, std::move(e), unary_expr());
+    }
+  }
+  ExprPtr unary_expr() {
+    if (at(Tok::Minus) || at(Tok::Not)) {
+      auto e = new_expr(ExprKind::Unary);
+      e->uop = at(Tok::Minus) ? UnOp::Neg : UnOp::Not;
+      eat();
+      e->args.push_back(unary_expr());
+      return e;
+    }
+    return primary();
+  }
+  ExprPtr primary() {
+    switch (cur().kind) {
+      case Tok::Number: {
+        auto e = new_expr(ExprKind::Number);
+        e->number = eat().number;
+        return e;
+      }
+      case Tok::KwPid: {
+        auto e = new_expr(ExprKind::Pid);
+        eat();
+        return e;
+      }
+      case Tok::KwNprocs: {
+        auto e = new_expr(ExprKind::Nprocs);
+        eat();
+        return e;
+      }
+      case Tok::KwMin:
+      case Tok::KwMax: {
+        auto e = new_expr(ExprKind::MinMax);
+        e->is_min = at(Tok::KwMin);
+        eat();
+        expect(Tok::LParen);
+        e->args.push_back(expr());
+        expect(Tok::Comma);
+        e->args.push_back(expr());
+        expect(Tok::RParen);
+        return e;
+      }
+      case Tok::LParen: {
+        eat();
+        ExprPtr e = expr();
+        expect(Tok::RParen);
+        return e;
+      }
+      case Tok::Ident: {
+        auto e = new_expr(ExprKind::Var);
+        e->name = eat().text;
+        if (at(Tok::LBracket)) {
+          e->kind = ExprKind::Index;
+          eat();
+          e->args.push_back(expr());
+          if (at(Tok::Comma)) {
+            eat();
+            e->args.push_back(expr());
+          }
+          expect(Tok::RBracket);
+        }
+        return e;
+      }
+      default:
+        fail("expected an expression");
+    }
+  }
+
+  ExprPtr binary(BinOp op, ExprPtr a, ExprPtr b) {
+    auto e = new_expr(ExprKind::Binary);
+    e->bop = op;
+    e->args.push_back(std::move(a));
+    e->args.push_back(std::move(b));
+    return e;
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+  Program* prog_ = nullptr;
+};
+
+}  // namespace
+
+Program parse(std::string_view src) { return Parser(src).run(); }
+
+}  // namespace cico::lang

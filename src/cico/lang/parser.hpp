@@ -1,0 +1,36 @@
+// MiniPar recursive-descent parser.
+//
+// Grammar (see token.hpp for the lexical level):
+//
+//   program  := decl* 'parallel' block 'end'
+//   decl     := 'shared' 'real' IDENT '[' expr (',' expr)? ']' ';'
+//             | 'const' IDENT '=' expr ';'
+//   block    := stmt*
+//   stmt     := 'for' IDENT '=' expr 'to' expr ('step' expr)? 'do' block 'od'
+//             | 'if' expr 'then' block ('else' block)? 'fi'
+//             | 'barrier' ';'
+//             | 'lock' ref ';' | 'unlock' ref ';'
+//             | DIRECTIVE ref ';'        (check_out_X/S, check_in,
+//                                         prefetch_X/S)
+//             | 'compute' expr ';'
+//             | 'private' IDENT '=' expr ';'
+//             | lvalue '=' expr ';'
+//   ref      := IDENT '[' range (',' range)? ']'
+//   range    := expr (':' expr)?
+//   lvalue   := IDENT ('[' expr (',' expr)? ']')?
+//   expr     := ||, &&, comparisons, + -, * / %, unary - !, primary
+//   primary  := NUMBER | 'pid' | 'nprocs' | 'min'/'max' '(' e ',' e ')'
+//             | IDENT ('[' expr (',' expr)? ']')? | '(' expr ')'
+#pragma once
+
+#include <string_view>
+
+#include "cico/lang/ast.hpp"
+#include "cico/lang/lexer.hpp"
+
+namespace cico::lang {
+
+/// Parses a whole MiniPar program; throws ParseError on malformed input.
+[[nodiscard]] Program parse(std::string_view src);
+
+}  // namespace cico::lang

@@ -1,0 +1,87 @@
+// MiniPar tokens.
+//
+// MiniPar is the shared-memory mini-language this reproduction uses as
+// Cachier's SOURCE surface: the paper's Cachier parsed C, built an AST and
+// control-flow graph, inserted CICO annotations and unparsed the result
+// (section 3.4).  MiniPar captures the paper's program model (Fig. 2):
+// barrier-delimited epochs, shared arrays, loops, locks -- and the CICO
+// annotation statements themselves, so annotated output is again a valid
+// program that runs on the simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cico::lang {
+
+enum class Tok : std::uint8_t {
+  // literals / identifiers
+  Number,
+  Ident,
+  // keywords
+  KwShared,
+  KwReal,
+  KwConst,
+  KwPrivate,
+  KwParallel,
+  KwEnd,
+  KwFor,
+  KwTo,
+  KwStep,
+  KwDo,
+  KwOd,
+  KwIf,
+  KwThen,
+  KwElse,
+  KwFi,
+  KwBarrier,
+  KwLock,
+  KwUnlock,
+  KwCheckOutX,
+  KwCheckOutS,
+  KwCheckIn,
+  KwPrefetchX,
+  KwPrefetchS,
+  KwPid,
+  KwNprocs,
+  KwMin,
+  KwMax,
+  KwCompute,
+  // punctuation / operators
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Comma,
+  Semicolon,
+  Colon,
+  Assign,   // =
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Eq,       // ==
+  Ne,       // !=
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  AndAnd,
+  OrOr,
+  Not,
+  Eof,
+};
+
+[[nodiscard]] std::string_view tok_name(Tok t);
+
+struct Token {
+  Tok kind = Tok::Eof;
+  std::string text;   ///< identifier name or number literal text
+  double number = 0;  ///< value when kind == Number
+  int line = 1;
+  int col = 1;
+};
+
+}  // namespace cico::lang

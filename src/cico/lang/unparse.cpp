@@ -1,0 +1,244 @@
+#include "cico/lang/unparse.hpp"
+
+#include <sstream>
+
+namespace cico::lang {
+
+namespace {
+
+int precedence(BinOp op) {
+  switch (op) {
+    case BinOp::Or: return 1;
+    case BinOp::And: return 2;
+    case BinOp::Eq:
+    case BinOp::Ne:
+    case BinOp::Lt:
+    case BinOp::Le:
+    case BinOp::Gt:
+    case BinOp::Ge: return 3;
+    case BinOp::Add:
+    case BinOp::Sub: return 4;
+    case BinOp::Mul:
+    case BinOp::Div:
+    case BinOp::Mod: return 5;
+  }
+  return 0;
+}
+
+const char* op_text(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return "+";
+    case BinOp::Sub: return "-";
+    case BinOp::Mul: return "*";
+    case BinOp::Div: return "/";
+    case BinOp::Mod: return "%";
+    case BinOp::Eq: return "==";
+    case BinOp::Ne: return "!=";
+    case BinOp::Lt: return "<";
+    case BinOp::Le: return "<=";
+    case BinOp::Gt: return ">";
+    case BinOp::Ge: return ">=";
+    case BinOp::And: return "&&";
+    case BinOp::Or: return "||";
+  }
+  return "?";
+}
+
+std::string fmt_number(double v) {
+  std::ostringstream os;
+  if (v == static_cast<double>(static_cast<long long>(v))) {
+    os << static_cast<long long>(v);
+  } else {
+    os << v;
+  }
+  return os.str();
+}
+
+void expr_text(const Expr& e, std::ostream& os, int parent_prec) {
+  switch (e.kind) {
+    case ExprKind::Number:
+      os << fmt_number(e.number);
+      return;
+    case ExprKind::Var:
+      os << e.name;
+      return;
+    case ExprKind::Pid:
+      os << "pid";
+      return;
+    case ExprKind::Nprocs:
+      os << "nprocs";
+      return;
+    case ExprKind::Index:
+      os << e.name << '[';
+      expr_text(*e.args[0], os, 0);
+      if (e.args.size() > 1) {
+        os << ", ";
+        expr_text(*e.args[1], os, 0);
+      }
+      os << ']';
+      return;
+    case ExprKind::Unary:
+      os << (e.uop == UnOp::Neg ? "-" : "!");
+      expr_text(*e.args[0], os, 6);
+      return;
+    case ExprKind::Binary: {
+      const int prec = precedence(e.bop);
+      const bool need = prec < parent_prec;
+      if (need) os << '(';
+      expr_text(*e.args[0], os, prec);
+      os << ' ' << op_text(e.bop) << ' ';
+      expr_text(*e.args[1], os, prec + 1);
+      if (need) os << ')';
+      return;
+    }
+    case ExprKind::MinMax:
+      os << (e.is_min ? "min(" : "max(");
+      expr_text(*e.args[0], os, 0);
+      os << ", ";
+      expr_text(*e.args[1], os, 0);
+      os << ')';
+      return;
+  }
+}
+
+const char* dir_text(sim::DirectiveKind k) {
+  switch (k) {
+    case sim::DirectiveKind::CheckOutX: return "check_out_X";
+    case sim::DirectiveKind::CheckOutS: return "check_out_S";
+    case sim::DirectiveKind::CheckIn: return "check_in";
+    case sim::DirectiveKind::PrefetchX: return "prefetch_X";
+    case sim::DirectiveKind::PrefetchS: return "prefetch_S";
+  }
+  return "?";
+}
+
+class Printer {
+ public:
+  explicit Printer(UnparseOptions opt) : opt_(opt) {}
+
+  std::string run(const Program& p) {
+    for (const auto& d : p.decls) stmt(*d);
+    line("parallel");
+    ++depth_;
+    for (const auto& s : p.body) stmt(*s);
+    --depth_;
+    line("end");
+    return os_.str();
+  }
+
+ private:
+  void indent() {
+    for (int i = 0; i < depth_ * opt_.indent_width; ++i) os_ << ' ';
+  }
+  void line(const std::string& s) {
+    indent();
+    os_ << s << '\n';
+  }
+  std::string mark(const Stmt& s) const {
+    return (opt_.mark_synthesized && s.synthesized) ? "   # <cachier>" : "";
+  }
+
+  void stmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::SharedDecl: {
+        std::ostringstream d;
+        d << "shared real " << s.name << '[' << unparse_expr(*s.dims[0]);
+        if (s.dims.size() > 1) d << ", " << unparse_expr(*s.dims[1]);
+        d << "];";
+        line(d.str());
+        return;
+      }
+      case StmtKind::ConstDecl:
+        line("const " + s.name + " = " + unparse_expr(*s.rhs) + ";");
+        return;
+      case StmtKind::Private:
+        line("private " + s.name + " = " + unparse_expr(*s.rhs) + ";");
+        return;
+      case StmtKind::Assign: {
+        std::ostringstream d;
+        d << s.name;
+        if (!s.subs.empty()) {
+          d << '[' << unparse_expr(*s.subs[0]);
+          if (s.subs.size() > 1) d << ", " << unparse_expr(*s.subs[1]);
+          d << ']';
+        }
+        d << " = " << unparse_expr(*s.rhs) << ';';
+        line(d.str());
+        return;
+      }
+      case StmtKind::For: {
+        std::ostringstream d;
+        d << "for " << s.name << " = " << unparse_expr(*s.lo) << " to "
+          << unparse_expr(*s.hi);
+        if (s.step) d << " step " << unparse_expr(*s.step);
+        d << " do" << mark(s);
+        line(d.str());
+        ++depth_;
+        for (const auto& b : s.body) stmt(*b);
+        --depth_;
+        line("od");
+        return;
+      }
+      case StmtKind::If: {
+        line("if " + unparse_expr(*s.cond) + " then");
+        ++depth_;
+        for (const auto& b : s.body) stmt(*b);
+        --depth_;
+        if (!s.else_body.empty()) {
+          line("else");
+          ++depth_;
+          for (const auto& b : s.else_body) stmt(*b);
+          --depth_;
+        }
+        line("fi");
+        return;
+      }
+      case StmtKind::Barrier:
+        line("barrier;");
+        return;
+      case StmtKind::Lock:
+        line("lock " + unparse_ref(*s.ref) + ";");
+        return;
+      case StmtKind::Unlock:
+        line("unlock " + unparse_ref(*s.ref) + ";");
+        return;
+      case StmtKind::Directive:
+        line(std::string(dir_text(s.dir)) + " " + unparse_ref(*s.ref) + ";" +
+             mark(s));
+        return;
+      case StmtKind::Compute:
+        line("compute " + unparse_expr(*s.rhs) + ";");
+        return;
+    }
+  }
+
+  UnparseOptions opt_;
+  std::ostringstream os_;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::string unparse_expr(const Expr& e) {
+  std::ostringstream os;
+  expr_text(e, os, 0);
+  return os.str();
+}
+
+std::string unparse_ref(const ArrayRef& r) {
+  std::ostringstream os;
+  os << r.name << '[';
+  for (std::size_t i = 0; i < r.ranges.size(); ++i) {
+    if (i) os << ", ";
+    os << unparse_expr(*r.ranges[i].lo);
+    if (r.ranges[i].hi) os << ':' << unparse_expr(*r.ranges[i].hi);
+  }
+  os << ']';
+  return os.str();
+}
+
+std::string unparse(const Program& p, UnparseOptions opt) {
+  return Printer(opt).run(p);
+}
+
+}  // namespace cico::lang

@@ -1,0 +1,24 @@
+// MiniPar unparser: pretty-prints a Program back to parseable source.
+// Cachier "produces an annotated target program by unparsing this
+// modified abstract syntax tree" (section 3.4).  Synthesized annotation
+// statements are marked with a trailing comment so annotated output is
+// readable, exactly the presentation goal of section 4.3.
+#pragma once
+
+#include <string>
+
+#include "cico/lang/ast.hpp"
+
+namespace cico::lang {
+
+struct UnparseOptions {
+  int indent_width = 2;
+  /// Mark annotator-inserted statements with "# <cachier>".
+  bool mark_synthesized = true;
+};
+
+[[nodiscard]] std::string unparse(const Program& p, UnparseOptions opt = {});
+[[nodiscard]] std::string unparse_expr(const Expr& e);
+[[nodiscard]] std::string unparse_ref(const ArrayRef& r);
+
+}  // namespace cico::lang

@@ -1,0 +1,93 @@
+#include "cico/mem/cache.hpp"
+
+#include <algorithm>
+
+namespace cico::mem {
+
+Cache::Cache(CacheGeometry g) : geo_(g), sets_(g.num_sets()) {
+  for (auto& s : sets_) s.reserve(g.assoc);
+}
+
+LineState Cache::state_of(Block b) const {
+  const Set& set = set_for(b);
+  for (const Line& l : set) {
+    if (l.block == b) return l.state;
+  }
+  return LineState::Invalid;
+}
+
+bool Cache::touch(Block b) {
+  Set& set = set_for(b);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    if (set[i].block == b) {
+      if (i != 0) {
+        Line l = set[i];
+        set.erase(set.begin() + static_cast<std::ptrdiff_t>(i));
+        set.insert(set.begin(), l);
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<Cache::Eviction> Cache::insert(Block b, LineState s) {
+  Set& set = set_for(b);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    if (set[i].block == b) {
+      set[i].state = s;
+      touch(b);
+      return std::nullopt;
+    }
+  }
+  std::optional<Eviction> victim;
+  if (set.size() >= geo_.assoc) {
+    const Line& lru = set.back();
+    victim = Eviction{lru.block, lru.state};
+    set.pop_back();
+    --occupancy_;
+  }
+  set.insert(set.begin(), Line{b, s});
+  ++occupancy_;
+  return victim;
+}
+
+bool Cache::set_state(Block b, LineState s) {
+  Set& set = set_for(b);
+  for (Line& l : set) {
+    if (l.block == b) {
+      l.state = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+LineState Cache::erase(Block b) {
+  Set& set = set_for(b);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    if (set[i].block == b) {
+      LineState s = set[i].state;
+      set.erase(set.begin() + static_cast<std::ptrdiff_t>(i));
+      --occupancy_;
+      return s;
+    }
+  }
+  return LineState::Invalid;
+}
+
+void Cache::flush(const std::function<void(Block, LineState)>& fn) {
+  for (Set& set : sets_) {
+    for (const Line& l : set) fn(l.block, l.state);
+    occupancy_ -= set.size();
+    set.clear();
+  }
+}
+
+void Cache::for_each(const std::function<void(Block, LineState)>& fn) const {
+  for (const Set& set : sets_) {
+    for (const Line& l : set) fn(l.block, l.state);
+  }
+}
+
+}  // namespace cico::mem

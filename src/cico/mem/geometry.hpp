@@ -1,0 +1,34 @@
+// Cache geometry: size / associativity / block size, plus the address
+// arithmetic used throughout the system.  Paper defaults: 256 KB, 4-way,
+// 32-byte blocks (section 6).
+#pragma once
+
+#include <cassert>
+
+#include "cico/common/types.hpp"
+
+namespace cico::mem {
+
+struct CacheGeometry {
+  std::uint32_t size_bytes = 256u << 10;
+  std::uint32_t assoc = 4;
+  std::uint32_t block_bytes = 32;
+
+  [[nodiscard]] std::uint32_t num_blocks() const { return size_bytes / block_bytes; }
+  [[nodiscard]] std::uint32_t num_sets() const { return num_blocks() / assoc; }
+
+  [[nodiscard]] Block block_of(Addr a) const { return a / block_bytes; }
+  [[nodiscard]] Addr base_of(Block b) const { return b * block_bytes; }
+  [[nodiscard]] std::uint32_t set_of(Block b) const {
+    return static_cast<std::uint32_t>(b % num_sets());
+  }
+
+  /// Blocks covered by the byte range [addr, addr+bytes).
+  [[nodiscard]] Block first_block(Addr addr) const { return block_of(addr); }
+  [[nodiscard]] Block last_block(Addr addr, std::uint64_t bytes) const {
+    assert(bytes > 0);
+    return block_of(addr + bytes - 1);
+  }
+};
+
+}  // namespace cico::mem

@@ -1,0 +1,79 @@
+// Interconnect model.
+//
+// The CM-5's fat-tree is modelled as a uniform-latency network (the CICO
+// cost model does the same: every remote hop costs the same).  The network
+// charges latencies and counts messages by type; the Dir1SW protocol layers
+// its transactions on top of these primitives.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "cico/common/cost.hpp"
+#include "cico/common/stats.hpp"
+#include "cico/common/types.hpp"
+
+namespace cico::net {
+
+enum class MsgType : std::uint8_t {
+  Request,       ///< GetS/GetX/upgrade request to the home directory
+  DataReply,     ///< block data from home to requester
+  Ack,           ///< dataless acknowledgement
+  Invalidate,    ///< software handler invalidating a sharer
+  Recall,        ///< software handler recalling an exclusive copy
+  Writeback,     ///< dirty data returning to the home memory
+  Directive,     ///< explicit CICO directive (check-in notification, etc.)
+  PrefetchReq,   ///< non-blocking prefetch request
+  PrefetchReply, ///< prefetch data reply
+  Nack,          ///< negative ack (dropped prefetch, stale put)
+  Count_
+};
+
+inline constexpr std::size_t kMsgTypeCount = static_cast<std::size_t>(MsgType::Count_);
+
+[[nodiscard]] std::string_view msg_type_name(MsgType t);
+
+/// Uniform-latency interconnect with per-type message accounting.
+class Network {
+ public:
+  Network(const CostModel& cost, Stats& stats) : cost_(cost), stats_(&stats) {}
+
+  /// One-way message latency.  Messages between a node and itself (the home
+  /// directory slice is co-located) are free of network latency but still
+  /// counted when they represent real protocol traffic.
+  [[nodiscard]] Cycle latency(NodeId from, NodeId to) const {
+    return from == to ? 0 : cost_.net_hop;
+  }
+
+  /// Sends a message at time `now`; returns its arrival time and counts it
+  /// against the sending node.
+  Cycle send(NodeId from, NodeId to, MsgType t, Cycle now) {
+    count(from, t);
+    return now + latency(from, to);
+  }
+
+  /// Counts a message without computing a latency (for asynchronous
+  /// traffic whose latency is off the critical path, e.g. eviction hints).
+  void count(NodeId from, MsgType t) {
+    stats_->add(from, Stat::Messages);
+    by_type_[static_cast<std::size_t>(t)] += 1;
+  }
+
+  [[nodiscard]] std::uint64_t sent(MsgType t) const {
+    return by_type_[static_cast<std::size_t>(t)];
+  }
+
+  [[nodiscard]] std::uint64_t total_sent() const {
+    std::uint64_t n = 0;
+    for (auto v : by_type_) n += v;
+    return n;
+  }
+
+ private:
+  CostModel cost_;
+  Stats* stats_;
+  std::array<std::uint64_t, kMsgTypeCount> by_type_{};
+};
+
+}  // namespace cico::net

@@ -1,0 +1,369 @@
+#include "cico/proto/dir1sw.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cico::proto {
+
+using mem::LineState;
+using net::MsgType;
+
+bool DirEntry::has_sharer(NodeId n) const {
+  return std::binary_search(sharers.begin(), sharers.end(), n);
+}
+
+bool DirEntry::has_past_sharer(NodeId n) const {
+  return std::binary_search(past_sharers.begin(), past_sharers.end(), n);
+}
+
+namespace {
+
+void add_sharer(DirEntry& e, NodeId n) {
+  auto it = std::lower_bound(e.sharers.begin(), e.sharers.end(), n);
+  if (it == e.sharers.end() || *it != n) {
+    e.sharers.insert(it, n);
+    e.count = static_cast<std::uint32_t>(e.sharers.size());
+  }
+}
+
+void add_past_sharer(DirEntry& e, NodeId n) {
+  auto it = std::lower_bound(e.past_sharers.begin(), e.past_sharers.end(), n);
+  if (it == e.past_sharers.end() || *it != n) e.past_sharers.insert(it, n);
+}
+
+void remove_sharer(DirEntry& e, NodeId n) {
+  auto it = std::lower_bound(e.sharers.begin(), e.sharers.end(), n);
+  if (it != e.sharers.end() && *it == n) {
+    e.sharers.erase(it);
+    e.count = static_cast<std::uint32_t>(e.sharers.size());
+    add_past_sharer(e, n);
+  }
+}
+
+}  // namespace
+
+Dir1SW::Dir1SW(std::uint32_t nodes, const CostModel& cost, net::Network& net,
+               Stats& stats, CacheControl& caches)
+    : nodes_(nodes), cost_(cost), net_(&net), stats_(&stats), caches_(&caches) {}
+
+const DirEntry* Dir1SW::entry(Block b) const {
+  auto it = dir_.find(b);
+  return it == dir_.end() ? nullptr : &it->second;
+}
+
+std::pair<Cycle, std::uint32_t> Dir1SW::invalidate_sharers(DirEntry& e, Block b,
+                                                           NodeId home,
+                                                           NodeId keep) {
+  Cycle occupancy = 0;
+  Cycle last_rtt = 0;
+  std::uint32_t sent = 0;
+  // Copy: invalidate() does not change the sharer list, but be defensive.
+  std::vector<NodeId> targets = e.sharers;
+  for (NodeId s : targets) {
+    if (s == keep) continue;
+    net_->count(home, MsgType::Invalidate);
+    net_->count(s, MsgType::Ack);
+    caches_->invalidate(s, b);
+    remove_sharer(e, s);
+    occupancy += cost_.inval_per_sharer;
+    last_rtt = net_->latency(home, s) + net_->latency(s, home);
+    ++sent;
+    stats_->add(home, Stat::Invalidations);
+  }
+  return {occupancy + last_rtt, sent};
+}
+
+ServiceResult Dir1SW::get_shared(NodeId req, Block b, Cycle now, bool prefetch) {
+  DirEntry& e = ent(b);
+  const NodeId home = home_of(b);
+  const MsgType req_msg = prefetch ? MsgType::PrefetchReq : MsgType::Request;
+  const MsgType rep_msg = prefetch ? MsgType::PrefetchReply : MsgType::DataReply;
+  ServiceResult r;
+
+  switch (e.state) {
+    case DirState::Idle: {
+      Cycle t = net_->send(req, home, req_msg, now);
+      t += cost_.dir_hw + cost_.mem_access;
+      t = net_->send(home, req, rep_msg, t);
+      e.state = DirState::Shared;
+      e.owner = req;
+      add_sharer(e, req);
+      r.done_at = t;
+      return r;
+    }
+    case DirState::Shared: {
+      // GetS on a Shared block: hardware counter increment.
+      Cycle t = net_->send(req, home, req_msg, now);
+      t += cost_.dir_hw + cost_.mem_access;
+      t = net_->send(home, req, rep_msg, t);
+      add_sharer(e, req);
+      r.done_at = t;
+      return r;
+    }
+    case DirState::Exclusive: {
+      if (e.owner == req) {
+        // Requester already owns the block exclusively; idempotent reply.
+        r.done_at = now + cost_.hit;
+        return r;
+      }
+      if (prefetch) {
+        net_->count(req, MsgType::PrefetchReq);
+        net_->count(home, MsgType::Nack);
+        r.nacked = true;
+        r.done_at = now;
+        return r;
+      }
+      // TRAP: recall the exclusive copy, downgrade the owner to Shared.
+      stats_->add(home, Stat::Traps);
+      stats_->add(home, Stat::Recalls);
+      r.trapped = true;
+      Cycle t = net_->send(req, home, MsgType::Request, now);
+      t += cost_.dir_trap;
+      t = net_->send(home, e.owner, MsgType::Recall, t);
+      caches_->downgrade(e.owner, b);
+      t = net_->send(e.owner, home, MsgType::Writeback, t);
+      stats_->add(e.owner, Stat::Writebacks);
+      t += cost_.mem_access;
+      t = net_->send(home, req, MsgType::DataReply, t);
+      e.state = DirState::Shared;
+      add_sharer(e, e.owner);
+      add_sharer(e, req);
+      r.done_at = t;
+      return r;
+    }
+  }
+  r.done_at = now;
+  return r;
+}
+
+ServiceResult Dir1SW::get_exclusive(NodeId req, Block b, Cycle now,
+                                    bool prefetch) {
+  DirEntry& e = ent(b);
+  const NodeId home = home_of(b);
+  const MsgType req_msg = prefetch ? MsgType::PrefetchReq : MsgType::Request;
+  const MsgType rep_msg = prefetch ? MsgType::PrefetchReply : MsgType::DataReply;
+  ServiceResult r;
+
+  switch (e.state) {
+    case DirState::Idle: {
+      Cycle t = net_->send(req, home, req_msg, now);
+      t += cost_.dir_hw + cost_.mem_access;
+      t = net_->send(home, req, rep_msg, t);
+      e.state = DirState::Exclusive;
+      e.owner = req;
+      e.sharers.clear();
+      e.count = 0;
+      r.done_at = t;
+      return r;
+    }
+    case DirState::Shared: {
+      const bool sole = e.sharers.size() == 1 && e.has_sharer(req);
+      if (sole) {
+        // Hardware upgrade: counter==1 and the pointer names the requester,
+        // so no invalidations are needed and no data moves.
+        Cycle t = net_->send(req, home, req_msg, now);
+        t += cost_.dir_hw;
+        t = net_->send(home, req, prefetch ? MsgType::PrefetchReply : MsgType::Ack, t);
+        e.state = DirState::Exclusive;
+        e.owner = req;
+        e.sharers.clear();
+        e.count = 0;
+        r.done_at = t;
+        return r;
+      }
+      if (prefetch) {
+        net_->count(req, MsgType::PrefetchReq);
+        net_->count(home, MsgType::Nack);
+        r.nacked = true;
+        r.done_at = now;
+        return r;
+      }
+      // TRAP: software invalidates every other sharer.
+      stats_->add(home, Stat::Traps);
+      r.trapped = true;
+      const bool req_had_copy = e.has_sharer(req);
+      Cycle t = net_->send(req, home, MsgType::Request, now);
+      t += cost_.dir_trap;
+      auto [inval_cycles, sent] = invalidate_sharers(e, b, home, req);
+      t += inval_cycles;
+      r.invalidations = sent;
+      if (!req_had_copy) t += cost_.mem_access;
+      t = net_->send(home, req,
+                     req_had_copy ? MsgType::Ack : MsgType::DataReply, t);
+      e.state = DirState::Exclusive;
+      e.owner = req;
+      e.sharers.clear();
+      e.count = 0;
+      r.done_at = t;
+      return r;
+    }
+    case DirState::Exclusive: {
+      if (e.owner == req) {
+        r.done_at = now + cost_.hit;
+        return r;
+      }
+      if (prefetch) {
+        net_->count(req, MsgType::PrefetchReq);
+        net_->count(home, MsgType::Nack);
+        r.nacked = true;
+        r.done_at = now;
+        return r;
+      }
+      // TRAP: recall and invalidate the current owner.
+      stats_->add(home, Stat::Traps);
+      stats_->add(home, Stat::Recalls);
+      r.trapped = true;
+      Cycle t = net_->send(req, home, MsgType::Request, now);
+      t += cost_.dir_trap;
+      t = net_->send(home, e.owner, MsgType::Recall, t);
+      caches_->invalidate(e.owner, b);
+      add_past_sharer(e, e.owner);
+      t = net_->send(e.owner, home, MsgType::Writeback, t);
+      stats_->add(e.owner, Stat::Writebacks);
+      t += cost_.mem_access;
+      t = net_->send(home, req, MsgType::DataReply, t);
+      r.invalidations = 1;
+      e.owner = req;
+      e.sharers.clear();
+      e.count = 0;
+      r.done_at = t;
+      return r;
+    }
+  }
+  r.done_at = now;
+  return r;
+}
+
+ServiceResult Dir1SW::put(NodeId req, Block b, bool dirty, Cycle now,
+                          bool explicit_ci) {
+  DirEntry& e = ent(b);
+  const NodeId home = home_of(b);
+  const MsgType msg = explicit_ci ? MsgType::Directive : MsgType::Writeback;
+  ServiceResult r;
+  // Check-ins are fire-and-forget: the requester pays issue occupancy only.
+  r.done_at = now + (explicit_ci ? cost_.directive_issue : 0);
+
+  switch (e.state) {
+    case DirState::Idle: {
+      net_->count(req, msg);
+      net_->count(home, MsgType::Nack);
+      r.nacked = true;
+      return r;
+    }
+    case DirState::Shared: {
+      if (!e.has_sharer(req)) {
+        net_->count(req, msg);
+        net_->count(home, MsgType::Nack);
+        r.nacked = true;
+        return r;
+      }
+      net_->count(req, msg);
+      remove_sharer(e, req);
+      if (e.sharers.empty()) {
+        e.state = DirState::Idle;
+        e.owner = kInvalidNode;
+      } else {
+        e.owner = e.sharers.front();
+      }
+      return r;
+    }
+    case DirState::Exclusive: {
+      if (e.owner != req) {
+        net_->count(req, msg);
+        net_->count(home, MsgType::Nack);
+        r.nacked = true;
+        return r;
+      }
+      net_->count(req, dirty ? MsgType::Writeback : msg);
+      if (dirty) stats_->add(req, Stat::Writebacks);
+      add_past_sharer(e, req);
+      e.state = DirState::Idle;
+      e.owner = kInvalidNode;
+      e.sharers.clear();
+      e.count = 0;
+      return r;
+    }
+  }
+  return r;
+}
+
+ServiceResult Dir1SW::post_store(NodeId req, Block b, Cycle now) {
+  DirEntry& e = ent(b);
+  const NodeId home = home_of(b);
+  ServiceResult r;
+  r.done_at = now + cost_.directive_issue;
+  if (e.state != DirState::Exclusive || e.owner != req) {
+    // Only a current exclusive owner can post-store; otherwise ignore
+    // (directives never affect semantics).
+    net_->count(req, net::MsgType::Directive);
+    net_->count(home, net::MsgType::Nack);
+    r.nacked = true;
+    return r;
+  }
+  // Write back and downgrade the writer to Shared.
+  net_->count(req, net::MsgType::Writeback);
+  stats_->add(req, Stat::Writebacks);
+  caches_->downgrade(req, b);
+  e.state = DirState::Shared;
+  e.sharers.clear();
+  add_sharer(e, req);
+  // Push read-only copies to every past sharer (off the critical path;
+  // messages counted, occupancy charged at the home).
+  const std::vector<NodeId> targets = e.past_sharers;
+  for (NodeId n : targets) {
+    if (n == req) continue;
+    net_->count(home, net::MsgType::DataReply);
+    caches_->push_shared(n, b);
+    add_sharer(e, n);
+  }
+  e.owner = req;
+  return r;
+}
+
+std::string Dir1SW::check_invariants() const {
+  std::ostringstream bad;
+  for (const auto& [b, e] : dir_) {
+    if (e.count != e.sharers.size() &&
+        !(e.state == DirState::Exclusive || e.state == DirState::Idle)) {
+      bad << "block " << b << ": counter " << e.count << " != sharer set size "
+          << e.sharers.size() << "\n";
+    }
+    switch (e.state) {
+      case DirState::Idle:
+        if (!e.sharers.empty())
+          bad << "block " << b << ": Idle with sharers\n";
+        for (NodeId n = 0; n < nodes_; ++n) {
+          if (caches_->peek(n, b) != LineState::Invalid)
+            bad << "block " << b << ": Idle but cached at node " << n << "\n";
+        }
+        break;
+      case DirState::Shared:
+        if (e.sharers.empty())
+          bad << "block " << b << ": Shared with empty sharer set\n";
+        for (NodeId n = 0; n < nodes_; ++n) {
+          const LineState ls = caches_->peek(n, b);
+          const bool should = e.has_sharer(n);
+          if (should && ls != LineState::Shared)
+            bad << "block " << b << ": sharer " << n << " not Shared in cache\n";
+          if (!should && ls != LineState::Invalid)
+            bad << "block " << b << ": non-sharer " << n << " holds copy\n";
+          if (ls == LineState::Exclusive)
+            bad << "block " << b << ": Exclusive copy under Shared entry\n";
+        }
+        break;
+      case DirState::Exclusive:
+        for (NodeId n = 0; n < nodes_; ++n) {
+          const LineState ls = caches_->peek(n, b);
+          if (n == e.owner && ls != LineState::Exclusive)
+            bad << "block " << b << ": owner " << n << " lost exclusive copy\n";
+          if (n != e.owner && ls != LineState::Invalid)
+            bad << "block " << b << ": node " << n
+                << " holds copy under foreign Exclusive entry\n";
+        }
+        break;
+    }
+  }
+  return bad.str();
+}
+
+}  // namespace cico::proto

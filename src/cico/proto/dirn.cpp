@@ -1,0 +1,295 @@
+#include "cico/proto/dirn.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cico::proto {
+
+using mem::LineState;
+using net::MsgType;
+
+namespace {
+
+void add_sharer(DirEntry& e, NodeId n) {
+  auto it = std::lower_bound(e.sharers.begin(), e.sharers.end(), n);
+  if (it == e.sharers.end() || *it != n) {
+    e.sharers.insert(it, n);
+    e.count = static_cast<std::uint32_t>(e.sharers.size());
+  }
+}
+
+void add_past(DirEntry& e, NodeId n) {
+  auto it = std::lower_bound(e.past_sharers.begin(), e.past_sharers.end(), n);
+  if (it == e.past_sharers.end() || *it != n) e.past_sharers.insert(it, n);
+}
+
+void remove_sharer(DirEntry& e, NodeId n) {
+  auto it = std::lower_bound(e.sharers.begin(), e.sharers.end(), n);
+  if (it != e.sharers.end() && *it == n) {
+    e.sharers.erase(it);
+    e.count = static_cast<std::uint32_t>(e.sharers.size());
+    add_past(e, n);
+  }
+}
+
+}  // namespace
+
+DirNFullMap::DirNFullMap(std::uint32_t nodes, const CostModel& cost,
+                         net::Network& net, Stats& stats, CacheControl& caches)
+    : nodes_(nodes), cost_(cost), net_(&net), stats_(&stats), caches_(&caches) {}
+
+const DirEntry* DirNFullMap::entry(Block b) const {
+  auto it = dir_.find(b);
+  return it == dir_.end() ? nullptr : &it->second;
+}
+
+Cycle DirNFullMap::invalidate_sharers_hw(DirEntry& e, Block b, NodeId home,
+                                         NodeId keep, std::uint32_t* sent) {
+  // Parallel hardware invalidation: sends overlap, the directory pays a
+  // small serialization per message, and completion is gated on the
+  // slowest ack (one RTT in the uniform network).
+  std::uint32_t n = 0;
+  Cycle max_rtt = 0;
+  const std::vector<NodeId> targets = e.sharers;
+  for (NodeId s : targets) {
+    if (s == keep) continue;
+    net_->count(home, MsgType::Invalidate);
+    net_->count(s, MsgType::Ack);
+    caches_->invalidate(s, b);
+    remove_sharer(e, s);
+    max_rtt = std::max(max_rtt, net_->latency(home, s) + net_->latency(s, home));
+    ++n;
+    stats_->add(home, Stat::Invalidations);
+  }
+  if (sent != nullptr) *sent = n;
+  return n == 0 ? 0 : max_rtt + n * cost_.dir_hw;
+}
+
+ServiceResult DirNFullMap::get_shared(NodeId req, Block b, Cycle now,
+                                      bool prefetch) {
+  DirEntry& e = ent(b);
+  const NodeId home = home_of(b);
+  const MsgType req_msg = prefetch ? MsgType::PrefetchReq : MsgType::Request;
+  const MsgType rep_msg = prefetch ? MsgType::PrefetchReply : MsgType::DataReply;
+  ServiceResult r;
+
+  switch (e.state) {
+    case DirState::Idle:
+    case DirState::Shared: {
+      Cycle t = net_->send(req, home, req_msg, now);
+      t += cost_.dir_hw + cost_.mem_access;
+      t = net_->send(home, req, rep_msg, t);
+      e.state = DirState::Shared;
+      add_sharer(e, req);
+      if (e.owner == kInvalidNode) e.owner = req;
+      r.done_at = t;
+      return r;
+    }
+    case DirState::Exclusive: {
+      if (e.owner == req) {
+        r.done_at = now + cost_.hit;
+        return r;
+      }
+      // All-hardware 3-hop forwarding: home forwards the request to the
+      // owner, which downgrades and sends the data onward.  No trap.
+      Cycle t = net_->send(req, home, req_msg, now);
+      t += cost_.dir_hw;
+      t = net_->send(home, e.owner, MsgType::Recall, t);
+      caches_->downgrade(e.owner, b);
+      stats_->add(e.owner, Stat::Writebacks);
+      net_->count(e.owner, MsgType::Writeback);  // sharing writeback home
+      t = net_->send(e.owner, req, rep_msg, t);
+      e.state = DirState::Shared;
+      add_sharer(e, e.owner);
+      add_sharer(e, req);
+      r.done_at = t;
+      return r;
+    }
+  }
+  r.done_at = now;
+  return r;
+}
+
+ServiceResult DirNFullMap::get_exclusive(NodeId req, Block b, Cycle now,
+                                         bool prefetch) {
+  DirEntry& e = ent(b);
+  const NodeId home = home_of(b);
+  const MsgType req_msg = prefetch ? MsgType::PrefetchReq : MsgType::Request;
+  const MsgType rep_msg = prefetch ? MsgType::PrefetchReply : MsgType::DataReply;
+  ServiceResult r;
+
+  switch (e.state) {
+    case DirState::Idle: {
+      Cycle t = net_->send(req, home, req_msg, now);
+      t += cost_.dir_hw + cost_.mem_access;
+      t = net_->send(home, req, rep_msg, t);
+      e.state = DirState::Exclusive;
+      e.owner = req;
+      e.sharers.clear();
+      e.count = 0;
+      r.done_at = t;
+      return r;
+    }
+    case DirState::Shared: {
+      // Hardware invalidation of every other sharer, in parallel.
+      const bool req_had_copy =
+          std::binary_search(e.sharers.begin(), e.sharers.end(), req);
+      Cycle t = net_->send(req, home, req_msg, now);
+      t += cost_.dir_hw;
+      std::uint32_t sent = 0;
+      t += invalidate_sharers_hw(e, b, home, req, &sent);
+      r.invalidations = sent;
+      if (!req_had_copy) t += cost_.mem_access;
+      t = net_->send(home, req, req_had_copy ? MsgType::Ack : rep_msg, t);
+      e.state = DirState::Exclusive;
+      e.owner = req;
+      e.sharers.clear();
+      e.count = 0;
+      r.done_at = t;
+      return r;
+    }
+    case DirState::Exclusive: {
+      if (e.owner == req) {
+        r.done_at = now + cost_.hit;
+        return r;
+      }
+      // Hardware owner transfer (3-hop).
+      Cycle t = net_->send(req, home, req_msg, now);
+      t += cost_.dir_hw;
+      t = net_->send(home, e.owner, MsgType::Recall, t);
+      caches_->invalidate(e.owner, b);
+      add_past(e, e.owner);
+      stats_->add(e.owner, Stat::Writebacks);
+      net_->count(e.owner, MsgType::Writeback);
+      t = net_->send(e.owner, req, rep_msg, t);
+      r.invalidations = 1;
+      e.owner = req;
+      e.sharers.clear();
+      e.count = 0;
+      r.done_at = t;
+      return r;
+    }
+  }
+  r.done_at = now;
+  return r;
+}
+
+ServiceResult DirNFullMap::put(NodeId req, Block b, bool dirty, Cycle now,
+                               bool explicit_ci) {
+  DirEntry& e = ent(b);
+  const NodeId home = home_of(b);
+  const MsgType msg = explicit_ci ? MsgType::Directive : MsgType::Writeback;
+  ServiceResult r;
+  r.done_at = now + (explicit_ci ? cost_.directive_issue : 0);
+
+  switch (e.state) {
+    case DirState::Idle:
+      net_->count(req, msg);
+      net_->count(home, MsgType::Nack);
+      r.nacked = true;
+      return r;
+    case DirState::Shared: {
+      if (!std::binary_search(e.sharers.begin(), e.sharers.end(), req)) {
+        net_->count(req, msg);
+        net_->count(home, MsgType::Nack);
+        r.nacked = true;
+        return r;
+      }
+      net_->count(req, msg);
+      remove_sharer(e, req);
+      if (e.sharers.empty()) {
+        e.state = DirState::Idle;
+        e.owner = kInvalidNode;
+      } else {
+        e.owner = e.sharers.front();
+      }
+      return r;
+    }
+    case DirState::Exclusive: {
+      if (e.owner != req) {
+        net_->count(req, msg);
+        net_->count(home, MsgType::Nack);
+        r.nacked = true;
+        return r;
+      }
+      net_->count(req, dirty ? MsgType::Writeback : msg);
+      if (dirty) stats_->add(req, Stat::Writebacks);
+      add_past(e, req);
+      e.state = DirState::Idle;
+      e.owner = kInvalidNode;
+      e.sharers.clear();
+      e.count = 0;
+      return r;
+    }
+  }
+  return r;
+}
+
+ServiceResult DirNFullMap::post_store(NodeId req, Block b, Cycle now) {
+  DirEntry& e = ent(b);
+  const NodeId home = home_of(b);
+  ServiceResult r;
+  r.done_at = now + cost_.directive_issue;
+  if (e.state != DirState::Exclusive || e.owner != req) {
+    net_->count(req, MsgType::Directive);
+    net_->count(home, MsgType::Nack);
+    r.nacked = true;
+    return r;
+  }
+  net_->count(req, MsgType::Writeback);
+  stats_->add(req, Stat::Writebacks);
+  caches_->downgrade(req, b);
+  e.state = DirState::Shared;
+  e.sharers.clear();
+  add_sharer(e, req);
+  const std::vector<NodeId> targets = e.past_sharers;
+  for (NodeId n : targets) {
+    if (n == req) continue;
+    net_->count(home, MsgType::DataReply);
+    caches_->push_shared(n, b);
+    add_sharer(e, n);
+  }
+  e.owner = req;
+  return r;
+}
+
+std::string DirNFullMap::check_invariants() const {
+  std::ostringstream bad;
+  for (const auto& [b, e] : dir_) {
+    switch (e.state) {
+      case DirState::Idle:
+        for (NodeId n = 0; n < nodes_; ++n) {
+          if (caches_->peek(n, b) != LineState::Invalid) {
+            bad << "block " << b << ": Idle but cached at node " << n << "\n";
+          }
+        }
+        break;
+      case DirState::Shared:
+        for (NodeId n = 0; n < nodes_; ++n) {
+          const bool should = e.has_sharer(n);
+          const LineState ls = caches_->peek(n, b);
+          if (should && ls != LineState::Shared) {
+            bad << "block " << b << ": sharer " << n << " lost copy\n";
+          }
+          if (!should && ls != LineState::Invalid) {
+            bad << "block " << b << ": stray copy at node " << n << "\n";
+          }
+        }
+        break;
+      case DirState::Exclusive:
+        for (NodeId n = 0; n < nodes_; ++n) {
+          const LineState ls = caches_->peek(n, b);
+          if (n == e.owner && ls != LineState::Exclusive) {
+            bad << "block " << b << ": owner " << n << " not exclusive\n";
+          }
+          if (n != e.owner && ls != LineState::Invalid) {
+            bad << "block " << b << ": stray copy under exclusive\n";
+          }
+        }
+        break;
+    }
+  }
+  return bad.str();
+}
+
+}  // namespace cico::proto

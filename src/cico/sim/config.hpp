@@ -1,0 +1,35 @@
+// Top-level simulator configuration.  Paper defaults (section 6): 32
+// nodes, 256 KB 4-way caches with 32-byte blocks, Dir1SW protocol.
+#pragma once
+
+#include "cico/common/cost.hpp"
+#include "cico/common/types.hpp"
+#include "cico/mem/geometry.hpp"
+
+namespace cico::sim {
+
+enum class ProtocolKind : std::uint8_t {
+  Dir1SW,      ///< the paper's protocol: HW pointer+counter, software traps
+  DirNFullMap, ///< all-hardware full-map baseline (DASH/Alewife style)
+};
+
+struct SimConfig {
+  std::uint32_t nodes = 32;
+  ProtocolKind protocol = ProtocolKind::Dir1SW;
+  mem::CacheGeometry cache{};
+  CostModel cost{};
+
+  /// Conservative-window quantum (cycles).  WWT synchronised targets every
+  /// network-latency quantum; we default to the two-hop miss latency.
+  Cycle quantum = 120;
+
+  /// Trace mode: record every miss and flush all shared-data caches at
+  /// each barrier (section 3.3 -- improves trace quality since only misses
+  /// appear in the trace).  Leave off for measurement runs.
+  bool trace_mode = false;
+
+  /// Base address of the simulated shared heap.
+  Addr heap_base = 0x1000;
+};
+
+}  // namespace cico::sim

@@ -1,0 +1,746 @@
+#include "cico/sim/machine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace cico::sim {
+
+using mem::LineState;
+
+// ---------------------------------------------------------------------------
+// CacheCtl: the software protocol handler's window into remote caches.
+// Only invoked during the boundary phase, when every node thread is parked.
+// ---------------------------------------------------------------------------
+
+LineState Machine::CacheCtl::peek(NodeId n, Block b) const {
+  return m_->ctxs_[n]->cache.state_of(b);
+}
+
+void Machine::CacheCtl::invalidate(NodeId n, Block b) {
+  m_->ctxs_[n]->cache.erase(b);
+  m_->ctxs_[n]->prefetch_ready.erase(b);
+}
+
+void Machine::CacheCtl::downgrade(NodeId n, Block b) {
+  m_->ctxs_[n]->cache.set_state(b, LineState::Shared);
+}
+
+void Machine::CacheCtl::push_shared(NodeId n, Block b) {
+  auto victim = m_->ctxs_[n]->cache.insert(b, LineState::Shared);
+  if (victim.has_value()) {
+    // The directory is mid-transaction; queue the victim's put.
+    m_->stats_.add(n, Stat::Evictions);
+    m_->ctxs_[n]->prefetch_ready.erase(victim->block);
+    m_->pending_push_evicts_.emplace_back(n, *victim);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+Machine::Machine(SimConfig cfg)
+    : cfg_(cfg),
+      stats_(cfg.nodes),
+      net_(cfg.cost, stats_),
+      cachectl_(this),
+      heap_(cfg.heap_base, cfg.cache.block_bytes) {
+  if (cfg_.protocol == ProtocolKind::DirNFullMap) {
+    dir_ = std::make_unique<proto::DirNFullMap>(cfg.nodes, cfg.cost, net_,
+                                                stats_, cachectl_);
+  } else {
+    dir_ = std::make_unique<proto::Dir1SW>(cfg.nodes, cfg.cost, net_, stats_,
+                                           cachectl_);
+  }
+  if (cfg_.nodes == 0) throw std::invalid_argument("Machine: nodes == 0");
+  ctxs_.reserve(cfg_.nodes);
+  for (std::uint32_t i = 0; i < cfg_.nodes; ++i) {
+    ctxs_.push_back(std::make_unique<NodeCtx>(cfg_.cache));
+  }
+}
+
+Machine::~Machine() {
+  for (auto& c : ctxs_) {
+    if (c->thread.joinable()) c->thread.join();
+  }
+}
+
+const mem::Cache& Machine::cache_of(NodeId n) const { return ctxs_[n]->cache; }
+
+// ---------------------------------------------------------------------------
+// run()
+// ---------------------------------------------------------------------------
+
+void Machine::run(const std::function<void(Proc&)>& body) {
+  if (ran_) throw std::logic_error("Machine::run may be called once");
+  ran_ = true;
+
+  // Epoch 0 begins at time zero: apply its planned start directives before
+  // any node executes (single-threaded, so directory access is safe).
+  for (NodeId n = 0; n < cfg_.nodes; ++n) apply_epoch_start(n, 0);
+
+  window_end_ = cfg_.quantum;
+  active_ = cfg_.nodes;
+
+  for (NodeId n = 0; n < cfg_.nodes; ++n) {
+    ctxs_[n]->thread = std::thread([this, &body, n] {
+      Proc p(this, n);
+      try {
+        body(p);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      std::unique_lock<std::mutex> lk(mu_);
+      ctxs_[n]->wait = NodeCtx::Wait::Done;
+      if (--active_ == 0 && !aborted_) boundary();
+    });
+  }
+
+  for (auto& c : ctxs_) c->thread.join();
+
+  final_time_ = 0;
+  for (auto& c : ctxs_) final_time_ = std::max(final_time_, c->now);
+
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+// ---------------------------------------------------------------------------
+// Node-thread side (fast path -- no locking except in park())
+// ---------------------------------------------------------------------------
+
+void Machine::maybe_window_park(NodeCtx& c) {
+  if (c.now >= window_end_) park(c, NodeCtx::Wait::Ready);
+}
+
+void Machine::park(NodeCtx& c, NodeCtx::Wait w) {
+  std::unique_lock<std::mutex> lk(mu_);
+  c.wait = w;
+  if (--active_ == 0 && !aborted_) boundary();
+  cv_.wait(lk, [&] { return c.resumable || aborted_; });
+  if (aborted_) {
+    ++active_;
+    throw SimDeadlock(abort_msg_);
+  }
+  // active_ was already re-credited by the boundary when it marked this
+  // node resumable; counting at mark time (not wake time) ensures the next
+  // boundary cannot run until every resumed node has executed its window.
+  c.resumable = false;
+  c.wait = NodeCtx::Wait::Running;
+}
+
+void Machine::compute(NodeId n, Cycle cycles) {
+  NodeCtx& c = *ctxs_[n];
+  stats_.add(n, Stat::ComputeCycles, cycles);
+  c.now += cycles;
+  maybe_window_park(c);
+}
+
+void Machine::consume_prefetch(NodeCtx& c, NodeId n, Block b) {
+  auto it = c.prefetch_ready.find(b);
+  if (it == c.prefetch_ready.end()) return;
+  if (it->second > c.now) {
+    stats_.add(n, Stat::PrefetchLate);
+    stats_.add(n, Stat::StallCycles, it->second - c.now);
+    c.now = it->second;
+  } else {
+    stats_.add(n, Stat::PrefetchUseful);
+  }
+  c.prefetch_ready.erase(it);
+}
+
+void Machine::after_access(NodeCtx& c, NodeId n, Block b, bool write) {
+  // DRFS blocks are checked in immediately after their use (section 4.1:
+  // "a processor should check it out and check it back in immediately"
+  // because another processor will claim the block soon).  For blocks this
+  // node WRITES, "after the use" means after the write of the
+  // read-modify-write (the section 4.4 listing); for read-only raced
+  // blocks, after any access.
+  if (plan_ == nullptr) return;
+  const NodeEpochDirectives* ned = plan_->find(n, c.epoch);
+  if (ned == nullptr) return;
+  const bool fire = ned->checkin_after_access.contains(b) ||
+                    (write && ned->checkin_after_write.contains(b));
+  if (!fire) return;
+  const LineState st = c.cache.state_of(b);
+  if (st == LineState::Invalid) return;
+  stats_.add(n, Stat::CheckIns);
+  stats_.add(n, Stat::DirectiveCycles, cfg_.cost.directive_issue);
+  c.now += cfg_.cost.directive_issue;
+  c.cache.erase(b);
+  c.prefetch_ready.erase(b);
+  AsyncOp op;
+  op.time = c.now;
+  op.seq = c.async_seq++;
+  op.kind = AsyncOp::Kind::Put;
+  op.block = b;
+  op.dirty = st == LineState::Exclusive;
+  op.explicit_ci = true;
+  c.async.push_back(op);
+}
+
+void Machine::access(NodeId n, Addr a, std::uint32_t size, bool write, PcId pc) {
+  NodeCtx& c = *ctxs_[n];
+  stats_.add(n, write ? Stat::SharedStores : Stat::SharedLoads);
+  const Block b = cfg_.cache.block_of(a);
+  const LineState ls = c.cache.state_of(b);
+  const bool hit = ls == LineState::Exclusive || (!write && ls == LineState::Shared);
+  if (hit) {
+    consume_prefetch(c, n, b);
+    c.cache.touch(b);
+    c.now += cfg_.cost.hit;
+    after_access(c, n, b, write);
+    maybe_window_park(c);
+    return;
+  }
+  c.op_addr = a;
+  c.op_bytes = size;
+  c.op_size = size;
+  c.op_pc = pc;
+  c.op_write = write;
+  c.op_time = c.now;
+  park(c, NodeCtx::Wait::Mem);
+  after_access(c, n, b, write);
+  maybe_window_park(c);
+}
+
+void Machine::do_barrier(NodeId n, PcId pc) {
+  NodeCtx& c = *ctxs_[n];
+  c.barrier_pc = pc;
+  park(c, NodeCtx::Wait::Barrier);
+}
+
+void Machine::do_lock(NodeId n, Addr a) {
+  NodeCtx& c = *ctxs_[n];
+  c.op_addr = a;
+  c.op_time = c.now;
+  park(c, NodeCtx::Wait::Lock);
+}
+
+void Machine::do_unlock(NodeId n, Addr a) {
+  NodeCtx& c = *ctxs_[n];
+  AsyncOp op;
+  op.time = c.now;
+  op.seq = c.async_seq++;
+  op.kind = AsyncOp::Kind::Unlock;
+  op.lock_addr = a;
+  c.async.push_back(op);
+  c.now += cfg_.cost.directive_issue;
+  maybe_window_park(c);
+}
+
+void Machine::directive_range(NodeId n, DirectiveKind kind, Addr a,
+                              std::uint64_t bytes) {
+  NodeCtx& c = *ctxs_[n];
+  c.op_addr = a;
+  c.op_bytes = bytes;
+  c.op_dir = kind;
+  c.op_time = c.now;
+  park(c, NodeCtx::Wait::Directive);
+}
+
+void Machine::checkin_inline(NodeCtx& c, NodeId n, Addr a, std::uint64_t bytes) {
+  const Block first = cfg_.cache.first_block(a);
+  const Block last = cfg_.cache.last_block(a, bytes);
+  for (Block b = first; b <= last; ++b) {
+    const LineState st = c.cache.state_of(b);
+    if (st == LineState::Invalid) continue;
+    stats_.add(n, Stat::CheckIns);
+    stats_.add(n, Stat::DirectiveCycles, cfg_.cost.directive_issue);
+    c.now += cfg_.cost.directive_issue;
+    c.cache.erase(b);
+    c.prefetch_ready.erase(b);
+    AsyncOp op;
+    op.time = c.now;
+    op.seq = c.async_seq++;
+    op.kind = AsyncOp::Kind::Put;
+    op.block = b;
+    op.dirty = st == LineState::Exclusive;
+    op.explicit_ci = true;
+    c.async.push_back(op);
+  }
+  maybe_window_park(c);
+}
+
+void Machine::poststore_inline(NodeCtx& c, NodeId n, Addr a,
+                               std::uint64_t bytes) {
+  const Block first = cfg_.cache.first_block(a);
+  const Block last = cfg_.cache.last_block(a, bytes);
+  for (Block b = first; b <= last; ++b) {
+    if (c.cache.state_of(b) != LineState::Exclusive) continue;
+    stats_.add(n, Stat::PostStores);
+    stats_.add(n, Stat::DirectiveCycles, cfg_.cost.directive_issue);
+    c.now += cfg_.cost.directive_issue;
+    // The writer keeps a Shared copy; the downgrade happens when the
+    // directory processes the post-store at the boundary.
+    AsyncOp op;
+    op.time = c.now;
+    op.seq = c.async_seq++;
+    op.kind = AsyncOp::Kind::PostStore;
+    op.block = b;
+    c.async.push_back(op);
+  }
+  maybe_window_park(c);
+}
+
+void Machine::prefetch_inline(NodeCtx& c, NodeId n, bool exclusive, Addr a,
+                              std::uint64_t bytes) {
+  const Block first = cfg_.cache.first_block(a);
+  const Block last = cfg_.cache.last_block(a, bytes);
+  for (Block b = first; b <= last; ++b) {
+    stats_.add(n, Stat::PrefetchIssued);
+    c.now += cfg_.cost.prefetch_issue;
+    AsyncOp op;
+    op.time = c.now;
+    op.seq = c.async_seq++;
+    op.kind = AsyncOp::Kind::Prefetch;
+    op.block = b;
+    op.exclusive = exclusive;
+    c.async.push_back(op);
+  }
+  maybe_window_park(c);
+}
+
+// ---------------------------------------------------------------------------
+// Boundary phase.  mu_ is held; every node thread is parked, so caches and
+// the directory may be manipulated freely.  All operations are serviced in
+// (virtual time, node, issue order) -- fully deterministic.
+// ---------------------------------------------------------------------------
+
+void Machine::boundary() {
+  process_ops();
+  try_complete_barrier();
+
+  std::uint32_t done = 0;
+  for (auto& c : ctxs_) {
+    if (c->wait == NodeCtx::Wait::Done) ++done;
+  }
+  if (done == cfg_.nodes) {
+    cv_.notify_all();
+    return;
+  }
+
+  bool any_ready = false;
+  Cycle min_now = kNever;
+  for (auto& c : ctxs_) {
+    if (c->wait == NodeCtx::Wait::Ready) {
+      any_ready = true;
+      min_now = std::min(min_now, c->now);
+    }
+  }
+  if (!any_ready) {
+    std::ostringstream os;
+    os << "simulated program deadlocked: ";
+    for (NodeId n = 0; n < cfg_.nodes; ++n) {
+      const char* w = "?";
+      switch (ctxs_[n]->wait) {
+        case NodeCtx::Wait::Running: w = "running"; break;
+        case NodeCtx::Wait::Ready: w = "ready"; break;
+        case NodeCtx::Wait::Mem: w = "mem"; break;
+        case NodeCtx::Wait::Directive: w = "directive"; break;
+        case NodeCtx::Wait::Lock: w = "lock"; break;
+        case NodeCtx::Wait::Barrier: w = "barrier"; break;
+        case NodeCtx::Wait::Done: w = "done"; break;
+      }
+      os << 'n' << n << '=' << w << ' ';
+    }
+    aborted_ = true;
+    abort_msg_ = os.str();
+    cv_.notify_all();
+    return;
+  }
+
+  window_end_ = min_now + cfg_.quantum;
+  for (auto& c : ctxs_) {
+    if (c->wait == NodeCtx::Wait::Ready && c->now < window_end_ &&
+        !c->resumable) {
+      c->resumable = true;
+      ++active_;  // credited here so a fast waker cannot re-trigger the
+                  // boundary before this node has run (determinism)
+    }
+  }
+  cv_.notify_all();
+}
+
+void Machine::process_ops() {
+  struct Item {
+    Cycle time;
+    NodeId node;
+    std::uint32_t seq;
+    int async_idx;  // -1 => the node's blocking op
+  };
+  std::vector<Item> items;
+  for (NodeId n = 0; n < cfg_.nodes; ++n) {
+    NodeCtx& c = *ctxs_[n];
+    for (std::size_t i = 0; i < c.async.size(); ++i) {
+      items.push_back(Item{c.async[i].time, n, c.async[i].seq,
+                           static_cast<int>(i)});
+    }
+    const bool blocking = c.wait == NodeCtx::Wait::Mem ||
+                          c.wait == NodeCtx::Wait::Directive ||
+                          (c.wait == NodeCtx::Wait::Lock && !c.lock_queued);
+    if (blocking) items.push_back(Item{c.op_time, n, c.async_seq, -1});
+  }
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.node != b.node) return a.node < b.node;
+    return a.seq < b.seq;
+  });
+
+  for (const Item& it : items) {
+    NodeCtx& c = *ctxs_[it.node];
+    if (it.async_idx >= 0) {
+      const AsyncOp& op = c.async[static_cast<std::size_t>(it.async_idx)];
+      switch (op.kind) {
+        case AsyncOp::Kind::Put:
+          dir_->put(it.node, op.block, op.dirty, op.time, op.explicit_ci);
+          break;
+        case AsyncOp::Kind::Prefetch:
+          service_prefetch(c, it.node, op.block, op.exclusive, op.time);
+          break;
+        case AsyncOp::Kind::Unlock:
+          release_lock(op.lock_addr, it.node, op.time);
+          break;
+        case AsyncOp::Kind::PostStore:
+          dir_->post_store(it.node, op.block, op.time);
+          break;
+      }
+      for (auto& [vn, victim] : pending_push_evicts_) {
+        dir_->put(vn, victim.block, victim.state == LineState::Exclusive,
+                 it.time, false);
+      }
+      pending_push_evicts_.clear();
+    } else {
+      switch (c.wait) {
+        case NodeCtx::Wait::Mem:
+          service_mem(c, it.node);
+          break;
+        case NodeCtx::Wait::Directive:
+          service_checkout_range(c, it.node);
+          break;
+        case NodeCtx::Wait::Lock:
+          grant_or_queue_lock(c, it.node);
+          break;
+        default:
+          break;  // already handled (e.g. lock granted by an earlier unlock)
+      }
+    }
+  }
+  for (auto& c : ctxs_) {
+    c->async.clear();
+    c->async_seq = 0;
+  }
+}
+
+void Machine::record_trace_miss(NodeCtx& c, NodeId n, trace::MissKind kind) {
+  tracer_->record_miss(n, kind, c.op_addr, c.op_size, c.op_pc, c.epoch);
+}
+
+void Machine::insert_line(NodeCtx& c, NodeId n, Block b, LineState s, Cycle t) {
+  auto victim = c.cache.insert(b, s);
+  if (victim.has_value()) {
+    stats_.add(n, Stat::Evictions);
+    c.prefetch_ready.erase(victim->block);
+    dir_->put(n, victim->block, victim->state == LineState::Exclusive, t, false);
+  }
+}
+
+void Machine::service_mem(NodeCtx& c, NodeId n) {
+  const Block b = cfg_.cache.block_of(c.op_addr);
+  Cycle t = c.op_time;
+
+  // An in-flight prefetch of this block completes first.
+  auto pit = c.prefetch_ready.find(b);
+  if (pit != c.prefetch_ready.end()) {
+    if (pit->second > t) {
+      stats_.add(n, Stat::PrefetchLate);
+      stats_.add(n, Stat::StallCycles, pit->second - t);
+      t = pit->second;
+    } else {
+      stats_.add(n, Stat::PrefetchUseful);
+    }
+    c.prefetch_ready.erase(pit);
+  }
+
+  // Another boundary action (prefetch fill, earlier directive) may have
+  // satisfied the access already.
+  const LineState ls = c.cache.state_of(b);
+  const bool write = c.op_write;
+  if ((ls == LineState::Exclusive) || (!write && ls != LineState::Invalid)) {
+    c.cache.touch(b);
+    c.now = t + cfg_.cost.hit;
+    c.wait = NodeCtx::Wait::Ready;
+    return;
+  }
+
+  proto::ServiceResult res;
+  trace::MissKind kind;
+  if (write) {
+    if (ls == LineState::Shared) {
+      kind = trace::MissKind::WriteFault;
+      stats_.add(n, Stat::WriteFaults);
+    } else {
+      kind = trace::MissKind::WriteMiss;
+      stats_.add(n, Stat::WriteMisses);
+    }
+    res = dir_->get_exclusive(n, b, t, false);
+    insert_line(c, n, b, LineState::Exclusive, res.done_at);
+  } else {
+    kind = trace::MissKind::ReadMiss;
+    stats_.add(n, Stat::ReadMisses);
+    const NodeEpochDirectives* ned =
+        plan_ != nullptr ? plan_->find(n, c.epoch) : nullptr;
+    if (ned != nullptr && ned->fetch_exclusive.contains(b)) {
+      // Performance-CICO check_out_X placed immediately before the first
+      // read of a read-then-written block (section 4.1): fetch the block
+      // exclusive in one transaction instead of GetS + later upgrade.
+      stats_.add(n, Stat::CheckOutX);
+      stats_.add(n, Stat::DirectiveCycles, cfg_.cost.directive_issue);
+      t += cfg_.cost.directive_issue;
+      res = dir_->get_exclusive(n, b, t, false);
+      insert_line(c, n, b, LineState::Exclusive, res.done_at);
+    } else {
+      res = dir_->get_shared(n, b, t, false);
+      insert_line(c, n, b, LineState::Shared, res.done_at);
+    }
+  }
+  stats_.add(n, Stat::StallCycles, res.done_at - c.op_time);
+  c.now = res.done_at;
+  if (tracer_ != nullptr) record_trace_miss(c, n, kind);
+  c.wait = NodeCtx::Wait::Ready;
+}
+
+Cycle Machine::do_checkout(NodeCtx& c, NodeId n, DirectiveKind kind,
+                           BlockRun run, Cycle t) {
+  const bool excl = kind == DirectiveKind::CheckOutX;
+  for (Block b = run.first; b <= run.last; ++b) {
+    stats_.add(n, excl ? Stat::CheckOutX : Stat::CheckOutS);
+    t += cfg_.cost.directive_issue;
+    const LineState ls = c.cache.state_of(b);
+    if (ls == LineState::Exclusive || (!excl && ls != LineState::Invalid)) {
+      c.cache.touch(b);
+      continue;
+    }
+    const proto::ServiceResult res =
+        excl ? dir_->get_exclusive(n, b, t, false)
+             : dir_->get_shared(n, b, t, false);
+    insert_line(c, n, b, excl ? LineState::Exclusive : LineState::Shared,
+                res.done_at);
+    t = res.done_at;
+  }
+  return t;
+}
+
+void Machine::service_checkout_range(NodeCtx& c, NodeId n) {
+  const BlockRun run{cfg_.cache.first_block(c.op_addr),
+                     cfg_.cache.last_block(c.op_addr, c.op_bytes)};
+  const Cycle t0 = c.op_time;
+  const Cycle t = do_checkout(c, n, c.op_dir, run, t0);
+  stats_.add(n, Stat::DirectiveCycles, t - t0);
+  c.now = t;
+  c.wait = NodeCtx::Wait::Ready;
+}
+
+void Machine::service_prefetch(NodeCtx& c, NodeId n, Block b, bool exclusive,
+                               Cycle t) {
+  const LineState ls = c.cache.state_of(b);
+  if (ls == LineState::Exclusive || (!exclusive && ls != LineState::Invalid)) {
+    return;  // already cached in a sufficient state
+  }
+  if (c.prefetch_ready.contains(b)) return;  // already in flight
+  const proto::ServiceResult res = exclusive
+                                       ? dir_->get_exclusive(n, b, t, true)
+                                       : dir_->get_shared(n, b, t, true);
+  if (res.nacked) {
+    stats_.add(n, Stat::PrefetchDropped);
+    return;
+  }
+  // Prefetched data streams in bandwidth-limited: completions at one node
+  // are spaced at least prefetch_min_gap apart.
+  Cycle done = res.done_at;
+  if (c.prefetch_last_done + cfg_.cost.prefetch_min_gap > done) {
+    done = c.prefetch_last_done + cfg_.cost.prefetch_min_gap;
+  }
+  c.prefetch_last_done = done;
+  insert_line(c, n, b, exclusive ? LineState::Exclusive : LineState::Shared, t);
+  c.prefetch_ready[b] = done;
+}
+
+void Machine::grant_or_queue_lock(NodeCtx& c, NodeId n) {
+  LockState& L = locks_[c.op_addr];
+  if (!L.held) {
+    L.held = true;
+    L.holder = n;
+    stats_.add(n, Stat::LockAcquires);
+    c.now = c.op_time + cfg_.cost.lock;
+    c.wait = NodeCtx::Wait::Ready;
+    c.lock_queued = false;
+  } else {
+    stats_.add(n, Stat::LockContended);
+    L.queue.push_back(LockState::Waiter{c.op_time, n});
+    c.lock_queued = true;
+  }
+}
+
+void Machine::release_lock(Addr a, NodeId /*n*/, Cycle t) {
+  LockState& L = locks_[a];
+  L.held = false;
+  L.holder = kInvalidNode;
+  if (L.queue.empty()) return;
+  auto it = std::min_element(L.queue.begin(), L.queue.end(),
+                             [](const LockState::Waiter& x,
+                                const LockState::Waiter& y) {
+                               if (x.time != y.time) return x.time < y.time;
+                               return x.node < y.node;
+                             });
+  const LockState::Waiter w = *it;
+  L.queue.erase(it);
+  NodeCtx& wc = *ctxs_[w.node];
+  L.held = true;
+  L.holder = w.node;
+  stats_.add(w.node, Stat::LockAcquires);
+  wc.now = std::max(t, w.time) + cfg_.cost.lock;
+  wc.wait = NodeCtx::Wait::Ready;
+  wc.lock_queued = false;
+}
+
+bool Machine::try_complete_barrier() {
+  std::vector<NodeId> at_barrier;
+  std::uint32_t done = 0;
+  for (NodeId n = 0; n < cfg_.nodes; ++n) {
+    if (ctxs_[n]->wait == NodeCtx::Wait::Barrier) at_barrier.push_back(n);
+    else if (ctxs_[n]->wait == NodeCtx::Wait::Done) ++done;
+  }
+  if (at_barrier.empty() ||
+      at_barrier.size() + done != cfg_.nodes) {
+    return false;
+  }
+
+  // 1. Planned end-of-epoch check-ins.
+  for (NodeId n : at_barrier) apply_epoch_end(n, ctxs_[n]->epoch);
+
+  // 2. Trace collection: barrier records, then the barrier cache flush of
+  //    section 3.3 (only accesses that miss appear in the trace, so caches
+  //    are emptied at every epoch boundary to expose reuse).
+  if (tracer_ != nullptr) {
+    for (NodeId n : at_barrier) {
+      NodeCtx& c = *ctxs_[n];
+      tracer_->record_barrier(n, c.barrier_pc, c.now, c.epoch);
+      if (cfg_.trace_mode) {
+        c.prefetch_ready.clear();
+        c.cache.flush([&](Block b, LineState st) {
+          dir_->put(n, b, st == LineState::Exclusive, c.now, false);
+        });
+      }
+    }
+    tracer_->end_epoch();
+  }
+
+  // 3. Synchronize virtual times.
+  Cycle t = 0;
+  for (NodeId n : at_barrier) t = std::max(t, ctxs_[n]->now);
+  t += cfg_.cost.barrier;
+  ++global_epoch_;
+  for (NodeId n : at_barrier) {
+    NodeCtx& c = *ctxs_[n];
+    c.now = t;
+    c.epoch = global_epoch_;
+    stats_.add(n, Stat::Barriers);
+    c.wait = NodeCtx::Wait::Ready;
+  }
+
+  // 4. Planned start-of-epoch check-outs / prefetches.
+  for (NodeId n : at_barrier) apply_epoch_start(n, global_epoch_);
+  return true;
+}
+
+void Machine::apply_epoch_start(NodeId n, EpochId e) {
+  if (plan_ == nullptr) return;
+  const NodeEpochDirectives* ned = plan_->find(n, e);
+  if (ned == nullptr) return;
+  NodeCtx& c = *ctxs_[n];
+  for (const PlannedDirective& pd : ned->at_start) {
+    switch (pd.kind) {
+      case DirectiveKind::CheckOutX:
+      case DirectiveKind::CheckOutS: {
+        const Cycle t0 = c.now;
+        c.now = do_checkout(c, n, pd.kind, pd.run, c.now);
+        stats_.add(n, Stat::DirectiveCycles, c.now - t0);
+        break;
+      }
+      case DirectiveKind::PrefetchX:
+      case DirectiveKind::PrefetchS: {
+        const bool excl = pd.kind == DirectiveKind::PrefetchX;
+        for (Block b = pd.run.first; b <= pd.run.last; ++b) {
+          stats_.add(n, Stat::PrefetchIssued);
+          c.now += cfg_.cost.prefetch_issue;
+          service_prefetch(c, n, b, excl, c.now);
+        }
+        break;
+      }
+      case DirectiveKind::CheckIn:
+        break;  // check-ins never appear in at_start
+    }
+  }
+}
+
+void Machine::apply_epoch_end(NodeId n, EpochId e) {
+  if (plan_ == nullptr) return;
+  const NodeEpochDirectives* ned = plan_->find(n, e);
+  if (ned == nullptr) return;
+  NodeCtx& c = *ctxs_[n];
+  for (const PlannedDirective& pd : ned->at_end) {
+    if (pd.kind != DirectiveKind::CheckIn) continue;
+    for (Block b = pd.run.first; b <= pd.run.last; ++b) {
+      const LineState st = c.cache.state_of(b);
+      if (st == LineState::Invalid) continue;
+      stats_.add(n, Stat::CheckIns);
+      stats_.add(n, Stat::DirectiveCycles, cfg_.cost.directive_issue);
+      c.now += cfg_.cost.directive_issue;
+      c.cache.erase(b);
+      c.prefetch_ready.erase(b);
+      dir_->put(n, b, st == LineState::Exclusive, c.now, true);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Proc forwarding
+// ---------------------------------------------------------------------------
+
+std::uint32_t Proc::nprocs() const { return m_->cfg_.nodes; }
+Cycle Proc::now() const { return m_->ctxs_[node_]->now; }
+EpochId Proc::epoch() const { return m_->ctxs_[node_]->epoch; }
+
+void Proc::compute(Cycle cycles) { m_->compute(node_, cycles); }
+void Proc::ld(Addr a, std::uint32_t size, PcId pc) {
+  m_->access(node_, a, size, /*write=*/false, pc);
+}
+void Proc::st(Addr a, std::uint32_t size, PcId pc) {
+  m_->access(node_, a, size, /*write=*/true, pc);
+}
+void Proc::barrier(PcId pc) { m_->do_barrier(node_, pc); }
+void Proc::lock(Addr a) { m_->do_lock(node_, a); }
+void Proc::unlock(Addr a) { m_->do_unlock(node_, a); }
+
+void Proc::check_out_x(Addr a, std::uint64_t bytes) {
+  m_->directive_range(node_, DirectiveKind::CheckOutX, a, bytes);
+}
+void Proc::check_out_s(Addr a, std::uint64_t bytes) {
+  m_->directive_range(node_, DirectiveKind::CheckOutS, a, bytes);
+}
+void Proc::check_in(Addr a, std::uint64_t bytes) {
+  m_->checkin_inline(*m_->ctxs_[node_], node_, a, bytes);
+}
+void Proc::post_store(Addr a, std::uint64_t bytes) {
+  m_->poststore_inline(*m_->ctxs_[node_], node_, a, bytes);
+}
+void Proc::prefetch_x(Addr a, std::uint64_t bytes) {
+  m_->prefetch_inline(*m_->ctxs_[node_], node_, /*exclusive=*/true, a, bytes);
+}
+void Proc::prefetch_s(Addr a, std::uint64_t bytes) {
+  m_->prefetch_inline(*m_->ctxs_[node_], node_, /*exclusive=*/false, a, bytes);
+}
+
+}  // namespace cico::sim

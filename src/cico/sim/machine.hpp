@@ -1,0 +1,267 @@
+// Execution-driven multiprocessor simulator (the WWT substitute).
+//
+// Each simulated node's program runs on its own host thread and keeps a
+// local virtual clock.  Threads execute freely inside a conservative
+// window of `quantum` cycles: shared-data cache HITS are charged inline
+// with no synchronization; MISSES, explicit directives, barriers and locks
+// park the thread.  When every thread is parked, the last arrival runs the
+// *boundary phase*: all pending operations are serviced through the Dir1SW
+// directory in (virtual time, node) order, making every reported metric
+// deterministic regardless of host scheduling.  This is the same
+// quantum-based conservative synchronization WWT used on the CM-5.
+//
+// The engine also implements the measurement hooks the paper needs:
+//   * trace mode -- records every miss and flushes all shared-data caches
+//     at each barrier (section 3.3), producing the Fig. 3 trace;
+//   * directive plans -- Cachier's output for compiled programs, applied
+//     automatically at epoch boundaries and access sites (see plan.hpp);
+//   * explicit CICO directives -- for hand-annotated programs and for the
+//     MiniPar interpreter.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cico/common/pc_registry.hpp"
+#include "cico/common/stats.hpp"
+#include "cico/common/types.hpp"
+#include "cico/mem/cache.hpp"
+#include "cico/net/network.hpp"
+#include "cico/proto/dir1sw.hpp"
+#include "cico/proto/dirn.hpp"
+#include "cico/sim/config.hpp"
+#include "cico/sim/plan.hpp"
+#include "cico/sim/shared_heap.hpp"
+#include "cico/trace/trace.hpp"
+
+namespace cico::sim {
+
+class Machine;
+
+/// Per-node runtime handle: everything a simulated program may do.
+/// A Proc is only valid inside the body function passed to Machine::run.
+class Proc {
+ public:
+  [[nodiscard]] NodeId id() const { return node_; }
+  [[nodiscard]] std::uint32_t nprocs() const;
+  [[nodiscard]] Cycle now() const;
+  [[nodiscard]] EpochId epoch() const;
+
+  /// Charge local (non-shared) computation.
+  void compute(Cycle cycles);
+
+  /// Shared-data load / store of `size` bytes at word address `a`.
+  void ld(Addr a, std::uint32_t size, PcId pc);
+  void st(Addr a, std::uint32_t size, PcId pc);
+
+  /// Global barrier (ends the current epoch).
+  void barrier(PcId pc = kNoPc);
+
+  /// Spin lock keyed by shared address (the paper's `lock C[i,j]`, s.5).
+  void lock(Addr a);
+  void unlock(Addr a);
+
+  // --- CICO directives (section 2.1) -------------------------------------
+  void check_out_x(Addr a, std::uint64_t bytes);
+  void check_out_s(Addr a, std::uint64_t bytes);
+  void check_in(Addr a, std::uint64_t bytes);
+  void prefetch_x(Addr a, std::uint64_t bytes);
+  void prefetch_s(Addr a, std::uint64_t bytes);
+  /// EXTENSION (KSR-1 style, paper section 1): write back + push Shared
+  /// copies of exclusively-held blocks to their previous holders.
+  void post_store(Addr a, std::uint64_t bytes);
+
+ private:
+  friend class Machine;
+  Proc(Machine* m, NodeId n) : m_(m), node_(n) {}
+  Machine* m_;
+  NodeId node_;
+};
+
+/// Thrown when the simulated program deadlocks (mismatched barriers,
+/// lock cycles).
+class SimDeadlock : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Machine {
+ public:
+  explicit Machine(SimConfig cfg);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  [[nodiscard]] const SimConfig& config() const { return cfg_; }
+  [[nodiscard]] SharedHeap& heap() { return heap_; }
+  [[nodiscard]] const SharedHeap& heap() const { return heap_; }
+  [[nodiscard]] PcRegistry& pcs() { return pcs_; }
+  [[nodiscard]] Stats& stats() { return stats_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] net::Network& network() { return net_; }
+  [[nodiscard]] proto::Protocol& directory() { return *dir_; }
+
+  /// Enable trace collection (implies barrier cache flushes when
+  /// cfg.trace_mode is set; the writer outlives the run).
+  void set_trace_writer(trace::TraceWriter* w) { tracer_ = w; }
+
+  /// Install a Cachier directive plan for this run (may be null).
+  void set_plan(const DirectivePlan* p) { plan_ = p; }
+
+  /// Runs `body` on every node to completion.  May be called once.
+  void run(const std::function<void(Proc&)>& body);
+
+  /// Execution time = max node completion time (valid after run()).
+  [[nodiscard]] Cycle exec_time() const { return final_time_; }
+
+  /// Number of barrier episodes completed.
+  [[nodiscard]] EpochId epochs_completed() const { return global_epoch_; }
+
+  /// Per-node cache (tests / invariant checks).
+  [[nodiscard]] const mem::Cache& cache_of(NodeId n) const;
+
+ private:
+  friend class Proc;
+
+  struct AsyncOp {
+    enum class Kind : std::uint8_t { Put, Prefetch, Unlock, PostStore };
+    Cycle time = 0;
+    std::uint32_t seq = 0;
+    Kind kind = Kind::Put;
+    Block block = 0;
+    bool dirty = false;
+    bool explicit_ci = false;
+    bool exclusive = false;  // prefetch mode
+    Addr lock_addr = 0;
+  };
+
+  struct NodeCtx {
+    explicit NodeCtx(const mem::CacheGeometry& g) : cache(g) {}
+
+    enum class Wait : std::uint8_t {
+      Running,   ///< executing user code
+      Ready,     ///< parked, nothing pending; resume when window allows
+      Mem,       ///< parked on a shared-memory miss
+      Directive, ///< parked on a blocking check-out range
+      Lock,      ///< parked waiting for a lock grant
+      Barrier,   ///< parked at a barrier
+      Done,      ///< program body returned
+    };
+
+    Cycle now = 0;
+    EpochId epoch = 0;
+    Wait wait = Wait::Running;
+    bool resumable = false;
+    bool lock_queued = false;  ///< lock request already sits in a queue
+
+    // Blocking-op payload (valid when wait is Mem/Directive/Lock).
+    Addr op_addr = 0;
+    std::uint64_t op_bytes = 0;
+    std::uint32_t op_size = 0;
+    PcId op_pc = kNoPc;
+    bool op_write = false;
+    Cycle op_time = 0;
+    DirectiveKind op_dir = DirectiveKind::CheckOutX;
+    PcId barrier_pc = kNoPc;
+
+    std::vector<AsyncOp> async;
+    std::uint32_t async_seq = 0;
+
+    mem::Cache cache;
+    std::unordered_map<Block, Cycle> prefetch_ready;
+    Cycle prefetch_last_done = 0;  ///< bandwidth pacing of prefetch fills
+    std::thread thread;
+  };
+
+  struct LockState {
+    bool held = false;
+    NodeId holder = kInvalidNode;
+    struct Waiter {
+      Cycle time;
+      NodeId node;
+    };
+    std::vector<Waiter> queue;
+  };
+
+  class CacheCtl final : public proto::CacheControl {
+   public:
+    explicit CacheCtl(Machine* m) : m_(m) {}
+    [[nodiscard]] mem::LineState peek(NodeId n, Block b) const override;
+    void invalidate(NodeId n, Block b) override;
+    void downgrade(NodeId n, Block b) override;
+    void push_shared(NodeId n, Block b) override;
+
+   private:
+    Machine* m_;
+  };
+
+  // --- node-thread side ----------------------------------------------------
+  void access(NodeId n, Addr a, std::uint32_t size, bool write, PcId pc);
+  void compute(NodeId n, Cycle cycles);
+  void do_barrier(NodeId n, PcId pc);
+  void do_lock(NodeId n, Addr a);
+  void do_unlock(NodeId n, Addr a);
+  void directive_range(NodeId n, DirectiveKind kind, Addr a, std::uint64_t bytes);
+  void checkin_inline(NodeCtx& c, NodeId n, Addr a, std::uint64_t bytes);
+  void poststore_inline(NodeCtx& c, NodeId n, Addr a, std::uint64_t bytes);
+  void prefetch_inline(NodeCtx& c, NodeId n, bool exclusive, Addr a,
+                       std::uint64_t bytes);
+  void after_access(NodeCtx& c, NodeId n, Block b, bool write);
+  void consume_prefetch(NodeCtx& c, NodeId n, Block b);
+  void maybe_window_park(NodeCtx& c);
+  void park(NodeCtx& c, NodeCtx::Wait w);
+
+  // --- boundary phase (runs with all threads parked, under mu_) ------------
+  void boundary();
+  void process_ops();
+  void service_mem(NodeCtx& c, NodeId n);
+  void service_checkout_range(NodeCtx& c, NodeId n);
+  Cycle do_checkout(NodeCtx& c, NodeId n, DirectiveKind kind, BlockRun run,
+                    Cycle t);
+  void service_prefetch(NodeCtx& c, NodeId n, Block b, bool exclusive, Cycle t);
+  void grant_or_queue_lock(NodeCtx& c, NodeId n);
+  void release_lock(Addr a, NodeId n, Cycle t);
+  bool try_complete_barrier();
+  void apply_epoch_start(NodeId n, EpochId e);
+  void apply_epoch_end(NodeId n, EpochId e);
+  void insert_line(NodeCtx& c, NodeId n, Block b, mem::LineState s, Cycle t);
+  void record_trace_miss(NodeCtx& c, NodeId n, trace::MissKind kind);
+
+  SimConfig cfg_;
+  PcRegistry pcs_;
+  Stats stats_;
+  net::Network net_;
+  CacheCtl cachectl_;
+  std::unique_ptr<proto::Protocol> dir_;
+  SharedHeap heap_;
+  std::vector<std::unique_ptr<NodeCtx>> ctxs_;
+  std::unordered_map<Addr, LockState> locks_;
+  /// Evictions caused by push_shared while the directory is mid-call;
+  /// drained after the triggering transaction returns (re-entrancy guard).
+  std::vector<std::pair<NodeId, mem::Cache::Eviction>> pending_push_evicts_;
+
+  trace::TraceWriter* tracer_ = nullptr;
+  const DirectivePlan* plan_ = nullptr;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint32_t active_ = 0;
+  Cycle window_end_ = 0;
+  EpochId global_epoch_ = 0;
+  bool aborted_ = false;
+  std::string abort_msg_;
+  std::exception_ptr first_error_;
+  bool ran_ = false;
+  Cycle final_time_ = 0;
+};
+
+}  // namespace cico::sim

@@ -1,0 +1,45 @@
+#include "cico/sim/plan.hpp"
+
+#include <sstream>
+
+namespace cico::sim {
+
+const char* directive_kind_name(DirectiveKind k) {
+  switch (k) {
+    case DirectiveKind::CheckOutX: return "check_out_X";
+    case DirectiveKind::CheckOutS: return "check_out_S";
+    case DirectiveKind::CheckIn: return "check_in";
+    case DirectiveKind::PrefetchX: return "prefetch_X";
+    case DirectiveKind::PrefetchS: return "prefetch_S";
+  }
+  return "unknown";
+}
+
+std::uint64_t DirectivePlan::total_directives() const {
+  std::uint64_t n = 0;
+  for (const auto& [k, d] : map_) {
+    for (const auto& pd : d.at_start) n += pd.run.count();
+    for (const auto& pd : d.at_end) n += pd.run.count();
+    n += d.fetch_exclusive.size();
+    n += d.checkin_after_access.size();
+    n += d.checkin_after_write.size();
+  }
+  return n;
+}
+
+std::string DirectivePlan::summary() const {
+  std::uint64_t start = 0, end = 0, fx = 0, cia = 0;
+  for (const auto& [k, d] : map_) {
+    for (const auto& pd : d.at_start) start += pd.run.count();
+    for (const auto& pd : d.at_end) end += pd.run.count();
+    fx += d.fetch_exclusive.size();
+    cia += d.checkin_after_access.size() + d.checkin_after_write.size();
+  }
+  std::ostringstream os;
+  os << "plan{entries=" << map_.size() << " epoch_start_blocks=" << start
+     << " epoch_end_blocks=" << end << " fetch_exclusive=" << fx
+     << " checkin_after_access=" << cia << "}";
+  return os.str();
+}
+
+}  // namespace cico::sim

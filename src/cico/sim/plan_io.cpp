@@ -1,0 +1,112 @@
+#include "cico/sim/plan_io.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace cico::sim {
+
+namespace {
+
+/// Plans iterate in hash order internally; serialize in sorted order so
+/// the output is stable.
+std::vector<std::pair<std::pair<NodeId, EpochId>, const NodeEpochDirectives*>>
+sorted_entries(const DirectivePlan& plan) {
+  // DirectivePlan does not expose iteration; rebuild the key list by
+  // probing.  (Entries are dense in practice: epochs 0..E, nodes 0..N.)
+  // To keep the interface honest we extend DirectivePlan with for_each.
+  std::vector<std::pair<std::pair<NodeId, EpochId>, const NodeEpochDirectives*>>
+      out;
+  plan.for_each([&](NodeId n, EpochId e, const NodeEpochDirectives& d) {
+    out.emplace_back(std::pair{n, e}, &d);
+  });
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+std::vector<Block> sorted(const std::unordered_set<Block>& s) {
+  std::vector<Block> v(s.begin(), s.end());
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+}  // namespace
+
+void save_plan(const DirectivePlan& plan, std::ostream& os) {
+  os << "cico-plan v1\n";
+  for (const auto& [key, d] : sorted_entries(plan)) {
+    os << "E " << key.first << ' ' << key.second << '\n';
+    for (const auto& pd : d->at_start) {
+      os << "S " << static_cast<int>(pd.kind) << ' ' << pd.run.first << ' '
+         << pd.run.last << '\n';
+    }
+    for (const auto& pd : d->at_end) {
+      os << "T " << static_cast<int>(pd.kind) << ' ' << pd.run.first << ' '
+         << pd.run.last << '\n';
+    }
+    for (Block b : sorted(d->fetch_exclusive)) os << "X " << b << '\n';
+    for (Block b : sorted(d->checkin_after_access)) os << "A " << b << '\n';
+    for (Block b : sorted(d->checkin_after_write)) os << "W " << b << '\n';
+  }
+}
+
+DirectivePlan load_plan(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != "cico-plan v1") {
+    throw std::runtime_error("plan: bad header");
+  }
+  DirectivePlan plan;
+  NodeEpochDirectives* cur = nullptr;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    char tag = 0;
+    ls >> tag;
+    if (tag == 'E') {
+      NodeId n = 0;
+      EpochId e = 0;
+      ls >> n >> e;
+      if (ls.fail()) throw std::runtime_error("plan: malformed entry");
+      cur = &plan.at(n, e);
+      continue;
+    }
+    if (cur == nullptr) throw std::runtime_error("plan: record before entry");
+    switch (tag) {
+      case 'S':
+      case 'T': {
+        int kind = 0;
+        BlockRun run;
+        ls >> kind >> run.first >> run.last;
+        if (ls.fail() || kind < 0 ||
+            kind > static_cast<int>(DirectiveKind::PrefetchS)) {
+          throw std::runtime_error("plan: malformed directive");
+        }
+        auto& vec = tag == 'S' ? cur->at_start : cur->at_end;
+        vec.push_back({static_cast<DirectiveKind>(kind), run});
+        break;
+      }
+      case 'X':
+      case 'A':
+      case 'W': {
+        Block b = 0;
+        ls >> b;
+        if (ls.fail()) throw std::runtime_error("plan: malformed block");
+        if (tag == 'X') cur->fetch_exclusive.insert(b);
+        else if (tag == 'A') cur->checkin_after_access.insert(b);
+        else cur->checkin_after_write.insert(b);
+        break;
+      }
+      default:
+        throw std::runtime_error("plan: unknown tag");
+    }
+  }
+  return plan;
+}
+
+}  // namespace cico::sim

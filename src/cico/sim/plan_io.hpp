@@ -1,0 +1,30 @@
+// DirectivePlan serialization.
+//
+// Cachier's output for compiled programs is a plan file: a stable,
+// diffable text format so plans can be saved next to a binary, inspected,
+// and applied in later runs (the tool-artifact analogue of the paper's
+// annotated source).
+//
+// Format (one record per line):
+//   cico-plan v1
+//   E <node> <epoch>                 -- start a (node, epoch) entry
+//   S <kind> <first> <last>          -- at_start directive run
+//   T <kind> <first> <last>          -- at_end directive run
+//   X <block>                        -- fetch_exclusive
+//   A <block>                        -- checkin_after_access
+//   W <block>                        -- checkin_after_write
+// where <kind> is the DirectiveKind integer value.
+#pragma once
+
+#include <iosfwd>
+
+#include "cico/sim/plan.hpp"
+
+namespace cico::sim {
+
+void save_plan(const DirectivePlan& plan, std::ostream& os);
+
+/// Throws std::runtime_error on malformed input.
+[[nodiscard]] DirectivePlan load_plan(std::istream& is);
+
+}  // namespace cico::sim

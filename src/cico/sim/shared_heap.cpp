@@ -1,0 +1,53 @@
+#include "cico/sim/shared_heap.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cico::sim {
+
+Addr SharedHeap::alloc(std::uint64_t bytes, std::string label, bool regular) {
+  if (bytes == 0) throw std::invalid_argument("SharedHeap::alloc: zero bytes");
+  if (by_label(label) != nullptr) {
+    throw std::invalid_argument("SharedHeap::alloc: duplicate label " + label);
+  }
+  const Addr base = next_;
+  const std::uint64_t aligned =
+      (bytes + block_bytes_ - 1) / block_bytes_ * block_bytes_;
+  next_ += aligned;
+  regions_.push_back(Region{std::move(label), base, bytes, regular});
+  return base;
+}
+
+const Region* SharedHeap::find(Addr a) const {
+  // Regions are sorted by base; binary search for the last base <= a.
+  auto it = std::upper_bound(
+      regions_.begin(), regions_.end(), a,
+      [](Addr addr, const Region& r) { return addr < r.base; });
+  if (it == regions_.begin()) return nullptr;
+  --it;
+  return it->contains(a) ? &*it : nullptr;
+}
+
+const Region* SharedHeap::by_label(std::string_view label) const {
+  for (const Region& r : regions_) {
+    if (r.label == label) return &r;
+  }
+  return nullptr;
+}
+
+std::vector<trace::RegionLabel> SharedHeap::trace_labels() const {
+  std::vector<trace::RegionLabel> out;
+  out.reserve(regions_.size());
+  for (const Region& r : regions_) {
+    out.push_back(trace::RegionLabel{r.label, r.base, r.bytes, r.regular});
+  }
+  return out;
+}
+
+std::uint64_t SharedHeap::allocated() const {
+  std::uint64_t total = 0;
+  for (const Region& r : regions_) total += r.bytes;
+  return total;
+}
+
+}  // namespace cico::sim

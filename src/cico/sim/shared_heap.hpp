@@ -1,0 +1,63 @@
+// Simulated shared-address-space allocator with labelled regions.
+//
+// The paper requires the programmer to "label all important shared data
+// structures" with a macro that names a contiguous region of shared memory
+// (section 4.3); Cachier uses the labels to map raw trace addresses back
+// to program variables.  SharedHeap is that mechanism: every allocation is
+// a named region, and lookups go both ways (address -> region, label ->
+// region).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cico/common/types.hpp"
+#include "cico/trace/trace.hpp"
+
+namespace cico::sim {
+
+struct Region {
+  std::string label;
+  Addr base = 0;
+  std::uint64_t bytes = 0;
+  /// Loop-affine access pattern?  Irregular (pointer-based) regions are
+  /// excluded from prefetch planning, mirroring the paper's observation
+  /// that prefetching failed for Barnes' pointer structures (section 6).
+  bool regular = true;
+
+  [[nodiscard]] bool contains(Addr a) const {
+    return a >= base && a < base + bytes;
+  }
+};
+
+class SharedHeap {
+ public:
+  SharedHeap(Addr base, std::uint32_t block_bytes)
+      : next_(base), block_bytes_(block_bytes) {}
+
+  /// Allocates a block-aligned labelled region and returns its base.
+  Addr alloc(std::uint64_t bytes, std::string label, bool regular = true);
+
+  /// Region containing `a`, or nullptr.
+  [[nodiscard]] const Region* find(Addr a) const;
+
+  /// Region with the given label, or nullptr.
+  [[nodiscard]] const Region* by_label(std::string_view label) const;
+
+  [[nodiscard]] const std::vector<Region>& regions() const { return regions_; }
+
+  /// Labels in the trace serialization format.
+  [[nodiscard]] std::vector<trace::RegionLabel> trace_labels() const;
+
+  /// Total bytes allocated.
+  [[nodiscard]] std::uint64_t allocated() const;
+
+ private:
+  Addr next_;
+  std::uint32_t block_bytes_;
+  std::vector<Region> regions_;  // sorted by base (allocation order)
+};
+
+}  // namespace cico::sim

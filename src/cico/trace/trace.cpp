@@ -1,0 +1,235 @@
+#include "cico/trace/trace.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <type_traits>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cico::trace {
+
+const char* miss_kind_name(MissKind k) {
+  switch (k) {
+    case MissKind::ReadMiss: return "read_miss";
+    case MissKind::WriteMiss: return "write_miss";
+    case MissKind::WriteFault: return "write_fault";
+  }
+  return "unknown";
+}
+
+EpochId Trace::num_epochs() const {
+  EpochId n = 0;
+  for (const auto& m : misses) n = std::max(n, m.epoch + 1);
+  for (const auto& b : barriers) n = std::max(n, b.epoch + 1);
+  return n;
+}
+
+const RegionLabel* Trace::region_of(Addr addr) const {
+  for (const auto& r : labels) {
+    if (addr >= r.base && addr < r.base + r.bytes) return &r;
+  }
+  return nullptr;
+}
+
+void TraceWriter::set_labels(std::vector<RegionLabel> labels) {
+  trace_.labels = std::move(labels);
+}
+
+void TraceWriter::record_miss(NodeId node, MissKind kind, Addr addr,
+                              std::uint32_t size, PcId pc, EpochId epoch) {
+  Key k{node, static_cast<std::uint8_t>(kind), addr, pc};
+  if (!epoch_seen_.insert(k).second) return;
+  epoch_buf_.push_back(MissRecord{epoch, node, kind, addr, size, pc});
+}
+
+void TraceWriter::record_barrier(NodeId node, PcId barrier_pc, Cycle vt,
+                                 EpochId epoch) {
+  trace_.barriers.push_back(BarrierRecord{epoch, node, barrier_pc, vt});
+}
+
+void TraceWriter::end_epoch() {
+  trace_.misses.insert(trace_.misses.end(), epoch_buf_.begin(), epoch_buf_.end());
+  epoch_buf_.clear();
+  epoch_seen_.clear();
+}
+
+Trace TraceWriter::take() {
+  end_epoch();
+  return std::move(trace_);
+}
+
+void save_text(const Trace& t, std::ostream& os) {
+  os << "cico-trace v1\n";
+  for (const auto& r : t.labels) {
+    os << "L " << r.label << ' ' << r.base << ' ' << r.bytes << ' '
+       << (r.regular ? 1 : 0) << '\n';
+  }
+  for (const auto& m : t.misses) {
+    os << "M " << m.epoch << ' ' << m.node << ' ' << static_cast<int>(m.kind)
+       << ' ' << m.addr << ' ' << m.size << ' ' << m.pc << '\n';
+  }
+  for (const auto& b : t.barriers) {
+    os << "B " << b.epoch << ' ' << b.node << ' ' << b.barrier_pc << ' '
+       << b.vt << '\n';
+  }
+}
+
+Trace load_text(std::istream& is) {
+  Trace t;
+  std::string line;
+  if (!std::getline(is, line) || line != "cico-trace v1") {
+    throw std::runtime_error("trace: bad header");
+  }
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    char tag = 0;
+    ls >> tag;
+    if (tag == 'L') {
+      RegionLabel r;
+      int regular = 1;
+      ls >> r.label >> r.base >> r.bytes >> regular;
+      r.regular = regular != 0;
+      t.labels.push_back(std::move(r));
+    } else if (tag == 'M') {
+      MissRecord m;
+      int kind = 0;
+      ls >> m.epoch >> m.node >> kind >> m.addr >> m.size >> m.pc;
+      m.kind = static_cast<MissKind>(kind);
+      t.misses.push_back(m);
+    } else if (tag == 'B') {
+      BarrierRecord b;
+      ls >> b.epoch >> b.node >> b.barrier_pc >> b.vt;
+      t.barriers.push_back(b);
+    } else {
+      throw std::runtime_error("trace: unknown record tag");
+    }
+    if (ls.fail()) throw std::runtime_error("trace: malformed record");
+  }
+  return t;
+}
+
+namespace {
+
+constexpr char kBinMagic[8] = {'c', 'i', 'c', 'o', 't', 'r', 'c', '1'};
+
+/// Unsigned LEB128: short for the small epoch/node/pc values that
+/// dominate a trace, at most 10 bytes for a full 64-bit address.
+void put_varint(std::ostream& os, std::uint64_t v) {
+  while (v >= 0x80) {
+    os.put(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  os.put(static_cast<char>(v));
+}
+
+std::uint64_t get_varint(std::istream& is) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    const int c = is.get();
+    if (c == std::char_traits<char>::eof()) {
+      throw std::runtime_error("trace: truncated binary input");
+    }
+    if (shift >= 64) throw std::runtime_error("trace: varint overflow");
+    v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+    if ((c & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+void put_string(std::ostream& os, const std::string& s) {
+  put_varint(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string get_string(std::istream& is) {
+  const auto n = get_varint(is);
+  if (n > (1u << 20)) throw std::runtime_error("trace: oversized string");
+  std::string s(n, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  if (!is) throw std::runtime_error("trace: truncated binary input");
+  return s;
+}
+
+}  // namespace
+
+void save_binary(const Trace& t, std::ostream& os) {
+  os.write(kBinMagic, sizeof(kBinMagic));
+  put_varint(os, t.labels.size());
+  for (const auto& r : t.labels) {
+    put_string(os, r.label);
+    put_varint(os, r.base);
+    put_varint(os, r.bytes);
+    put_varint(os, r.regular ? 1 : 0);
+  }
+  put_varint(os, t.misses.size());
+  for (const auto& m : t.misses) {
+    put_varint(os, m.epoch);
+    put_varint(os, m.node);
+    put_varint(os, static_cast<std::uint64_t>(m.kind));
+    put_varint(os, m.addr);
+    put_varint(os, m.size);
+    put_varint(os, m.pc);
+  }
+  put_varint(os, t.barriers.size());
+  for (const auto& b : t.barriers) {
+    put_varint(os, b.epoch);
+    put_varint(os, b.node);
+    put_varint(os, b.barrier_pc);
+    put_varint(os, b.vt);
+  }
+}
+
+Trace load_binary(std::istream& is) {
+  char magic[8] = {};
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kBinMagic, sizeof(magic)) != 0) {
+    throw std::runtime_error("trace: bad binary header");
+  }
+  Trace t;
+  const auto nlabels = get_varint(is);
+  if (nlabels > (1u << 20)) throw std::runtime_error("trace: label count");
+  t.labels.reserve(nlabels);
+  for (std::uint64_t i = 0; i < nlabels; ++i) {
+    RegionLabel r;
+    r.label = get_string(is);
+    r.base = get_varint(is);
+    r.bytes = get_varint(is);
+    r.regular = get_varint(is) != 0;
+    t.labels.push_back(std::move(r));
+  }
+  const auto nmisses = get_varint(is);
+  if (nmisses > (1ull << 32)) throw std::runtime_error("trace: miss count");
+  t.misses.reserve(nmisses);
+  for (std::uint64_t i = 0; i < nmisses; ++i) {
+    MissRecord m;
+    m.epoch = static_cast<EpochId>(get_varint(is));
+    m.node = static_cast<NodeId>(get_varint(is));
+    const auto kind = get_varint(is);
+    if (kind > static_cast<std::uint64_t>(MissKind::WriteFault)) {
+      throw std::runtime_error("trace: bad miss kind");
+    }
+    m.kind = static_cast<MissKind>(kind);
+    m.addr = get_varint(is);
+    m.size = static_cast<std::uint32_t>(get_varint(is));
+    m.pc = static_cast<PcId>(get_varint(is));
+    t.misses.push_back(m);
+  }
+  const auto nbars = get_varint(is);
+  if (nbars > (1ull << 32)) throw std::runtime_error("trace: barrier count");
+  t.barriers.reserve(nbars);
+  for (std::uint64_t i = 0; i < nbars; ++i) {
+    BarrierRecord b;
+    b.epoch = static_cast<EpochId>(get_varint(is));
+    b.node = static_cast<NodeId>(get_varint(is));
+    b.barrier_pc = static_cast<PcId>(get_varint(is));
+    b.vt = get_varint(is);
+    t.barriers.push_back(b);
+  }
+  return t;
+}
+
+}  // namespace cico::trace

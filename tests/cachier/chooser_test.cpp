@@ -1,0 +1,223 @@
+// Exact-match tests for the section 4.1 annotation equations, built
+// around the paper's worked example (Fig. 4):
+//
+//   "Using the equations for Programmer CICO, Cachier finds the following
+//    CICO annotations for epoch i: co_s(c), co_s(a) & ci(c), ci(d).  The
+//    Performance CICO annotations for the same epoch is just ci(c).  If
+//    epoch i-1 was the first epoch in the program, then the Programmer
+//    CICO for that epoch will be as follows: co_x(a), co_x(b), co_s(d) &
+//    ci(a).  The Performance CICO for the same epoch will be just ci(a).
+//    The check-in for a is necessary as there is a potential data race on
+//    that variable."
+//
+// Reconstructed access pattern consistent with every quoted output
+// (variables a..d in distinct cache blocks; epoch i-1 = 0, i = 1):
+//   epoch 0:  P0 writes a, writes b, reads d;   P1 reads a  (race on a)
+//   epoch 1:  P0 reads a, reads c, writes b, reads d
+//   epoch 2:  P0 reads a, writes b;             P1 writes c
+#include "cico/cachier/chooser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cico::cachier {
+namespace {
+
+mem::CacheGeometry geo() {
+  mem::CacheGeometry g;
+  g.size_bytes = 4096;
+  g.assoc = 4;
+  g.block_bytes = 32;
+  return g;
+}
+
+constexpr Addr kA = 0x1000, kB = 0x1020, kC = 0x1040, kD = 0x1060;
+const Block A = kA / 32, B = kB / 32, C = kC / 32, D = kD / 32;
+
+trace::MissRecord rec(EpochId e, NodeId n, trace::MissKind k, Addr a) {
+  return trace::MissRecord{e, n, k, a, 8, 1};
+}
+
+trace::Trace fig4_trace() {
+  using K = trace::MissKind;
+  trace::Trace t;
+  t.misses = {
+      // epoch 0
+      rec(0, 0, K::WriteMiss, kA),
+      rec(0, 0, K::WriteMiss, kB),
+      rec(0, 0, K::ReadMiss, kD),
+      rec(0, 1, K::ReadMiss, kA),
+      // epoch 1
+      rec(1, 0, K::ReadMiss, kA),
+      rec(1, 0, K::ReadMiss, kC),
+      rec(1, 0, K::WriteMiss, kB),
+      rec(1, 0, K::ReadMiss, kD),
+      // epoch 2
+      rec(2, 0, K::ReadMiss, kA),
+      rec(2, 0, K::WriteMiss, kB),
+      rec(2, 1, K::WriteMiss, kC),
+  };
+  return t;
+}
+
+BlockSet set_of(std::initializer_list<Block> xs) { return BlockSet(xs); }
+
+class Fig4Test : public ::testing::Test {
+ protected:
+  Fig4Test()
+      : trace_(fig4_trace()),
+        db_(trace_, geo()),
+        sharing_(trace_, geo()),
+        chooser_(db_, sharing_) {}
+
+  trace::Trace trace_;
+  EpochDB db_;
+  SharingAnalyzer sharing_;
+  AnnotationChooser chooser_;
+};
+
+TEST_F(Fig4Test, EpochZeroHasRaceOnA) {
+  EXPECT_EQ(sharing_.epoch(0).race_blocks, set_of({A}));
+  EXPECT_TRUE(sharing_.epoch(0).fs_blocks.empty());
+  EXPECT_TRUE(sharing_.epoch(1).drfs_blocks.empty());
+}
+
+TEST_F(Fig4Test, ProgrammerEpochIMinusOne) {
+  // "co_x(a), co_x(b), co_s(d) & ci(a)"
+  AnnotationSets s = chooser_.choose(0, 0, Mode::Programmer);
+  EXPECT_EQ(s.co_x, set_of({A, B}));
+  EXPECT_EQ(s.co_s, set_of({D}));
+  EXPECT_EQ(s.ci, set_of({A}));
+  // Placement: a is raced, so its checkout/check-in are tight; b and d go
+  // to the epoch boundary.  b and d stay checked out (used next epoch).
+  EXPECT_EQ(s.co_x_start, set_of({B}));
+  EXPECT_EQ(s.co_s_start, set_of({D}));
+  EXPECT_TRUE(s.ci_end.empty());
+  EXPECT_EQ(s.ci_tight, set_of({A}));
+}
+
+TEST_F(Fig4Test, PerformanceEpochIMinusOne) {
+  // "The Performance CICO for the same epoch will be just ci(a)."
+  AnnotationSets s = chooser_.choose(0, 0, Mode::Performance);
+  EXPECT_TRUE(s.co_x.empty());  // no write faults: writes are write misses
+  EXPECT_TRUE(s.co_s.empty());
+  EXPECT_EQ(s.ci, set_of({A}));
+  EXPECT_EQ(s.ci_tight, set_of({A}));
+  EXPECT_TRUE(s.ci_end.empty());
+}
+
+TEST_F(Fig4Test, ProgrammerEpochI) {
+  // "co_s(c), co_s(a) & ci(c), ci(d)"
+  AnnotationSets s = chooser_.choose(1, 0, Mode::Programmer);
+  EXPECT_TRUE(s.co_x.empty());
+  EXPECT_EQ(s.co_s, set_of({A, C}));
+  EXPECT_EQ(s.ci, set_of({C, D}));
+  EXPECT_EQ(s.ci_end, set_of({C, D}));
+  EXPECT_TRUE(s.ci_tight.empty());
+}
+
+TEST_F(Fig4Test, PerformanceEpochI) {
+  // "The Performance CICO annotations for the same epoch is just ci(c)."
+  AnnotationSets s = chooser_.choose(1, 0, Mode::Performance);
+  EXPECT_TRUE(s.co_x.empty());
+  EXPECT_TRUE(s.co_s.empty());
+  EXPECT_EQ(s.ci, set_of({C}));
+}
+
+TEST_F(Fig4Test, SecondProcessorEpochZero) {
+  // P1 only read the raced variable a.  The co_s equation is governed by
+  // FS (not DRFS), so the read is still checked out; the ci equation IS
+  // governed by DRFS, so the check-in is tight.
+  AnnotationSets s = chooser_.choose(0, 1, Mode::Programmer);
+  EXPECT_TRUE(s.co_x.empty());
+  EXPECT_EQ(s.co_s, set_of({A}));
+  EXPECT_EQ(s.ci, set_of({A}));
+  EXPECT_EQ(s.ci_tight, set_of({A}));
+}
+
+TEST(ChooserTest, WriteFaultBecomesFetchExclusive) {
+  // A block read then written (write fault) must be checked out exclusive
+  // before the read in Performance mode.
+  using K = trace::MissKind;
+  trace::Trace t;
+  t.misses = {
+      rec(0, 0, K::ReadMiss, kA),
+      rec(0, 0, K::WriteFault, kA),
+  };
+  EpochDB db(t, geo());
+  SharingAnalyzer sh(t, geo());
+  AnnotationChooser ch(db, sh);
+  AnnotationSets s = ch.choose(0, 0, Mode::Performance);
+  EXPECT_EQ(s.fetch_exclusive, set_of({A}));
+  EXPECT_EQ(s.co_x, set_of({A}));
+}
+
+TEST(ChooserTest, HistorySuppressesRepeatCheckouts) {
+  // A block written by the same node in consecutive epochs is only
+  // checked out in the first ("a processor should check it out only if it
+  // was not checked out in the previous epoch by the same processor").
+  using K = trace::MissKind;
+  trace::Trace t;
+  t.misses = {
+      rec(0, 0, K::WriteMiss, kA),
+      rec(1, 0, K::WriteMiss, kA),
+      rec(2, 0, K::WriteMiss, kA),
+  };
+  EpochDB db(t, geo());
+  SharingAnalyzer sh(t, geo());
+  AnnotationChooser ch(db, sh);
+  EXPECT_EQ(ch.choose(0, 0, Mode::Programmer).co_x, set_of({A}));
+  EXPECT_TRUE(ch.choose(1, 0, Mode::Programmer).co_x.empty());
+  EXPECT_TRUE(ch.choose(2, 0, Mode::Programmer).co_x.empty());
+  // And checked in only when the node stops using it (never, here, until
+  // the last epoch).
+  EXPECT_TRUE(ch.choose(0, 0, Mode::Programmer).ci.empty());
+  EXPECT_TRUE(ch.choose(1, 0, Mode::Programmer).ci.empty());
+  EXPECT_EQ(ch.choose(2, 0, Mode::Programmer).ci, set_of({A}));
+}
+
+TEST(ChooserTest, PerformanceChecksInBlocksAnotherNodeWillWrite) {
+  // Performance ci term 2: "shared locations ... read by some processor
+  // in the current epoch and which will be written by some processor in
+  // the next epoch."
+  using K = trace::MissKind;
+  trace::Trace t;
+  t.misses = {
+      rec(0, 0, K::ReadMiss, kA),
+      rec(1, 1, K::WriteMiss, kA),
+  };
+  EpochDB db(t, geo());
+  SharingAnalyzer sh(t, geo());
+  AnnotationChooser ch(db, sh);
+  AnnotationSets s = ch.choose(0, 0, Mode::Performance);
+  EXPECT_EQ(s.ci, set_of({A}));
+  EXPECT_EQ(s.ci_end, set_of({A}));
+}
+
+TEST(ChooserTest, PerformanceKeepsBlockTheSameNodeWritesNext) {
+  // Performance ci term 1 is same-node: if THIS node writes the block
+  // again next epoch, do not check it in.
+  using K = trace::MissKind;
+  trace::Trace t;
+  t.misses = {
+      rec(0, 0, K::WriteMiss, kA),
+      rec(1, 0, K::WriteMiss, kA),
+  };
+  EpochDB db(t, geo());
+  SharingAnalyzer sh(t, geo());
+  AnnotationChooser ch(db, sh);
+  EXPECT_TRUE(ch.choose(0, 0, Mode::Performance).ci.empty());
+  EXPECT_EQ(ch.choose(1, 0, Mode::Performance).ci, set_of({A}));
+}
+
+TEST(ChooserTest, EmptyEpochYieldsNothing) {
+  trace::Trace t;
+  t.misses = {rec(0, 0, trace::MissKind::ReadMiss, kA)};
+  EpochDB db(t, geo());
+  SharingAnalyzer sh(t, geo());
+  AnnotationChooser ch(db, sh);
+  EXPECT_EQ(ch.choose(0, 1, Mode::Programmer).total(), 0u);
+  EXPECT_EQ(ch.choose(3, 0, Mode::Programmer).total(), 0u);
+}
+
+}  // namespace
+}  // namespace cico::cachier

@@ -1,0 +1,111 @@
+#include "cico/cachier/epoch_db.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cico::cachier {
+namespace {
+
+mem::CacheGeometry geo() {
+  mem::CacheGeometry g;
+  g.size_bytes = 4096;
+  g.assoc = 4;
+  g.block_bytes = 32;
+  return g;
+}
+
+trace::MissRecord rec(EpochId e, NodeId n, trace::MissKind k, Addr a,
+                      PcId pc = 1) {
+  return trace::MissRecord{e, n, k, a, 8, pc};
+}
+
+TEST(EpochDbTest, BasicSets) {
+  trace::Trace t;
+  t.misses = {
+      rec(0, 0, trace::MissKind::ReadMiss, 0x1000),
+      rec(0, 0, trace::MissKind::WriteMiss, 0x1020),
+      rec(0, 1, trace::MissKind::ReadMiss, 0x1040),
+  };
+  EpochDB db(t, geo());
+  EXPECT_EQ(db.epochs(), 1u);
+  EXPECT_EQ(db.nodes(), 2u);
+  const auto& d0 = db.at(0, 0);
+  EXPECT_TRUE(d0.SR.contains(0x1000 / 32));
+  EXPECT_TRUE(d0.SW.contains(0x1020 / 32));
+  EXPECT_TRUE(d0.WF.empty());
+  EXPECT_EQ(d0.S.size(), 2u);
+  const auto& d1 = db.at(0, 1);
+  EXPECT_TRUE(d1.SR.contains(0x1040 / 32));
+  EXPECT_TRUE(d1.SW.empty());
+}
+
+TEST(EpochDbTest, WriteFaultReclassification) {
+  // "removing addresses involved in shared write faults from the list of
+  //  shared read misses, updating the list of shared write misses to
+  //  include addresses involved in shared write faults"
+  trace::Trace t;
+  t.misses = {
+      rec(0, 0, trace::MissKind::ReadMiss, 0x1000),
+      rec(0, 0, trace::MissKind::WriteFault, 0x1000),
+  };
+  EpochDB db(t, geo());
+  const auto& d = db.at(0, 0);
+  const Block b = 0x1000 / 32;
+  EXPECT_TRUE(d.SW.contains(b));
+  EXPECT_TRUE(d.WF.contains(b));
+  EXPECT_FALSE(d.SR.contains(b));
+  EXPECT_TRUE(d.S.contains(b));
+}
+
+TEST(EpochDbTest, ReadOfWrittenBlockFoldsIntoSW) {
+  // Same block read at one word and written at another: checkout
+  // granularity is a block, so SR must not duplicate SW.
+  trace::Trace t;
+  t.misses = {
+      rec(0, 0, trace::MissKind::ReadMiss, 0x1000),
+      rec(0, 0, trace::MissKind::WriteMiss, 0x1008),
+  };
+  EpochDB db(t, geo());
+  const auto& d = db.at(0, 0);
+  const Block b = 0x1000 / 32;
+  EXPECT_TRUE(d.SW.contains(b));
+  EXPECT_FALSE(d.SR.contains(b));
+}
+
+TEST(EpochDbTest, OutOfRangeLookupsAreEmpty) {
+  trace::Trace t;
+  t.misses = {rec(0, 0, trace::MissKind::ReadMiss, 0x1000)};
+  EpochDB db(t, geo());
+  EXPECT_TRUE(db.at(5, 0).empty());
+  EXPECT_TRUE(db.at(0, 9).empty());
+  EXPECT_TRUE(db.epoch_sw_union(7).empty());
+}
+
+TEST(EpochDbTest, SwUnionSpansNodes) {
+  trace::Trace t;
+  t.misses = {
+      rec(0, 0, trace::MissKind::WriteMiss, 0x1000),
+      rec(0, 1, trace::MissKind::WriteMiss, 0x1040),
+      rec(0, 2, trace::MissKind::ReadMiss, 0x1080),
+  };
+  EpochDB db(t, geo());
+  const auto& u = db.epoch_sw_union(0);
+  EXPECT_EQ(u.size(), 2u);
+  EXPECT_TRUE(u.contains(0x1000 / 32));
+  EXPECT_TRUE(u.contains(0x1040 / 32));
+  EXPECT_FALSE(u.contains(0x1080 / 32));
+}
+
+TEST(EpochDbTest, EpochsAreIndependent) {
+  trace::Trace t;
+  t.misses = {
+      rec(0, 0, trace::MissKind::WriteMiss, 0x1000),
+      rec(1, 0, trace::MissKind::ReadMiss, 0x1000),
+  };
+  EpochDB db(t, geo());
+  EXPECT_TRUE(db.at(0, 0).SW.contains(0x1000 / 32));
+  EXPECT_FALSE(db.at(1, 0).SW.contains(0x1000 / 32));
+  EXPECT_TRUE(db.at(1, 0).SR.contains(0x1000 / 32));
+}
+
+}  // namespace
+}  // namespace cico::cachier

@@ -1,0 +1,96 @@
+// Region-level generalization of tight annotation sets (the mechanism
+// that keeps plans valid across input data sets -- section 4.5).
+#include <gtest/gtest.h>
+
+#include "cico/cachier/plan_builder.hpp"
+
+namespace cico::cachier {
+namespace {
+
+mem::CacheGeometry geo() {
+  mem::CacheGeometry g;
+  g.size_bytes = 1u << 20;
+  g.assoc = 4;
+  g.block_bytes = 32;
+  return g;
+}
+
+trace::MissRecord rec(EpochId e, NodeId n, trace::MissKind k, Addr a) {
+  return trace::MissRecord{e, n, k, a, 8, 1};
+}
+
+/// Builds a trace where two nodes race (read-modify-write) on `hot` blocks
+/// of a 64-block region starting at 0x10000.
+trace::Trace scatter_trace(std::size_t hot, bool regular) {
+  trace::Trace t;
+  t.labels.push_back(trace::RegionLabel{"cells", 0x10000, 64 * 32, regular});
+  for (std::size_t i = 0; i < hot; ++i) {
+    const Addr a = 0x10000 + i * 32;
+    t.misses.push_back(rec(0, 0, trace::MissKind::ReadMiss, a));
+    t.misses.push_back(rec(0, 0, trace::MissKind::WriteFault, a));
+    t.misses.push_back(rec(0, 1, trace::MissKind::ReadMiss, a));
+    t.misses.push_back(rec(0, 1, trace::MissKind::WriteFault, a));
+  }
+  return t;
+}
+
+std::size_t tight_blocks(const sim::DirectivePlan& plan, NodeId n) {
+  const sim::NodeEpochDirectives* ned = plan.find(n, 0);
+  if (ned == nullptr) return 0;
+  return ned->checkin_after_write.size() + ned->checkin_after_access.size();
+}
+
+TEST(GeneralizeTest, IrregularHotRegionCoversWholeRegion) {
+  trace::Trace t = scatter_trace(10, /*regular=*/false);
+  PlanBuilder pb(t, geo());
+  sim::DirectivePlan plan = pb.build({.mode = Mode::Performance});
+  // 10 traced blocks, but the whole 64-block irregular region is covered.
+  EXPECT_EQ(tight_blocks(plan, 0), 64u);
+  const sim::NodeEpochDirectives* ned = plan.find(0, 0);
+  ASSERT_NE(ned, nullptr);
+  EXPECT_EQ(ned->fetch_exclusive.size(), 64u);
+}
+
+TEST(GeneralizeTest, RegularRegionNotGeneralizedBelowThreshold) {
+  trace::Trace t = scatter_trace(10, /*regular=*/true);  // 10/64 < 25%
+  PlanBuilder pb(t, geo());
+  sim::DirectivePlan plan = pb.build({.mode = Mode::Performance});
+  EXPECT_EQ(tight_blocks(plan, 0), 10u);
+}
+
+TEST(GeneralizeTest, RegularRegionGeneralizedAboveThreshold) {
+  trace::Trace t = scatter_trace(40, /*regular=*/true);  // 40/64 >= 25%
+  PlanBuilder pb(t, geo());
+  sim::DirectivePlan plan = pb.build({.mode = Mode::Performance});
+  EXPECT_EQ(tight_blocks(plan, 0), 64u);
+}
+
+TEST(GeneralizeTest, SmallIrregularFootprintStaysExact) {
+  trace::Trace t = scatter_trace(4, /*regular=*/false);  // < 8 blocks
+  PlanBuilder pb(t, geo());
+  sim::DirectivePlan plan = pb.build({.mode = Mode::Performance});
+  EXPECT_EQ(tight_blocks(plan, 0), 4u);
+}
+
+TEST(GeneralizeTest, CanBeDisabled) {
+  trace::Trace t = scatter_trace(10, /*regular=*/false);
+  PlanBuilder pb(t, geo());
+  sim::DirectivePlan plan =
+      pb.build({.mode = Mode::Performance, .region_generalize = false});
+  EXPECT_EQ(tight_blocks(plan, 0), 10u);
+}
+
+TEST(GeneralizeTest, GeneralizedBlocksGoToWriteFiredSet) {
+  // Generalized (untraced) blocks must never split a read-modify-write:
+  // they belong in checkin_after_write, not checkin_after_access.
+  trace::Trace t = scatter_trace(10, /*regular=*/false);
+  PlanBuilder pb(t, geo());
+  sim::DirectivePlan plan = pb.build({.mode = Mode::Performance});
+  const sim::NodeEpochDirectives* ned = plan.find(0, 0);
+  ASSERT_NE(ned, nullptr);
+  EXPECT_EQ(ned->checkin_after_access.size(), 0u);
+  EXPECT_EQ(ned->checkin_after_write.size(), 64u);
+}
+
+}  // namespace
+}  // namespace cico::cachier

@@ -1,0 +1,195 @@
+#include "cico/cachier/plan_builder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cico::cachier {
+namespace {
+
+mem::CacheGeometry geo() {
+  mem::CacheGeometry g;
+  g.size_bytes = 4096;  // 128 blocks
+  g.assoc = 4;
+  g.block_bytes = 32;
+  return g;
+}
+
+trace::MissRecord rec(EpochId e, NodeId n, trace::MissKind k, Addr a) {
+  return trace::MissRecord{e, n, k, a, 8, 1};
+}
+
+TEST(PlanBuilderTest, ToRunsMergesContiguousBlocks) {
+  BlockSet s{1, 2, 3, 7, 9, 10};
+  auto runs = PlanBuilder::to_runs(s);
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0], (sim::BlockRun{1, 3}));
+  EXPECT_EQ(runs[1], (sim::BlockRun{7, 7}));
+  EXPECT_EQ(runs[2], (sim::BlockRun{9, 10}));
+}
+
+TEST(PlanBuilderTest, ToRunsEmpty) {
+  EXPECT_TRUE(PlanBuilder::to_runs({}).empty());
+}
+
+TEST(PlanBuilderTest, ProgrammerModeEmitsStartCheckouts) {
+  using K = trace::MissKind;
+  trace::Trace t;
+  t.labels.push_back(trace::RegionLabel{"A", 0x1000, 0x200, true});
+  t.misses = {
+      rec(0, 0, K::WriteMiss, 0x1000),
+      rec(0, 0, K::WriteMiss, 0x1020),
+      rec(0, 0, K::ReadMiss, 0x1100),
+  };
+  PlanBuilder pb(t, geo());
+  sim::DirectivePlan plan = pb.build({.mode = Mode::Programmer});
+  const sim::NodeEpochDirectives* ned = plan.find(0, 0);
+  ASSERT_NE(ned, nullptr);
+  // Two contiguous write blocks -> one CheckOutX run; one read block ->
+  // one CheckOutS run.
+  std::size_t cox = 0, cos = 0;
+  for (const auto& pd : ned->at_start) {
+    if (pd.kind == sim::DirectiveKind::CheckOutX) cox += pd.run.count();
+    if (pd.kind == sim::DirectiveKind::CheckOutS) cos += pd.run.count();
+  }
+  EXPECT_EQ(cox, 2u);
+  EXPECT_EQ(cos, 1u);
+  // Last epoch: everything is checked in at the end.
+  std::size_t ci = 0;
+  for (const auto& pd : ned->at_end) ci += pd.run.count();
+  EXPECT_EQ(ci, 3u);
+}
+
+TEST(PlanBuilderTest, PerformanceModeHasNoStartCheckouts) {
+  using K = trace::MissKind;
+  trace::Trace t;
+  t.misses = {
+      rec(0, 0, K::WriteMiss, 0x1000),
+      rec(0, 0, K::ReadMiss, 0x1040),
+      rec(0, 0, K::WriteFault, 0x1040),
+  };
+  PlanBuilder pb(t, geo());
+  sim::DirectivePlan plan = pb.build({.mode = Mode::Performance});
+  const sim::NodeEpochDirectives* ned = plan.find(0, 0);
+  ASSERT_NE(ned, nullptr);
+  for (const auto& pd : ned->at_start) {
+    EXPECT_NE(pd.kind, sim::DirectiveKind::CheckOutX);
+    EXPECT_NE(pd.kind, sim::DirectiveKind::CheckOutS);
+  }
+  // The read-then-written block fetches exclusive at its first read.
+  EXPECT_TRUE(ned->fetch_exclusive.contains(0x1040 / 32));
+}
+
+TEST(PlanBuilderTest, RacedBlocksBecomeTightCheckins) {
+  using K = trace::MissKind;
+  trace::Trace t;
+  t.misses = {
+      rec(0, 0, K::WriteMiss, 0x1000),
+      rec(0, 1, K::WriteMiss, 0x1000),
+  };
+  PlanBuilder pb(t, geo());
+  sim::DirectivePlan plan = pb.build({.mode = Mode::Performance});
+  for (NodeId n : {0u, 1u}) {
+    const sim::NodeEpochDirectives* ned = plan.find(n, 0);
+    ASSERT_NE(ned, nullptr);
+    // Both nodes WRITE the raced block: check-in placed after the write.
+    EXPECT_TRUE(ned->checkin_after_write.contains(0x1000 / 32));
+    EXPECT_FALSE(ned->checkin_after_access.contains(0x1000 / 32));
+  }
+  EXPECT_EQ(pb.last_summary().races, 1u);
+}
+
+TEST(PlanBuilderTest, PrefetchRespectsRegularRegions) {
+  using K = trace::MissKind;
+  trace::Trace t;
+  t.labels.push_back(trace::RegionLabel{"grid", 0x1000, 0x100, true});
+  t.labels.push_back(trace::RegionLabel{"tree", 0x2000, 0x100, false});
+  t.misses = {
+      rec(0, 0, K::ReadMiss, 0x1000),
+      rec(0, 0, K::ReadMiss, 0x2000),
+  };
+  PlanBuilder pb(t, geo());
+  sim::DirectivePlan plan =
+      pb.build({.mode = Mode::Performance, .prefetch = true});
+  const sim::NodeEpochDirectives* ned = plan.find(0, 0);
+  ASSERT_NE(ned, nullptr);
+  std::size_t pf = 0;
+  for (const auto& pd : ned->at_start) {
+    if (pd.kind == sim::DirectiveKind::PrefetchS ||
+        pd.kind == sim::DirectiveKind::PrefetchX) {
+      pf += pd.run.count();
+      // Only the regular region's block may be prefetched.
+      EXPECT_EQ(pd.run.first, 0x1000u / 32);
+    }
+  }
+  EXPECT_EQ(pf, 1u);
+  EXPECT_EQ(pb.last_summary().prefetch_blocks, 1u);
+}
+
+TEST(PlanBuilderTest, CapacityCapSpillsCheckouts) {
+  using K = trace::MissKind;
+  trace::Trace t;
+  t.labels.push_back(trace::RegionLabel{"A", 0, 1u << 20, true});
+  // 200 written blocks in one epoch; cache holds 128, cap at 25% => 32.
+  for (int i = 0; i < 200; ++i) {
+    t.misses.push_back(rec(0, 0, K::WriteMiss, static_cast<Addr>(i) * 32));
+  }
+  PlanBuilder pb(t, geo());
+  sim::DirectivePlan plan =
+      pb.build({.mode = Mode::Programmer, .capacity_fraction = 0.25});
+  const sim::NodeEpochDirectives* ned = plan.find(0, 0);
+  ASSERT_NE(ned, nullptr);
+  std::size_t start_blocks = 0;
+  for (const auto& pd : ned->at_start) start_blocks += pd.run.count();
+  EXPECT_EQ(start_blocks, 32u);
+  EXPECT_EQ(pb.last_summary().capacity_spills, 168u);
+}
+
+TEST(PlanBuilderTest, HistoryAblationRechecksEverything) {
+  using K = trace::MissKind;
+  trace::Trace t;
+  t.misses = {
+      rec(0, 0, K::WriteMiss, 0x1000),
+      rec(1, 0, K::WriteMiss, 0x1000),
+  };
+  PlanBuilder pb(t, geo());
+  sim::DirectivePlan with_hist = pb.build({.mode = Mode::Programmer});
+  sim::DirectivePlan no_hist =
+      pb.build({.mode = Mode::Programmer, .use_history = false});
+  // With history: epoch 1 reuses the cached block -> no re-checkout (the
+  // final check-in, with no epoch 2, is still planned).
+  const sim::NodeEpochDirectives* hist_ned = with_hist.find(0, 1);
+  ASSERT_NE(hist_ned, nullptr);
+  EXPECT_TRUE(hist_ned->at_start.empty());
+  EXPECT_FALSE(hist_ned->at_end.empty());
+  // Without history: epoch 1 checks out again too.
+  const sim::NodeEpochDirectives* ned = no_hist.find(0, 1);
+  ASSERT_NE(ned, nullptr);
+  EXPECT_FALSE(ned->at_start.empty());
+  EXPECT_FALSE(ned->at_end.empty());
+  // And epoch 0 checks IN even though the same node writes again next
+  // epoch (history-free ci = S_i).
+  const sim::NodeEpochDirectives* e0 = no_hist.find(0, 0);
+  ASSERT_NE(e0, nullptr);
+  EXPECT_FALSE(e0->at_end.empty());
+}
+
+TEST(PlanBuilderTest, SummaryCountsAreConsistent) {
+  using K = trace::MissKind;
+  trace::Trace t;
+  t.labels.push_back(trace::RegionLabel{"A", 0x1000, 0x1000, true});
+  t.misses = {
+      rec(0, 0, K::WriteMiss, 0x1000),
+      rec(0, 0, K::ReadMiss, 0x1040),
+      rec(0, 1, K::ReadMiss, 0x1080),
+      rec(1, 1, K::WriteMiss, 0x1040),
+  };
+  PlanBuilder pb(t, geo());
+  sim::DirectivePlan plan = pb.build({.mode = Mode::Performance});
+  const PlanSummary s = pb.last_summary();
+  EXPECT_EQ(s.start_checkout_blocks, 0u);
+  EXPECT_GT(s.end_checkin_blocks, 0u);
+  EXPECT_GT(plan.total_directives(), 0u);
+  EXPECT_FALSE(plan.summary().empty());
+}
+
+}  // namespace
+}  // namespace cico::cachier

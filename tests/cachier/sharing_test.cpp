@@ -1,0 +1,141 @@
+#include "cico/cachier/sharing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cico::cachier {
+namespace {
+
+mem::CacheGeometry geo() {
+  mem::CacheGeometry g;
+  g.size_bytes = 4096;
+  g.assoc = 4;
+  g.block_bytes = 32;
+  return g;
+}
+
+trace::MissRecord rec(EpochId e, NodeId n, trace::MissKind k, Addr a,
+                      PcId pc = 1) {
+  return trace::MissRecord{e, n, k, a, 8, pc};
+}
+
+TEST(SharingTest, WriteWriteRaceDetected) {
+  trace::Trace t;
+  t.misses = {
+      rec(0, 0, trace::MissKind::WriteMiss, 0x1000),
+      rec(0, 1, trace::MissKind::WriteMiss, 0x1000),
+  };
+  SharingAnalyzer sa(t, geo());
+  EXPECT_TRUE(sa.epoch(0).race_blocks.contains(0x1000 / 32));
+  ASSERT_EQ(sa.races().size(), 1u);
+  EXPECT_EQ(sa.races()[0].addr, 0x1000u);
+  EXPECT_EQ(sa.races()[0].nodes.size(), 2u);
+}
+
+TEST(SharingTest, ReadWriteRaceDetected) {
+  trace::Trace t;
+  t.misses = {
+      rec(0, 0, trace::MissKind::WriteMiss, 0x1000),
+      rec(0, 1, trace::MissKind::ReadMiss, 0x1000),
+  };
+  SharingAnalyzer sa(t, geo());
+  EXPECT_TRUE(sa.epoch(0).is_drfs(0x1000 / 32));
+}
+
+TEST(SharingTest, ReadReadIsNotARace) {
+  trace::Trace t;
+  t.misses = {
+      rec(0, 0, trace::MissKind::ReadMiss, 0x1000),
+      rec(0, 1, trace::MissKind::ReadMiss, 0x1000),
+  };
+  SharingAnalyzer sa(t, geo());
+  EXPECT_TRUE(sa.races().empty());
+  // Same word from two nodes is TRUE sharing, not false sharing either.
+  EXPECT_TRUE(sa.false_shares().empty());
+}
+
+TEST(SharingTest, SameNodeWritesAreNotARace) {
+  trace::Trace t;
+  t.misses = {
+      rec(0, 0, trace::MissKind::WriteMiss, 0x1000),
+      rec(0, 0, trace::MissKind::ReadMiss, 0x1000),
+  };
+  SharingAnalyzer sa(t, geo());
+  EXPECT_TRUE(sa.races().empty());
+}
+
+TEST(SharingTest, AccessesInDifferentEpochsDoNotRace) {
+  trace::Trace t;
+  t.misses = {
+      rec(0, 0, trace::MissKind::WriteMiss, 0x1000),
+      rec(1, 1, trace::MissKind::WriteMiss, 0x1000),
+  };
+  SharingAnalyzer sa(t, geo());
+  EXPECT_TRUE(sa.races().empty());
+  EXPECT_FALSE(sa.epoch(0).is_drfs(0x1000 / 32));
+  EXPECT_FALSE(sa.epoch(1).is_drfs(0x1000 / 32));
+}
+
+TEST(SharingTest, FalseSharingOnDifferentWords) {
+  // "False sharing results from two or more processors accessing
+  //  different addresses in the same cache block."
+  trace::Trace t;
+  t.misses = {
+      rec(0, 0, trace::MissKind::WriteMiss, 0x1000),
+      rec(0, 1, trace::MissKind::ReadMiss, 0x1008),  // same block, other word
+  };
+  SharingAnalyzer sa(t, geo());
+  const Block b = 0x1000 / 32;
+  EXPECT_TRUE(sa.epoch(0).fs_blocks.contains(b));
+  EXPECT_TRUE(sa.epoch(0).is_drfs(b));
+  EXPECT_TRUE(sa.races().empty());
+  ASSERT_EQ(sa.false_shares().size(), 1u);
+  EXPECT_EQ(sa.false_shares()[0].block, b);
+}
+
+TEST(SharingTest, ReadOnlyFalseSharingLiteralVsWriteRequired) {
+  trace::Trace t;
+  t.misses = {
+      rec(0, 0, trace::MissKind::ReadMiss, 0x1000),
+      rec(0, 1, trace::MissKind::ReadMiss, 0x1008),
+  };
+  // Default (write required -- see SharingOptions): read-only
+  // co-residence is NOT false sharing.
+  SharingAnalyzer def(t, geo());
+  EXPECT_TRUE(def.false_shares().empty());
+  // Paper-literal definition (A1 ablation knob): flagged even without a
+  // write.
+  SharingAnalyzer literal(t, geo(), SharingOptions{.fs_requires_write = false});
+  EXPECT_EQ(literal.false_shares().size(), 1u);
+}
+
+TEST(SharingTest, RaceAndFalseSharingCanCoexistInOneBlock) {
+  trace::Trace t;
+  t.misses = {
+      rec(0, 0, trace::MissKind::WriteMiss, 0x1000),
+      rec(0, 1, trace::MissKind::WriteMiss, 0x1000),  // race on word 0x1000
+      rec(0, 2, trace::MissKind::ReadMiss, 0x1010),   // false shares the block
+  };
+  SharingAnalyzer sa(t, geo());
+  const Block b = 0x1000 / 32;
+  EXPECT_TRUE(sa.epoch(0).race_blocks.contains(b));
+  EXPECT_TRUE(sa.epoch(0).fs_blocks.contains(b));
+}
+
+TEST(SharingTest, ReportNamesRegionsAndSites) {
+  trace::Trace t;
+  t.labels.push_back(trace::RegionLabel{"C", 0x1000, 0x100, true});
+  t.misses = {
+      rec(0, 0, trace::MissKind::WriteMiss, 0x1008, 21),
+      rec(0, 1, trace::MissKind::WriteMiss, 0x1008, 22),
+  };
+  SharingAnalyzer sa(t, geo());
+  PcRegistry pcs;
+  (void)pcs.intern("pad");  // ids up to 22 must exist
+  for (int i = 0; i < 25; ++i) (void)pcs.intern("site" + std::to_string(i));
+  const std::string rep = sa.report(t, pcs);
+  EXPECT_NE(rep.find("C+8"), std::string::npos);
+  EXPECT_NE(rep.find("1 potential data race"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cico::cachier

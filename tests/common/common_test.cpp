@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cico/common/pc_registry.hpp"
+#include "cico/common/rng.hpp"
+#include "cico/common/cost.hpp"
+#include "cico/common/stats.hpp"
+
+namespace cico {
+namespace {
+
+TEST(PcRegistryTest, InternIsIdempotent) {
+  PcRegistry r;
+  const PcId a = r.intern("f.c", 10, "x = y");
+  const PcId b = r.intern("f.c", 10, "x = y");
+  const PcId c = r.intern("f.c", 11, "x = y");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(r.info(a).line, 10);
+  EXPECT_EQ(r.info(a).name, "x = y");
+}
+
+TEST(PcRegistryTest, ZeroIsReservedUnknown) {
+  PcRegistry r;
+  EXPECT_EQ(r.info(kNoPc).name, "<none>");
+  EXPECT_GE(r.intern("a"), 1u);
+}
+
+TEST(PcRegistryTest, DescribeFormats) {
+  PcRegistry r;
+  const PcId a = r.intern("m.c", 7, "store");
+  EXPECT_EQ(r.describe(a), "m.c:7(store)");
+  const PcId b = r.intern("just-name");
+  EXPECT_EQ(r.describe(b), "just-name");
+}
+
+TEST(StatsTest, PerNodeAndTotals) {
+  Stats s(4);
+  s.add(0, Stat::Traps);
+  s.add(1, Stat::Traps, 5);
+  s.add(3, Stat::Messages, 7);
+  EXPECT_EQ(s.node(0, Stat::Traps), 1u);
+  EXPECT_EQ(s.node(1, Stat::Traps), 5u);
+  EXPECT_EQ(s.total(Stat::Traps), 6u);
+  EXPECT_EQ(s.total(Stat::Messages), 7u);
+  s.reset();
+  EXPECT_EQ(s.total(Stat::Traps), 0u);
+}
+
+TEST(StatsTest, AllStatNamesDistinct) {
+  std::set<std::string_view> names;
+  for (std::size_t i = 0; i < kStatCount; ++i) {
+    EXPECT_TRUE(names.insert(stat_name(static_cast<Stat>(i))).second);
+  }
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    (void)c.next();
+  }
+  Rng a2(42), c2(43);
+  EXPECT_NE(a2.next(), c2.next());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = r.range(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+    EXPECT_LT(r.below(10), 10u);
+  }
+}
+
+TEST(CostModelTest, HwMissLatency) {
+  CostModel c;
+  EXPECT_EQ(c.hw_miss_latency(), c.net_hop * 2 + c.dir_hw + c.mem_access);
+}
+
+}  // namespace
+}  // namespace cico

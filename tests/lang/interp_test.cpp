@@ -1,0 +1,214 @@
+#include "cico/lang/interp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cico/lang/parser.hpp"
+
+namespace cico::lang {
+namespace {
+
+sim::SimConfig cfg(std::uint32_t nodes) {
+  sim::SimConfig c;
+  c.nodes = nodes;
+  c.cache.size_bytes = 8192;
+  return c;
+}
+
+/// Parses + runs a program; returns the LoadedProgram for inspection.
+struct Ran {
+  Program prog;
+  std::unique_ptr<sim::Machine> m;
+  std::unique_ptr<LoadedProgram> lp;
+};
+
+Ran run(const std::string& src, std::uint32_t nodes,
+        const sim::DirectivePlan* plan = nullptr) {
+  Ran r;
+  r.prog = parse(src);
+  r.m = std::make_unique<sim::Machine>(cfg(nodes));
+  if (plan) r.m->set_plan(plan);
+  r.lp = std::make_unique<LoadedProgram>(r.prog, *r.m);
+  r.m->run([&](sim::Proc& p) { r.lp->run_node(p); });
+  return r;
+}
+
+TEST(InterpTest, FillsArrayDeterministically) {
+  auto r = run(R"(
+    const N = 16;
+    shared real A[N];
+    parallel
+      if pid == 0 then
+        for i = 0 to N - 1 do
+          A[i] = i * i;
+        od
+      fi
+    end
+  )", 2);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_DOUBLE_EQ(r.lp->value("A", i), static_cast<double>(i * i));
+  }
+}
+
+TEST(InterpTest, PidPartitionedWrites) {
+  auto r = run(R"(
+    const N = 16;
+    shared real A[N];
+    parallel
+      private per = N / nprocs;
+      private lo = pid * per;
+      for i = lo to lo + per - 1 do
+        A[i] = pid + 1;
+      od
+    end
+  )", 4);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_DOUBLE_EQ(r.lp->value("A", i), static_cast<double>(i / 4 + 1));
+  }
+}
+
+TEST(InterpTest, TwoDArraysAndExpressions) {
+  auto r = run(R"(
+    const N = 4;
+    shared real C[N, N];
+    parallel
+      if pid == 0 then
+        for i = 0 to N - 1 do
+          for j = 0 to N - 1 do
+            C[i, j] = min(i, j) * 10 + max(i, j) + (i == j) * 100;
+          od
+        od
+      fi
+    end
+  )", 2);
+  EXPECT_DOUBLE_EQ(r.lp->value("C", 2, 2), 22.0 + 100.0);
+  EXPECT_DOUBLE_EQ(r.lp->value("C", 1, 3), 13.0);
+  EXPECT_DOUBLE_EQ(r.lp->value("C", 3, 1), 13.0);
+}
+
+TEST(InterpTest, BarriersMakeProducerConsumerDeterministic) {
+  auto r = run(R"(
+    const N = 8;
+    shared real A[N];
+    shared real B[N];
+    parallel
+      if pid == 0 then
+        for i = 0 to N - 1 do
+          A[i] = i + 1;
+        od
+      fi
+      barrier;
+      if pid == 1 then
+        for i = 0 to N - 1 do
+          B[i] = A[i] * 2;
+        od
+      fi
+    end
+  )", 2);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(r.lp->value("B", i), 2.0 * (static_cast<double>(i) + 1));
+  }
+  EXPECT_EQ(r.m->epochs_completed(), 1u);
+}
+
+TEST(InterpTest, DirectivesExecute) {
+  auto r = run(R"(
+    const N = 8;
+    shared real A[N];
+    parallel
+      if pid == 0 then
+        check_out_X A[0:7];
+        for i = 0 to N - 1 do
+          A[i] = 1;
+        od
+        check_in A[0:7];
+        prefetch_S A[0:7];
+      fi
+    end
+  )", 2);
+  EXPECT_EQ(r.m->stats().total(Stat::CheckOutX), 2u);  // 64 B = 2 blocks
+  EXPECT_EQ(r.m->stats().total(Stat::CheckIns), 2u);
+  EXPECT_EQ(r.m->stats().total(Stat::PrefetchIssued), 2u);
+  EXPECT_EQ(r.m->stats().total(Stat::WriteMisses), 0u);  // checked out first
+}
+
+TEST(InterpTest, LocksSerializeIncrements) {
+  auto r = run(R"(
+    shared real A[1];
+    parallel
+      for i = 1 to 5 do
+        lock A[0];
+        A[0] = A[0] + 1;
+        unlock A[0];
+      od
+    end
+  )", 4);
+  EXPECT_DOUBLE_EQ(r.lp->value("A", 0), 20.0);
+}
+
+TEST(InterpTest, ShortCircuitSkipsMemoryTraffic) {
+  auto r = run(R"(
+    shared real A[4];
+    parallel
+      if pid == 0 then
+        private x = 0 && A[0];
+        private y = 1 || A[1];
+        A[2] = x + y;
+      fi
+    end
+  )", 1);
+  // Neither A[0] nor A[1] should have been loaded.
+  EXPECT_EQ(r.m->stats().total(Stat::SharedLoads), 0u);
+  EXPECT_DOUBLE_EQ(r.lp->value("A", 2), 1.0);
+}
+
+TEST(InterpTest, RuntimeErrors) {
+  EXPECT_THROW(run("shared real A[4]; parallel A[9] = 1; end", 1),
+               InterpError);
+  EXPECT_THROW(run("parallel private x = nope; end", 1), InterpError);
+  EXPECT_THROW(run("parallel B[0] = 1; end", 1), InterpError);
+  EXPECT_THROW(run("parallel for i = 0 to 3 step 0 do od end", 1),
+               InterpError);
+}
+
+TEST(InterpTest, PcMappingRoundTrips) {
+  Program prog = parse("shared real A[4]; parallel A[0] = 1; end");
+  sim::Machine m(cfg(1));
+  LoadedProgram lp(prog, m);
+  const AstId assign = prog.body[0]->id;
+  const PcId pc = lp.pc_for(assign);
+  EXPECT_NE(pc, kNoPc);
+  EXPECT_EQ(lp.ast_for(pc), assign);
+}
+
+TEST(InterpTest, TraceRecordsMiniParAccesses) {
+  Program prog = parse(R"(
+    shared real A[8];
+    parallel
+      if pid == 0 then
+        A[0] = 1;
+      fi
+      barrier;
+      if pid == 1 then
+        private x = A[0];
+        A[1] = x;
+      fi
+    end
+  )");
+  sim::SimConfig c = cfg(2);
+  c.trace_mode = true;
+  sim::Machine m(c);
+  trace::TraceWriter w;
+  m.set_trace_writer(&w);
+  LoadedProgram lp(prog, m);
+  w.set_labels(m.heap().trace_labels());
+  m.run([&](sim::Proc& p) { lp.run_node(p); });
+  trace::Trace t = w.take();
+  ASSERT_GE(t.misses.size(), 2u);
+  // Every miss pc maps back to an AST node.
+  for (const auto& ms : t.misses) {
+    EXPECT_NE(lp.ast_for(ms.pc), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace cico::lang

@@ -1,0 +1,67 @@
+#include "cico/lang/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cico::lang {
+namespace {
+
+TEST(LexerTest, KeywordsAndIdentifiers) {
+  auto t = lex("shared real A for foo check_out_X pid");
+  ASSERT_EQ(t.size(), 8u);  // 7 tokens + eof
+  EXPECT_EQ(t[0].kind, Tok::KwShared);
+  EXPECT_EQ(t[1].kind, Tok::KwReal);
+  EXPECT_EQ(t[2].kind, Tok::Ident);
+  EXPECT_EQ(t[2].text, "A");
+  EXPECT_EQ(t[3].kind, Tok::KwFor);
+  EXPECT_EQ(t[4].kind, Tok::Ident);
+  EXPECT_EQ(t[5].kind, Tok::KwCheckOutX);
+  EXPECT_EQ(t[6].kind, Tok::KwPid);
+  EXPECT_EQ(t[7].kind, Tok::Eof);
+}
+
+TEST(LexerTest, Numbers) {
+  auto t = lex("0 42 3.5 1e3 2.5e-2");
+  EXPECT_DOUBLE_EQ(t[0].number, 0.0);
+  EXPECT_DOUBLE_EQ(t[1].number, 42.0);
+  EXPECT_DOUBLE_EQ(t[2].number, 3.5);
+  EXPECT_DOUBLE_EQ(t[3].number, 1000.0);
+  EXPECT_DOUBLE_EQ(t[4].number, 0.025);
+}
+
+TEST(LexerTest, OperatorsIncludingTwoChar) {
+  auto t = lex("== != <= >= && || < > = + - * / % ! : ; , ( ) [ ]");
+  const Tok want[] = {Tok::Eq,     Tok::Ne,     Tok::Le,      Tok::Ge,
+                      Tok::AndAnd, Tok::OrOr,   Tok::Lt,      Tok::Gt,
+                      Tok::Assign, Tok::Plus,   Tok::Minus,   Tok::Star,
+                      Tok::Slash,  Tok::Percent, Tok::Not,    Tok::Colon,
+                      Tok::Semicolon, Tok::Comma, Tok::LParen, Tok::RParen,
+                      Tok::LBracket,  Tok::RBracket};
+  for (std::size_t i = 0; i < std::size(want); ++i) {
+    EXPECT_EQ(t[i].kind, want[i]) << i;
+  }
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto t = lex("a # this is a comment\n b");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0].text, "a");
+  EXPECT_EQ(t[1].text, "b");
+  EXPECT_EQ(t[1].line, 2);
+}
+
+TEST(LexerTest, TracksLinesAndColumns) {
+  auto t = lex("a\n  bb\n   c");
+  EXPECT_EQ(t[0].line, 1);
+  EXPECT_EQ(t[0].col, 1);
+  EXPECT_EQ(t[1].line, 2);
+  EXPECT_EQ(t[1].col, 3);
+  EXPECT_EQ(t[2].line, 3);
+  EXPECT_EQ(t[2].col, 4);
+}
+
+TEST(LexerTest, RejectsBadCharacters) {
+  EXPECT_THROW(lex("a @ b"), ParseError);
+}
+
+}  // namespace
+}  // namespace cico::lang

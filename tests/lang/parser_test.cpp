@@ -1,0 +1,109 @@
+#include "cico/lang/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cico/lang/unparse.hpp"
+
+namespace cico::lang {
+namespace {
+
+constexpr const char* kProgram = R"(
+const N = 8;
+shared real A[N];
+shared real C[N, N];
+parallel
+  private lo = pid * (N / nprocs);
+  for i = 0 to N - 1 do
+    A[i] = i * 2 + 1;
+  od
+  barrier;
+  if pid == 0 then
+    check_out_X C[0:3, 0];
+    C[0, 0] = A[0];
+    check_in C[0:3, 0];
+  else
+    compute 100;
+  fi
+  lock A[0];
+  A[0] = A[0] + 1;
+  unlock A[0];
+  prefetch_S A[0:7];
+end
+)";
+
+TEST(ParserTest, ParsesFullProgram) {
+  Program p = parse(kProgram);
+  EXPECT_EQ(p.decls.size(), 3u);
+  EXPECT_EQ(p.decls[0]->kind, StmtKind::ConstDecl);
+  EXPECT_EQ(p.decls[1]->kind, StmtKind::SharedDecl);
+  EXPECT_EQ(p.decls[1]->dims.size(), 1u);
+  EXPECT_EQ(p.decls[2]->dims.size(), 2u);
+  ASSERT_GE(p.body.size(), 6u);
+  EXPECT_EQ(p.body[0]->kind, StmtKind::Private);
+  EXPECT_EQ(p.body[1]->kind, StmtKind::For);
+  EXPECT_EQ(p.body[2]->kind, StmtKind::Barrier);
+  EXPECT_EQ(p.body[3]->kind, StmtKind::If);
+  EXPECT_EQ(p.body[3]->body[0]->kind, StmtKind::Directive);
+  EXPECT_EQ(p.body[3]->body[0]->dir, sim::DirectiveKind::CheckOutX);
+  EXPECT_EQ(p.body[3]->else_body.size(), 1u);
+}
+
+TEST(ParserTest, UnparseParseRoundTrip) {
+  Program p1 = parse(kProgram);
+  const std::string text1 = unparse(p1);
+  Program p2 = parse(text1);
+  const std::string text2 = unparse(p2);
+  EXPECT_EQ(text1, text2);  // fixed point after one round
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  Program p = parse("parallel private x = 1 + 2 * 3 - 4 / 2; end");
+  EXPECT_EQ(unparse_expr(*p.body[0]->rhs), "1 + 2 * 3 - 4 / 2");
+}
+
+TEST(ParserTest, ParenthesesPreservedWhenNeeded) {
+  Program p = parse("parallel private x = (1 + 2) * 3; end");
+  EXPECT_EQ(unparse_expr(*p.body[0]->rhs), "(1 + 2) * 3");
+}
+
+TEST(ParserTest, ForWithStep) {
+  Program p = parse("parallel for i = 1 to 9 step 2 do compute 1; od end");
+  const Stmt& f = *p.body[0];
+  ASSERT_NE(f.step, nullptr);
+  EXPECT_DOUBLE_EQ(f.step->number, 2.0);
+}
+
+TEST(ParserTest, DirectiveRanges) {
+  Program p = parse("parallel check_out_S A[1 : N - 1, pid]; end");
+  const Stmt& d = *p.body[0];
+  ASSERT_EQ(d.ref->ranges.size(), 2u);
+  EXPECT_NE(d.ref->ranges[0].hi, nullptr);
+  EXPECT_EQ(d.ref->ranges[1].hi, nullptr);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_THROW(parse("parallel"), ParseError);                  // no end
+  EXPECT_THROW(parse("shared real A[4] parallel end"), ParseError);  // ';'
+  EXPECT_THROW(parse("parallel x = ; end"), ParseError);        // bad expr
+  EXPECT_THROW(parse("parallel for i = 1 to do od end"), ParseError);
+  EXPECT_THROW(parse("garbage"), ParseError);
+  EXPECT_THROW(parse("parallel end trailing"), ParseError);
+}
+
+TEST(ParserTest, AstIdsAreUnique) {
+  Program p = parse(kProgram);
+  std::set<AstId> seen;
+  std::function<void(const std::vector<StmtPtr>&)> walk =
+      [&](const std::vector<StmtPtr>& b) {
+        for (const auto& s : b) {
+          EXPECT_TRUE(seen.insert(s->id).second) << "dup stmt id " << s->id;
+          walk(s->body);
+          walk(s->else_body);
+        }
+      };
+  walk(p.body);
+  EXPECT_LT(*seen.rbegin(), p.next_id);
+}
+
+}  // namespace
+}  // namespace cico::lang

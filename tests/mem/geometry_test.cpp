@@ -1,0 +1,44 @@
+#include "cico/mem/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cico::mem {
+namespace {
+
+struct GeoCase {
+  std::uint32_t size, assoc, block;
+  std::uint32_t want_sets;
+};
+
+class GeometrySweep : public ::testing::TestWithParam<GeoCase> {};
+
+TEST_P(GeometrySweep, SetsAndBlocksConsistent) {
+  const GeoCase& p = GetParam();
+  CacheGeometry g{p.size, p.assoc, p.block};
+  EXPECT_EQ(g.num_sets(), p.want_sets);
+  EXPECT_EQ(g.num_blocks(), g.num_sets() * g.assoc);
+  // Every address maps into a valid set.
+  for (Addr a : {Addr{0}, Addr{p.block - 1}, Addr{p.block},
+                 Addr{static_cast<Addr>(p.size) * 7 + 13}}) {
+    EXPECT_LT(g.set_of(g.block_of(a)), g.num_sets());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, GeometrySweep,
+    ::testing::Values(GeoCase{256u << 10, 4, 32, 2048},   // paper config
+                      GeoCase{64u << 10, 2, 32, 1024},
+                      GeoCase{16u << 10, 1, 64, 256},     // direct-mapped
+                      GeoCase{1u << 20, 8, 128, 1024},
+                      GeoCase{4096, 4, 32, 32}));
+
+TEST(GeometryTest, RangeCoversBlocks) {
+  CacheGeometry g{4096, 4, 32};
+  // A 100-byte range starting mid-block covers ceil((16+100)/32) blocks.
+  const Addr a = 48;  // block 1, offset 16
+  EXPECT_EQ(g.first_block(a), 1u);
+  EXPECT_EQ(g.last_block(a, 100), (a + 99) / 32);
+}
+
+}  // namespace
+}  // namespace cico::mem

@@ -1,0 +1,52 @@
+#include "cico/net/network.hpp"
+
+#include <gtest/gtest.h>
+#include <set>
+
+namespace cico::net {
+namespace {
+
+TEST(NetworkTest, LatencyUniformExceptLocal) {
+  CostModel cost;
+  Stats stats(4);
+  Network net(cost, stats);
+  EXPECT_EQ(net.latency(0, 1), cost.net_hop);
+  EXPECT_EQ(net.latency(3, 1), cost.net_hop);
+  EXPECT_EQ(net.latency(2, 2), 0u);  // co-located directory slice
+}
+
+TEST(NetworkTest, SendAdvancesTimeAndCounts) {
+  CostModel cost;
+  Stats stats(4);
+  Network net(cost, stats);
+  const Cycle t = net.send(0, 1, MsgType::Request, 100);
+  EXPECT_EQ(t, 100 + cost.net_hop);
+  EXPECT_EQ(net.sent(MsgType::Request), 1u);
+  EXPECT_EQ(stats.node(0, Stat::Messages), 1u);
+  EXPECT_EQ(stats.node(1, Stat::Messages), 0u);  // charged to sender
+}
+
+TEST(NetworkTest, PerTypeAccounting) {
+  CostModel cost;
+  Stats stats(2);
+  Network net(cost, stats);
+  net.count(0, MsgType::Invalidate);
+  net.count(0, MsgType::Invalidate);
+  net.count(1, MsgType::Ack);
+  net.send(0, 1, MsgType::DataReply, 0);
+  EXPECT_EQ(net.sent(MsgType::Invalidate), 2u);
+  EXPECT_EQ(net.sent(MsgType::Ack), 1u);
+  EXPECT_EQ(net.sent(MsgType::DataReply), 1u);
+  EXPECT_EQ(net.sent(MsgType::Recall), 0u);
+  EXPECT_EQ(net.total_sent(), 4u);
+}
+
+TEST(NetworkTest, AllTypeNamesDistinct) {
+  std::set<std::string_view> names;
+  for (std::size_t i = 0; i < kMsgTypeCount; ++i) {
+    EXPECT_TRUE(names.insert(msg_type_name(static_cast<MsgType>(i))).second);
+  }
+}
+
+}  // namespace
+}  // namespace cico::net

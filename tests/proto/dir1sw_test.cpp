@@ -1,0 +1,339 @@
+// Exhaustive transition tests for the Dir1SW directory protocol: every
+// hardware fast path, every software trap, prefetch drop rules, check-in
+// semantics, latency arithmetic and invariant checking.
+#include "cico/proto/dir1sw.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace cico::proto {
+namespace {
+
+using mem::LineState;
+
+class FakeCaches : public CacheControl {
+ public:
+  [[nodiscard]] LineState peek(NodeId n, Block b) const override {
+    auto it = lines_.find({n, b});
+    return it == lines_.end() ? LineState::Invalid : it->second;
+  }
+  void invalidate(NodeId n, Block b) override { lines_.erase({n, b}); }
+  void downgrade(NodeId n, Block b) override {
+    auto it = lines_.find({n, b});
+    if (it != lines_.end()) it->second = LineState::Shared;
+  }
+  void push_shared(NodeId n, Block b) override {
+    lines_[{n, b}] = LineState::Shared;
+  }
+  void set(NodeId n, Block b, LineState s) {
+    if (s == LineState::Invalid) lines_.erase({n, b});
+    else lines_[{n, b}] = s;
+  }
+
+ private:
+  std::map<std::pair<NodeId, Block>, LineState> lines_;
+};
+
+class Dir1SWTest : public ::testing::Test {
+ protected:
+  static constexpr std::uint32_t kNodes = 4;
+  Dir1SWTest()
+      : stats_(kNodes), net_(cost_, stats_),
+        dir_(kNodes, cost_, net_, stats_, caches_) {}
+
+  /// Mirrors the simulator: apply the cache-state consequence of a
+  /// successful request on the requester's own cache.
+  void fill(NodeId n, Block b, LineState s) { caches_.set(n, b, s); }
+
+  CostModel cost_{};  // defaults
+  Stats stats_;
+  net::Network net_;
+  FakeCaches caches_;
+  Dir1SW dir_;
+};
+
+// Block 1 homes on node 1; requests from node 0 are fully remote.
+constexpr Block kB = 1;
+
+TEST_F(Dir1SWTest, IdleGetSharedIsHardware) {
+  auto r = dir_.get_shared(0, kB, 100);
+  EXPECT_FALSE(r.trapped);
+  EXPECT_FALSE(r.nacked);
+  EXPECT_EQ(r.invalidations, 0u);
+  // req hop + dir_hw + mem + reply hop
+  EXPECT_EQ(r.done_at, 100 + cost_.hw_miss_latency());
+  fill(0, kB, LineState::Shared);
+  const DirEntry* e = dir_.entry(kB);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->state, DirState::Shared);
+  EXPECT_EQ(e->count, 1u);
+  EXPECT_TRUE(e->has_sharer(0));
+  EXPECT_EQ(dir_.check_invariants(), "");
+}
+
+TEST_F(Dir1SWTest, IdleGetExclusiveIsHardware) {
+  auto r = dir_.get_exclusive(2, kB, 0);
+  EXPECT_FALSE(r.trapped);
+  EXPECT_EQ(r.done_at, cost_.hw_miss_latency());
+  fill(2, kB, LineState::Exclusive);
+  const DirEntry* e = dir_.entry(kB);
+  EXPECT_EQ(e->state, DirState::Exclusive);
+  EXPECT_EQ(e->owner, 2u);
+  EXPECT_EQ(dir_.check_invariants(), "");
+}
+
+TEST_F(Dir1SWTest, SecondReaderIncrementsCounter) {
+  dir_.get_shared(0, kB, 0);
+  fill(0, kB, LineState::Shared);
+  auto r = dir_.get_shared(2, kB, 10);
+  fill(2, kB, LineState::Shared);
+  EXPECT_FALSE(r.trapped);
+  const DirEntry* e = dir_.entry(kB);
+  EXPECT_EQ(e->count, 2u);
+  EXPECT_TRUE(e->has_sharer(0));
+  EXPECT_TRUE(e->has_sharer(2));
+  EXPECT_EQ(stats_.total(Stat::Traps), 0u);
+  EXPECT_EQ(dir_.check_invariants(), "");
+}
+
+TEST_F(Dir1SWTest, SoleSharerUpgradeIsHardware) {
+  // The Dir1SW hardware pointer + counter==1 suffice: no trap, no data.
+  dir_.get_shared(0, kB, 0);
+  fill(0, kB, LineState::Shared);
+  auto r = dir_.get_exclusive(0, kB, 200);
+  EXPECT_FALSE(r.trapped);
+  EXPECT_EQ(r.invalidations, 0u);
+  // req hop + dir_hw + ack hop (no memory access)
+  EXPECT_EQ(r.done_at, 200 + cost_.net_hop + cost_.dir_hw + cost_.net_hop);
+  fill(0, kB, LineState::Exclusive);
+  EXPECT_EQ(dir_.entry(kB)->state, DirState::Exclusive);
+  EXPECT_EQ(dir_.entry(kB)->owner, 0u);
+  EXPECT_EQ(stats_.total(Stat::Traps), 0u);
+  EXPECT_EQ(dir_.check_invariants(), "");
+}
+
+TEST_F(Dir1SWTest, UpgradeWithOtherSharersTraps) {
+  dir_.get_shared(0, kB, 0);
+  fill(0, kB, LineState::Shared);
+  dir_.get_shared(2, kB, 0);
+  fill(2, kB, LineState::Shared);
+  auto r = dir_.get_exclusive(0, kB, 1000);
+  EXPECT_TRUE(r.trapped);
+  EXPECT_EQ(r.invalidations, 1u);
+  EXPECT_EQ(stats_.total(Stat::Traps), 1u);
+  EXPECT_EQ(stats_.total(Stat::Invalidations), 1u);
+  // Requester held a copy: no memory fetch on the reply path.
+  // req->home + trap + inval occupancy + inval RTT + ack
+  const Cycle want = 1000 + cost_.net_hop + cost_.dir_trap +
+                     cost_.inval_per_sharer + 2 * cost_.net_hop + cost_.net_hop;
+  EXPECT_EQ(r.done_at, want);
+  fill(0, kB, LineState::Exclusive);
+  EXPECT_EQ(caches_.peek(2, kB), LineState::Invalid);  // invalidated
+  EXPECT_EQ(dir_.entry(kB)->state, DirState::Exclusive);
+  EXPECT_EQ(dir_.check_invariants(), "");
+}
+
+TEST_F(Dir1SWTest, WriteToForeignSharedTraps) {
+  dir_.get_shared(2, kB, 0);
+  fill(2, kB, LineState::Shared);
+  dir_.get_shared(3, kB, 0);
+  fill(3, kB, LineState::Shared);
+  auto r = dir_.get_exclusive(0, kB, 0);
+  EXPECT_TRUE(r.trapped);
+  EXPECT_EQ(r.invalidations, 2u);
+  fill(0, kB, LineState::Exclusive);
+  EXPECT_EQ(caches_.peek(2, kB), LineState::Invalid);
+  EXPECT_EQ(caches_.peek(3, kB), LineState::Invalid);
+  EXPECT_EQ(dir_.entry(kB)->owner, 0u);
+  EXPECT_EQ(dir_.check_invariants(), "");
+}
+
+TEST_F(Dir1SWTest, ReadOfExclusiveRecallsAndDowngrades) {
+  dir_.get_exclusive(2, kB, 0);
+  fill(2, kB, LineState::Exclusive);
+  auto r = dir_.get_shared(0, kB, 500);
+  EXPECT_TRUE(r.trapped);
+  EXPECT_EQ(stats_.total(Stat::Recalls), 1u);
+  EXPECT_EQ(stats_.total(Stat::Writebacks), 1u);
+  fill(0, kB, LineState::Shared);
+  EXPECT_EQ(caches_.peek(2, kB), LineState::Shared);  // downgraded, kept
+  const DirEntry* e = dir_.entry(kB);
+  EXPECT_EQ(e->state, DirState::Shared);
+  EXPECT_EQ(e->count, 2u);
+  EXPECT_EQ(dir_.check_invariants(), "");
+}
+
+TEST_F(Dir1SWTest, WriteOfForeignExclusiveRecallsAndInvalidates) {
+  dir_.get_exclusive(2, kB, 0);
+  fill(2, kB, LineState::Exclusive);
+  auto r = dir_.get_exclusive(0, kB, 500);
+  EXPECT_TRUE(r.trapped);
+  EXPECT_EQ(r.invalidations, 1u);
+  fill(0, kB, LineState::Exclusive);
+  EXPECT_EQ(caches_.peek(2, kB), LineState::Invalid);
+  EXPECT_EQ(dir_.entry(kB)->owner, 0u);
+  EXPECT_EQ(dir_.check_invariants(), "");
+}
+
+TEST_F(Dir1SWTest, OwnerRerequestIsIdempotent) {
+  dir_.get_exclusive(0, kB, 0);
+  fill(0, kB, LineState::Exclusive);
+  auto r1 = dir_.get_exclusive(0, kB, 100);
+  EXPECT_FALSE(r1.trapped);
+  EXPECT_EQ(r1.done_at, 100 + cost_.hit);
+  auto r2 = dir_.get_shared(0, kB, 100);
+  EXPECT_FALSE(r2.trapped);
+  EXPECT_EQ(r2.done_at, 100 + cost_.hit);
+}
+
+TEST_F(Dir1SWTest, CheckInOfExclusiveWritesBackToIdle) {
+  dir_.get_exclusive(0, kB, 0);
+  fill(0, kB, LineState::Exclusive);
+  auto r = dir_.put(0, kB, /*dirty=*/true, 300, /*explicit_ci=*/true);
+  EXPECT_FALSE(r.nacked);
+  EXPECT_EQ(r.done_at, 300 + cost_.directive_issue);  // fire-and-forget
+  caches_.set(0, kB, LineState::Invalid);
+  EXPECT_EQ(dir_.entry(kB)->state, DirState::Idle);
+  EXPECT_EQ(stats_.total(Stat::Writebacks), 1u);
+  EXPECT_EQ(dir_.check_invariants(), "");
+  // The next writer now takes the cheap hardware path: no trap.
+  auto r2 = dir_.get_exclusive(2, kB, 400);
+  EXPECT_FALSE(r2.trapped);
+}
+
+TEST_F(Dir1SWTest, CheckInDecrementsSharedCount) {
+  dir_.get_shared(0, kB, 0);
+  fill(0, kB, LineState::Shared);
+  dir_.get_shared(2, kB, 0);
+  fill(2, kB, LineState::Shared);
+  dir_.put(0, kB, false, 10, true);
+  caches_.set(0, kB, LineState::Invalid);
+  EXPECT_EQ(dir_.entry(kB)->state, DirState::Shared);
+  EXPECT_EQ(dir_.entry(kB)->count, 1u);
+  dir_.put(2, kB, false, 20, true);
+  caches_.set(2, kB, LineState::Invalid);
+  EXPECT_EQ(dir_.entry(kB)->state, DirState::Idle);
+  EXPECT_EQ(dir_.check_invariants(), "");
+}
+
+TEST_F(Dir1SWTest, StalePutIsNacked) {
+  auto r = dir_.put(0, kB, false, 0, true);
+  EXPECT_TRUE(r.nacked);
+  dir_.get_exclusive(2, kB, 0);
+  fill(2, kB, LineState::Exclusive);
+  auto r2 = dir_.put(0, kB, false, 10, true);  // not the owner
+  EXPECT_TRUE(r2.nacked);
+  EXPECT_EQ(dir_.entry(kB)->state, DirState::Exclusive);
+}
+
+TEST_F(Dir1SWTest, PrefetchHardwarePathsSucceed) {
+  auto r = dir_.get_shared(0, kB, 0, /*prefetch=*/true);
+  EXPECT_FALSE(r.nacked);
+  EXPECT_EQ(r.done_at, cost_.hw_miss_latency());
+  fill(0, kB, LineState::Shared);
+  // Sole-sharer prefetch-exclusive upgrade is also a hardware path.
+  auto r2 = dir_.get_exclusive(0, kB, 10, /*prefetch=*/true);
+  EXPECT_FALSE(r2.nacked);
+  EXPECT_FALSE(r2.trapped);
+  fill(0, kB, LineState::Exclusive);
+  EXPECT_EQ(dir_.check_invariants(), "");
+}
+
+TEST_F(Dir1SWTest, PrefetchNeverTraps) {
+  dir_.get_exclusive(2, kB, 0);
+  fill(2, kB, LineState::Exclusive);
+  auto r = dir_.get_shared(0, kB, 10, /*prefetch=*/true);
+  EXPECT_TRUE(r.nacked);
+  EXPECT_EQ(stats_.total(Stat::Traps), 0u);
+  EXPECT_EQ(dir_.entry(kB)->state, DirState::Exclusive);  // unchanged
+  EXPECT_EQ(dir_.entry(kB)->owner, 2u);
+
+  auto r2 = dir_.get_exclusive(3, kB, 10, /*prefetch=*/true);
+  EXPECT_TRUE(r2.nacked);
+
+  // Shared by two: prefetch-X must not invalidate.
+  dir_.get_shared(0, Block{2}, 0);
+  fill(0, Block{2}, LineState::Shared);
+  dir_.get_shared(3, Block{2}, 0);
+  fill(3, Block{2}, LineState::Shared);
+  auto r3 = dir_.get_exclusive(0, Block{2}, 10, /*prefetch=*/true);
+  EXPECT_TRUE(r3.nacked);
+  EXPECT_EQ(stats_.total(Stat::Invalidations), 0u);
+}
+
+TEST_F(Dir1SWTest, LocalRequestsSkipNetworkLatency) {
+  // Block 1 homes on node 1: requests from node 1 pay no hops.
+  auto r = dir_.get_shared(1, kB, 0);
+  EXPECT_EQ(r.done_at, cost_.dir_hw + cost_.mem_access);
+}
+
+TEST_F(Dir1SWTest, MessagesAreCounted) {
+  const auto before = net_.total_sent();
+  dir_.get_shared(0, kB, 0);
+  fill(0, kB, LineState::Shared);
+  EXPECT_EQ(net_.total_sent(), before + 2);  // request + data reply
+  EXPECT_EQ(net_.sent(net::MsgType::Request), 1u);
+  EXPECT_EQ(net_.sent(net::MsgType::DataReply), 1u);
+}
+
+TEST_F(Dir1SWTest, TrapCostExceedsHardwareCost) {
+  // The defining property Dir1SW + CICO relies on: traps are much more
+  // expensive than hardware fills.
+  auto hw = dir_.get_exclusive(0, kB, 0);
+  fill(0, kB, LineState::Exclusive);
+  auto trap = dir_.get_exclusive(2, kB, 0);
+  fill(2, kB, LineState::Exclusive);
+  caches_.set(0, kB, LineState::Invalid);
+  EXPECT_GT(trap.done_at - 0, 2 * (hw.done_at - 0));
+}
+
+/// Randomized request streams keep directory and caches consistent.
+TEST_F(Dir1SWTest, RandomStreamPreservesInvariants) {
+  std::uint64_t s = 12345;
+  auto rnd = [&] {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    return s >> 33;
+  };
+  for (int i = 0; i < 5000; ++i) {
+    const NodeId n = static_cast<NodeId>(rnd() % kNodes);
+    const Block b = rnd() % 16;
+    switch (rnd() % 4) {
+      case 0: {
+        auto ls = caches_.peek(n, b);
+        if (ls == LineState::Exclusive) break;  // would be a cache hit
+        dir_.get_shared(n, b, i);
+        if (ls == LineState::Invalid) fill(n, b, LineState::Shared);
+        break;
+      }
+      case 1: {
+        auto ls = caches_.peek(n, b);
+        if (ls == LineState::Exclusive) break;
+        dir_.get_exclusive(n, b, i);
+        fill(n, b, LineState::Exclusive);
+        break;
+      }
+      case 2: {
+        auto ls = caches_.peek(n, b);
+        if (ls == LineState::Invalid) break;
+        dir_.put(n, b, ls == LineState::Exclusive, i, true);
+        caches_.set(n, b, LineState::Invalid);
+        break;
+      }
+      case 3: {
+        auto ls = caches_.peek(n, b);
+        if (ls != LineState::Invalid) break;
+        auto r = dir_.get_shared(n, b, i, /*prefetch=*/true);
+        if (!r.nacked) fill(n, b, LineState::Shared);
+        break;
+      }
+    }
+    if (i % 500 == 0) {
+      ASSERT_EQ(dir_.check_invariants(), "") << "iter " << i;
+    }
+  }
+  EXPECT_EQ(dir_.check_invariants(), "");
+}
+
+}  // namespace
+}  // namespace cico::proto

@@ -1,0 +1,132 @@
+// Tests for the DirN full-map all-hardware baseline protocol.
+#include "cico/proto/dirn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace cico::proto {
+namespace {
+
+using mem::LineState;
+
+class MapCaches : public CacheControl {
+ public:
+  [[nodiscard]] LineState peek(NodeId n, Block b) const override {
+    auto it = lines_.find({n, b});
+    return it == lines_.end() ? LineState::Invalid : it->second;
+  }
+  void invalidate(NodeId n, Block b) override { lines_.erase({n, b}); }
+  void downgrade(NodeId n, Block b) override {
+    auto it = lines_.find({n, b});
+    if (it != lines_.end()) it->second = LineState::Shared;
+  }
+  void push_shared(NodeId n, Block b) override {
+    lines_[{n, b}] = LineState::Shared;
+  }
+  void set(NodeId n, Block b, LineState s) {
+    if (s == LineState::Invalid) lines_.erase({n, b});
+    else lines_[{n, b}] = s;
+  }
+
+ private:
+  std::map<std::pair<NodeId, Block>, LineState> lines_;
+};
+
+class DirNTest : public ::testing::Test {
+ protected:
+  static constexpr std::uint32_t kNodes = 8;
+  DirNTest()
+      : stats_(kNodes), net_(cost_, stats_),
+        dir_(kNodes, cost_, net_, stats_, caches_) {}
+
+  CostModel cost_{};
+  Stats stats_;
+  net::Network net_;
+  MapCaches caches_;
+  DirNFullMap dir_;
+};
+
+TEST_F(DirNTest, NothingEverTraps) {
+  // Heavy contention: every transition kind, zero traps.
+  dir_.get_shared(0, 1, 0, false);
+  caches_.set(0, 1, LineState::Shared);
+  dir_.get_shared(1, 1, 10, false);
+  caches_.set(1, 1, LineState::Shared);
+  dir_.get_shared(2, 1, 20, false);
+  caches_.set(2, 1, LineState::Shared);
+  auto wr = dir_.get_exclusive(3, 1, 30, false);  // invalidates 3 sharers
+  caches_.set(3, 1, LineState::Exclusive);
+  EXPECT_EQ(wr.invalidations, 3u);
+  auto rd = dir_.get_shared(4, 1, 40, false);  // forwarding from owner
+  caches_.set(4, 1, LineState::Shared);
+  auto wr2 = dir_.get_exclusive(5, 1, 50, false);
+  caches_.set(5, 1, LineState::Exclusive);
+  EXPECT_FALSE(wr.trapped);
+  EXPECT_FALSE(rd.trapped);
+  EXPECT_FALSE(wr2.trapped);
+  EXPECT_EQ(stats_.total(Stat::Traps), 0u);
+  EXPECT_EQ(dir_.check_invariants(), "");
+}
+
+TEST_F(DirNTest, ParallelInvalidationIsCheaperThanSerial) {
+  // 6 sharers; hardware fan-out pays one RTT + per-sharer occupancy, far
+  // below Dir1SW's trap + serialized software sends.
+  for (NodeId n = 0; n < 6; ++n) {
+    dir_.get_shared(n, 1, 0, false);
+    caches_.set(n, 1, LineState::Shared);
+  }
+  auto r = dir_.get_exclusive(6, 1, 100, false);
+  caches_.set(6, 1, LineState::Exclusive);
+  EXPECT_EQ(r.invalidations, 6u);
+  // Upper bound: request hop + dir occupancy*(1+6) + RTT + mem + reply.
+  const Cycle bound = cost_.net_hop + cost_.dir_hw * 7 + 2 * cost_.net_hop +
+                      cost_.mem_access + cost_.net_hop;
+  EXPECT_LE(r.done_at - 100, bound);
+  // And strictly below the full Dir1SW trap path for the same fan-out
+  // (request hop + trap + serialized sends + last RTT + ack hop).
+  const Cycle dir1sw_path = cost_.net_hop + cost_.dir_trap +
+                            6 * cost_.inval_per_sharer + 2 * cost_.net_hop +
+                            cost_.net_hop;
+  EXPECT_LT(r.done_at - 100, dir1sw_path);
+  EXPECT_EQ(dir_.check_invariants(), "");
+}
+
+TEST_F(DirNTest, ThreeHopForwardingForDirtyRead) {
+  dir_.get_exclusive(2, 1, 0, false);
+  caches_.set(2, 1, LineState::Exclusive);
+  auto r = dir_.get_shared(0, 1, 100, false);
+  caches_.set(0, 1, LineState::Shared);
+  EXPECT_FALSE(r.trapped);
+  // req->home + dir + home->owner + owner->req: 3 hops + occupancy.
+  EXPECT_EQ(r.done_at, 100 + 3 * cost_.net_hop + cost_.dir_hw);
+  EXPECT_EQ(caches_.peek(2, 1), LineState::Shared);  // downgraded
+  EXPECT_EQ(dir_.check_invariants(), "");
+}
+
+TEST_F(DirNTest, CheckInStillWorks) {
+  dir_.get_exclusive(0, 1, 0, false);
+  caches_.set(0, 1, LineState::Exclusive);
+  auto r = dir_.put(0, 1, true, 10, true);
+  EXPECT_FALSE(r.nacked);
+  caches_.set(0, 1, LineState::Invalid);
+  auto r2 = dir_.get_exclusive(1, 1, 20, false);
+  caches_.set(1, 1, LineState::Exclusive);
+  EXPECT_EQ(r2.invalidations, 0u);
+  EXPECT_EQ(dir_.check_invariants(), "");
+}
+
+TEST_F(DirNTest, PostStoreWorksHereToo) {
+  dir_.get_shared(1, 1, 0, false);
+  caches_.set(1, 1, LineState::Shared);
+  dir_.get_exclusive(0, 1, 10, false);  // invalidates node 1
+  caches_.set(0, 1, LineState::Exclusive);
+  auto r = dir_.post_store(0, 1, 20);
+  EXPECT_FALSE(r.nacked);
+  EXPECT_EQ(caches_.peek(1, 1), LineState::Shared);  // pushed back
+  EXPECT_EQ(caches_.peek(0, 1), LineState::Shared);
+  EXPECT_EQ(dir_.check_invariants(), "");
+}
+
+}  // namespace
+}  // namespace cico::proto

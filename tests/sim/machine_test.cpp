@@ -1,0 +1,385 @@
+// Engine tests: windowed execution, hit/miss accounting, barriers and
+// epochs, locks, directives, prefetch, plans, trace mode, determinism and
+// deadlock detection.
+#include "cico/sim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cico/sim/shared_array.hpp"
+
+namespace cico::sim {
+namespace {
+
+SimConfig small_cfg(std::uint32_t nodes = 2) {
+  SimConfig c;
+  c.nodes = nodes;
+  c.cache.size_bytes = 4096;  // 128 blocks
+  c.cache.assoc = 4;
+  c.cache.block_bytes = 32;
+  return c;
+}
+
+TEST(MachineTest, HitsAndMissesAreCounted) {
+  Machine m(small_cfg(1));
+  const Addr a = m.heap().alloc(64, "A");
+  m.run([&](Proc& p) {
+    p.ld(a, 8, 1);      // read miss
+    p.ld(a, 8, 1);      // hit
+    p.ld(a + 8, 8, 1);  // hit (same block)
+    p.ld(a + 32, 8, 1); // read miss (next block)
+    p.st(a, 8, 2);      // write fault (upgrade of Shared copy)
+    p.st(a, 8, 2);      // hit
+  });
+  const Stats& s = m.stats();
+  EXPECT_EQ(s.total(Stat::SharedLoads), 4u);
+  EXPECT_EQ(s.total(Stat::SharedStores), 2u);
+  EXPECT_EQ(s.total(Stat::ReadMisses), 2u);
+  EXPECT_EQ(s.total(Stat::WriteMisses), 0u);
+  EXPECT_EQ(s.total(Stat::WriteFaults), 1u);
+  EXPECT_GT(m.exec_time(), 0u);
+}
+
+TEST(MachineTest, WriteMissVsWriteFault) {
+  Machine m(small_cfg(1));
+  const Addr a = m.heap().alloc(64, "A");
+  m.run([&](Proc& p) {
+    p.st(a, 8, 1);       // cold write: write miss
+    p.ld(a + 32, 8, 2);  // read miss
+    p.st(a + 32, 8, 3);  // write fault
+  });
+  EXPECT_EQ(m.stats().total(Stat::WriteMisses), 1u);
+  EXPECT_EQ(m.stats().total(Stat::WriteFaults), 1u);
+}
+
+TEST(MachineTest, BarrierAdvancesEpochAndSynchronizesTime) {
+  Machine m(small_cfg(4));
+  m.run([&](Proc& p) {
+    p.compute(100 * (p.id() + 1));  // skewed arrival
+    EXPECT_EQ(p.epoch(), 0u);
+    p.barrier();
+    EXPECT_EQ(p.epoch(), 1u);
+    p.barrier();
+    EXPECT_EQ(p.epoch(), 2u);
+  });
+  EXPECT_EQ(m.epochs_completed(), 2u);
+  EXPECT_EQ(m.stats().total(Stat::Barriers), 8u);  // 2 per node
+  // All nodes were lifted to the max arrival + barrier cost, twice.
+  EXPECT_GE(m.exec_time(), 400u + 2 * m.config().cost.barrier);
+}
+
+TEST(MachineTest, CheckInAvoidsTrapForNextWriter) {
+  // Producer-consumer: node 0 writes a block in epoch 0, node 1 writes it
+  // in epoch 1.  Without a check-in the second write traps (recall);
+  // with a check-in it is a cheap hardware fill.  This is THE mechanism
+  // the whole paper rests on.
+  auto run_variant = [&](bool with_checkin) {
+    Machine m(small_cfg(2));
+    const Addr a = m.heap().alloc(32, "A");
+    m.run([&, with_checkin](Proc& p) {
+      if (p.id() == 0) {
+        p.st(a, 8, 1);
+        if (with_checkin) p.check_in(a, 32);
+      }
+      p.barrier();
+      if (p.id() == 1) p.st(a, 8, 2);
+      p.barrier();
+    });
+    return std::pair{m.stats().total(Stat::Traps), m.exec_time()};
+  };
+  auto [traps_no, time_no] = run_variant(false);
+  auto [traps_ci, time_ci] = run_variant(true);
+  EXPECT_GT(traps_no, 0u);
+  EXPECT_EQ(traps_ci, 0u);
+  EXPECT_LT(time_ci, time_no);
+}
+
+TEST(MachineTest, CheckOutXAvoidsWriteFault) {
+  Machine m(small_cfg(1));
+  const Addr a = m.heap().alloc(32, "A");
+  m.run([&](Proc& p) {
+    p.check_out_x(a, 32);
+    p.ld(a, 8, 1);  // hit: block already exclusive
+    p.st(a, 8, 2);  // hit
+  });
+  EXPECT_EQ(m.stats().total(Stat::CheckOutX), 1u);
+  EXPECT_EQ(m.stats().total(Stat::ReadMisses), 0u);
+  EXPECT_EQ(m.stats().total(Stat::WriteFaults), 0u);
+}
+
+TEST(MachineTest, CheckOutSharedRange) {
+  Machine m(small_cfg(1));
+  const Addr a = m.heap().alloc(128, "A");  // 4 blocks
+  m.run([&](Proc& p) {
+    p.check_out_s(a, 128);
+    for (int i = 0; i < 4; ++i) p.ld(a + 32 * i, 8, 1);
+  });
+  EXPECT_EQ(m.stats().total(Stat::CheckOutS), 4u);
+  EXPECT_EQ(m.stats().total(Stat::ReadMisses), 0u);
+}
+
+TEST(MachineTest, PrefetchOverlapsLatency) {
+  auto run_variant = [&](bool prefetch) {
+    Machine m(small_cfg(1));
+    const Addr a = m.heap().alloc(256, "A");  // 8 blocks
+    m.run([&, prefetch](Proc& p) {
+      if (prefetch) p.prefetch_s(a, 256);
+      p.compute(2000);  // plenty of time for prefetches to land
+      for (int i = 0; i < 8; ++i) p.ld(a + 32 * i, 8, 1);
+    });
+    return std::pair{m.stats().total(Stat::PrefetchUseful),
+                     m.stats().total(Stat::StallCycles)};
+  };
+  auto [useful_no, stall_no] = run_variant(false);
+  auto [useful_pf, stall_pf] = run_variant(true);
+  EXPECT_EQ(useful_no, 0u);
+  EXPECT_EQ(useful_pf, 8u);
+  EXPECT_LT(stall_pf, stall_no);
+}
+
+TEST(MachineTest, LateAccessWaitsForPrefetch) {
+  Machine m(small_cfg(1));
+  const Addr a = m.heap().alloc(32, "A");
+  m.run([&](Proc& p) {
+    p.prefetch_s(a, 32);
+    p.ld(a, 8, 1);  // immediately: prefetch still in flight
+  });
+  EXPECT_EQ(m.stats().total(Stat::PrefetchLate), 1u);
+  EXPECT_EQ(m.stats().total(Stat::PrefetchUseful), 0u);
+  // Only one protocol transaction happened.
+  EXPECT_EQ(m.stats().total(Stat::ReadMisses) +
+                m.stats().total(Stat::PrefetchIssued),
+            1u);
+}
+
+TEST(MachineTest, PrefetchThatWouldTrapIsDropped) {
+  Machine m(small_cfg(2));
+  const Addr a = m.heap().alloc(32, "A");
+  m.run([&](Proc& p) {
+    if (p.id() == 0) p.st(a, 8, 1);  // node 0 takes the block exclusive
+    p.barrier();
+    if (p.id() == 1) {
+      p.prefetch_s(a, 32);  // would need a recall: dropped
+      p.compute(1000);
+    }
+    p.barrier();
+  });
+  EXPECT_EQ(m.stats().total(Stat::PrefetchDropped), 1u);
+}
+
+TEST(MachineTest, LocksAreMutuallyExclusiveAndDeterministic) {
+  Machine m(small_cfg(4));
+  SharedArray<std::int64_t> counter(m, "counter", 1);
+  counter.set_raw(0, 0);
+  m.run([&](Proc& p) {
+    for (int i = 0; i < 10; ++i) {
+      p.lock(counter.base());
+      const auto v = counter.ld(p, 0, 1);
+      p.compute(5);
+      counter.st(p, 0, v + 1, 2);
+      p.unlock(counter.base());
+    }
+  });
+  EXPECT_EQ(counter.raw(0), 40);
+  EXPECT_EQ(m.stats().total(Stat::LockAcquires), 40u);
+}
+
+TEST(MachineTest, SharedArrayValuesFlowBetweenNodes) {
+  Machine m(small_cfg(2));
+  SharedArray<double> a(m, "A", 16);
+  SharedArray<double> b(m, "B", 16);
+  for (std::size_t i = 0; i < 16; ++i) a.set_raw(i, static_cast<double>(i));
+  m.run([&](Proc& p) {
+    if (p.id() == 0) {
+      for (std::size_t i = 0; i < 16; ++i) {
+        a.st(p, i, a.ld(p, i, 1) * 2.0, 2);
+      }
+    }
+    p.barrier();
+    if (p.id() == 1) {
+      for (std::size_t i = 0; i < 16; ++i) {
+        b.st(p, i, a.ld(p, i, 3) + 1.0, 4);
+      }
+    }
+  });
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_DOUBLE_EQ(b.raw(i), 2.0 * static_cast<double>(i) + 1.0);
+  }
+}
+
+TEST(MachineTest, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Machine m(small_cfg(4));
+    SharedArray<double> a(m, "A", 64);
+    m.run([&](Proc& p) {
+      for (int rep = 0; rep < 3; ++rep) {
+        for (std::size_t i = p.id(); i < 64; i += 4) {
+          a.st(p, i, a.ld(p, i, 1) + 1.0, 2);
+        }
+        p.barrier();
+        // Read a neighbour's stripe too: cross-node traffic.
+        for (std::size_t i = (p.id() + 1) % 4; i < 64; i += 4) {
+          (void)a.ld(p, i, 3);
+        }
+        p.barrier();
+      }
+    });
+    return std::tuple{m.exec_time(), m.stats().total(Stat::Traps),
+                      m.stats().total(Stat::Messages),
+                      m.stats().total(Stat::ReadMisses),
+                      m.stats().total(Stat::WriteFaults)};
+  };
+  auto r1 = run_once();
+  auto r2 = run_once();
+  auto r3 = run_once();
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(r1, r3);
+}
+
+TEST(MachineTest, TraceModeRecordsMissesAndFlushes) {
+  SimConfig cfg = small_cfg(2);
+  cfg.trace_mode = true;
+  Machine m(cfg);
+  trace::TraceWriter w;
+  m.set_trace_writer(&w);
+  const Addr a = m.heap().alloc(32, "A");
+  w.set_labels(m.heap().trace_labels());
+  m.run([&](Proc& p) {
+    if (p.id() == 0) (void)p.ld(a, 8, 7);
+    p.barrier();
+    // After the flush the same access misses again, exposing the reuse.
+    if (p.id() == 0) (void)p.ld(a, 8, 7);
+    p.barrier();
+  });
+  trace::Trace t = w.take();
+  ASSERT_EQ(t.misses.size(), 2u);
+  EXPECT_EQ(t.misses[0].epoch, 0u);
+  EXPECT_EQ(t.misses[1].epoch, 1u);
+  EXPECT_EQ(t.misses[0].pc, 7u);
+  EXPECT_EQ(t.misses[0].kind, trace::MissKind::ReadMiss);
+  EXPECT_EQ(t.barriers.size(), 4u);  // 2 nodes x 2 barriers
+}
+
+TEST(MachineTest, PlanFetchExclusiveEliminatesWriteFault) {
+  auto run_variant = [&](bool with_plan) {
+    Machine m(small_cfg(1));
+    const Addr a = m.heap().alloc(32, "A");
+    DirectivePlan plan;
+    plan.at(0, 0).fetch_exclusive.insert(m.config().cache.block_of(a));
+    if (with_plan) m.set_plan(&plan);
+    m.run([&](Proc& p) {
+      (void)p.ld(a, 8, 1);
+      p.st(a, 8, 2);
+    });
+    return std::pair{m.stats().total(Stat::WriteFaults),
+                     m.stats().total(Stat::CheckOutX)};
+  };
+  auto [wf_no, cox_no] = run_variant(false);
+  auto [wf_plan, cox_plan] = run_variant(true);
+  EXPECT_EQ(wf_no, 1u);
+  EXPECT_EQ(cox_no, 0u);
+  EXPECT_EQ(wf_plan, 0u);
+  EXPECT_EQ(cox_plan, 1u);
+}
+
+TEST(MachineTest, PlanEpochEndCheckInPreventsTrap) {
+  auto run_variant = [&](bool with_plan) {
+    Machine m(small_cfg(2));
+    const Addr a = m.heap().alloc(32, "A");
+    const Block b = m.config().cache.block_of(a);
+    DirectivePlan plan;
+    plan.at(0, 0).at_end.push_back({DirectiveKind::CheckIn, BlockRun{b, b}});
+    if (with_plan) m.set_plan(&plan);
+    m.run([&](Proc& p) {
+      if (p.id() == 0) p.st(a, 8, 1);
+      p.barrier();
+      if (p.id() == 1) p.st(a, 8, 2);
+    });
+    return m.stats().total(Stat::Traps);
+  };
+  EXPECT_GT(run_variant(false), 0u);
+  EXPECT_EQ(run_variant(true), 0u);
+}
+
+TEST(MachineTest, PlanCheckinAfterAccessReleasesRacedBlock) {
+  // Node 0 writes a contended block, then node 1 does (staggered so the
+  // check-in can land in between).  With checkin_after_access the block is
+  // returned to Idle right after each store: node 1 never traps.
+  auto run_variant = [&](bool with_plan) {
+    Machine m(small_cfg(2));
+    const Addr a = m.heap().alloc(32, "A");
+    const Block b = m.config().cache.block_of(a);
+    DirectivePlan plan;
+    plan.at(0, 0).checkin_after_access.insert(b);
+    plan.at(1, 0).checkin_after_access.insert(b);
+    if (with_plan) m.set_plan(&plan);
+    m.run([&](Proc& p) {
+      if (p.id() == 1) p.compute(5000);
+      p.st(a, 8, 1);
+    });
+    return std::pair{m.stats().total(Stat::Traps),
+                     m.stats().total(Stat::CheckIns)};
+  };
+  auto [traps_no, ci_no] = run_variant(false);
+  auto [traps_ci, ci_with] = run_variant(true);
+  EXPECT_GT(traps_no, 0u);
+  EXPECT_EQ(ci_no, 0u);
+  EXPECT_EQ(traps_ci, 0u);
+  EXPECT_EQ(ci_with, 2u);
+}
+
+TEST(MachineTest, DeadlockIsDetected) {
+  Machine m(small_cfg(2));
+  const Addr a = m.heap().alloc(32, "L");
+  EXPECT_THROW(
+      m.run([&](Proc& p) {
+        if (p.id() == 0) {
+          p.lock(a);
+          p.barrier();  // holds the lock across the barrier
+          p.unlock(a);
+        } else {
+          p.lock(a);  // waits forever: node 0 is at the barrier
+          p.barrier();
+          p.unlock(a);
+        }
+      }),
+      SimDeadlock);
+}
+
+TEST(MachineTest, RunTwiceThrows) {
+  Machine m(small_cfg(1));
+  m.run([](Proc&) {});
+  EXPECT_THROW(m.run([](Proc&) {}), std::logic_error);
+}
+
+TEST(MachineTest, EvictionSendsImplicitPut) {
+  // Cache: 4096 B / 32 B = 128 blocks.  Touch 256 distinct blocks: half
+  // must be evicted, and the directory must stay consistent (no stale
+  // sharer entries -> a later writer of an evicted block must not trap).
+  Machine m(small_cfg(1));
+  const Addr a = m.heap().alloc(256 * 32, "A");
+  m.run([&](Proc& p) {
+    for (int i = 0; i < 256; ++i) (void)p.ld(a + 32 * i, 8, 1);
+  });
+  EXPECT_GE(m.stats().total(Stat::Evictions), 128u);
+  EXPECT_EQ(m.directory().check_invariants(), "");
+}
+
+TEST(MachineTest, InvariantsHoldAfterMixedWorkload) {
+  Machine m(small_cfg(4));
+  SharedArray<double> a(m, "A", 256);
+  m.run([&](Proc& p) {
+    for (int rep = 0; rep < 2; ++rep) {
+      for (std::size_t i = p.id(); i < 256; i += 4) {
+        a.st(p, i, 1.0, 1);
+      }
+      p.barrier();
+      for (std::size_t i = 0; i < 256; i += 16) (void)a.ld(p, i, 2);
+      p.check_in(a.addr_of(0), a.bytes());
+      p.barrier();
+    }
+  });
+  EXPECT_EQ(m.directory().check_invariants(), "");
+}
+
+}  // namespace
+}  // namespace cico::sim

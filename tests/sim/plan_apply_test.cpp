@@ -1,0 +1,151 @@
+// Plan-application mechanics inside the engine: epoch-0 start directives,
+// start-of-epoch prefetch runs, check-in runs skipping absent blocks, and
+// the DirN protocol running the whole machine end to end.
+#include <gtest/gtest.h>
+
+#include "cico/sim/machine.hpp"
+#include "cico/sim/shared_array.hpp"
+
+namespace cico::sim {
+namespace {
+
+SimConfig small(std::uint32_t nodes) {
+  SimConfig c;
+  c.nodes = nodes;
+  c.cache.size_bytes = 4096;
+  return c;
+}
+
+TEST(PlanApplyTest, EpochZeroStartCheckoutsHappenBeforeFirstAccess) {
+  Machine m(small(1));
+  const Addr a = m.heap().alloc(128, "A");  // 4 blocks
+  const Block b0 = m.config().cache.block_of(a);
+  DirectivePlan plan;
+  plan.at(0, 0).at_start.push_back(
+      {DirectiveKind::CheckOutX, BlockRun{b0, b0 + 3}});
+  m.set_plan(&plan);
+  m.run([&](Proc& p) {
+    for (int i = 0; i < 4; ++i) p.st(a + 32 * i, 8, 1);  // all hits
+  });
+  EXPECT_EQ(m.stats().total(Stat::CheckOutX), 4u);
+  EXPECT_EQ(m.stats().total(Stat::WriteMisses), 0u);
+}
+
+TEST(PlanApplyTest, EpochStartPrefetchRunsOverlapBarrierGap) {
+  Machine m(small(2));
+  const Addr a = m.heap().alloc(256, "A");
+  const Block b0 = m.config().cache.block_of(a);
+  DirectivePlan plan;
+  plan.at(1, 1).at_start.push_back(
+      {DirectiveKind::PrefetchS, BlockRun{b0, b0 + 7}});
+  m.set_plan(&plan);
+  m.run([&](Proc& p) {
+    if (p.id() == 0) {
+      for (int i = 0; i < 8; ++i) p.st(a + 32 * i, 8, 1);
+      p.check_in(a, 256);
+    }
+    p.barrier();
+    if (p.id() == 1) {
+      p.compute(2000);  // time for the prefetches to land
+      for (int i = 0; i < 8; ++i) (void)p.ld(a + 32 * i, 8, 2);
+    }
+  });
+  EXPECT_EQ(m.stats().total(Stat::PrefetchIssued), 8u);
+  EXPECT_EQ(m.stats().total(Stat::PrefetchUseful), 8u);
+  EXPECT_EQ(m.stats().node(1, Stat::ReadMisses), 0u);
+}
+
+TEST(PlanApplyTest, EndCheckinSkipsAbsentBlocks) {
+  Machine m(small(1));
+  const Addr a = m.heap().alloc(256, "A");
+  const Block b0 = m.config().cache.block_of(a);
+  DirectivePlan plan;
+  // Plan says check in 8 blocks at epoch end but the program touched 2.
+  plan.at(0, 0).at_end.push_back({DirectiveKind::CheckIn, BlockRun{b0, b0 + 7}});
+  m.set_plan(&plan);
+  m.run([&](Proc& p) {
+    p.st(a, 8, 1);
+    p.st(a + 32, 8, 1);
+    p.barrier();
+  });
+  EXPECT_EQ(m.stats().total(Stat::CheckIns), 2u);  // only resident lines
+  EXPECT_EQ(m.directory().check_invariants(), "");
+}
+
+TEST(PlanApplyTest, PlanForOtherEpochsDoesNothing) {
+  Machine m(small(1));
+  const Addr a = m.heap().alloc(32, "A");
+  DirectivePlan plan;
+  plan.at(0, 5).fetch_exclusive.insert(m.config().cache.block_of(a));
+  m.set_plan(&plan);
+  m.run([&](Proc& p) {
+    (void)p.ld(a, 8, 1);
+    p.st(a, 8, 2);
+  });
+  // Epoch 5 never happens; the read stays a GetS and the store faults.
+  EXPECT_EQ(m.stats().total(Stat::WriteFaults), 1u);
+  EXPECT_EQ(m.stats().total(Stat::CheckOutX), 0u);
+}
+
+TEST(DirNMachineTest, EndToEndNoTrapsAndCorrectValues) {
+  SimConfig c = small(4);
+  c.protocol = ProtocolKind::DirNFullMap;
+  Machine m(c);
+  SharedArray<double> a(m, "A", 64);
+  m.run([&](Proc& p) {
+    for (std::size_t i = p.id(); i < 64; i += 4) {
+      a.st(p, i, static_cast<double>(i), 1);
+    }
+    p.barrier();
+    // Everyone reads everything: forwarding + sharing, all hardware.
+    double s = 0;
+    for (std::size_t i = 0; i < 64; ++i) s += a.ld(p, i, 2);
+    p.compute(static_cast<Cycle>(s) % 3 + 1);
+  });
+  EXPECT_EQ(m.stats().total(Stat::Traps), 0u);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_DOUBLE_EQ(a.raw(i), static_cast<double>(i));
+  }
+  EXPECT_EQ(m.directory().check_invariants(), "");
+  EXPECT_STREQ(m.directory().name(), "dirn-fullmap");
+}
+
+TEST(DirNMachineTest, DeterministicToo) {
+  auto run = [] {
+    SimConfig c = small(4);
+    c.protocol = ProtocolKind::DirNFullMap;
+    Machine m(c);
+    SharedArray<double> a(m, "A", 64);
+    m.run([&](Proc& p) {
+      for (int rep = 0; rep < 2; ++rep) {
+        for (std::size_t i = p.id(); i < 64; i += 4) {
+          a.st(p, i, a.ld(p, i, 1) + 1.0, 2);
+        }
+        p.barrier();
+      }
+    });
+    return std::pair{m.exec_time(), m.stats().total(Stat::Messages)};
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(DirNMachineTest, ContendedWorkloadFasterThanDir1SW) {
+  auto run_with = [&](ProtocolKind pk) {
+    SimConfig c = small(4);
+    c.protocol = pk;
+    Machine m(c);
+    const Addr a = m.heap().alloc(32, "hot");
+    m.run([&](Proc& p) {
+      for (int i = 0; i < 10; ++i) {
+        p.st(a, 8, 1);  // four nodes fight over one block
+        p.compute(50 + 13 * p.id());
+      }
+    });
+    return m.exec_time();
+  };
+  EXPECT_LT(run_with(ProtocolKind::DirNFullMap),
+            run_with(ProtocolKind::Dir1SW));
+}
+
+}  // namespace
+}  // namespace cico::sim

@@ -1,0 +1,65 @@
+#include "cico/sim/shared_heap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cico::sim {
+namespace {
+
+TEST(SharedHeapTest, AllocationsAreBlockAlignedAndDisjoint) {
+  SharedHeap h(0x1000, 32);
+  const Addr a = h.alloc(100, "A");
+  const Addr b = h.alloc(64, "B");
+  EXPECT_EQ(a, 0x1000u);
+  EXPECT_EQ(a % 32, 0u);
+  EXPECT_EQ(b % 32, 0u);
+  EXPECT_GE(b, a + 100);
+  EXPECT_EQ(b, 0x1000u + 128);  // 100 rounded up to 4 blocks
+}
+
+TEST(SharedHeapTest, FindMapsAddressesToRegions) {
+  SharedHeap h(0x1000, 32);
+  h.alloc(100, "A");
+  const Addr b = h.alloc(64, "B");
+  ASSERT_NE(h.find(0x1000), nullptr);
+  EXPECT_EQ(h.find(0x1000)->label, "A");
+  EXPECT_EQ(h.find(0x1000 + 99)->label, "A");
+  EXPECT_EQ(h.find(0x1000 + 100), nullptr);  // padding gap
+  EXPECT_EQ(h.find(b)->label, "B");
+  EXPECT_EQ(h.find(0x500), nullptr);
+}
+
+TEST(SharedHeapTest, ByLabel) {
+  SharedHeap h(0, 32);
+  h.alloc(10, "grid", false);
+  const Region* r = h.by_label("grid");
+  ASSERT_NE(r, nullptr);
+  EXPECT_FALSE(r->regular);
+  EXPECT_EQ(h.by_label("nope"), nullptr);
+}
+
+TEST(SharedHeapTest, DuplicateLabelThrows) {
+  SharedHeap h(0, 32);
+  h.alloc(10, "A");
+  EXPECT_THROW(h.alloc(10, "A"), std::invalid_argument);
+}
+
+TEST(SharedHeapTest, ZeroBytesThrows) {
+  SharedHeap h(0, 32);
+  EXPECT_THROW(h.alloc(0, "Z"), std::invalid_argument);
+}
+
+TEST(SharedHeapTest, TraceLabelsMirrorRegions) {
+  SharedHeap h(0x100, 32);
+  h.alloc(50, "X");
+  h.alloc(60, "Y", false);
+  auto labels = h.trace_labels();
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[0].label, "X");
+  EXPECT_TRUE(labels[0].regular);
+  EXPECT_EQ(labels[1].label, "Y");
+  EXPECT_FALSE(labels[1].regular);
+  EXPECT_EQ(h.allocated(), 110u);
+}
+
+}  // namespace
+}  // namespace cico::sim

@@ -1,0 +1,159 @@
+// Properties of the windowed engine and the cost model: semantic results
+// are independent of the quantum, metrics are deterministic for any
+// quantum, latencies scale with the cost model, and the directive plan
+// machinery composes with everything else.
+#include <gtest/gtest.h>
+
+#include "cico/sim/machine.hpp"
+#include "cico/sim/shared_array.hpp"
+
+namespace cico::sim {
+namespace {
+
+SimConfig cfg(std::uint32_t nodes, Cycle quantum) {
+  SimConfig c;
+  c.nodes = nodes;
+  c.quantum = quantum;
+  c.cache.size_bytes = 8192;
+  return c;
+}
+
+/// A communication-heavy workload with values we can verify.
+std::pair<std::vector<double>, Cycle> run_workload(SimConfig c) {
+  Machine m(c);
+  SharedArray<double> a(m, "A", 128);
+  m.run([&](Proc& p) {
+    for (int rep = 0; rep < 3; ++rep) {
+      for (std::size_t i = p.id(); i < 128; i += p.nprocs()) {
+        a.st(p, i, a.ld(p, i, 1) + static_cast<double>(p.id() + 1), 2);
+      }
+      p.barrier();
+      // Rotate ownership: next round each node touches its neighbour's
+      // stripe (cross-node traffic every epoch).
+      for (std::size_t i = (p.id() + 1) % p.nprocs(); i < 128;
+           i += p.nprocs()) {
+        (void)a.ld(p, i, 3);
+      }
+      p.barrier();
+    }
+  });
+  std::vector<double> vals;
+  for (std::size_t i = 0; i < 128; ++i) vals.push_back(a.raw(i));
+  return {vals, m.exec_time()};
+}
+
+class QuantumSweep : public ::testing::TestWithParam<Cycle> {};
+
+TEST_P(QuantumSweep, ValuesIndependentOfQuantum) {
+  auto [vals, time] = run_workload(cfg(4, GetParam()));
+  auto [ref_vals, ref_time] = run_workload(cfg(4, 120));
+  EXPECT_EQ(vals, ref_vals);
+  // Times may differ across quanta (different service interleavings), but
+  // only mildly: the quantum is a simulation fidelity knob, not a
+  // semantic one.
+  EXPECT_LT(static_cast<double>(time) / static_cast<double>(ref_time), 1.5);
+  EXPECT_GT(static_cast<double>(time) / static_cast<double>(ref_time), 0.66);
+}
+
+TEST_P(QuantumSweep, MetricsDeterministicPerQuantum) {
+  auto r1 = run_workload(cfg(4, GetParam()));
+  auto r2 = run_workload(cfg(4, GetParam()));
+  EXPECT_EQ(r1.first, r2.first);
+  EXPECT_EQ(r1.second, r2.second);
+}
+
+INSTANTIATE_TEST_SUITE_P(Quanta, QuantumSweep,
+                         ::testing::Values(40, 120, 400, 2000));
+
+TEST(CostModelScalingTest, RemoteLatencyScalesExecTime) {
+  auto run_with = [&](Cycle hop) {
+    SimConfig c = cfg(2, 120);
+    c.cost.net_hop = hop;
+    Machine m(c);
+    const Addr a = m.heap().alloc(32 * 64, "A");
+    m.run([&](Proc& p) {
+      if (p.id() == 0) {
+        for (int i = 0; i < 64; ++i) (void)p.ld(a + 32 * i, 8, 1);
+      }
+    });
+    return m.exec_time();
+  };
+  const Cycle slow = run_with(200);
+  const Cycle fast = run_with(20);
+  EXPECT_GT(slow, fast);
+  // 64 misses, each paying 2 extra hops of (200-20) ~ 23k cycle delta.
+  EXPECT_GE(slow - fast, 64 * 2 * (200 - 20) / 2);
+}
+
+TEST(CostModelScalingTest, TrapCostOnlyHitsTrappingRuns) {
+  auto run_with = [&](Cycle trap, bool contended) {
+    SimConfig c = cfg(2, 120);
+    c.cost.dir_trap = trap;
+    Machine m(c);
+    const Addr a = m.heap().alloc(32, "A");
+    m.run([&](Proc& p) {
+      if (p.id() == 0) p.st(a, 8, 1);
+      p.barrier();
+      if (p.id() == 1 && contended) p.st(a, 8, 2);  // recall trap
+    });
+    return m.exec_time();
+  };
+  EXPECT_GT(run_with(2000, true), run_with(100, true));
+  EXPECT_EQ(run_with(2000, false), run_with(100, false));
+}
+
+TEST(BigComputeTest, SkewedComputeCrossesManyWindows) {
+  // One node computes far past everyone else's windows; the engine must
+  // advance windows until it catches up (no deadlock, correct time).
+  Machine m(cfg(4, 100));
+  m.run([&](Proc& p) {
+    if (p.id() == 2) p.compute(100000);
+    p.barrier();
+  });
+  EXPECT_GE(m.exec_time(), 100000u);
+}
+
+TEST(ManyNodesTest, ThirtyTwoNodeBarrierStorm) {
+  Machine m(cfg(32, 120));
+  m.run([&](Proc& p) {
+    for (int i = 0; i < 20; ++i) {
+      p.compute(10 + p.id());
+      p.barrier();
+    }
+  });
+  EXPECT_EQ(m.epochs_completed(), 20u);
+  EXPECT_EQ(m.stats().total(Stat::Barriers), 32u * 20);
+}
+
+TEST(LockFairnessTest, GrantsFollowVirtualTimeOrder) {
+  // Node 1 requests the lock (in virtual time) before node 2; node 1 must
+  // get it first even though both requests land in the same boundary.
+  Machine m(cfg(3, 1000));
+  const Addr l = m.heap().alloc(32, "L");
+  SharedArray<double> order(m, "order", 4);
+  m.run([&](Proc& p) {
+    if (p.id() == 0) {
+      p.lock(l);  // t=0: node 0 wins immediately
+      p.compute(500);
+      p.unlock(l);
+    } else if (p.id() == 1) {
+      p.compute(10);
+      p.lock(l);  // t=10: queued first
+      const double pos = order.ld(p, 3, 1);
+      order.st(p, 3, pos + 1, 1);
+      order.st(p, 1, pos, 2);  // node 1 records its arrival index
+      p.unlock(l);
+    } else {
+      p.compute(200);
+      p.lock(l);  // t=200: queued second
+      const double pos = order.ld(p, 3, 1);
+      order.st(p, 3, pos + 1, 1);
+      order.st(p, 2, pos, 2);
+      p.unlock(l);
+    }
+  });
+  EXPECT_LT(order.raw(1), order.raw(2));
+}
+
+}  // namespace
+}  // namespace cico::sim

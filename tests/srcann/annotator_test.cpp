@@ -1,0 +1,186 @@
+#include "cico/srcann/annotator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cico/lang/parser.hpp"
+#include "cico/lang/unparse.hpp"
+
+namespace cico::srcann {
+namespace {
+
+namespace lang = cico::lang;
+
+struct Pipeline {
+  lang::Program prog;
+  trace::Trace trace;
+  std::unique_ptr<sim::Machine> machine;
+  std::unique_ptr<lang::LoadedProgram> lp;
+};
+
+Pipeline trace_program(const std::string& src, std::uint32_t nodes) {
+  Pipeline pl;
+  pl.prog = lang::parse(src);
+  sim::SimConfig cfg;
+  cfg.nodes = nodes;
+  cfg.trace_mode = true;
+  pl.machine = std::make_unique<sim::Machine>(cfg);
+  trace::TraceWriter w;
+  pl.machine->set_trace_writer(&w);
+  pl.lp = std::make_unique<lang::LoadedProgram>(pl.prog, *pl.machine);
+  w.set_labels(pl.machine->heap().trace_labels());
+  pl.machine->run([&](sim::Proc& p) { pl.lp->run_node(p); });
+  pl.trace = w.take();
+  return pl;
+}
+
+// The owner-partitioned fill: each node writes its own slice; slice
+// boundaries are block-aligned (8 elements = 2 blocks each).
+constexpr const char* kPartitioned = R"(
+const N = 32;
+shared real A[N];
+parallel
+  private per = N / nprocs;
+  private lo = pid * per;
+  for i = lo to lo + per - 1 do
+    A[i] = pid;
+  od
+  barrier;
+  private s = 0;
+  for i = 0 to N - 1 do
+    s = s + A[i];
+  od
+end
+)";
+
+TEST(AnnotatorTest, EmitsAffinePidAnnotations) {
+  Pipeline pl = trace_program(kPartitioned, 4);
+  AnnotateResult res = annotate(pl.prog, pl.trace, *pl.lp,
+                                pl.machine->config().cache,
+                                {.mode = cachier::Mode::Performance});
+  EXPECT_GT(res.inserted, 0u);
+  const std::string text = lang::unparse(res.program);
+  // Every node writes A[8*pid .. 8*pid+7] in epoch 0 and everyone reads it
+  // in epoch 1 -> a check_in parameterized by pid before the barrier.
+  EXPECT_NE(text.find("check_in A[8 * pid:7 + 8 * pid]"), std::string::npos)
+      << text;
+  // The annotated program still parses.
+  EXPECT_NO_THROW(lang::parse(text));
+}
+
+TEST(AnnotatorTest, ProgrammerModeAddsCheckouts) {
+  Pipeline pl = trace_program(kPartitioned, 4);
+  AnnotateResult res = annotate(pl.prog, pl.trace, *pl.lp,
+                                pl.machine->config().cache,
+                                {.mode = cachier::Mode::Programmer});
+  const std::string text = lang::unparse(res.program);
+  EXPECT_NE(text.find("check_out_X A["), std::string::npos) << text;
+  EXPECT_NE(text.find("check_out_S A["), std::string::npos) << text;
+  EXPECT_NO_THROW(lang::parse(text));
+}
+
+TEST(AnnotatorTest, TightAnnotationsAroundRacyUpdate) {
+  // Two nodes race on A[0] (read-modify-write in the same epoch): the
+  // section 4.4 treatment wraps the update with check_out_X / check_in.
+  constexpr const char* kRacy = R"(
+shared real A[1];
+parallel
+  A[0] = A[0] + 1;
+end
+)";
+  Pipeline pl = trace_program(kRacy, 2);
+  AnnotateResult res = annotate(pl.prog, pl.trace, *pl.lp,
+                                pl.machine->config().cache,
+                                {.mode = cachier::Mode::Performance});
+  EXPECT_EQ(res.races, 1u);
+  const std::string text = lang::unparse(res.program);
+  const auto cox = text.find("check_out_X A[0]");
+  const auto upd = text.find("A[0] = A[0] + 1;");
+  const auto ci = text.find("check_in A[0]");
+  ASSERT_NE(cox, std::string::npos) << text;
+  ASSERT_NE(upd, std::string::npos);
+  ASSERT_NE(ci, std::string::npos);
+  EXPECT_LT(cox, upd);
+  EXPECT_LT(upd, ci);
+}
+
+TEST(AnnotatorTest, TwoDRowBandsGenerateLoops) {
+  // Node 0 initializes a whole 2-D array; everyone reads it next epoch:
+  // the check-in of a multi-row band must become a GENERATED loop
+  // (section 4.3 "generating new loops for them").
+  constexpr const char* kTwoD = R"(
+const N = 8;
+shared real G[N, N];
+parallel
+  if pid == 0 then
+    for i = 0 to N - 1 do
+      for j = 0 to N - 1 do
+        G[i, j] = i * N + j;
+      od
+    od
+  fi
+  barrier;
+  private s = 0;
+  for i = 0 to N - 1 do
+    s = s + G[i, pid];
+  od
+end
+)";
+  Pipeline pl = trace_program(kTwoD, 2);
+  AnnotateResult res = annotate(pl.prog, pl.trace, *pl.lp,
+                                pl.machine->config().cache,
+                                {.mode = cachier::Mode::Performance});
+  EXPECT_GT(res.generated_loops, 0u);
+  const std::string text = lang::unparse(res.program);
+  EXPECT_NE(text.find("for _cico_r"), std::string::npos) << text;
+  EXPECT_NO_THROW(lang::parse(text));
+}
+
+TEST(AnnotatorTest, NaiveAnnotationWrapsEveryWrite) {
+  // The section 4.3 strawman listing: per-iteration annotations.
+  constexpr const char* kLoop = R"(
+const N = 16;
+shared real A[N];
+parallel
+  for i = 0 to N - 1 step 2 do
+    A[i] = i;
+  od
+end
+)";
+  lang::Program p = lang::parse(kLoop);
+  lang::Program naive = annotate_naive(p);
+  const std::string text = lang::unparse(naive);
+  EXPECT_NE(text.find("check_out_X A[i]"), std::string::npos) << text;
+  EXPECT_NE(text.find("check_in A[i]"), std::string::npos);
+  // Still a valid program with unchanged semantics.
+  EXPECT_NO_THROW(lang::parse(text));
+}
+
+TEST(AnnotatorTest, AnnotationsDoNotChangeSemantics) {
+  // The CICO guarantee (section 4.5): annotations never affect results.
+  auto run_values = [&](const lang::Program& prog) {
+    sim::SimConfig cfg;
+    cfg.nodes = 4;
+    sim::Machine m(cfg);
+    lang::LoadedProgram lp(prog, m);
+    m.run([&](sim::Proc& p) { lp.run_node(p); });
+    std::vector<double> vals;
+    for (std::size_t i = 0; i < 32; ++i) vals.push_back(lp.value("A", i));
+    return std::pair{vals, m.exec_time()};
+  };
+
+  Pipeline pl = trace_program(kPartitioned, 4);
+  AnnotateResult res = annotate(pl.prog, pl.trace, *pl.lp,
+                                pl.machine->config().cache,
+                                {.mode = cachier::Mode::Performance});
+  // Re-parse the unparsed text: the full source-to-source pipeline.
+  lang::Program annotated = lang::parse(lang::unparse(res.program));
+
+  auto [v_plain, t_plain] = run_values(pl.prog);
+  auto [v_anno, t_anno] = run_values(annotated);
+  EXPECT_EQ(v_plain, v_anno);
+  // The producer-consumer check-in also makes it faster here.
+  EXPECT_LT(t_anno, t_plain);
+}
+
+}  // namespace
+}  // namespace cico::srcann

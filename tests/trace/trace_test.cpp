@@ -1,0 +1,141 @@
+#include "cico/trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cico::trace {
+namespace {
+
+TEST(TraceWriterTest, RecordsAndEpochs) {
+  TraceWriter w;
+  w.record_miss(0, MissKind::ReadMiss, 0x100, 8, 5, 0);
+  w.record_miss(1, MissKind::WriteMiss, 0x200, 8, 6, 0);
+  w.record_barrier(0, 9, 1000, 0);
+  w.record_barrier(1, 9, 1000, 0);
+  w.end_epoch();
+  w.record_miss(0, MissKind::WriteFault, 0x100, 8, 7, 1);
+  Trace t = w.take();
+  EXPECT_EQ(t.misses.size(), 3u);
+  EXPECT_EQ(t.barriers.size(), 2u);
+  EXPECT_EQ(t.num_epochs(), 2u);
+}
+
+TEST(TraceWriterTest, DeduplicatesWithinEpoch) {
+  // WWT collected misses in a per-epoch hash table: identical events in
+  // the same epoch collapse to one record.
+  TraceWriter w;
+  for (int i = 0; i < 10; ++i) {
+    w.record_miss(0, MissKind::ReadMiss, 0x100, 8, 5, 0);
+  }
+  w.end_epoch();
+  w.record_miss(0, MissKind::ReadMiss, 0x100, 8, 5, 1);  // new epoch: kept
+  Trace t = w.take();
+  EXPECT_EQ(t.misses.size(), 2u);
+}
+
+TEST(TraceWriterTest, DistinctKindsAreDistinctRecords) {
+  TraceWriter w;
+  w.record_miss(0, MissKind::ReadMiss, 0x100, 8, 5, 0);
+  w.record_miss(0, MissKind::WriteFault, 0x100, 8, 5, 0);
+  Trace t = w.take();
+  EXPECT_EQ(t.misses.size(), 2u);
+}
+
+TEST(TraceTest, RegionLookup) {
+  Trace t;
+  t.labels.push_back(RegionLabel{"A", 0x1000, 0x100, true});
+  t.labels.push_back(RegionLabel{"B", 0x2000, 0x80, false});
+  ASSERT_NE(t.region_of(0x1000), nullptr);
+  EXPECT_EQ(t.region_of(0x1000)->label, "A");
+  EXPECT_EQ(t.region_of(0x10ff)->label, "A");
+  EXPECT_EQ(t.region_of(0x1100), nullptr);
+  EXPECT_EQ(t.region_of(0x2040)->label, "B");
+  EXPECT_EQ(t.region_of(0x0), nullptr);
+}
+
+TEST(TraceIoTest, TextRoundTrip) {
+  TraceWriter w;
+  w.set_labels({RegionLabel{"A", 0x1000, 256, true},
+                RegionLabel{"tree", 0x2000, 512, false}});
+  w.record_miss(3, MissKind::ReadMiss, 0x1008, 8, 11, 0);
+  w.record_miss(7, MissKind::WriteMiss, 0x1010, 4, 12, 0);
+  w.record_barrier(3, 2, 555, 0);
+  w.end_epoch();
+  w.record_miss(3, MissKind::WriteFault, 0x2008, 8, 13, 1);
+  Trace t = w.take();
+
+  std::stringstream ss;
+  save_text(t, ss);
+  Trace back = load_text(ss);
+
+  EXPECT_EQ(back.misses, t.misses);
+  EXPECT_EQ(back.barriers, t.barriers);
+  EXPECT_EQ(back.labels, t.labels);
+}
+
+TEST(TraceIoTest, BinaryRoundTrip) {
+  TraceWriter w;
+  w.set_labels({RegionLabel{"A", 0x1000, 256, true},
+                RegionLabel{"tree", 0x2000, 512, false}});
+  for (int i = 0; i < 100; ++i) {
+    w.record_miss(i % 8, static_cast<MissKind>(i % 3),
+                  0x1000 + static_cast<Addr>(i) * 8, 8, 11 + i % 5, i / 25);
+    if (i % 25 == 24) {
+      w.record_barrier(0, 2, 100 * i, i / 25);
+      w.end_epoch();
+    }
+  }
+  Trace t = w.take();
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  save_binary(t, ss);
+  Trace back = load_binary(ss);
+  EXPECT_EQ(back.misses, t.misses);
+  EXPECT_EQ(back.barriers, t.barriers);
+  EXPECT_EQ(back.labels, t.labels);
+}
+
+TEST(TraceIoTest, BinaryIsSmallerThanText) {
+  TraceWriter w;
+  for (int i = 0; i < 1000; ++i) {
+    w.record_miss(i % 32, MissKind::ReadMiss, 0x100000 + static_cast<Addr>(i) * 8, 8,
+                  1000 + i, 0);
+  }
+  Trace t = w.take();
+  std::stringstream txt, bin(std::ios::in | std::ios::out | std::ios::binary);
+  save_text(t, txt);
+  save_binary(t, bin);
+  EXPECT_LT(bin.str().size(), txt.str().size());
+}
+
+TEST(TraceIoTest, BinaryRejectsCorruption) {
+  std::stringstream bad1("not binary at all");
+  EXPECT_THROW(load_binary(bad1), std::runtime_error);
+  // Truncated stream after a valid header.
+  Trace t;
+  t.misses.push_back(MissRecord{0, 0, MissKind::ReadMiss, 0x10, 8, 1});
+  std::stringstream full(std::ios::in | std::ios::out | std::ios::binary);
+  save_binary(t, full);
+  const std::string bytes = full.str();
+  std::stringstream cut(bytes.substr(0, bytes.size() - 4),
+                        std::ios::in | std::ios::binary);
+  EXPECT_THROW(load_binary(cut), std::runtime_error);
+}
+
+TEST(TraceIoTest, RejectsBadHeader) {
+  std::stringstream ss("not a trace\n");
+  EXPECT_THROW(load_text(ss), std::runtime_error);
+}
+
+TEST(TraceIoTest, RejectsMalformedRecord) {
+  std::stringstream ss("cico-trace v1\nM 1 2\n");
+  EXPECT_THROW(load_text(ss), std::runtime_error);
+}
+
+TEST(TraceIoTest, RejectsUnknownTag) {
+  std::stringstream ss("cico-trace v1\nZ 1 2 3\n");
+  EXPECT_THROW(load_text(ss), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cico::trace

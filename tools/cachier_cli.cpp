@@ -1,0 +1,199 @@
+// cachier -- the command-line tool.
+//
+// Drives the full paper pipeline (Fig. 1) on a MiniPar source file:
+//
+//   cachier annotate prog.mp [-n nodes] [--mode programmer|performance]
+//       trace the unannotated program, insert CICO annotations, print the
+//       annotated source to stdout (the paper's core use case)
+//   cachier run prog.mp [-n nodes]
+//       run a (possibly annotated) program and print execution statistics
+//   cachier report prog.mp [-n nodes]
+//       print the data-race / false-sharing report
+//   cachier compare prog.mp [-n nodes] [--mode ...]
+//       annotate, then run both versions and print the speedup
+//   cachier trace prog.mp [-n nodes]
+//       dump the Fig. 3 trace (text format) to stdout
+//
+// Exit status: 0 on success, 1 on usage errors, 2 on program errors.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "cico/lang/interp.hpp"
+#include "cico/lang/parser.hpp"
+#include "cico/lang/unparse.hpp"
+#include "cico/srcann/annotator.hpp"
+
+using namespace cico;
+
+namespace {
+
+struct Options {
+  std::string command;
+  std::string file;
+  std::uint32_t nodes = 8;
+  cachier::Mode mode = cachier::Mode::Performance;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: cachier <annotate|run|report|compare|trace> prog.mp "
+               "[-n nodes] [--mode programmer|performance]\n");
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+struct Traced {
+  trace::Trace trace;
+  Cycle time = 0;
+  std::string report;
+};
+
+Traced trace_program(const lang::Program& prog, std::uint32_t nodes) {
+  sim::SimConfig cfg;
+  cfg.nodes = nodes;
+  cfg.trace_mode = true;
+  sim::Machine m(cfg);
+  trace::TraceWriter w;
+  m.set_trace_writer(&w);
+  lang::LoadedProgram lp(prog, m);
+  w.set_labels(m.heap().trace_labels());
+  m.run([&](sim::Proc& p) { lp.run_node(p); });
+  Traced t;
+  t.trace = w.take();
+  t.time = m.exec_time();
+  cachier::SharingAnalyzer sa(t.trace, cfg.cache);
+  t.report = sa.report(t.trace, m.pcs());
+  return t;
+}
+
+Cycle run_program(const lang::Program& prog, std::uint32_t nodes,
+                  bool print_stats) {
+  sim::SimConfig cfg;
+  cfg.nodes = nodes;
+  sim::Machine m(cfg);
+  lang::LoadedProgram lp(prog, m);
+  m.run([&](sim::Proc& p) { lp.run_node(p); });
+  if (print_stats) {
+    std::printf("nodes:            %u\n", nodes);
+    std::printf("execution time:   %llu cycles\n",
+                static_cast<unsigned long long>(m.exec_time()));
+    std::printf("epochs:           %u\n", m.epochs_completed());
+    for (Stat s : {Stat::SharedLoads, Stat::SharedStores, Stat::ReadMisses,
+                   Stat::WriteMisses, Stat::WriteFaults, Stat::Traps,
+                   Stat::Invalidations, Stat::Messages, Stat::CheckOutX,
+                   Stat::CheckOutS, Stat::CheckIns, Stat::PrefetchIssued}) {
+      std::printf("%-17s %llu\n",
+                  (std::string(stat_name(s)) + ":").c_str(),
+                  static_cast<unsigned long long>(m.stats().total(s)));
+    }
+  }
+  return m.exec_time();
+}
+
+srcann::AnnotateResult annotate_program(const lang::Program& prog,
+                                        std::uint32_t nodes,
+                                        cachier::Mode mode,
+                                        Traced* traced_out = nullptr) {
+  sim::SimConfig cfg;
+  cfg.nodes = nodes;
+  cfg.trace_mode = true;
+  sim::Machine m(cfg);
+  trace::TraceWriter w;
+  m.set_trace_writer(&w);
+  lang::LoadedProgram lp(prog, m);
+  w.set_labels(m.heap().trace_labels());
+  m.run([&](sim::Proc& p) { lp.run_node(p); });
+  trace::Trace t = w.take();
+  if (traced_out != nullptr) traced_out->trace = t;
+  return srcann::annotate(prog, t, lp, cfg.cache, {.mode = mode});
+}
+
+int dispatch(const Options& opt) {
+  lang::Program prog = lang::parse(slurp(opt.file));
+
+  if (opt.command == "run") {
+    run_program(prog, opt.nodes, /*print_stats=*/true);
+    return 0;
+  }
+  if (opt.command == "trace") {
+    Traced t = trace_program(prog, opt.nodes);
+    trace::save_text(t.trace, std::cout);
+    return 0;
+  }
+  if (opt.command == "report") {
+    Traced t = trace_program(prog, opt.nodes);
+    std::printf("%s", t.report.c_str());
+    return 0;
+  }
+  if (opt.command == "annotate") {
+    srcann::AnnotateResult res = annotate_program(prog, opt.nodes, opt.mode);
+    std::printf("%s", lang::unparse(res.program).c_str());
+    std::fprintf(stderr,
+                 "# cachier: %zu annotations, %zu generated loops, %zu "
+                 "dropped, %zu races, %zu false-sharing blocks\n",
+                 res.inserted, res.generated_loops, res.dropped, res.races,
+                 res.false_shares);
+    return 0;
+  }
+  if (opt.command == "compare") {
+    srcann::AnnotateResult res = annotate_program(prog, opt.nodes, opt.mode);
+    lang::Program annotated = lang::parse(lang::unparse(res.program));
+    std::printf("-- unannotated --\n");
+    const Cycle base = run_program(prog, opt.nodes, true);
+    std::printf("-- %s CICO (%zu annotations) --\n",
+                cachier::mode_name(opt.mode), res.inserted);
+    const Cycle anno = run_program(annotated, opt.nodes, true);
+    std::printf("\nnormalized execution time: %.3f\n",
+                static_cast<double>(anno) / static_cast<double>(base));
+    return 0;
+  }
+  usage();
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-n" && i + 1 < argc) {
+      opt.nodes = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--mode" && i + 1 < argc) {
+      const std::string m = argv[++i];
+      if (m == "programmer") opt.mode = cachier::Mode::Programmer;
+      else if (m == "performance") opt.mode = cachier::Mode::Performance;
+      else {
+        usage();
+        return 1;
+      }
+    } else if (opt.command.empty()) {
+      opt.command = arg;
+    } else if (opt.file.empty()) {
+      opt.file = arg;
+    } else {
+      usage();
+      return 1;
+    }
+  }
+  if (opt.command.empty() || opt.file.empty() || opt.nodes == 0) {
+    usage();
+    return 1;
+  }
+  try {
+    return dispatch(opt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cachier: %s\n", e.what());
+    return 2;
+  }
+}

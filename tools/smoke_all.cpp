@@ -1,0 +1,41 @@
+#include <chrono>
+#include <cstdio>
+#include "apps/barnes.hpp"
+#include "apps/jacobi.hpp"
+#include "apps/matmul.hpp"
+#include "apps/mp3d.hpp"
+#include "apps/ocean.hpp"
+#include "apps/runner.hpp"
+#include "apps/tomcatv.hpp"
+using namespace cico;
+using namespace cico::apps;
+
+static void report(Harness& h, const char* tag) {
+  auto t0 = std::chrono::steady_clock::now();
+  auto rs = h.run_variants({Variant::None, Variant::Hand, Variant::Cachier, Variant::CachierPf});
+  auto t1 = std::chrono::steady_clock::now();
+  printf("%s  (%.1fs)\n", format_fig6_rows(rs).c_str(), std::chrono::duration<double>(t1-t0).count());
+  for (auto& r : rs)
+    printf("  %-10s time=%-10llu traps=%-7llu wf=%-6llu rm=%-7llu pfU=%-6llu pfL=%-5llu msgs=%-8llu ok=%d\n",
+      r.variant.c_str(), (unsigned long long)r.time, (unsigned long long)r.stat(Stat::Traps),
+      (unsigned long long)r.stat(Stat::WriteFaults), (unsigned long long)r.stat(Stat::ReadMisses),
+      (unsigned long long)r.stat(Stat::PrefetchUseful), (unsigned long long)r.stat(Stat::PrefetchLate),
+      (unsigned long long)r.stat(Stat::Messages), (int)r.verified);
+  (void)tag;
+}
+
+int main() {
+  { HarnessConfig hc; MatMulConfig c; c.n = 64;
+    Harness h([c](std::uint64_t s){ return std::make_unique<MatMul>(c, s); }, hc); report(h, "matmul"); }
+  { HarnessConfig hc; OceanConfig c; c.n = 64; c.iters = 5;
+    Harness h([c](std::uint64_t s){ return std::make_unique<Ocean>(c, s); }, hc); report(h, "ocean"); }
+  { HarnessConfig hc; TomcatvConfig c; c.rows = 128; c.cols = 64; c.iters = 3;
+    Harness h([c](std::uint64_t s){ return std::make_unique<Tomcatv>(c, s); }, hc); report(h, "tomcatv"); }
+  { HarnessConfig hc; Mp3dConfig c; c.molecules = 2048; c.steps = 4;
+    Harness h([c](std::uint64_t s){ return std::make_unique<Mp3d>(c, s); }, hc); report(h, "mp3d"); }
+  { HarnessConfig hc; BarnesConfig c; c.bodies = 512; c.steps = 2;
+    Harness h([c](std::uint64_t s){ return std::make_unique<Barnes>(c, s); }, hc); report(h, "barnes"); }
+  { HarnessConfig hc; hc.sim.nodes = 16; JacobiConfig c; c.n = 32; c.steps = 3;
+    Harness h([c](std::uint64_t s){ return std::make_unique<Jacobi>(c, s); }, hc); report(h, "jacobi"); }
+  return 0;
+}

@@ -1,0 +1,24 @@
+#include <chrono>
+#include <cstdio>
+#include "apps/matmul.hpp"
+#include "apps/runner.hpp"
+using namespace cico;
+using namespace cico::apps;
+int main(int argc, char** argv) {
+  std::size_t n = argc > 1 ? std::stoul(argv[1]) : 64;
+  HarnessConfig hc;
+  hc.sim.nodes = 32;
+  MatMulConfig mc; mc.n = n;
+  Harness h([mc](std::uint64_t seed){ return std::make_unique<MatMul>(mc, seed); }, hc);
+  auto t0 = std::chrono::steady_clock::now();
+  auto rs = h.run_variants({Variant::None, Variant::Hand, Variant::Cachier, Variant::CachierPf});
+  auto t1 = std::chrono::steady_clock::now();
+  printf("%s\n", format_fig6_rows(rs).c_str());
+  for (auto& r : rs)
+    printf("  %-10s time=%llu traps=%llu wf=%llu rm=%llu msgs=%llu ok=%d\n", r.variant.c_str(),
+      (unsigned long long)r.time, (unsigned long long)r.stat(Stat::Traps),
+      (unsigned long long)r.stat(Stat::WriteFaults), (unsigned long long)r.stat(Stat::ReadMisses),
+      (unsigned long long)r.stat(Stat::Messages), (int)r.verified);
+  printf("wall: %.1fs\n", std::chrono::duration<double>(t1-t0).count());
+  return 0;
+}
