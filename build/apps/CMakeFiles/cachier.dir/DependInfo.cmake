@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/cachier_cli.cpp" "apps/CMakeFiles/cachier.dir/__/tools/cachier_cli.cpp.o" "gcc" "apps/CMakeFiles/cachier.dir/__/tools/cachier_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cico/srcann/CMakeFiles/cico_srcann.dir/DependInfo.cmake"
+  "/root/repo/build/src/cico/lang/CMakeFiles/cico_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/cico/cachier/CMakeFiles/cico_cachier.dir/DependInfo.cmake"
+  "/root/repo/build/src/cico/sim/CMakeFiles/cico_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cico/proto/CMakeFiles/cico_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/cico/net/CMakeFiles/cico_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cico/mem/CMakeFiles/cico_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cico/trace/CMakeFiles/cico_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cico/common/CMakeFiles/cico_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cachier.dir/__/tools/cachier_cli.cpp.o"
+  "CMakeFiles/cachier.dir/__/tools/cachier_cli.cpp.o.d"
+  "cachier"
+  "cachier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cachier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/apps/barnes.cpp" "apps/CMakeFiles/cico_apps.dir/barnes.cpp.o" "gcc" "apps/CMakeFiles/cico_apps.dir/barnes.cpp.o.d"
+  "/root/repo/apps/jacobi.cpp" "apps/CMakeFiles/cico_apps.dir/jacobi.cpp.o" "gcc" "apps/CMakeFiles/cico_apps.dir/jacobi.cpp.o.d"
+  "/root/repo/apps/matmul.cpp" "apps/CMakeFiles/cico_apps.dir/matmul.cpp.o" "gcc" "apps/CMakeFiles/cico_apps.dir/matmul.cpp.o.d"
+  "/root/repo/apps/mp3d.cpp" "apps/CMakeFiles/cico_apps.dir/mp3d.cpp.o" "gcc" "apps/CMakeFiles/cico_apps.dir/mp3d.cpp.o.d"
+  "/root/repo/apps/ocean.cpp" "apps/CMakeFiles/cico_apps.dir/ocean.cpp.o" "gcc" "apps/CMakeFiles/cico_apps.dir/ocean.cpp.o.d"
+  "/root/repo/apps/runner.cpp" "apps/CMakeFiles/cico_apps.dir/runner.cpp.o" "gcc" "apps/CMakeFiles/cico_apps.dir/runner.cpp.o.d"
+  "/root/repo/apps/tomcatv.cpp" "apps/CMakeFiles/cico_apps.dir/tomcatv.cpp.o" "gcc" "apps/CMakeFiles/cico_apps.dir/tomcatv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cico/sim/CMakeFiles/cico_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cico/cachier/CMakeFiles/cico_cachier.dir/DependInfo.cmake"
+  "/root/repo/build/src/cico/trace/CMakeFiles/cico_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cico/common/CMakeFiles/cico_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cico/proto/CMakeFiles/cico_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/cico/net/CMakeFiles/cico_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cico/mem/CMakeFiles/cico_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

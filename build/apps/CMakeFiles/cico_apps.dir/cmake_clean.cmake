@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cico_apps.dir/barnes.cpp.o"
+  "CMakeFiles/cico_apps.dir/barnes.cpp.o.d"
+  "CMakeFiles/cico_apps.dir/jacobi.cpp.o"
+  "CMakeFiles/cico_apps.dir/jacobi.cpp.o.d"
+  "CMakeFiles/cico_apps.dir/matmul.cpp.o"
+  "CMakeFiles/cico_apps.dir/matmul.cpp.o.d"
+  "CMakeFiles/cico_apps.dir/mp3d.cpp.o"
+  "CMakeFiles/cico_apps.dir/mp3d.cpp.o.d"
+  "CMakeFiles/cico_apps.dir/ocean.cpp.o"
+  "CMakeFiles/cico_apps.dir/ocean.cpp.o.d"
+  "CMakeFiles/cico_apps.dir/runner.cpp.o"
+  "CMakeFiles/cico_apps.dir/runner.cpp.o.d"
+  "CMakeFiles/cico_apps.dir/tomcatv.cpp.o"
+  "CMakeFiles/cico_apps.dir/tomcatv.cpp.o.d"
+  "libcico_apps.a"
+  "libcico_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cico_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

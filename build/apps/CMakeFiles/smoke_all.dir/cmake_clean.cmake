@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoke_all.dir/__/tools/smoke_all.cpp.o"
+  "CMakeFiles/smoke_all.dir/__/tools/smoke_all.cpp.o.d"
+  "smoke_all"
+  "smoke_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoke_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoke_matmul.dir/__/tools/smoke_matmul.cpp.o"
+  "CMakeFiles/smoke_matmul.dir/__/tools/smoke_matmul.cpp.o.d"
+  "smoke_matmul"
+  "smoke_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoke_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_drfs.dir/bench_ablation_drfs.cpp.o"
+  "CMakeFiles/bench_ablation_drfs.dir/bench_ablation_drfs.cpp.o.d"
+  "bench_ablation_drfs"
+  "bench_ablation_drfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_drfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_input_sensitivity.dir/bench_input_sensitivity.cpp.o"
+  "CMakeFiles/bench_input_sensitivity.dir/bench_input_sensitivity.cpp.o.d"
+  "bench_input_sensitivity"
+  "bench_input_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_input_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

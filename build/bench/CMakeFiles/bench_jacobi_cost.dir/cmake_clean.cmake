@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_jacobi_cost.dir/bench_jacobi_cost.cpp.o"
+  "CMakeFiles/bench_jacobi_cost.dir/bench_jacobi_cost.cpp.o.d"
+  "bench_jacobi_cost"
+  "bench_jacobi_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_jacobi_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

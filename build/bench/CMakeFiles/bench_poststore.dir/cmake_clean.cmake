@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_poststore.dir/bench_poststore.cpp.o"
+  "CMakeFiles/bench_poststore.dir/bench_poststore.cpp.o.d"
+  "bench_poststore"
+  "bench_poststore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_poststore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_programmer_mode.dir/bench_programmer_mode.cpp.o"
+  "CMakeFiles/bench_programmer_mode.dir/bench_programmer_mode.cpp.o.d"
+  "bench_programmer_mode"
+  "bench_programmer_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_programmer_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

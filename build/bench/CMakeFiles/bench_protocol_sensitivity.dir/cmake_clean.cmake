@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_protocol_sensitivity.dir/bench_protocol_sensitivity.cpp.o"
+  "CMakeFiles/bench_protocol_sensitivity.dir/bench_protocol_sensitivity.cpp.o.d"
+  "bench_protocol_sensitivity"
+  "bench_protocol_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_protocol_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

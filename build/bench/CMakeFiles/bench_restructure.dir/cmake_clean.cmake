@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_restructure.dir/bench_restructure.cpp.o"
+  "CMakeFiles/bench_restructure.dir/bench_restructure.cpp.o.d"
+  "bench_restructure"
+  "bench_restructure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_restructure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sharing_degree.dir/bench_sharing_degree.cpp.o"
+  "CMakeFiles/bench_sharing_degree.dir/bench_sharing_degree.cpp.o.d"
+  "bench_sharing_degree"
+  "bench_sharing_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sharing_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annotate_source.dir/annotate_source.cpp.o"
+  "CMakeFiles/annotate_source.dir/annotate_source.cpp.o.d"
+  "annotate_source"
+  "annotate_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotate_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jacobi_costmodel.dir/jacobi_costmodel.cpp.o"
+  "CMakeFiles/jacobi_costmodel.dir/jacobi_costmodel.cpp.o.d"
+  "jacobi_costmodel"
+  "jacobi_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jacobi_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cico/srcann/CMakeFiles/cico_srcann.dir/DependInfo.cmake"
+  "/root/repo/build/src/cico/lang/CMakeFiles/cico_lang.dir/DependInfo.cmake"
+  "/root/repo/build/apps/CMakeFiles/cico_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/cico/cachier/CMakeFiles/cico_cachier.dir/DependInfo.cmake"
+  "/root/repo/build/src/cico/sim/CMakeFiles/cico_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cico/proto/CMakeFiles/cico_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/cico/mem/CMakeFiles/cico_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cico/net/CMakeFiles/cico_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cico/trace/CMakeFiles/cico_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cico/common/CMakeFiles/cico_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

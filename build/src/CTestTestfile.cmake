@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("cico/common")
+subdirs("cico/mem")
+subdirs("cico/net")
+subdirs("cico/proto")
+subdirs("cico/sim")
+subdirs("cico/trace")
+subdirs("cico/cachier")
+subdirs("cico/lang")
+subdirs("cico/srcann")

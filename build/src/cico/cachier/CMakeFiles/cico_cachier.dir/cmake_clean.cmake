@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cico_cachier.dir/chooser.cpp.o"
+  "CMakeFiles/cico_cachier.dir/chooser.cpp.o.d"
+  "CMakeFiles/cico_cachier.dir/epoch_db.cpp.o"
+  "CMakeFiles/cico_cachier.dir/epoch_db.cpp.o.d"
+  "CMakeFiles/cico_cachier.dir/plan_builder.cpp.o"
+  "CMakeFiles/cico_cachier.dir/plan_builder.cpp.o.d"
+  "CMakeFiles/cico_cachier.dir/sharing.cpp.o"
+  "CMakeFiles/cico_cachier.dir/sharing.cpp.o.d"
+  "libcico_cachier.a"
+  "libcico_cachier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cico_cachier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cico_common.dir/pc_registry.cpp.o"
+  "CMakeFiles/cico_common.dir/pc_registry.cpp.o.d"
+  "CMakeFiles/cico_common.dir/stats.cpp.o"
+  "CMakeFiles/cico_common.dir/stats.cpp.o.d"
+  "libcico_common.a"
+  "libcico_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cico_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cico/lang/ast.cpp" "src/cico/lang/CMakeFiles/cico_lang.dir/ast.cpp.o" "gcc" "src/cico/lang/CMakeFiles/cico_lang.dir/ast.cpp.o.d"
+  "/root/repo/src/cico/lang/cfg.cpp" "src/cico/lang/CMakeFiles/cico_lang.dir/cfg.cpp.o" "gcc" "src/cico/lang/CMakeFiles/cico_lang.dir/cfg.cpp.o.d"
+  "/root/repo/src/cico/lang/interp.cpp" "src/cico/lang/CMakeFiles/cico_lang.dir/interp.cpp.o" "gcc" "src/cico/lang/CMakeFiles/cico_lang.dir/interp.cpp.o.d"
+  "/root/repo/src/cico/lang/lexer.cpp" "src/cico/lang/CMakeFiles/cico_lang.dir/lexer.cpp.o" "gcc" "src/cico/lang/CMakeFiles/cico_lang.dir/lexer.cpp.o.d"
+  "/root/repo/src/cico/lang/parser.cpp" "src/cico/lang/CMakeFiles/cico_lang.dir/parser.cpp.o" "gcc" "src/cico/lang/CMakeFiles/cico_lang.dir/parser.cpp.o.d"
+  "/root/repo/src/cico/lang/unparse.cpp" "src/cico/lang/CMakeFiles/cico_lang.dir/unparse.cpp.o" "gcc" "src/cico/lang/CMakeFiles/cico_lang.dir/unparse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cico/common/CMakeFiles/cico_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cico/sim/CMakeFiles/cico_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cico/proto/CMakeFiles/cico_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/cico/mem/CMakeFiles/cico_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cico/net/CMakeFiles/cico_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cico/trace/CMakeFiles/cico_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

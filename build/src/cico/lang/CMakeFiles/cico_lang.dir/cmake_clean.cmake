@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cico_lang.dir/ast.cpp.o"
+  "CMakeFiles/cico_lang.dir/ast.cpp.o.d"
+  "CMakeFiles/cico_lang.dir/cfg.cpp.o"
+  "CMakeFiles/cico_lang.dir/cfg.cpp.o.d"
+  "CMakeFiles/cico_lang.dir/interp.cpp.o"
+  "CMakeFiles/cico_lang.dir/interp.cpp.o.d"
+  "CMakeFiles/cico_lang.dir/lexer.cpp.o"
+  "CMakeFiles/cico_lang.dir/lexer.cpp.o.d"
+  "CMakeFiles/cico_lang.dir/parser.cpp.o"
+  "CMakeFiles/cico_lang.dir/parser.cpp.o.d"
+  "CMakeFiles/cico_lang.dir/unparse.cpp.o"
+  "CMakeFiles/cico_lang.dir/unparse.cpp.o.d"
+  "libcico_lang.a"
+  "libcico_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cico_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

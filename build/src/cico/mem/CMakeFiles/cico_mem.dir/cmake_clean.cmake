@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cico_mem.dir/cache.cpp.o"
+  "CMakeFiles/cico_mem.dir/cache.cpp.o.d"
+  "libcico_mem.a"
+  "libcico_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cico_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cico_net.dir/network.cpp.o"
+  "CMakeFiles/cico_net.dir/network.cpp.o.d"
+  "libcico_net.a"
+  "libcico_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cico_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cico/proto/dir1sw.cpp" "src/cico/proto/CMakeFiles/cico_proto.dir/dir1sw.cpp.o" "gcc" "src/cico/proto/CMakeFiles/cico_proto.dir/dir1sw.cpp.o.d"
+  "/root/repo/src/cico/proto/dirn.cpp" "src/cico/proto/CMakeFiles/cico_proto.dir/dirn.cpp.o" "gcc" "src/cico/proto/CMakeFiles/cico_proto.dir/dirn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cico/common/CMakeFiles/cico_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cico/mem/CMakeFiles/cico_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cico/net/CMakeFiles/cico_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cico_proto.dir/dir1sw.cpp.o"
+  "CMakeFiles/cico_proto.dir/dir1sw.cpp.o.d"
+  "CMakeFiles/cico_proto.dir/dirn.cpp.o"
+  "CMakeFiles/cico_proto.dir/dirn.cpp.o.d"
+  "libcico_proto.a"
+  "libcico_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cico_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cico_sim.dir/machine.cpp.o"
+  "CMakeFiles/cico_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/cico_sim.dir/plan.cpp.o"
+  "CMakeFiles/cico_sim.dir/plan.cpp.o.d"
+  "CMakeFiles/cico_sim.dir/plan_io.cpp.o"
+  "CMakeFiles/cico_sim.dir/plan_io.cpp.o.d"
+  "CMakeFiles/cico_sim.dir/shared_heap.cpp.o"
+  "CMakeFiles/cico_sim.dir/shared_heap.cpp.o.d"
+  "libcico_sim.a"
+  "libcico_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cico_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

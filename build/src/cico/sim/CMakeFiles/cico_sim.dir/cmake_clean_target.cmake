@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcico_sim.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cico_srcann.dir/annotator.cpp.o"
+  "CMakeFiles/cico_srcann.dir/annotator.cpp.o.d"
+  "libcico_srcann.a"
+  "libcico_srcann.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cico_srcann.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cico_trace.dir/trace.cpp.o"
+  "CMakeFiles/cico_trace.dir/trace.cpp.o.d"
+  "libcico_trace.a"
+  "libcico_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cico_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcico_trace.a"
+)

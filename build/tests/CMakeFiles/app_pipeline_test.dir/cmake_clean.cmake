@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_pipeline_test.dir/integration/app_pipeline_test.cpp.o"
+  "CMakeFiles/app_pipeline_test.dir/integration/app_pipeline_test.cpp.o.d"
+  "app_pipeline_test"
+  "app_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

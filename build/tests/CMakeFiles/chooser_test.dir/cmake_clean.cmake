@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chooser_test.dir/cachier/chooser_test.cpp.o"
+  "CMakeFiles/chooser_test.dir/cachier/chooser_test.cpp.o.d"
+  "chooser_test"
+  "chooser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chooser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dir1sw_test.dir/proto/dir1sw_test.cpp.o"
+  "CMakeFiles/dir1sw_test.dir/proto/dir1sw_test.cpp.o.d"
+  "dir1sw_test"
+  "dir1sw_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dir1sw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

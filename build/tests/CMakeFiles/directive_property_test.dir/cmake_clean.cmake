@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/directive_property_test.dir/sim/directive_property_test.cpp.o"
+  "CMakeFiles/directive_property_test.dir/sim/directive_property_test.cpp.o.d"
+  "directive_property_test"
+  "directive_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/directive_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

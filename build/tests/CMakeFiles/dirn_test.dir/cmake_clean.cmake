@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dirn_test.dir/proto/dirn_test.cpp.o"
+  "CMakeFiles/dirn_test.dir/proto/dirn_test.cpp.o.d"
+  "dirn_test"
+  "dirn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dirn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epoch_db_test.dir/cachier/epoch_db_test.cpp.o"
+  "CMakeFiles/epoch_db_test.dir/cachier/epoch_db_test.cpp.o.d"
+  "epoch_db_test"
+  "epoch_db_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epoch_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

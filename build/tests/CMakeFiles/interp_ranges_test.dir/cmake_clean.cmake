@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_ranges_test.dir/lang/interp_ranges_test.cpp.o"
+  "CMakeFiles/interp_ranges_test.dir/lang/interp_ranges_test.cpp.o.d"
+  "interp_ranges_test"
+  "interp_ranges_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_ranges_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

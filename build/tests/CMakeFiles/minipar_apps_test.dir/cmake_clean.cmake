@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minipar_apps_test.dir/integration/minipar_apps_test.cpp.o"
+  "CMakeFiles/minipar_apps_test.dir/integration/minipar_apps_test.cpp.o.d"
+  "minipar_apps_test"
+  "minipar_apps_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minipar_apps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

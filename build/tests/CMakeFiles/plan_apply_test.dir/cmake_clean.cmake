@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_apply_test.dir/sim/plan_apply_test.cpp.o"
+  "CMakeFiles/plan_apply_test.dir/sim/plan_apply_test.cpp.o.d"
+  "plan_apply_test"
+  "plan_apply_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_apply_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poststore_test.dir/sim/poststore_test.cpp.o"
+  "CMakeFiles/poststore_test.dir/sim/poststore_test.cpp.o.d"
+  "poststore_test"
+  "poststore_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poststore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

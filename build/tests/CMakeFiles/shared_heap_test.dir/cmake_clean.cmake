@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_heap_test.dir/sim/shared_heap_test.cpp.o"
+  "CMakeFiles/shared_heap_test.dir/sim/shared_heap_test.cpp.o.d"
+  "shared_heap_test"
+  "shared_heap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_heap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

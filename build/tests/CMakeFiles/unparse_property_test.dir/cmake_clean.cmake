@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unparse_property_test.dir/lang/unparse_property_test.cpp.o"
+  "CMakeFiles/unparse_property_test.dir/lang/unparse_property_test.cpp.o.d"
+  "unparse_property_test"
+  "unparse_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unparse_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
