@@ -29,6 +29,11 @@ std::string_view stat_name(Stat s) {
     case Stat::DirectiveCycles: return "directive_cycles";
     case Stat::ComputeCycles: return "compute_cycles";
     case Stat::PostStores: return "post_stores";
+    case Stat::MsgDropped: return "msg_dropped";
+    case Stat::MsgDuplicated: return "msg_duplicated";
+    case Stat::Retries: return "retries";
+    case Stat::PrefetchThrottled: return "prefetch_throttled";
+    case Stat::WatchdogTrips: return "watchdog_trips";
     case Stat::Count_: break;
   }
   return "unknown";

@@ -42,6 +42,11 @@ enum class Stat : std::uint32_t {
   DirectiveCycles,   ///< cycles spent issuing directives
   ComputeCycles,     ///< cycles charged via Proc::compute (private work)
   PostStores,        ///< post_store directives issued (extension)
+  MsgDropped,        ///< messages dropped by the fault injector
+  MsgDuplicated,     ///< messages duplicated by the fault injector
+  Retries,           ///< protocol requests re-issued after a drop/loss
+  PrefetchThrottled, ///< prefetches suppressed by the self-throttle
+  WatchdogTrips,     ///< liveness-watchdog livelock detections
   Count_
 };
 

@@ -1,0 +1,55 @@
+// Message taxonomy of the interconnect.
+//
+// Split out of network.hpp so layers below the network (the fault
+// subsystem) can reason about message types without depending on the
+// Network itself.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace cico::net {
+
+enum class MsgType : std::uint8_t {
+  Request,       ///< GetS/GetX/upgrade request to the home directory
+  DataReply,     ///< block data from home to requester
+  Ack,           ///< dataless acknowledgement
+  Invalidate,    ///< software handler invalidating a sharer
+  Recall,        ///< software handler recalling an exclusive copy
+  Writeback,     ///< dirty data returning to the home memory
+  Directive,     ///< explicit CICO directive (check-in notification, etc.)
+  PrefetchReq,   ///< non-blocking prefetch request
+  PrefetchReply, ///< prefetch data reply
+  Nack,          ///< negative ack (dropped prefetch, stale put)
+  Count_
+};
+
+inline constexpr std::size_t kMsgTypeCount = static_cast<std::size_t>(MsgType::Count_);
+
+[[nodiscard]] constexpr std::string_view msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::Request: return "request";
+    case MsgType::DataReply: return "data_reply";
+    case MsgType::Ack: return "ack";
+    case MsgType::Invalidate: return "invalidate";
+    case MsgType::Recall: return "recall";
+    case MsgType::Writeback: return "writeback";
+    case MsgType::Directive: return "directive";
+    case MsgType::PrefetchReq: return "prefetch_req";
+    case MsgType::PrefetchReply: return "prefetch_reply";
+    case MsgType::Nack: return "nack";
+    case MsgType::Count_: break;
+  }
+  return "unknown";
+}
+
+/// Inverse of msg_type_name; returns Count_ when the name is unknown.
+[[nodiscard]] constexpr MsgType msg_type_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kMsgTypeCount; ++i) {
+    const auto t = static_cast<MsgType>(i);
+    if (msg_type_name(t) == name) return t;
+  }
+  return MsgType::Count_;
+}
+
+}  // namespace cico::net

@@ -1,22 +1,4 @@
 #include "cico/net/network.hpp"
 
-namespace cico::net {
-
-std::string_view msg_type_name(MsgType t) {
-  switch (t) {
-    case MsgType::Request: return "request";
-    case MsgType::DataReply: return "data_reply";
-    case MsgType::Ack: return "ack";
-    case MsgType::Invalidate: return "invalidate";
-    case MsgType::Recall: return "recall";
-    case MsgType::Writeback: return "writeback";
-    case MsgType::Directive: return "directive";
-    case MsgType::PrefetchReq: return "prefetch_req";
-    case MsgType::PrefetchReply: return "prefetch_reply";
-    case MsgType::Nack: return "nack";
-    case MsgType::Count_: break;
-  }
-  return "unknown";
-}
-
-}  // namespace cico::net
+// Network is header-only since the MsgType taxonomy moved to msg.hpp
+// (msg_type_name is constexpr there); this TU anchors the library.

@@ -4,6 +4,12 @@
 // cost model does the same: every remote hop costs the same).  The network
 // charges latencies and counts messages by type; the Dir1SW protocol layers
 // its transactions on top of these primitives.
+//
+// A FaultInjector may be attached (sim layer, --faults): droppable legs go
+// through deliver(), which can lose, duplicate or delay a message; send()
+// models legs the protocol treats as reliable (interior handler traffic)
+// and applies duplication/delay only.  With no injector attached both
+// paths reduce to the original lossless wire, bit for bit.
 #pragma once
 
 #include <array>
@@ -13,31 +19,20 @@
 #include "cico/common/cost.hpp"
 #include "cico/common/stats.hpp"
 #include "cico/common/types.hpp"
+#include "cico/fault/fault.hpp"
+#include "cico/net/msg.hpp"
 
 namespace cico::net {
-
-enum class MsgType : std::uint8_t {
-  Request,       ///< GetS/GetX/upgrade request to the home directory
-  DataReply,     ///< block data from home to requester
-  Ack,           ///< dataless acknowledgement
-  Invalidate,    ///< software handler invalidating a sharer
-  Recall,        ///< software handler recalling an exclusive copy
-  Writeback,     ///< dirty data returning to the home memory
-  Directive,     ///< explicit CICO directive (check-in notification, etc.)
-  PrefetchReq,   ///< non-blocking prefetch request
-  PrefetchReply, ///< prefetch data reply
-  Nack,          ///< negative ack (dropped prefetch, stale put)
-  Count_
-};
-
-inline constexpr std::size_t kMsgTypeCount = static_cast<std::size_t>(MsgType::Count_);
-
-[[nodiscard]] std::string_view msg_type_name(MsgType t);
 
 /// Uniform-latency interconnect with per-type message accounting.
 class Network {
  public:
   Network(const CostModel& cost, Stats& stats) : cost_(cost), stats_(&stats) {}
+
+  /// Attach (or detach, with nullptr) a fault injector.  The injector is
+  /// owned by the caller and must outlive the network.
+  void set_fault_injector(fault::FaultInjector* f) { inj_ = f; }
+  [[nodiscard]] fault::FaultInjector* fault_injector() const { return inj_; }
 
   /// One-way message latency.  Messages between a node and itself (the home
   /// directory slice is co-located) are free of network latency but still
@@ -47,10 +42,37 @@ class Network {
   }
 
   /// Sends a message at time `now`; returns its arrival time and counts it
-  /// against the sending node.
+  /// against the sending node.  This leg is modelled as reliable: faults
+  /// may duplicate or delay it but never lose it.
   Cycle send(NodeId from, NodeId to, MsgType t, Cycle now) {
     count(from, t);
-    return now + latency(from, to);
+    Cycle l = latency(from, to);
+    if (inj_ != nullptr) {
+      const auto f = inj_->fate(t, /*droppable=*/false);
+      if (f.duplicated) note_duplicate(from, t);
+      l += f.delay;
+    }
+    return now + l;
+  }
+
+  /// Outcome of one droppable message leg.
+  struct Delivery {
+    Cycle at = 0;
+    bool dropped = false;
+  };
+
+  /// Sends a droppable message.  Counted against the sender either way
+  /// (the wire carried it; the fault ate it).
+  Delivery deliver(NodeId from, NodeId to, MsgType t, Cycle now) {
+    count(from, t);
+    if (inj_ == nullptr) return {now + latency(from, to), false};
+    const auto f = inj_->fate(t, /*droppable=*/true);
+    if (f.dropped) {
+      stats_->add(from, Stat::MsgDropped);
+      return {now + latency(from, to), true};
+    }
+    if (f.duplicated) note_duplicate(from, t);
+    return {now + latency(from, to) + f.delay, false};
   }
 
   /// Counts a message without computing a latency (for asynchronous
@@ -71,8 +93,15 @@ class Network {
   }
 
  private:
+  void note_duplicate(NodeId from, MsgType t) {
+    // The duplicate is real traffic: counted as a message of its type.
+    count(from, t);
+    stats_->add(from, Stat::MsgDuplicated);
+  }
+
   CostModel cost_;
   Stats* stats_;
+  fault::FaultInjector* inj_ = nullptr;
   std::array<std::uint64_t, kMsgTypeCount> by_type_{};
 };
 

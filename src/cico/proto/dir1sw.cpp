@@ -40,6 +40,16 @@ void remove_sharer(DirEntry& e, NodeId n) {
   }
 }
 
+/// A lost request or reply is detected by the requester's timeout: two
+/// hardware miss latencies after issue.  done_at carries the detection
+/// time so the retry layer can schedule the re-issue.
+ServiceResult dropped_result(Cycle now, const CostModel& cost) {
+  ServiceResult r;
+  r.dropped = true;
+  r.done_at = now + 2 * cost.hw_miss_latency();
+  return r;
+}
+
 }  // namespace
 
 Dir1SW::Dir1SW(std::uint32_t nodes, const CostModel& cost, net::Network& net,
@@ -49,6 +59,11 @@ Dir1SW::Dir1SW(std::uint32_t nodes, const CostModel& cost, net::Network& net,
 const DirEntry* Dir1SW::entry(Block b) const {
   auto it = dir_.find(b);
   return it == dir_.end() ? nullptr : &it->second;
+}
+
+Cycle Dir1SW::handler_stall() {
+  fault::FaultInjector* f = net_->fault_injector();
+  return f == nullptr ? 0 : f->handler_stall();
 }
 
 std::pair<Cycle, std::uint32_t> Dir1SW::invalidate_sharers(DirEntry& e, Block b,
@@ -81,23 +96,26 @@ ServiceResult Dir1SW::get_shared(NodeId req, Block b, Cycle now, bool prefetch) 
   ServiceResult r;
 
   switch (e.state) {
-    case DirState::Idle: {
-      Cycle t = net_->send(req, home, req_msg, now);
-      t += cost_.dir_hw + cost_.mem_access;
-      t = net_->send(home, req, rep_msg, t);
-      e.state = DirState::Shared;
-      e.owner = req;
-      add_sharer(e, req);
-      r.done_at = t;
-      return r;
-    }
+    case DirState::Idle:
     case DirState::Shared: {
-      // GetS on a Shared block: hardware counter increment.
-      Cycle t = net_->send(req, home, req_msg, now);
-      t += cost_.dir_hw + cost_.mem_access;
-      t = net_->send(home, req, rep_msg, t);
+      // Hardware path: fill (Idle) or counter increment (Shared).
+      const auto rq = net_->deliver(req, home, req_msg, now);
+      if (rq.dropped) return dropped_result(now, cost_);
+      Cycle t = rq.at + cost_.dir_hw + cost_.mem_access;
+      if (e.state == DirState::Idle) e.owner = req;
+      e.state = DirState::Shared;
+      if (prefetch) {
+        // Prefetches are never retried, so their reply leg is modelled
+        // reliable: a lost prefetch is a lost *request* (state untouched).
+        t = net_->send(home, req, rep_msg, t);
+        add_sharer(e, req);
+        r.done_at = t;
+        return r;
+      }
+      const auto rp = net_->deliver(home, req, rep_msg, t);
       add_sharer(e, req);
-      r.done_at = t;
+      if (rp.dropped) return dropped_result(now, cost_);
+      r.done_at = rp.at;
       return r;
     }
     case DirState::Exclusive: {
@@ -107,28 +125,31 @@ ServiceResult Dir1SW::get_shared(NodeId req, Block b, Cycle now, bool prefetch) 
         return r;
       }
       if (prefetch) {
-        net_->count(req, MsgType::PrefetchReq);
+        const auto rq = net_->deliver(req, home, MsgType::PrefetchReq, now);
+        if (rq.dropped) return dropped_result(now, cost_);
         net_->count(home, MsgType::Nack);
         r.nacked = true;
         r.done_at = now;
         return r;
       }
+      const auto rq = net_->deliver(req, home, MsgType::Request, now);
+      if (rq.dropped) return dropped_result(now, cost_);
       // TRAP: recall the exclusive copy, downgrade the owner to Shared.
       stats_->add(home, Stat::Traps);
       stats_->add(home, Stat::Recalls);
       r.trapped = true;
-      Cycle t = net_->send(req, home, MsgType::Request, now);
-      t += cost_.dir_trap;
+      Cycle t = rq.at + cost_.dir_trap + handler_stall();
       t = net_->send(home, e.owner, MsgType::Recall, t);
       caches_->downgrade(e.owner, b);
       t = net_->send(e.owner, home, MsgType::Writeback, t);
       stats_->add(e.owner, Stat::Writebacks);
       t += cost_.mem_access;
-      t = net_->send(home, req, MsgType::DataReply, t);
+      const auto rp = net_->deliver(home, req, MsgType::DataReply, t);
       e.state = DirState::Shared;
       add_sharer(e, e.owner);
       add_sharer(e, req);
-      r.done_at = t;
+      if (rp.dropped) return dropped_result(now, cost_);
+      r.done_at = rp.at;
       return r;
     }
   }
@@ -146,24 +167,11 @@ ServiceResult Dir1SW::get_exclusive(NodeId req, Block b, Cycle now,
 
   switch (e.state) {
     case DirState::Idle: {
-      Cycle t = net_->send(req, home, req_msg, now);
-      t += cost_.dir_hw + cost_.mem_access;
-      t = net_->send(home, req, rep_msg, t);
-      e.state = DirState::Exclusive;
-      e.owner = req;
-      e.sharers.clear();
-      e.count = 0;
-      r.done_at = t;
-      return r;
-    }
-    case DirState::Shared: {
-      const bool sole = e.sharers.size() == 1 && e.has_sharer(req);
-      if (sole) {
-        // Hardware upgrade: counter==1 and the pointer names the requester,
-        // so no invalidations are needed and no data moves.
-        Cycle t = net_->send(req, home, req_msg, now);
-        t += cost_.dir_hw;
-        t = net_->send(home, req, prefetch ? MsgType::PrefetchReply : MsgType::Ack, t);
+      const auto rq = net_->deliver(req, home, req_msg, now);
+      if (rq.dropped) return dropped_result(now, cost_);
+      Cycle t = rq.at + cost_.dir_hw + cost_.mem_access;
+      if (prefetch) {
+        t = net_->send(home, req, rep_msg, t);
         e.state = DirState::Exclusive;
         e.owner = req;
         e.sharers.clear();
@@ -171,30 +179,68 @@ ServiceResult Dir1SW::get_exclusive(NodeId req, Block b, Cycle now,
         r.done_at = t;
         return r;
       }
+      const auto rp = net_->deliver(home, req, rep_msg, t);
+      e.state = DirState::Exclusive;
+      e.owner = req;
+      e.sharers.clear();
+      e.count = 0;
+      if (rp.dropped) return dropped_result(now, cost_);
+      r.done_at = rp.at;
+      return r;
+    }
+    case DirState::Shared: {
+      const bool sole = e.sharers.size() == 1 && e.has_sharer(req);
+      if (sole) {
+        // Hardware upgrade: counter==1 and the pointer names the requester,
+        // so no invalidations are needed and no data moves.
+        const auto rq = net_->deliver(req, home, req_msg, now);
+        if (rq.dropped) return dropped_result(now, cost_);
+        Cycle t = rq.at + cost_.dir_hw;
+        if (prefetch) {
+          t = net_->send(home, req, MsgType::PrefetchReply, t);
+          e.state = DirState::Exclusive;
+          e.owner = req;
+          e.sharers.clear();
+          e.count = 0;
+          r.done_at = t;
+          return r;
+        }
+        const auto rp = net_->deliver(home, req, MsgType::Ack, t);
+        e.state = DirState::Exclusive;
+        e.owner = req;
+        e.sharers.clear();
+        e.count = 0;
+        if (rp.dropped) return dropped_result(now, cost_);
+        r.done_at = rp.at;
+        return r;
+      }
       if (prefetch) {
-        net_->count(req, MsgType::PrefetchReq);
+        const auto rq = net_->deliver(req, home, MsgType::PrefetchReq, now);
+        if (rq.dropped) return dropped_result(now, cost_);
         net_->count(home, MsgType::Nack);
         r.nacked = true;
         r.done_at = now;
         return r;
       }
+      const auto rq = net_->deliver(req, home, MsgType::Request, now);
+      if (rq.dropped) return dropped_result(now, cost_);
       // TRAP: software invalidates every other sharer.
       stats_->add(home, Stat::Traps);
       r.trapped = true;
       const bool req_had_copy = e.has_sharer(req);
-      Cycle t = net_->send(req, home, MsgType::Request, now);
-      t += cost_.dir_trap;
+      Cycle t = rq.at + cost_.dir_trap + handler_stall();
       auto [inval_cycles, sent] = invalidate_sharers(e, b, home, req);
       t += inval_cycles;
       r.invalidations = sent;
       if (!req_had_copy) t += cost_.mem_access;
-      t = net_->send(home, req,
-                     req_had_copy ? MsgType::Ack : MsgType::DataReply, t);
+      const auto rp = net_->deliver(
+          home, req, req_had_copy ? MsgType::Ack : MsgType::DataReply, t);
       e.state = DirState::Exclusive;
       e.owner = req;
       e.sharers.clear();
       e.count = 0;
-      r.done_at = t;
+      if (rp.dropped) return dropped_result(now, cost_);
+      r.done_at = rp.at;
       return r;
     }
     case DirState::Exclusive: {
@@ -203,30 +249,33 @@ ServiceResult Dir1SW::get_exclusive(NodeId req, Block b, Cycle now,
         return r;
       }
       if (prefetch) {
-        net_->count(req, MsgType::PrefetchReq);
+        const auto rq = net_->deliver(req, home, MsgType::PrefetchReq, now);
+        if (rq.dropped) return dropped_result(now, cost_);
         net_->count(home, MsgType::Nack);
         r.nacked = true;
         r.done_at = now;
         return r;
       }
+      const auto rq = net_->deliver(req, home, MsgType::Request, now);
+      if (rq.dropped) return dropped_result(now, cost_);
       // TRAP: recall and invalidate the current owner.
       stats_->add(home, Stat::Traps);
       stats_->add(home, Stat::Recalls);
       r.trapped = true;
-      Cycle t = net_->send(req, home, MsgType::Request, now);
-      t += cost_.dir_trap;
+      Cycle t = rq.at + cost_.dir_trap + handler_stall();
       t = net_->send(home, e.owner, MsgType::Recall, t);
       caches_->invalidate(e.owner, b);
       add_past_sharer(e, e.owner);
       t = net_->send(e.owner, home, MsgType::Writeback, t);
       stats_->add(e.owner, Stat::Writebacks);
       t += cost_.mem_access;
-      t = net_->send(home, req, MsgType::DataReply, t);
+      const auto rp = net_->deliver(home, req, MsgType::DataReply, t);
       r.invalidations = 1;
       e.owner = req;
       e.sharers.clear();
       e.count = 0;
-      r.done_at = t;
+      if (rp.dropped) return dropped_result(now, cost_);
+      r.done_at = rp.at;
       return r;
     }
   }
@@ -257,7 +306,10 @@ ServiceResult Dir1SW::put(NodeId req, Block b, bool dirty, Cycle now,
         r.nacked = true;
         return r;
       }
-      net_->count(req, msg);
+      // A lost check-in must not touch the directory: the block stays
+      // checked out until the retransmit lands (retry layer in the sim).
+      const auto d = net_->deliver(req, home, msg, now);
+      if (d.dropped) return dropped_result(now, cost_);
       remove_sharer(e, req);
       if (e.sharers.empty()) {
         e.state = DirState::Idle;
@@ -274,7 +326,9 @@ ServiceResult Dir1SW::put(NodeId req, Block b, bool dirty, Cycle now,
         r.nacked = true;
         return r;
       }
-      net_->count(req, dirty ? MsgType::Writeback : msg);
+      const auto d =
+          net_->deliver(req, home, dirty ? MsgType::Writeback : msg, now);
+      if (d.dropped) return dropped_result(now, cost_);
       if (dirty) stats_->add(req, Stat::Writebacks);
       add_past_sharer(e, req);
       e.state = DirState::Idle;
@@ -301,7 +355,8 @@ ServiceResult Dir1SW::post_store(NodeId req, Block b, Cycle now) {
     return r;
   }
   // Write back and downgrade the writer to Shared.
-  net_->count(req, net::MsgType::Writeback);
+  const auto d = net_->deliver(req, home, net::MsgType::Writeback, now);
+  if (d.dropped) return dropped_result(now, cost_);
   stats_->add(req, Stat::Writebacks);
   caches_->downgrade(req, b);
   e.state = DirState::Shared;

@@ -78,6 +78,9 @@ struct ServiceResult {
   Cycle done_at = 0;          ///< when the requester may proceed
   bool trapped = false;       ///< software handler was invoked
   bool nacked = false;        ///< request refused (dropped prefetch, stale put)
+  bool dropped = false;       ///< a fault ate the request or its reply;
+                              ///< done_at is the loss-detection time and the
+                              ///< caller must retry (or give up)
   std::uint32_t invalidations = 0;  ///< invalidation messages sent
 };
 
@@ -131,6 +134,9 @@ class Dir1SW final : public Protocol {
 
  private:
   DirEntry& ent(Block b) { return dir_[b]; }
+
+  /// Injected software-handler stall (0 when no injector is attached).
+  [[nodiscard]] Cycle handler_stall();
 
   /// Software handler: invalidate every sharer except `keep`.
   /// Returns (cycles of handler occupancy + last-ack latency, #invals).

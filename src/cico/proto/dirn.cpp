@@ -32,6 +32,15 @@ void remove_sharer(DirEntry& e, NodeId n) {
   }
 }
 
+/// Same loss-detection model as Dir1SW: the requester times out two
+/// hardware miss latencies after issue and the caller retries.
+ServiceResult dropped_result(Cycle now, const CostModel& cost) {
+  ServiceResult r;
+  r.dropped = true;
+  r.done_at = now + 2 * cost.hw_miss_latency();
+  return r;
+}
+
 }  // namespace
 
 DirNFullMap::DirNFullMap(std::uint32_t nodes, const CostModel& cost,
@@ -76,13 +85,25 @@ ServiceResult DirNFullMap::get_shared(NodeId req, Block b, Cycle now,
   switch (e.state) {
     case DirState::Idle:
     case DirState::Shared: {
-      Cycle t = net_->send(req, home, req_msg, now);
-      t += cost_.dir_hw + cost_.mem_access;
-      t = net_->send(home, req, rep_msg, t);
+      const auto rq = net_->deliver(req, home, req_msg, now);
+      if (rq.dropped) return dropped_result(now, cost_);
+      Cycle t = rq.at + cost_.dir_hw + cost_.mem_access;
+      if (prefetch) {
+        // Prefetches are never retried; their reply leg is reliable so a
+        // lost prefetch never leaves the directory ahead of the cache.
+        t = net_->send(home, req, rep_msg, t);
+        e.state = DirState::Shared;
+        add_sharer(e, req);
+        if (e.owner == kInvalidNode) e.owner = req;
+        r.done_at = t;
+        return r;
+      }
+      const auto rp = net_->deliver(home, req, rep_msg, t);
       e.state = DirState::Shared;
       add_sharer(e, req);
       if (e.owner == kInvalidNode) e.owner = req;
-      r.done_at = t;
+      if (rp.dropped) return dropped_result(now, cost_);
+      r.done_at = rp.at;
       return r;
     }
     case DirState::Exclusive: {
@@ -92,17 +113,27 @@ ServiceResult DirNFullMap::get_shared(NodeId req, Block b, Cycle now,
       }
       // All-hardware 3-hop forwarding: home forwards the request to the
       // owner, which downgrades and sends the data onward.  No trap.
-      Cycle t = net_->send(req, home, req_msg, now);
-      t += cost_.dir_hw;
+      const auto rq = net_->deliver(req, home, req_msg, now);
+      if (rq.dropped) return dropped_result(now, cost_);
+      Cycle t = rq.at + cost_.dir_hw;
       t = net_->send(home, e.owner, MsgType::Recall, t);
       caches_->downgrade(e.owner, b);
       stats_->add(e.owner, Stat::Writebacks);
       net_->count(e.owner, MsgType::Writeback);  // sharing writeback home
-      t = net_->send(e.owner, req, rep_msg, t);
+      if (prefetch) {
+        t = net_->send(e.owner, req, rep_msg, t);
+        e.state = DirState::Shared;
+        add_sharer(e, e.owner);
+        add_sharer(e, req);
+        r.done_at = t;
+        return r;
+      }
+      const auto rp = net_->deliver(e.owner, req, rep_msg, t);
       e.state = DirState::Shared;
       add_sharer(e, e.owner);
       add_sharer(e, req);
-      r.done_at = t;
+      if (rp.dropped) return dropped_result(now, cost_);
+      r.done_at = rp.at;
       return r;
     }
   }
@@ -120,32 +151,55 @@ ServiceResult DirNFullMap::get_exclusive(NodeId req, Block b, Cycle now,
 
   switch (e.state) {
     case DirState::Idle: {
-      Cycle t = net_->send(req, home, req_msg, now);
-      t += cost_.dir_hw + cost_.mem_access;
-      t = net_->send(home, req, rep_msg, t);
+      const auto rq = net_->deliver(req, home, req_msg, now);
+      if (rq.dropped) return dropped_result(now, cost_);
+      Cycle t = rq.at + cost_.dir_hw + cost_.mem_access;
+      if (prefetch) {
+        t = net_->send(home, req, rep_msg, t);
+        e.state = DirState::Exclusive;
+        e.owner = req;
+        e.sharers.clear();
+        e.count = 0;
+        r.done_at = t;
+        return r;
+      }
+      const auto rp = net_->deliver(home, req, rep_msg, t);
       e.state = DirState::Exclusive;
       e.owner = req;
       e.sharers.clear();
       e.count = 0;
-      r.done_at = t;
+      if (rp.dropped) return dropped_result(now, cost_);
+      r.done_at = rp.at;
       return r;
     }
     case DirState::Shared: {
       // Hardware invalidation of every other sharer, in parallel.
       const bool req_had_copy =
           std::binary_search(e.sharers.begin(), e.sharers.end(), req);
-      Cycle t = net_->send(req, home, req_msg, now);
-      t += cost_.dir_hw;
+      const auto rq = net_->deliver(req, home, req_msg, now);
+      if (rq.dropped) return dropped_result(now, cost_);
+      Cycle t = rq.at + cost_.dir_hw;
       std::uint32_t sent = 0;
       t += invalidate_sharers_hw(e, b, home, req, &sent);
       r.invalidations = sent;
       if (!req_had_copy) t += cost_.mem_access;
-      t = net_->send(home, req, req_had_copy ? MsgType::Ack : rep_msg, t);
+      const MsgType rep = req_had_copy && !prefetch ? MsgType::Ack : rep_msg;
+      if (prefetch) {
+        t = net_->send(home, req, rep, t);
+        e.state = DirState::Exclusive;
+        e.owner = req;
+        e.sharers.clear();
+        e.count = 0;
+        r.done_at = t;
+        return r;
+      }
+      const auto rp = net_->deliver(home, req, rep, t);
       e.state = DirState::Exclusive;
       e.owner = req;
       e.sharers.clear();
       e.count = 0;
-      r.done_at = t;
+      if (rp.dropped) return dropped_result(now, cost_);
+      r.done_at = rp.at;
       return r;
     }
     case DirState::Exclusive: {
@@ -154,19 +208,29 @@ ServiceResult DirNFullMap::get_exclusive(NodeId req, Block b, Cycle now,
         return r;
       }
       // Hardware owner transfer (3-hop).
-      Cycle t = net_->send(req, home, req_msg, now);
-      t += cost_.dir_hw;
+      const auto rq = net_->deliver(req, home, req_msg, now);
+      if (rq.dropped) return dropped_result(now, cost_);
+      Cycle t = rq.at + cost_.dir_hw;
       t = net_->send(home, e.owner, MsgType::Recall, t);
       caches_->invalidate(e.owner, b);
       add_past(e, e.owner);
       stats_->add(e.owner, Stat::Writebacks);
       net_->count(e.owner, MsgType::Writeback);
-      t = net_->send(e.owner, req, rep_msg, t);
       r.invalidations = 1;
+      if (prefetch) {
+        t = net_->send(e.owner, req, rep_msg, t);
+        e.owner = req;
+        e.sharers.clear();
+        e.count = 0;
+        r.done_at = t;
+        return r;
+      }
+      const auto rp = net_->deliver(e.owner, req, rep_msg, t);
       e.owner = req;
       e.sharers.clear();
       e.count = 0;
-      r.done_at = t;
+      if (rp.dropped) return dropped_result(now, cost_);
+      r.done_at = rp.at;
       return r;
     }
   }
@@ -195,7 +259,10 @@ ServiceResult DirNFullMap::put(NodeId req, Block b, bool dirty, Cycle now,
         r.nacked = true;
         return r;
       }
-      net_->count(req, msg);
+      // A lost check-in must not touch the directory: the block stays
+      // checked out until the retransmit lands (retry layer in the sim).
+      const auto d = net_->deliver(req, home, msg, now);
+      if (d.dropped) return dropped_result(now, cost_);
       remove_sharer(e, req);
       if (e.sharers.empty()) {
         e.state = DirState::Idle;
@@ -212,7 +279,9 @@ ServiceResult DirNFullMap::put(NodeId req, Block b, bool dirty, Cycle now,
         r.nacked = true;
         return r;
       }
-      net_->count(req, dirty ? MsgType::Writeback : msg);
+      const auto d =
+          net_->deliver(req, home, dirty ? MsgType::Writeback : msg, now);
+      if (d.dropped) return dropped_result(now, cost_);
       if (dirty) stats_->add(req, Stat::Writebacks);
       add_past(e, req);
       e.state = DirState::Idle;
@@ -236,7 +305,8 @@ ServiceResult DirNFullMap::post_store(NodeId req, Block b, Cycle now) {
     r.nacked = true;
     return r;
   }
-  net_->count(req, MsgType::Writeback);
+  const auto d = net_->deliver(req, home, MsgType::Writeback, now);
+  if (d.dropped) return dropped_result(now, cost_);
   stats_->add(req, Stat::Writebacks);
   caches_->downgrade(req, b);
   e.state = DirState::Shared;

@@ -4,6 +4,7 @@
 
 #include "cico/common/cost.hpp"
 #include "cico/common/types.hpp"
+#include "cico/fault/fault.hpp"
 #include "cico/mem/geometry.hpp"
 
 namespace cico::sim {
@@ -30,6 +31,20 @@ struct SimConfig {
 
   /// Base address of the simulated shared heap.
   Addr heap_base = 0x1000;
+
+  /// Fault-injection spec (--faults).  The default spec injects nothing
+  /// and leaves every fast path untouched.
+  fault::FaultSpec faults{};
+
+  /// Paranoid mode (--paranoid): run the protocol's check_invariants() at
+  /// every epoch boundary and abort with InvariantViolation on the first
+  /// directory/cache divergence.
+  bool audit_invariants = false;
+
+  /// Liveness watchdog: abort with SimDeadlock after this many consecutive
+  /// boundary rounds with zero virtual-time progress (0 disables it --
+  /// a 100% drop rate then livelocks, so leave it on).
+  std::uint32_t watchdog_rounds = 32;
 };
 
 }  // namespace cico::sim

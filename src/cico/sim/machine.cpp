@@ -54,6 +54,10 @@ Machine::Machine(SimConfig cfg)
                                            cachectl_);
   }
   if (cfg_.nodes == 0) throw std::invalid_argument("Machine: nodes == 0");
+  if (cfg_.faults.injects()) {
+    injector_ = std::make_unique<fault::FaultInjector>(cfg_.faults);
+    net_.set_fault_injector(injector_.get());
+  }
   ctxs_.reserve(cfg_.nodes);
   for (std::uint32_t i = 0; i < cfg_.nodes; ++i) {
     ctxs_.push_back(std::make_unique<NodeCtx>(cfg_.cache));
@@ -103,6 +107,10 @@ void Machine::run(const std::function<void(Proc&)>& body) {
   final_time_ = 0;
   for (auto& c : ctxs_) final_time_ = std::max(final_time_, c->now);
 
+  // The abort cause carries the precise type (SimDeadlock, ProtocolTimeout,
+  // InvariantViolation); node threads unwound with a generic SimDeadlock
+  // recorded in first_error_, so rethrow the cause preferentially.
+  if (abort_error_) std::rethrow_exception(abort_error_);
   if (first_error_) std::rethrow_exception(first_error_);
 }
 
@@ -200,6 +208,8 @@ void Machine::access(NodeId n, Addr a, std::uint32_t size, bool write, PcId pc) 
   c.op_pc = pc;
   c.op_write = write;
   c.op_time = c.now;
+  c.op_issue = c.now;
+  c.op_attempts = 0;
   park(c, NodeCtx::Wait::Mem);
   after_access(c, n, b, write);
   maybe_window_park(c);
@@ -308,49 +318,107 @@ void Machine::prefetch_inline(NodeCtx& c, NodeId n, bool exclusive, Addr a,
 // (virtual time, node, issue order) -- fully deterministic.
 // ---------------------------------------------------------------------------
 
+std::string Machine::wait_dump() const {
+  std::ostringstream os;
+  for (NodeId n = 0; n < cfg_.nodes; ++n) {
+    const NodeCtx& c = *ctxs_[n];
+    const char* w = "?";
+    switch (c.wait) {
+      case NodeCtx::Wait::Running: w = "running"; break;
+      case NodeCtx::Wait::Ready: w = "ready"; break;
+      case NodeCtx::Wait::Mem: w = "mem"; break;
+      case NodeCtx::Wait::Directive: w = "directive"; break;
+      case NodeCtx::Wait::Lock: w = "lock"; break;
+      case NodeCtx::Wait::Barrier: w = "barrier"; break;
+      case NodeCtx::Wait::Done: w = "done"; break;
+    }
+    os << 'n' << n << '=' << w;
+    if (c.wait == NodeCtx::Wait::Mem) {
+      os << "(t=" << c.now << ",retries=" << c.op_attempts << ')';
+    }
+    os << ' ';
+  }
+  return os.str();
+}
+
 void Machine::boundary() {
-  process_ops();
-  try_complete_barrier();
-
-  std::uint32_t done = 0;
-  for (auto& c : ctxs_) {
-    if (c->wait == NodeCtx::Wait::Done) ++done;
-  }
-  if (done == cfg_.nodes) {
-    cv_.notify_all();
-    return;
-  }
-
-  bool any_ready = false;
-  Cycle min_now = kNever;
-  for (auto& c : ctxs_) {
-    if (c->wait == NodeCtx::Wait::Ready) {
-      any_ready = true;
-      min_now = std::min(min_now, c->now);
+  // Dropped messages leave their node parked in Wait::Mem with an advanced
+  // op_time, so the boundary loops: each round re-services pending retries
+  // at their (virtual) retransmit times.  The watchdog bounds the loop --
+  // if the minimum virtual time over live nodes stops advancing for
+  // watchdog_rounds consecutive rounds (e.g. a 100% drop rate), the run is
+  // aborted as a SimDeadlock instead of livelocking the host.
+  Cycle watch_min = kNever;
+  std::uint32_t stuck_rounds = 0;
+  for (;;) {
+    process_ops();
+    try_complete_barrier();
+    if (aborted_) {
+      cv_.notify_all();
+      return;
     }
-  }
-  if (!any_ready) {
-    std::ostringstream os;
-    os << "simulated program deadlocked: ";
-    for (NodeId n = 0; n < cfg_.nodes; ++n) {
-      const char* w = "?";
-      switch (ctxs_[n]->wait) {
-        case NodeCtx::Wait::Running: w = "running"; break;
-        case NodeCtx::Wait::Ready: w = "ready"; break;
-        case NodeCtx::Wait::Mem: w = "mem"; break;
-        case NodeCtx::Wait::Directive: w = "directive"; break;
-        case NodeCtx::Wait::Lock: w = "lock"; break;
-        case NodeCtx::Wait::Barrier: w = "barrier"; break;
-        case NodeCtx::Wait::Done: w = "done"; break;
+
+    std::uint32_t done = 0;
+    for (auto& c : ctxs_) {
+      if (c->wait == NodeCtx::Wait::Done) ++done;
+    }
+    if (done == cfg_.nodes) {
+      if (cfg_.audit_invariants) audit_now("end of run");
+      cv_.notify_all();
+      return;
+    }
+
+    bool any_ready = false;
+    Cycle min_now = kNever;
+    for (auto& c : ctxs_) {
+      if (c->wait == NodeCtx::Wait::Ready) {
+        any_ready = true;
+        min_now = std::min(min_now, c->now);
       }
-      os << 'n' << n << '=' << w << ' ';
     }
-    aborted_ = true;
-    abort_msg_ = os.str();
+    if (any_ready) {
+      resume_window(min_now);
+      cv_.notify_all();
+      return;
+    }
+
+    bool retry_pending = false;
+    Cycle live_min = kNever;
+    for (auto& c : ctxs_) {
+      if (c->wait == NodeCtx::Wait::Mem) retry_pending = true;
+      if (c->wait != NodeCtx::Wait::Done) {
+        live_min = std::min(live_min, c->now);
+      }
+    }
+    if (retry_pending && cfg_.watchdog_rounds != 0) {
+      if (live_min == watch_min) {
+        if (++stuck_rounds >= cfg_.watchdog_rounds) {
+          stats_.add(0, Stat::WatchdogTrips);
+          std::ostringstream os;
+          os << "watchdog: no virtual-time progress for "
+             << cfg_.watchdog_rounds << " boundary rounds (min t=" << live_min
+             << "): " << wait_dump();
+          abort_run(std::make_exception_ptr(SimDeadlock(os.str())), os.str());
+          cv_.notify_all();
+          return;
+        }
+      } else {
+        watch_min = live_min;
+        stuck_rounds = 0;
+      }
+      continue;
+    }
+    if (retry_pending) continue;
+
+    std::ostringstream os;
+    os << "simulated program deadlocked: " << wait_dump();
+    abort_run(std::make_exception_ptr(SimDeadlock(os.str())), os.str());
     cv_.notify_all();
     return;
   }
+}
 
+void Machine::resume_window(Cycle min_now) {
   window_end_ = min_now + cfg_.quantum;
   for (auto& c : ctxs_) {
     if (c->wait == NodeCtx::Wait::Ready && c->now < window_end_ &&
@@ -360,7 +428,6 @@ void Machine::boundary() {
                   // boundary before this node has run (determinism)
     }
   }
-  cv_.notify_all();
 }
 
 void Machine::process_ops() {
@@ -389,12 +456,13 @@ void Machine::process_ops() {
   });
 
   for (const Item& it : items) {
+    if (aborted_) return;
     NodeCtx& c = *ctxs_[it.node];
     if (it.async_idx >= 0) {
       const AsyncOp& op = c.async[static_cast<std::size_t>(it.async_idx)];
       switch (op.kind) {
         case AsyncOp::Kind::Put:
-          dir_->put(it.node, op.block, op.dirty, op.time, op.explicit_ci);
+          reliable_put(it.node, op.block, op.dirty, op.time, op.explicit_ci);
           break;
         case AsyncOp::Kind::Prefetch:
           service_prefetch(c, it.node, op.block, op.exclusive, op.time);
@@ -403,12 +471,12 @@ void Machine::process_ops() {
           release_lock(op.lock_addr, it.node, op.time);
           break;
         case AsyncOp::Kind::PostStore:
-          dir_->post_store(it.node, op.block, op.time);
+          reliable_post_store(it.node, op.block, op.time);
           break;
       }
       for (auto& [vn, victim] : pending_push_evicts_) {
-        dir_->put(vn, victim.block, victim.state == LineState::Exclusive,
-                 it.time, false);
+        reliable_put(vn, victim.block, victim.state == LineState::Exclusive,
+                     it.time, false);
       }
       pending_push_evicts_.clear();
     } else {
@@ -442,7 +510,8 @@ void Machine::insert_line(NodeCtx& c, NodeId n, Block b, LineState s, Cycle t) {
   if (victim.has_value()) {
     stats_.add(n, Stat::Evictions);
     c.prefetch_ready.erase(victim->block);
-    dir_->put(n, victim->block, victim->state == LineState::Exclusive, t, false);
+    reliable_put(n, victim->block, victim->state == LineState::Exclusive, t,
+                 false);
   }
 }
 
@@ -474,39 +543,63 @@ void Machine::service_mem(NodeCtx& c, NodeId n) {
     return;
   }
 
+  // Miss classification is stable across retries (a dropped request never
+  // mutates the directory), so count each miss once, on the first attempt.
+  const bool first_attempt = c.op_attempts == 0;
   proto::ServiceResult res;
   trace::MissKind kind;
+  bool fetch_excl = write;
   if (write) {
     if (ls == LineState::Shared) {
       kind = trace::MissKind::WriteFault;
-      stats_.add(n, Stat::WriteFaults);
+      if (first_attempt) stats_.add(n, Stat::WriteFaults);
     } else {
       kind = trace::MissKind::WriteMiss;
-      stats_.add(n, Stat::WriteMisses);
+      if (first_attempt) stats_.add(n, Stat::WriteMisses);
     }
-    res = dir_->get_exclusive(n, b, t, false);
-    insert_line(c, n, b, LineState::Exclusive, res.done_at);
   } else {
     kind = trace::MissKind::ReadMiss;
-    stats_.add(n, Stat::ReadMisses);
+    if (first_attempt) stats_.add(n, Stat::ReadMisses);
     const NodeEpochDirectives* ned =
         plan_ != nullptr ? plan_->find(n, c.epoch) : nullptr;
     if (ned != nullptr && ned->fetch_exclusive.contains(b)) {
       // Performance-CICO check_out_X placed immediately before the first
       // read of a read-then-written block (section 4.1): fetch the block
       // exclusive in one transaction instead of GetS + later upgrade.
-      stats_.add(n, Stat::CheckOutX);
-      stats_.add(n, Stat::DirectiveCycles, cfg_.cost.directive_issue);
-      t += cfg_.cost.directive_issue;
-      res = dir_->get_exclusive(n, b, t, false);
-      insert_line(c, n, b, LineState::Exclusive, res.done_at);
-    } else {
-      res = dir_->get_shared(n, b, t, false);
-      insert_line(c, n, b, LineState::Shared, res.done_at);
+      fetch_excl = true;
+      if (first_attempt) {
+        stats_.add(n, Stat::CheckOutX);
+        stats_.add(n, Stat::DirectiveCycles, cfg_.cost.directive_issue);
+        t += cfg_.cost.directive_issue;
+      }
     }
   }
-  stats_.add(n, Stat::StallCycles, res.done_at - c.op_time);
+  res = fetch_excl ? dir_->get_exclusive(n, b, t, false)
+                   : dir_->get_shared(n, b, t, false);
+  if (res.dropped) {
+    // The request (or its reply) was eaten by a fault.  The node stays
+    // parked in Wait::Mem with its retransmit scheduled after the timeout
+    // plus exponential backoff; the boundary loop re-services it.
+    const std::uint32_t budget = cfg_.faults.max_retries;
+    if (budget != 0 && c.op_attempts >= budget) {
+      std::ostringstream os;
+      os << "node " << n << ": " << (write ? "store" : "load") << " of block "
+         << b << " lost " << (c.op_attempts + 1)
+         << " times; retry budget (" << budget << ") exhausted at t="
+         << res.done_at;
+      abort_run(std::make_exception_ptr(ProtocolTimeout(os.str())), os.str());
+      return;
+    }
+    stats_.add(n, Stat::Retries);
+    c.op_time = res.done_at + retry_backoff(c.op_attempts);
+    ++c.op_attempts;
+    return;
+  }
+  insert_line(c, n, b, fetch_excl ? LineState::Exclusive : LineState::Shared,
+              res.done_at);
+  stats_.add(n, Stat::StallCycles, res.done_at - c.op_issue);
   c.now = res.done_at;
+  c.op_attempts = 0;
   if (tracer_ != nullptr) record_trace_miss(c, n, kind);
   c.wait = NodeCtx::Wait::Ready;
 }
@@ -522,12 +615,31 @@ Cycle Machine::do_checkout(NodeCtx& c, NodeId n, DirectiveKind kind,
       c.cache.touch(b);
       continue;
     }
-    const proto::ServiceResult res =
-        excl ? dir_->get_exclusive(n, b, t, false)
-             : dir_->get_shared(n, b, t, false);
+    // Check-out ranges block the node but are serviced in one boundary
+    // visit, so lost requests are retried inline rather than by re-parking.
+    proto::ServiceResult res;
+    std::uint32_t attempt = 0;
+    for (;;) {
+      res = excl ? dir_->get_exclusive(n, b, t, false)
+                 : dir_->get_shared(n, b, t, false);
+      if (!res.dropped) break;
+      if (inline_retry_exhausted(attempt)) {
+        std::ostringstream os;
+        os << "node " << n << ": check-out of block " << b << " lost "
+           << (attempt + 1) << " times; retry budget exhausted at t="
+           << res.done_at;
+        abort_run(std::make_exception_ptr(ProtocolTimeout(os.str())),
+                  os.str());
+        return t;
+      }
+      stats_.add(n, Stat::Retries);
+      t = res.done_at + retry_backoff(attempt);
+      ++attempt;
+    }
     insert_line(c, n, b, excl ? LineState::Exclusive : LineState::Shared,
                 res.done_at);
     t = res.done_at;
+    if (aborted_) return t;
   }
   return t;
 }
@@ -544,6 +656,13 @@ void Machine::service_checkout_range(NodeCtx& c, NodeId n) {
 
 void Machine::service_prefetch(NodeCtx& c, NodeId n, Block b, bool exclusive,
                                Cycle t) {
+  const std::uint32_t throttle = cfg_.faults.throttle_after;
+  if (throttle != 0 && c.prefetch_muted) {
+    // The engine saw too many consecutive failures this epoch and backed
+    // off; issued prefetches are swallowed until the next barrier.
+    stats_.add(n, Stat::PrefetchThrottled);
+    return;
+  }
   const LineState ls = c.cache.state_of(b);
   if (ls == LineState::Exclusive || (!exclusive && ls != LineState::Invalid)) {
     return;  // already cached in a sufficient state
@@ -552,10 +671,22 @@ void Machine::service_prefetch(NodeCtx& c, NodeId n, Block b, bool exclusive,
   const proto::ServiceResult res = exclusive
                                        ? dir_->get_exclusive(n, b, t, true)
                                        : dir_->get_shared(n, b, t, true);
-  if (res.nacked) {
-    stats_.add(n, Stat::PrefetchDropped);
+  if (res.dropped) {
+    // Prefetches are never retried: a lost one is a missed opportunity,
+    // not an obligation.  It still counts against the throttle.
+    if (throttle != 0 && ++c.prefetch_nacks >= throttle) {
+      c.prefetch_muted = true;
+    }
     return;
   }
+  if (res.nacked) {
+    stats_.add(n, Stat::PrefetchDropped);
+    if (throttle != 0 && ++c.prefetch_nacks >= throttle) {
+      c.prefetch_muted = true;
+    }
+    return;
+  }
+  if (throttle != 0) c.prefetch_nacks = 0;
   // Prefetched data streams in bandwidth-limited: completions at one node
   // are spaced at least prefetch_min_gap apart.
   Cycle done = res.done_at;
@@ -606,6 +737,7 @@ void Machine::release_lock(Addr a, NodeId /*n*/, Cycle t) {
 }
 
 bool Machine::try_complete_barrier() {
+  if (aborted_) return false;
   std::vector<NodeId> at_barrier;
   std::uint32_t done = 0;
   for (NodeId n = 0; n < cfg_.nodes; ++n) {
@@ -630,11 +762,21 @@ bool Machine::try_complete_barrier() {
       if (cfg_.trace_mode) {
         c.prefetch_ready.clear();
         c.cache.flush([&](Block b, LineState st) {
-          dir_->put(n, b, st == LineState::Exclusive, c.now, false);
+          reliable_put(n, b, st == LineState::Exclusive, c.now, false);
         });
       }
     }
     tracer_->end_epoch();
+  }
+
+  // 2b. Paranoid mode: the barrier is a quiescent point (every pending
+  //     operation has been serviced), so the directory and every cache
+  //     must agree exactly.  Abort on the first divergence.
+  if (cfg_.audit_invariants) {
+    std::ostringstream when;
+    when << "epoch " << global_epoch_ << " boundary";
+    audit_now(when.str());
+    if (aborted_) return true;
   }
 
   // 3. Synchronize virtual times.
@@ -648,6 +790,8 @@ bool Machine::try_complete_barrier() {
     c.epoch = global_epoch_;
     stats_.add(n, Stat::Barriers);
     c.wait = NodeCtx::Wait::Ready;
+    c.prefetch_nacks = 0;       // throttled prefetch engines recover at the
+    c.prefetch_muted = false;   // epoch boundary
   }
 
   // 4. Planned start-of-epoch check-outs / prefetches.
@@ -700,9 +844,87 @@ void Machine::apply_epoch_end(NodeId n, EpochId e) {
       c.now += cfg_.cost.directive_issue;
       c.cache.erase(b);
       c.prefetch_ready.erase(b);
-      dir_->put(n, b, st == LineState::Exclusive, c.now, true);
+      reliable_put(n, b, st == LineState::Exclusive, c.now, true);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Fault handling
+// ---------------------------------------------------------------------------
+
+Cycle Machine::retry_backoff(std::uint32_t attempt) const {
+  const Cycle base = cfg_.faults.backoff_base != 0
+                         ? cfg_.faults.backoff_base
+                         : 2 * cfg_.cost.hw_miss_latency();
+  const std::uint32_t shift = attempt < 12 ? attempt : 12;
+  const Cycle d = base << shift;
+  return d < cfg_.faults.backoff_cap ? d : cfg_.faults.backoff_cap;
+}
+
+bool Machine::inline_retry_exhausted(std::uint32_t attempt) const {
+  // Inline retries cannot park the node, so even an "unbounded" budget is
+  // capped: 64 consecutive losses of one message only happens when the
+  // drop rate is effectively 1, and then aborting beats spinning.
+  const std::uint32_t budget =
+      cfg_.faults.max_retries != 0 ? cfg_.faults.max_retries : 64;
+  return attempt >= budget;
+}
+
+void Machine::abort_run(std::exception_ptr e, std::string msg) {
+  if (aborted_) return;
+  aborted_ = true;
+  abort_msg_ = std::move(msg);
+  abort_error_ = std::move(e);
+}
+
+void Machine::reliable_put(NodeId n, Block b, bool dirty, Cycle t,
+                           bool explicit_ci) {
+  // The caller already erased the line from its cache, so the put MUST
+  // land eventually or the directory stays permanently ahead of the cache.
+  std::uint32_t attempt = 0;
+  for (;;) {
+    const proto::ServiceResult res = dir_->put(n, b, dirty, t, explicit_ci);
+    if (!res.dropped) return;
+    if (inline_retry_exhausted(attempt)) {
+      std::ostringstream os;
+      os << "node " << n << ": check-in of block " << b << " lost "
+         << (attempt + 1) << " times; retry budget exhausted at t="
+         << res.done_at;
+      abort_run(std::make_exception_ptr(ProtocolTimeout(os.str())), os.str());
+      return;
+    }
+    stats_.add(n, Stat::Retries);
+    t = res.done_at + retry_backoff(attempt);
+    ++attempt;
+  }
+}
+
+void Machine::reliable_post_store(NodeId n, Block b, Cycle t) {
+  std::uint32_t attempt = 0;
+  for (;;) {
+    const proto::ServiceResult res = dir_->post_store(n, b, t);
+    if (!res.dropped) return;
+    if (inline_retry_exhausted(attempt)) {
+      std::ostringstream os;
+      os << "node " << n << ": post-store of block " << b << " lost "
+         << (attempt + 1) << " times; retry budget exhausted at t="
+         << res.done_at;
+      abort_run(std::make_exception_ptr(ProtocolTimeout(os.str())), os.str());
+      return;
+    }
+    stats_.add(n, Stat::Retries);
+    t = res.done_at + retry_backoff(attempt);
+    ++attempt;
+  }
+}
+
+void Machine::audit_now(const std::string& when) {
+  const std::string diag = dir_->check_invariants();
+  if (diag.empty()) return;
+  std::ostringstream os;
+  os << "invariant audit failed (" << when << "):\n" << diag;
+  abort_run(std::make_exception_ptr(InvariantViolation(os.str())), os.str());
 }
 
 // ---------------------------------------------------------------------------

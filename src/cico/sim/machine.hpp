@@ -87,8 +87,23 @@ class Proc {
 };
 
 /// Thrown when the simulated program deadlocks (mismatched barriers,
-/// lock cycles).
+/// lock cycles) or when the liveness watchdog detects zero virtual-time
+/// progress across SimConfig::watchdog_rounds boundary rounds.
 class SimDeadlock : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when an injected message loss exhausts the retry budget
+/// (FaultSpec::max_retries) before the operation completes.
+class ProtocolTimeout : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown in paranoid mode (SimConfig::audit_invariants) when the
+/// per-epoch audit finds a directory/cache divergence.
+class InvariantViolation : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
@@ -128,6 +143,12 @@ class Machine {
 
   /// Per-node cache (tests / invariant checks).
   [[nodiscard]] const mem::Cache& cache_of(NodeId n) const;
+
+  /// Attached fault injector, or nullptr when faults are disabled
+  /// (soak reports read its telemetry after run()).
+  [[nodiscard]] const fault::FaultInjector* fault_injector() const {
+    return injector_.get();
+  }
 
  private:
   friend class Proc;
@@ -172,6 +193,11 @@ class Machine {
     Cycle op_time = 0;
     DirectiveKind op_dir = DirectiveKind::CheckOutX;
     PcId barrier_pc = kNoPc;
+    Cycle op_issue = 0;             ///< original issue time (stall accounting)
+    std::uint32_t op_attempts = 0;  ///< retries performed for the pending op
+
+    std::uint32_t prefetch_nacks = 0;  ///< consecutive failed prefetches
+    bool prefetch_muted = false;       ///< engine throttled until next epoch
 
     std::vector<AsyncOp> async;
     std::uint32_t async_seq = 0;
@@ -222,6 +248,7 @@ class Machine {
 
   // --- boundary phase (runs with all threads parked, under mu_) ------------
   void boundary();
+  void resume_window(Cycle min_now);
   void process_ops();
   void service_mem(NodeCtx& c, NodeId n);
   void service_checkout_range(NodeCtx& c, NodeId n);
@@ -236,12 +263,33 @@ class Machine {
   void insert_line(NodeCtx& c, NodeId n, Block b, mem::LineState s, Cycle t);
   void record_trace_miss(NodeCtx& c, NodeId n, trace::MissKind kind);
 
+  // --- fault handling (boundary side) --------------------------------------
+  /// Backoff before retry number `attempt` (exponential, capped).
+  [[nodiscard]] Cycle retry_backoff(std::uint32_t attempt) const;
+  /// Budget check for fire-and-forget retries that cannot park the node
+  /// (puts, post-stores, check-out ranges); unbounded specs are capped.
+  [[nodiscard]] bool inline_retry_exhausted(std::uint32_t attempt) const;
+  /// put() retried until it lands; aborts with ProtocolTimeout on budget
+  /// exhaustion.  The ONLY safe way to issue a put under fault injection:
+  /// the cache line is already gone, so a silently lost put would leave
+  /// the directory permanently ahead of the cache.
+  void reliable_put(NodeId n, Block b, bool dirty, Cycle t, bool explicit_ci);
+  void reliable_post_store(NodeId n, Block b, Cycle t);
+  /// Records the first abort cause; parked threads observe `aborted_` and
+  /// unwind, run() rethrows `abort_error_`.  Never throws (a throw out of
+  /// the boundary phase would strand every parked thread).
+  void abort_run(std::exception_ptr e, std::string msg);
+  /// Paranoid-mode audit; aborts with InvariantViolation on divergence.
+  void audit_now(const std::string& when);
+  [[nodiscard]] std::string wait_dump() const;
+
   SimConfig cfg_;
   PcRegistry pcs_;
   Stats stats_;
   net::Network net_;
   CacheCtl cachectl_;
   std::unique_ptr<proto::Protocol> dir_;
+  std::unique_ptr<fault::FaultInjector> injector_;
   SharedHeap heap_;
   std::vector<std::unique_ptr<NodeCtx>> ctxs_;
   std::unordered_map<Addr, LockState> locks_;
@@ -259,6 +307,7 @@ class Machine {
   EpochId global_epoch_ = 0;
   bool aborted_ = false;
   std::string abort_msg_;
+  std::exception_ptr abort_error_;
   std::exception_ptr first_error_;
   bool ran_ = false;
   Cycle final_time_ = 0;

@@ -56,14 +56,29 @@ void save_plan(const DirectivePlan& plan, std::ostream& os) {
   }
 }
 
+namespace {
+
+/// Parse errors carry the 1-based line number and the offending text, so a
+/// truncated or hand-mangled plan points straight at its first bad line.
+[[noreturn]] void plan_error(std::size_t lineno, const std::string& line,
+                             const char* what) {
+  std::ostringstream os;
+  os << "plan: " << what << " at line " << lineno << ": '" << line << "'";
+  throw std::runtime_error(os.str());
+}
+
+}  // namespace
+
 DirectivePlan load_plan(std::istream& is) {
   std::string line;
+  std::size_t lineno = 1;
   if (!std::getline(is, line) || line != "cico-plan v1") {
-    throw std::runtime_error("plan: bad header");
+    plan_error(1, line, "bad header (expected 'cico-plan v1')");
   }
   DirectivePlan plan;
   NodeEpochDirectives* cur = nullptr;
   while (std::getline(is, line)) {
+    ++lineno;
     if (line.empty()) continue;
     std::istringstream ls(line);
     char tag = 0;
@@ -72,11 +87,11 @@ DirectivePlan load_plan(std::istream& is) {
       NodeId n = 0;
       EpochId e = 0;
       ls >> n >> e;
-      if (ls.fail()) throw std::runtime_error("plan: malformed entry");
+      if (ls.fail()) plan_error(lineno, line, "malformed entry");
       cur = &plan.at(n, e);
       continue;
     }
-    if (cur == nullptr) throw std::runtime_error("plan: record before entry");
+    if (cur == nullptr) plan_error(lineno, line, "record before entry");
     switch (tag) {
       case 'S':
       case 'T': {
@@ -85,7 +100,7 @@ DirectivePlan load_plan(std::istream& is) {
         ls >> kind >> run.first >> run.last;
         if (ls.fail() || kind < 0 ||
             kind > static_cast<int>(DirectiveKind::PrefetchS)) {
-          throw std::runtime_error("plan: malformed directive");
+          plan_error(lineno, line, "malformed directive");
         }
         auto& vec = tag == 'S' ? cur->at_start : cur->at_end;
         vec.push_back({static_cast<DirectiveKind>(kind), run});
@@ -96,14 +111,14 @@ DirectivePlan load_plan(std::istream& is) {
       case 'W': {
         Block b = 0;
         ls >> b;
-        if (ls.fail()) throw std::runtime_error("plan: malformed block");
+        if (ls.fail()) plan_error(lineno, line, "malformed block");
         if (tag == 'X') cur->fetch_exclusive.insert(b);
         else if (tag == 'A') cur->checkin_after_access.insert(b);
         else cur->checkin_after_write.insert(b);
         break;
       }
       default:
-        throw std::runtime_error("plan: unknown tag");
+        plan_error(lineno, line, "unknown tag");
     }
   }
   return plan;

@@ -1,0 +1,131 @@
+// Exit-code contract of the cachier CLI, exercised end-to-end on the real
+// binary (path passed as argv[1] by CTest): usage errors exit 1; every
+// program error -- MiniPar parse failures, malformed plans, bad fault
+// specs, exhausted retry budgets -- exits 2 with a one-line
+// `cachier: error: ...` on stderr, never an unhandled terminate.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <sys/wait.h>
+
+namespace {
+
+std::string g_cachier;  // set in main() from argv[1]
+
+struct CmdResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr combined
+};
+
+CmdResult run_cli(const std::string& args) {
+  const std::string cmd = "'" + g_cachier + "' " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return {};
+  CmdResult r;
+  char buf[4096];
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) r.output += buf;
+  const int status = pclose(pipe);
+  if (WIFEXITED(status)) r.exit_code = WEXITSTATUS(status);
+  return r;
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  ASSERT_TRUE(out.is_open()) << path;
+  out << text;
+}
+
+/// A minimal valid MiniPar program (each node stores one element).
+const char* kGoodProgram =
+    "const N = 64;\n"
+    "shared real A[N];\n"
+    "parallel\n"
+    "  A[pid] = pid + 1;\n"
+    "  barrier;\n"
+    "end\n";
+
+class CliErrorsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    write_file(prog_, kGoodProgram);
+  }
+  const std::string prog_ = "cli_errors_good.mp";
+};
+
+TEST_F(CliErrorsTest, NoArgumentsIsUsageExit1) {
+  const CmdResult r = run_cli("");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos) << r.output;
+}
+
+TEST_F(CliErrorsTest, UnknownCommandIsUsageExit1) {
+  const CmdResult r = run_cli("frobnicate " + prog_);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos) << r.output;
+}
+
+TEST_F(CliErrorsTest, GarbageSourceIsExit2) {
+  write_file("cli_errors_garbage.mp", "this is @@ not minipar $$\n");
+  const CmdResult r = run_cli("run cli_errors_garbage.mp -n 4");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("cachier: error:"), std::string::npos) << r.output;
+}
+
+TEST_F(CliErrorsTest, MissingFileIsExit2) {
+  const CmdResult r = run_cli("run cli_errors_does_not_exist.mp -n 4");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("cachier: error:"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("cannot open"), std::string::npos) << r.output;
+}
+
+TEST_F(CliErrorsTest, TruncatedPlanNamesTheBadLine) {
+  write_file("cli_errors_bad.plan", "cico-plan v1\nE 0 0\nS 1 0\n");
+  const CmdResult r =
+      run_cli("run " + prog_ + " -n 4 --plan cli_errors_bad.plan");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("cachier: error: plan:"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("line 3"), std::string::npos) << r.output;
+}
+
+TEST_F(CliErrorsTest, BadFaultSpecIsExit2) {
+  const CmdResult r = run_cli("run " + prog_ + " -n 4 --faults drop=2.0");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("cachier: error: faults:"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(CliErrorsTest, ExhaustedRetryBudgetIsExit2) {
+  const CmdResult r =
+      run_cli("run " + prog_ + " -n 4 --faults drop=1.0,retries=2");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("retry budget"), std::string::npos) << r.output;
+}
+
+TEST_F(CliErrorsTest, CleanRunIsExit0) {
+  const CmdResult r = run_cli("run " + prog_ + " -n 4");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("execution time"), std::string::npos) << r.output;
+}
+
+TEST_F(CliErrorsTest, FaultedRunPrintsFaultCounters) {
+  const CmdResult r =
+      run_cli("run " + prog_ + " -n 4 --paranoid --faults drop=0.05,retries=0");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("msg_dropped"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("retries"), std::string::npos) << r.output;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  if (argc > 1) g_cachier = argv[1];
+  if (g_cachier.empty()) {
+    std::fprintf(stderr, "usage: cli_errors_test <path-to-cachier>\n");
+    return 1;
+  }
+  return RUN_ALL_TESTS();
+}

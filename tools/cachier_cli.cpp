@@ -5,26 +5,44 @@
 //   cachier annotate prog.mp [-n nodes] [--mode programmer|performance]
 //       trace the unannotated program, insert CICO annotations, print the
 //       annotated source to stdout (the paper's core use case)
-//   cachier run prog.mp [-n nodes]
+//   cachier run prog.mp [-n nodes] [--plan file] [--faults spec] [--paranoid]
 //       run a (possibly annotated) program and print execution statistics
+//   cachier plan prog.mp [-n nodes] [--mode ...]
+//       trace the program and print the Cachier directive plan (load it
+//       back with `run --plan`)
 //   cachier report prog.mp [-n nodes]
 //       print the data-race / false-sharing report
-//   cachier compare prog.mp [-n nodes] [--mode ...]
+//   cachier compare prog.mp [-n nodes] [--mode ...] [--faults spec] [--paranoid]
 //       annotate, then run both versions and print the speedup
 //   cachier trace prog.mp [-n nodes]
 //       dump the Fig. 3 trace (text format) to stdout
+//   cachier soak [--campaigns N] [--seed s] [--faults spec]
+//       run seeded fault-injection campaigns over the bundled apps
+//       (each campaign runs twice to verify per-seed determinism) and
+//       report survival / retry / timeout statistics
 //
-// Exit status: 0 on success, 1 on usage errors, 2 on program errors.
+// Exit status: 0 on success, 1 on usage errors, 2 on program errors
+// (parse errors, SimDeadlock, ProtocolTimeout, InvariantViolation, failed
+// soak campaigns) -- every std::exception maps to exit 2 with a one-line
+// `cachier: error: ...` on stderr.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "apps/jacobi.hpp"
+#include "apps/matmul.hpp"
+#include "apps/ocean.hpp"
+#include "cico/cachier/cachier.hpp"
 #include "cico/lang/interp.hpp"
 #include "cico/lang/parser.hpp"
 #include "cico/lang/unparse.hpp"
+#include "cico/sim/plan_io.hpp"
 #include "cico/srcann/annotator.hpp"
 
 using namespace cico;
@@ -36,12 +54,20 @@ struct Options {
   std::string file;
   std::uint32_t nodes = 8;
   cachier::Mode mode = cachier::Mode::Performance;
+  std::string faults;           ///< FaultSpec text; empty = faults disabled
+  bool paranoid = false;        ///< audit invariants at every epoch boundary
+  std::string plan_file;        ///< run --plan <file>
+  std::uint32_t campaigns = 10; ///< soak campaigns
+  std::uint64_t seed = 1;       ///< soak base seed
 };
 
 void usage() {
-  std::fprintf(stderr,
-               "usage: cachier <annotate|run|report|compare|trace> prog.mp "
-               "[-n nodes] [--mode programmer|performance]\n");
+  std::fprintf(
+      stderr,
+      "usage: cachier <annotate|run|plan|report|compare|trace> prog.mp\n"
+      "               [-n nodes] [--mode programmer|performance]\n"
+      "               [--plan file] [--faults spec] [--paranoid]\n"
+      "       cachier soak [--campaigns N] [--seed s] [--faults spec]\n");
 }
 
 std::string slurp(const std::string& path) {
@@ -50,6 +76,14 @@ std::string slurp(const std::string& path) {
   std::ostringstream ss;
   ss << in.rdbuf();
   return ss.str();
+}
+
+sim::SimConfig make_config(const Options& opt) {
+  sim::SimConfig cfg;
+  cfg.nodes = opt.nodes;
+  if (!opt.faults.empty()) cfg.faults = fault::FaultSpec::parse(opt.faults);
+  cfg.audit_invariants = opt.paranoid;
+  return cfg;
 }
 
 struct Traced {
@@ -76,22 +110,28 @@ Traced trace_program(const lang::Program& prog, std::uint32_t nodes) {
   return t;
 }
 
-Cycle run_program(const lang::Program& prog, std::uint32_t nodes,
-                  bool print_stats) {
-  sim::SimConfig cfg;
-  cfg.nodes = nodes;
+Cycle run_program(const lang::Program& prog, const sim::SimConfig& cfg,
+                  bool print_stats, const sim::DirectivePlan* plan = nullptr) {
   sim::Machine m(cfg);
   lang::LoadedProgram lp(prog, m);
+  if (plan != nullptr) m.set_plan(plan);
   m.run([&](sim::Proc& p) { lp.run_node(p); });
   if (print_stats) {
-    std::printf("nodes:            %u\n", nodes);
+    std::printf("nodes:            %u\n", cfg.nodes);
     std::printf("execution time:   %llu cycles\n",
                 static_cast<unsigned long long>(m.exec_time()));
     std::printf("epochs:           %u\n", m.epochs_completed());
-    for (Stat s : {Stat::SharedLoads, Stat::SharedStores, Stat::ReadMisses,
-                   Stat::WriteMisses, Stat::WriteFaults, Stat::Traps,
-                   Stat::Invalidations, Stat::Messages, Stat::CheckOutX,
-                   Stat::CheckOutS, Stat::CheckIns, Stat::PrefetchIssued}) {
+    std::vector<Stat> shown = {
+        Stat::SharedLoads,   Stat::SharedStores, Stat::ReadMisses,
+        Stat::WriteMisses,   Stat::WriteFaults,  Stat::Traps,
+        Stat::Invalidations, Stat::Messages,     Stat::CheckOutX,
+        Stat::CheckOutS,     Stat::CheckIns,     Stat::PrefetchIssued};
+    if (cfg.faults.injects()) {
+      shown.insert(shown.end(),
+                   {Stat::MsgDropped, Stat::MsgDuplicated, Stat::Retries,
+                    Stat::PrefetchThrottled, Stat::WatchdogTrips});
+    }
+    for (Stat s : shown) {
       std::printf("%-17s %llu\n",
                   (std::string(stat_name(s)) + ":").c_str(),
                   static_cast<unsigned long long>(m.stats().total(s)));
@@ -118,11 +158,176 @@ srcann::AnnotateResult annotate_program(const lang::Program& prog,
   return srcann::annotate(prog, t, lp, cfg.cache, {.mode = mode});
 }
 
+// --- soak: seeded fault campaigns over the bundled apps --------------------
+
+struct SoakApp {
+  const char* name;
+  std::uint32_t nodes;  ///< grid-constrained apps fix their own node count
+  std::function<std::unique_ptr<apps::App>(std::uint64_t)> make;
+};
+
+/// Small inputs keep a full default campaign (10 mixes x 3 apps x 2
+/// determinism runs) in the few-second range.
+std::vector<SoakApp> soak_apps() {
+  return {
+      {"matmul", 8,
+       [](std::uint64_t s) {
+         apps::MatMulConfig c;
+         c.n = 24;
+         c.prow = 4;
+         c.pcol = 2;
+         return std::make_unique<apps::MatMul>(c, s);
+       }},
+      {"jacobi", 16,
+       [](std::uint64_t s) {
+         apps::JacobiConfig c;
+         c.n = 16;
+         c.steps = 2;
+         c.p = 4;
+         return std::make_unique<apps::Jacobi>(c, s);
+       }},
+      {"ocean", 8,
+       [](std::uint64_t s) {
+         apps::OceanConfig c;
+         c.n = 32;
+         c.iters = 2;
+         return std::make_unique<apps::Ocean>(c, s);
+       }},
+  };
+}
+
+/// Fault mixes cycled across campaigns (the campaign seed varies per
+/// campaign, so repeated mixes still explore different fault patterns).
+const char* const kSoakMixes[] = {
+    "drop=0.02",
+    "drop=0.05,dup=0.02",
+    "dup=0.05,delay=0.1:40",
+    "drop=0.01,stall=0.05:200",
+    "drop=0.03,dup=0.01,delay=0.05:25,stall=0.02:100",
+};
+
+struct SoakMeasure {
+  const char* status = "ok";
+  bool verified = true;
+  Cycle time = 0;
+  std::uint64_t msgs = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t dups = 0;
+};
+
+SoakMeasure soak_once(const SoakApp& a, const std::string& spec) {
+  sim::SimConfig cfg;
+  cfg.nodes = a.nodes;
+  cfg.faults = fault::FaultSpec::parse(spec);
+  cfg.audit_invariants = true;  // soak always runs paranoid
+  sim::Machine m(cfg);
+  std::unique_ptr<apps::App> app = a.make(/*input seed=*/2);
+  app->setup(m, apps::Variant::None);
+  SoakMeasure r;
+  try {
+    m.run([&](sim::Proc& p) { app->body(p); });
+  } catch (const sim::ProtocolTimeout&) {
+    r.status = "timeout";
+  } catch (const sim::InvariantViolation&) {
+    r.status = "invariant";
+  } catch (const sim::SimDeadlock&) {
+    r.status = "deadlock";
+  }
+  r.time = m.exec_time();
+  r.msgs = m.network().total_sent();
+  r.retries = m.stats().total(Stat::Retries);
+  r.drops = m.stats().total(Stat::MsgDropped);
+  r.dups = m.stats().total(Stat::MsgDuplicated);
+  if (r.status[0] == 'o') r.verified = app->verify();
+  return r;
+}
+
+int do_soak(const Options& opt) {
+  const std::vector<SoakApp> bundled = soak_apps();
+  const std::size_t n_mixes = sizeof(kSoakMixes) / sizeof(kSoakMixes[0]);
+  std::uint32_t total = 0;
+  std::uint32_t survived = 0;
+  std::uint32_t timeouts = 0;
+  std::uint32_t deadlocks = 0;
+  std::uint32_t violations = 0;
+  std::uint32_t nondet = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t drops = 0;
+
+  for (std::uint32_t c = 0; c < opt.campaigns; ++c) {
+    const std::uint64_t seed = opt.seed + c;
+    // retries=0 (unbounded budget) so moderate drop rates never abort on a
+    // timeout; the watchdog still converts true livelock into SimDeadlock.
+    std::string spec = opt.faults.empty()
+                           ? std::string(kSoakMixes[c % n_mixes]) +
+                                 ",retries=0,throttle=4"
+                           : opt.faults;
+    spec += ",seed=" + std::to_string(seed);
+    for (const SoakApp& a : bundled) {
+      ++total;
+      const SoakMeasure r1 = soak_once(a, spec);
+      const SoakMeasure r2 = soak_once(a, spec);
+      const bool det = r1.time == r2.time && r1.msgs == r2.msgs &&
+                       r1.retries == r2.retries && r1.drops == r2.drops &&
+                       r1.dups == r2.dups &&
+                       std::strcmp(r1.status, r2.status) == 0;
+      const bool ok = std::strcmp(r1.status, "ok") == 0 && r1.verified;
+      if (ok) ++survived;
+      if (std::strcmp(r1.status, "timeout") == 0) ++timeouts;
+      if (std::strcmp(r1.status, "deadlock") == 0) ++deadlocks;
+      if (std::strcmp(r1.status, "invariant") == 0) ++violations;
+      if (!det) ++nondet;
+      retries += r1.retries;
+      drops += r1.drops;
+      std::printf(
+          "[%3u] %-7s seed=%-4llu %-9s t=%-9llu retries=%-6llu "
+          "drops=%-5llu dups=%-5llu det=%s  %s\n",
+          total, a.name, static_cast<unsigned long long>(seed), r1.status,
+          static_cast<unsigned long long>(r1.time),
+          static_cast<unsigned long long>(r1.retries),
+          static_cast<unsigned long long>(r1.drops),
+          static_cast<unsigned long long>(r1.dups), det ? "yes" : "NO",
+          spec.c_str());
+    }
+  }
+
+  std::printf(
+      "\nsoak: %u runs (%u campaigns x %zu apps), %u survived, "
+      "%u timeouts, %u deadlocks, %u invariant violations, "
+      "%u non-deterministic; %llu retries, %llu drops total\n",
+      total, opt.campaigns, bundled.size(), survived, timeouts, deadlocks,
+      violations, nondet, static_cast<unsigned long long>(retries),
+      static_cast<unsigned long long>(drops));
+  if (survived != total || nondet != 0) {
+    throw std::runtime_error("soak: campaign failures (see table above)");
+  }
+  return 0;
+}
+
 int dispatch(const Options& opt) {
+  if (opt.command == "soak") return do_soak(opt);
+
   lang::Program prog = lang::parse(slurp(opt.file));
 
   if (opt.command == "run") {
-    run_program(prog, opt.nodes, /*print_stats=*/true);
+    sim::DirectivePlan plan;
+    const sim::DirectivePlan* pp = nullptr;
+    if (!opt.plan_file.empty()) {
+      std::ifstream in(opt.plan_file);
+      if (!in) throw std::runtime_error("cannot open " + opt.plan_file);
+      plan = sim::load_plan(in);
+      pp = &plan;
+    }
+    run_program(prog, make_config(opt), /*print_stats=*/true, pp);
+    return 0;
+  }
+  if (opt.command == "plan") {
+    Traced t = trace_program(prog, opt.nodes);
+    sim::SimConfig cfg;
+    cachier::PlanBuilder pb(t.trace, cfg.cache);
+    const sim::DirectivePlan plan = pb.build({.mode = opt.mode});
+    sim::save_plan(plan, std::cout);
     return 0;
   }
   if (opt.command == "trace") {
@@ -148,11 +353,12 @@ int dispatch(const Options& opt) {
   if (opt.command == "compare") {
     srcann::AnnotateResult res = annotate_program(prog, opt.nodes, opt.mode);
     lang::Program annotated = lang::parse(lang::unparse(res.program));
+    const sim::SimConfig cfg = make_config(opt);
     std::printf("-- unannotated --\n");
-    const Cycle base = run_program(prog, opt.nodes, true);
+    const Cycle base = run_program(prog, cfg, true);
     std::printf("-- %s CICO (%zu annotations) --\n",
                 cachier::mode_name(opt.mode), res.inserted);
-    const Cycle anno = run_program(annotated, opt.nodes, true);
+    const Cycle anno = run_program(annotated, cfg, true);
     std::printf("\nnormalized execution time: %.3f\n",
                 static_cast<double>(anno) / static_cast<double>(base));
     return 0;
@@ -177,6 +383,16 @@ int main(int argc, char** argv) {
         usage();
         return 1;
       }
+    } else if (arg == "--faults" && i + 1 < argc) {
+      opt.faults = argv[++i];
+    } else if (arg == "--paranoid") {
+      opt.paranoid = true;
+    } else if (arg == "--plan" && i + 1 < argc) {
+      opt.plan_file = argv[++i];
+    } else if (arg == "--campaigns" && i + 1 < argc) {
+      opt.campaigns = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--seed" && i + 1 < argc) {
+      opt.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (opt.command.empty()) {
       opt.command = arg;
     } else if (opt.file.empty()) {
@@ -186,14 +402,20 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  if (opt.command.empty() || opt.file.empty() || opt.nodes == 0) {
+  const bool needs_file = opt.command != "soak";
+  if (opt.command.empty() || (needs_file && opt.file.empty()) ||
+      opt.nodes == 0 || (opt.command == "soak" && opt.campaigns == 0)) {
     usage();
     return 1;
   }
+  // Exit-code contract: EVERY failure below dispatch -- MiniPar parse
+  // errors, bad fault specs, malformed plans, SimDeadlock, ProtocolTimeout,
+  // InvariantViolation, soak failures -- surfaces as exit 2 with one line
+  // on stderr, never an unhandled terminate.
   try {
     return dispatch(opt);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "cachier: %s\n", e.what());
+    std::fprintf(stderr, "cachier: error: %s\n", e.what());
     return 2;
   }
 }
