@@ -1,0 +1,154 @@
+// Host-scaling benchmark for the sharded boundary phase.
+//
+// Runs the blocked matmul at {8,16,32,64} simulated nodes with
+// boundary_threads in {1,2,4} and records, per configuration:
+//
+//   * simulated cycles + boundary rounds (MUST be identical across thread
+//     counts -- the run aborts with exit 1 if they are not, making this a
+//     standing determinism check as well as a benchmark);
+//   * host wall-clock split into boundary-phase and window-phase time.
+//
+// Results go to BENCH_host_scaling.json (or argv[1]).  The JSON carries
+// host_cores = std::thread::hardware_concurrency(): on a single-core
+// container the worker pool cannot speed anything up (threads time-slice
+// one core), so wall-clock numbers are only meaningful for speedup claims
+// when host_cores >= the thread count.  The determinism cross-check is
+// meaningful everywhere.
+//
+// CICO_BENCH_SCALE scales the matrix dimension (see bench_util.hpp).
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/matmul.hpp"
+#include "bench_util.hpp"
+#include "cico/sim/machine.hpp"
+
+namespace {
+
+using namespace cico;
+
+struct GridPoint {
+  std::uint32_t nodes;
+  std::uint32_t prow;
+  std::uint32_t pcol;
+};
+
+constexpr GridPoint kGrids[] = {
+    {8, 4, 2}, {16, 4, 4}, {32, 8, 4}, {64, 8, 8}};
+constexpr std::uint32_t kThreads[] = {1, 2, 4};
+
+struct Sample {
+  std::uint32_t nodes = 0;
+  std::uint32_t threads = 0;
+  std::uint32_t workers = 0;   // what the machine actually used
+  Cycle cycles = 0;
+  std::uint64_t rounds = 0;
+  double wall_ms = 0.0;
+  double boundary_ms = 0.0;
+  double window_ms = 0.0;
+  bool verified = false;
+};
+
+Sample run_once(const GridPoint& g, std::uint32_t threads, std::size_t n) {
+  sim::SimConfig cfg;
+  cfg.nodes = g.nodes;
+  cfg.cache.size_bytes = 16 * 1024;
+  cfg.cache.assoc = 4;
+  cfg.cache.block_bytes = 32;
+  cfg.boundary_threads = threads;
+  sim::Machine m(cfg);
+
+  apps::MatMulConfig mc;
+  mc.n = n;
+  mc.prow = g.prow;
+  mc.pcol = g.pcol;
+  apps::MatMul app(mc, /*seed=*/2);
+  app.setup(m, apps::Variant::None);
+  m.run([&](sim::Proc& p) { app.body(p); });
+
+  Sample s;
+  s.nodes = g.nodes;
+  s.threads = threads;
+  s.workers = m.boundary_workers();
+  s.cycles = m.exec_time();
+  s.rounds = m.stats().node(0, Stat::BoundaryRounds);
+  s.wall_ms = m.host_total_seconds() * 1e3;
+  s.boundary_ms = m.host_boundary_seconds() * 1e3;
+  s.window_ms = s.wall_ms - s.boundary_ms;
+  s.verified = app.verify();
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_host_scaling.json";
+  // n must divide by every prow/pcol used (8, 4, 2); 96 does.
+  const std::size_t n = cico::bench::scaled(96) / 8 * 8;
+  const unsigned host_cores = std::thread::hardware_concurrency();
+
+  cico::bench::print_header("host scaling: sharded boundary phase");
+  std::printf("host_cores=%u  n=%zu\n", host_cores, n);
+  std::printf("%-6s %-8s %-10s %-8s %-10s %-12s %-10s\n", "nodes", "threads",
+              "cycles", "rounds", "wall_ms", "boundary_ms", "window_ms");
+
+  std::vector<Sample> samples;
+  bool deterministic = true;
+  for (const GridPoint& g : kGrids) {
+    Sample base;  // threads=1 reference (copied: samples may reallocate)
+    for (std::uint32_t t : kThreads) {
+      samples.push_back(run_once(g, t, n));
+      const Sample& s = samples.back();
+      std::printf("%-6u %-8u %-10llu %-8llu %-10.2f %-12.2f %-10.2f%s\n",
+                  s.nodes, s.threads,
+                  static_cast<unsigned long long>(s.cycles),
+                  static_cast<unsigned long long>(s.rounds), s.wall_ms,
+                  s.boundary_ms, s.window_ms, s.verified ? "" : "  UNVERIFIED");
+      if (!s.verified) deterministic = false;
+      if (t == kThreads[0]) {
+        base = s;
+      } else if (s.cycles != base.cycles || s.rounds != base.rounds) {
+        std::printf("  ** divergence at nodes=%u threads=%u: cycles %llu vs "
+                    "%llu, rounds %llu vs %llu\n",
+                    g.nodes, t, static_cast<unsigned long long>(s.cycles),
+                    static_cast<unsigned long long>(base.cycles),
+                    static_cast<unsigned long long>(s.rounds),
+                    static_cast<unsigned long long>(base.rounds));
+        deterministic = false;
+      }
+    }
+  }
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::perror(out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"host_scaling\",\n");
+  std::fprintf(f, "  \"app\": \"matmul\",\n  \"n\": %zu,\n", n);
+  std::fprintf(f, "  \"host_cores\": %u,\n", host_cores);
+  std::fprintf(f, "  \"deterministic_across_threads\": %s,\n",
+               deterministic ? "true" : "false");
+  std::fprintf(f, "  \"samples\": [\n");
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    std::fprintf(
+        f,
+        "    {\"nodes\": %u, \"threads\": %u, \"workers\": %u, "
+        "\"cycles\": %llu, \"boundary_rounds\": %llu, \"wall_ms\": %.3f, "
+        "\"boundary_ms\": %.3f, \"window_ms\": %.3f, \"verified\": %s}%s\n",
+        s.nodes, s.threads, s.workers,
+        static_cast<unsigned long long>(s.cycles),
+        static_cast<unsigned long long>(s.rounds), s.wall_ms, s.boundary_ms,
+        s.window_ms, s.verified ? "true" : "false",
+        i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (deterministic=%s)\n", out_path,
+              deterministic ? "yes" : "NO");
+  return deterministic ? 0 : 1;
+}

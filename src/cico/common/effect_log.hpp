@@ -1,0 +1,77 @@
+// Per-item side-effect log for the sharded boundary phase.
+//
+// When the boundary phase services directory shards on worker threads
+// (SimConfig::boundary_threads > 1), globally-shared accounting -- stat
+// counters, per-type message counts, trace records, abort requests --
+// cannot be written in place without racing.  Instead each boundary item
+// executes with a thread-local EffectLog installed; the writers that would
+// touch shared state (Stats::add, Network::count, the machine's trace and
+// abort hooks) divert into the log, and the coordinator replays the logs
+// in canonical (time, node, seq) item order after the batch completes.
+//
+// Counter additions are commutative, so replaying them in canonical order
+// makes the final tables byte-identical to a serial execution; ordered
+// records (trace misses, the first abort) are replayed in canonical order
+// for the same reason.  With no log installed (the default, and always on
+// the node-thread fast path) every writer compiles to one thread-local
+// load and a predictable branch.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "cico/common/types.hpp"
+
+namespace cico {
+
+struct EffectLog {
+  /// Stats::add diverted: raw Stat index (common cannot see net/sim enums).
+  struct StatAdd {
+    NodeId node;
+    std::uint32_t stat;
+    std::uint64_t value;
+  };
+
+  /// Machine::record_trace_miss diverted: raw trace::MissKind index.
+  struct MissEvent {
+    NodeId node;
+    std::uint8_t kind;
+    Addr addr;
+    std::uint32_t size;
+    PcId pc;
+    EpochId epoch;
+  };
+
+  /// Network::count diverted: per-MsgType message counts, by raw index
+  /// (network.hpp static_asserts that its taxonomy fits).
+  static constexpr std::size_t kMsgSlots = 16;
+
+  std::vector<StatAdd> stat_adds;
+  std::array<std::uint64_t, kMsgSlots> msg_types{};
+  std::vector<MissEvent> misses;
+
+  /// Machine::abort_run diverted (first cause wins per item).
+  bool aborted = false;
+  std::string abort_msg;
+  std::exception_ptr abort_error;
+
+  void clear() {
+    stat_adds.clear();
+    msg_types.fill(0);
+    misses.clear();
+    aborted = false;
+    abort_msg.clear();
+    abort_error = nullptr;
+  }
+
+  /// The log installed on the calling thread (null = write in place).
+  static EffectLog*& current() {
+    thread_local EffectLog* cur = nullptr;
+    return cur;
+  }
+};
+
+}  // namespace cico

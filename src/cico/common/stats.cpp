@@ -34,6 +34,7 @@ std::string_view stat_name(Stat s) {
     case Stat::Retries: return "retries";
     case Stat::PrefetchThrottled: return "prefetch_throttled";
     case Stat::WatchdogTrips: return "watchdog_trips";
+    case Stat::BoundaryRounds: return "boundary_rounds";
     case Stat::Count_: break;
   }
   return "unknown";

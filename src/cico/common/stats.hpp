@@ -3,7 +3,9 @@
 // Counters are written on the hot path by the owning node's thread (cache
 // hits) and by the boundary-phase thread while all node threads are parked
 // (misses, protocol events), so no synchronization is required -- the
-// engine's windowed schedule guarantees exclusive access.
+// engine's windowed schedule guarantees exclusive access.  When the
+// boundary phase shards across worker threads, writes divert into the
+// caller's thread-local EffectLog instead and are replayed via apply().
 #pragma once
 
 #include <array>
@@ -11,6 +13,7 @@
 #include <string_view>
 #include <vector>
 
+#include "cico/common/effect_log.hpp"
 #include "cico/common/types.hpp"
 
 namespace cico {
@@ -47,6 +50,7 @@ enum class Stat : std::uint32_t {
   Retries,           ///< protocol requests re-issued after a drop/loss
   PrefetchThrottled, ///< prefetches suppressed by the self-throttle
   WatchdogTrips,     ///< liveness-watchdog livelock detections
+  BoundaryRounds,    ///< boundary-phase service rounds executed (node 0)
   Count_
 };
 
@@ -61,7 +65,16 @@ class Stats {
   explicit Stats(std::size_t nodes) : per_node_(nodes) {}
 
   void add(NodeId n, Stat s, std::uint64_t v = 1) {
+    if (EffectLog* lg = EffectLog::current(); lg != nullptr) {
+      lg->stat_adds.push_back({n, static_cast<std::uint32_t>(s), v});
+      return;
+    }
     per_node_[n][static_cast<std::size_t>(s)] += v;
+  }
+
+  /// Replays the diverted adds of one boundary item (coordinator only).
+  void apply(const EffectLog& lg) {
+    for (const auto& a : lg.stat_adds) per_node_[a.node][a.stat] += a.value;
   }
 
   [[nodiscard]] std::uint64_t node(NodeId n, Stat s) const {

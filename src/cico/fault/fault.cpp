@@ -160,6 +160,65 @@ std::string FaultSpec::to_string() const {
   return os.str();
 }
 
+double FaultInjector::keyed_uniform(std::uint64_t salt, std::uint64_t a,
+                                    std::uint64_t b, std::uint64_t c,
+                                    std::uint64_t d, std::uint64_t e) const {
+  // Chained SplitMix64 finalizer over the message identity: stateless, so
+  // the verdict for a given message is the same no matter which thread
+  // draws it or in what order (the keyed-mode determinism argument).
+  constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+  auto mix = [](std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  std::uint64_t h = spec_.seed;
+  for (const std::uint64_t v : {salt, a, b, c, d, e}) {
+    h = mix((h + kGolden) ^ v);
+  }
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+FaultInjector::Fate FaultInjector::fate_at(net::MsgType t, bool droppable,
+                                           NodeId from, NodeId to, Cycle now,
+                                           Block tag) {
+  if (!keyed_) return fate(t, droppable);
+  Fate f;
+  const auto ti = static_cast<std::uint64_t>(t);
+  // Distinct salts per decision; the reliable/droppable leg bit keeps the
+  // two legs of one exchange from correlating at identical keys.
+  const std::uint64_t leg = droppable ? 1 : 0;
+  if (droppable) {
+    const double p = spec_.drop_prob(t);
+    if (p > 0.0 && keyed_uniform(0, ti, from, to, now, tag) < p) {
+      f.dropped = true;
+      drops_.fetch_add(1, std::memory_order_relaxed);
+      drops_by_[static_cast<std::size_t>(t)].fetch_add(
+          1, std::memory_order_relaxed);
+      return f;  // a dropped message is neither duplicated nor delayed
+    }
+  }
+  const double dp = spec_.dup_prob(t);
+  if (dp > 0.0 && keyed_uniform(2 + leg, ti, from, to, now, tag) < dp) {
+    f.duplicated = true;
+    dups_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const RateSpec dl = spec_.delay_rate(t);
+  if (dl.prob > 0.0 && keyed_uniform(4 + leg, ti, from, to, now, tag) < dl.prob) {
+    f.delay = dl.cycles;
+    delays_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return f;
+}
+
+Cycle FaultInjector::handler_stall_at(Block b, NodeId req, Cycle now) {
+  if (!keyed_) return handler_stall();
+  if (spec_.stall.prob <= 0.0) return 0;
+  if (keyed_uniform(7, b, req, now, 0, 0) >= spec_.stall.prob) return 0;
+  stalls_.fetch_add(1, std::memory_order_relaxed);
+  return spec_.stall.cycles;
+}
+
 FaultInjector::Fate FaultInjector::fate(net::MsgType t, bool droppable) {
   Fate f;
   if (droppable) {

@@ -29,6 +29,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -93,9 +94,19 @@ struct FaultSpec {
   [[nodiscard]] std::string to_string() const;
 };
 
-/// Draws fault decisions from one deterministic stream.  All calls happen
-/// in the simulator's boundary phase (or in single-threaded tests), so the
-/// draw order -- and therefore every injected fault -- is reproducible.
+/// Draws fault decisions deterministically, in one of two modes.
+///
+/// Sequential (default): one SplitMix64 stream, draws consumed in call
+/// order.  Reproducible because every network/protocol interaction happens
+/// in the single-threaded boundary phase.
+///
+/// Keyed (set_keyed(true), used by the sharded boundary phase): every
+/// verdict is a stateless hash of (seed, message identity: type, leg,
+/// endpoints, send time, block tag), so the draw is independent of the
+/// order -- and the thread -- in which messages are serviced.  Retries are
+/// re-keyed by their later send time, so drop=1.0 still exhausts budgets.
+/// Telemetry counters are relaxed atomics so shard workers may draw
+/// concurrently; totals stay exact because the set of draws is identical.
 class FaultInjector {
  public:
   explicit FaultInjector(const FaultSpec& spec)
@@ -103,6 +114,9 @@ class FaultInjector {
 
   [[nodiscard]] const FaultSpec& spec() const { return spec_; }
   [[nodiscard]] bool injects() const { return spec_.injects(); }
+
+  void set_keyed(bool on) { keyed_ = on; }
+  [[nodiscard]] bool keyed() const { return keyed_; }
 
   /// Per-message verdict.  `droppable` is false for message legs the model
   /// treats as reliable (interior handler traffic, prefetch replies).
@@ -113,26 +127,50 @@ class FaultInjector {
   };
   [[nodiscard]] Fate fate(net::MsgType t, bool droppable);
 
+  /// Verdict for a message with a known identity; uses the keyed draw in
+  /// keyed mode and falls back to the sequential stream otherwise.
+  [[nodiscard]] Fate fate_at(net::MsgType t, bool droppable, NodeId from,
+                             NodeId to, Cycle now, Block tag);
+
   /// Stall to add to one software-handler invocation (usually 0).
   [[nodiscard]] Cycle handler_stall();
 
+  /// Stall for a handler invocation with a known identity (block serviced,
+  /// requesting node, request arrival time); keyed-mode aware like fate_at.
+  [[nodiscard]] Cycle handler_stall_at(Block b, NodeId req, Cycle now);
+
   // --- telemetry (for soak reports) ---------------------------------------
-  [[nodiscard]] std::uint64_t drops() const { return drops_; }
-  [[nodiscard]] std::uint64_t dups() const { return dups_; }
-  [[nodiscard]] std::uint64_t delays() const { return delays_; }
-  [[nodiscard]] std::uint64_t stalls() const { return stalls_; }
+  [[nodiscard]] std::uint64_t drops() const {
+    return drops_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dups() const {
+    return dups_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t delays() const {
+    return delays_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t stalls() const {
+    return stalls_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] std::uint64_t drops_of(net::MsgType t) const {
-    return drops_by_[static_cast<std::size_t>(t)];
+    return drops_by_[static_cast<std::size_t>(t)].load(
+        std::memory_order_relaxed);
   }
 
  private:
+  /// Uniform in [0,1) from the message identity (stateless, thread-safe).
+  [[nodiscard]] double keyed_uniform(std::uint64_t salt, std::uint64_t a,
+                                     std::uint64_t b, std::uint64_t c,
+                                     std::uint64_t d, std::uint64_t e) const;
+
   FaultSpec spec_;
   Rng rng_;
-  std::uint64_t drops_ = 0;
-  std::uint64_t dups_ = 0;
-  std::uint64_t delays_ = 0;
-  std::uint64_t stalls_ = 0;
-  std::array<std::uint64_t, net::kMsgTypeCount> drops_by_{};
+  bool keyed_ = false;
+  std::atomic<std::uint64_t> drops_{0};
+  std::atomic<std::uint64_t> dups_{0};
+  std::atomic<std::uint64_t> delays_{0};
+  std::atomic<std::uint64_t> stalls_{0};
+  std::array<std::atomic<std::uint64_t>, net::kMsgTypeCount> drops_by_{};
 };
 
 }  // namespace cico::fault

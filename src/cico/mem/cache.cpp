@@ -52,6 +52,16 @@ std::optional<Cache::Eviction> Cache::insert(Block b, LineState s) {
   return victim;
 }
 
+std::optional<Cache::Eviction> Cache::peek_victim(Block b) const {
+  const Set& set = set_for(b);
+  for (const Line& l : set) {
+    if (l.block == b) return std::nullopt;  // hit path: no eviction
+  }
+  if (set.size() < geo_.assoc) return std::nullopt;
+  const Line& lru = set.back();
+  return Eviction{lru.block, lru.state};
+}
+
 bool Cache::set_state(Block b, LineState s) {
   Set& set = set_for(b);
   for (Line& l : set) {

@@ -17,12 +17,18 @@
 #include <string_view>
 
 #include "cico/common/cost.hpp"
+#include "cico/common/effect_log.hpp"
 #include "cico/common/stats.hpp"
 #include "cico/common/types.hpp"
 #include "cico/fault/fault.hpp"
 #include "cico/net/msg.hpp"
 
 namespace cico::net {
+
+// EffectLog buckets per-type counts by raw index; keep the taxonomy inside
+// its fixed-size table.
+static_assert(kMsgTypeCount <= EffectLog::kMsgSlots,
+              "grow EffectLog::kMsgSlots alongside MsgType");
 
 /// Uniform-latency interconnect with per-type message accounting.
 class Network {
@@ -43,12 +49,14 @@ class Network {
 
   /// Sends a message at time `now`; returns its arrival time and counts it
   /// against the sending node.  This leg is modelled as reliable: faults
-  /// may duplicate or delay it but never lose it.
-  Cycle send(NodeId from, NodeId to, MsgType t, Cycle now) {
+  /// may duplicate or delay it but never lose it.  `tag` identifies the
+  /// subject of the message (the block, for protocol traffic) and feeds the
+  /// injector's keyed draw; latency and accounting ignore it.
+  Cycle send(NodeId from, NodeId to, MsgType t, Cycle now, Block tag = 0) {
     count(from, t);
     Cycle l = latency(from, to);
     if (inj_ != nullptr) {
-      const auto f = inj_->fate(t, /*droppable=*/false);
+      const auto f = inj_->fate_at(t, /*droppable=*/false, from, to, now, tag);
       if (f.duplicated) note_duplicate(from, t);
       l += f.delay;
     }
@@ -63,10 +71,11 @@ class Network {
 
   /// Sends a droppable message.  Counted against the sender either way
   /// (the wire carried it; the fault ate it).
-  Delivery deliver(NodeId from, NodeId to, MsgType t, Cycle now) {
+  Delivery deliver(NodeId from, NodeId to, MsgType t, Cycle now,
+                   Block tag = 0) {
     count(from, t);
     if (inj_ == nullptr) return {now + latency(from, to), false};
-    const auto f = inj_->fate(t, /*droppable=*/true);
+    const auto f = inj_->fate_at(t, /*droppable=*/true, from, to, now, tag);
     if (f.dropped) {
       stats_->add(from, Stat::MsgDropped);
       return {now + latency(from, to), true};
@@ -79,7 +88,18 @@ class Network {
   /// traffic whose latency is off the critical path, e.g. eviction hints).
   void count(NodeId from, MsgType t) {
     stats_->add(from, Stat::Messages);
+    if (EffectLog* lg = EffectLog::current(); lg != nullptr) {
+      lg->msg_types[static_cast<std::size_t>(t)] += 1;
+      return;
+    }
     by_type_[static_cast<std::size_t>(t)] += 1;
+  }
+
+  /// Replays the diverted per-type counts of one boundary item.
+  void apply(const EffectLog& lg) {
+    for (std::size_t i = 0; i < kMsgTypeCount; ++i) {
+      by_type_[i] += lg.msg_types[i];
+    }
   }
 
   [[nodiscard]] std::uint64_t sent(MsgType t) const {

@@ -54,16 +54,46 @@ ServiceResult dropped_result(Cycle now, const CostModel& cost) {
 
 Dir1SW::Dir1SW(std::uint32_t nodes, const CostModel& cost, net::Network& net,
                Stats& stats, CacheControl& caches)
-    : nodes_(nodes), cost_(cost), net_(&net), stats_(&stats), caches_(&caches) {}
+    : nodes_(nodes), cost_(cost), net_(&net), stats_(&stats), caches_(&caches),
+      slices_(nodes) {}
 
 const DirEntry* Dir1SW::entry(Block b) const {
-  auto it = dir_.find(b);
-  return it == dir_.end() ? nullptr : &it->second;
+  const auto& slice = slices_[home_of(b)];
+  auto it = slice.find(b);
+  return it == slice.end() ? nullptr : &it->second;
 }
 
-Cycle Dir1SW::handler_stall() {
+Cycle Dir1SW::handler_stall(Block b, NodeId req, Cycle at) {
   fault::FaultInjector* f = net_->fault_injector();
-  return f == nullptr ? 0 : f->handler_stall();
+  return f == nullptr ? 0 : f->handler_stall_at(b, req, at);
+}
+
+PathClass Dir1SW::classify_get(NodeId req, Block b, bool exclusive,
+                               Touched& t) const {
+  const DirEntry* e = entry(b);
+  if (e == nullptr || e->state == DirState::Idle) return PathClass::Confined;
+  if (e->state == DirState::Shared) {
+    if (!exclusive) return PathClass::Confined;  // counter bump
+    const bool sole = e->sharers.size() == 1 && e->has_sharer(req);
+    if (sole) return PathClass::Confined;  // hardware upgrade
+    // Invalidation trap: touches exactly the non-requester sharers' caches.
+    for (NodeId s : e->sharers) {
+      if (s == req) continue;
+      if (!t.add(s)) return PathClass::Cross;  // sharer list overflow
+    }
+    return PathClass::Confined;
+  }
+  if (e->owner == req) return PathClass::Confined;  // idempotent reply
+  // Recall trap: downgrades/invalidates exactly the owner's cache.
+  t.add(e->owner);
+  return PathClass::Confined;
+}
+
+PathClass Dir1SW::classify_post_store(NodeId req, Block b) const {
+  const DirEntry* e = entry(b);
+  const bool is_owner =
+      e != nullptr && e->state == DirState::Exclusive && e->owner == req;
+  return is_owner ? PathClass::Cross : PathClass::Confined;  // owner: pushes
 }
 
 std::pair<Cycle, std::uint32_t> Dir1SW::invalidate_sharers(DirEntry& e, Block b,
@@ -99,7 +129,7 @@ ServiceResult Dir1SW::get_shared(NodeId req, Block b, Cycle now, bool prefetch) 
     case DirState::Idle:
     case DirState::Shared: {
       // Hardware path: fill (Idle) or counter increment (Shared).
-      const auto rq = net_->deliver(req, home, req_msg, now);
+      const auto rq = net_->deliver(req, home, req_msg, now, b);
       if (rq.dropped) return dropped_result(now, cost_);
       Cycle t = rq.at + cost_.dir_hw + cost_.mem_access;
       if (e.state == DirState::Idle) e.owner = req;
@@ -107,12 +137,12 @@ ServiceResult Dir1SW::get_shared(NodeId req, Block b, Cycle now, bool prefetch) 
       if (prefetch) {
         // Prefetches are never retried, so their reply leg is modelled
         // reliable: a lost prefetch is a lost *request* (state untouched).
-        t = net_->send(home, req, rep_msg, t);
+        t = net_->send(home, req, rep_msg, t, b);
         add_sharer(e, req);
         r.done_at = t;
         return r;
       }
-      const auto rp = net_->deliver(home, req, rep_msg, t);
+      const auto rp = net_->deliver(home, req, rep_msg, t, b);
       add_sharer(e, req);
       if (rp.dropped) return dropped_result(now, cost_);
       r.done_at = rp.at;
@@ -125,26 +155,26 @@ ServiceResult Dir1SW::get_shared(NodeId req, Block b, Cycle now, bool prefetch) 
         return r;
       }
       if (prefetch) {
-        const auto rq = net_->deliver(req, home, MsgType::PrefetchReq, now);
+        const auto rq = net_->deliver(req, home, MsgType::PrefetchReq, now, b);
         if (rq.dropped) return dropped_result(now, cost_);
         net_->count(home, MsgType::Nack);
         r.nacked = true;
         r.done_at = now;
         return r;
       }
-      const auto rq = net_->deliver(req, home, MsgType::Request, now);
+      const auto rq = net_->deliver(req, home, MsgType::Request, now, b);
       if (rq.dropped) return dropped_result(now, cost_);
       // TRAP: recall the exclusive copy, downgrade the owner to Shared.
       stats_->add(home, Stat::Traps);
       stats_->add(home, Stat::Recalls);
       r.trapped = true;
-      Cycle t = rq.at + cost_.dir_trap + handler_stall();
-      t = net_->send(home, e.owner, MsgType::Recall, t);
+      Cycle t = rq.at + cost_.dir_trap + handler_stall(b, req, rq.at);
+      t = net_->send(home, e.owner, MsgType::Recall, t, b);
       caches_->downgrade(e.owner, b);
-      t = net_->send(e.owner, home, MsgType::Writeback, t);
+      t = net_->send(e.owner, home, MsgType::Writeback, t, b);
       stats_->add(e.owner, Stat::Writebacks);
       t += cost_.mem_access;
-      const auto rp = net_->deliver(home, req, MsgType::DataReply, t);
+      const auto rp = net_->deliver(home, req, MsgType::DataReply, t, b);
       e.state = DirState::Shared;
       add_sharer(e, e.owner);
       add_sharer(e, req);
@@ -167,11 +197,11 @@ ServiceResult Dir1SW::get_exclusive(NodeId req, Block b, Cycle now,
 
   switch (e.state) {
     case DirState::Idle: {
-      const auto rq = net_->deliver(req, home, req_msg, now);
+      const auto rq = net_->deliver(req, home, req_msg, now, b);
       if (rq.dropped) return dropped_result(now, cost_);
       Cycle t = rq.at + cost_.dir_hw + cost_.mem_access;
       if (prefetch) {
-        t = net_->send(home, req, rep_msg, t);
+        t = net_->send(home, req, rep_msg, t, b);
         e.state = DirState::Exclusive;
         e.owner = req;
         e.sharers.clear();
@@ -179,7 +209,7 @@ ServiceResult Dir1SW::get_exclusive(NodeId req, Block b, Cycle now,
         r.done_at = t;
         return r;
       }
-      const auto rp = net_->deliver(home, req, rep_msg, t);
+      const auto rp = net_->deliver(home, req, rep_msg, t, b);
       e.state = DirState::Exclusive;
       e.owner = req;
       e.sharers.clear();
@@ -193,11 +223,11 @@ ServiceResult Dir1SW::get_exclusive(NodeId req, Block b, Cycle now,
       if (sole) {
         // Hardware upgrade: counter==1 and the pointer names the requester,
         // so no invalidations are needed and no data moves.
-        const auto rq = net_->deliver(req, home, req_msg, now);
+        const auto rq = net_->deliver(req, home, req_msg, now, b);
         if (rq.dropped) return dropped_result(now, cost_);
         Cycle t = rq.at + cost_.dir_hw;
         if (prefetch) {
-          t = net_->send(home, req, MsgType::PrefetchReply, t);
+          t = net_->send(home, req, MsgType::PrefetchReply, t, b);
           e.state = DirState::Exclusive;
           e.owner = req;
           e.sharers.clear();
@@ -205,7 +235,7 @@ ServiceResult Dir1SW::get_exclusive(NodeId req, Block b, Cycle now,
           r.done_at = t;
           return r;
         }
-        const auto rp = net_->deliver(home, req, MsgType::Ack, t);
+        const auto rp = net_->deliver(home, req, MsgType::Ack, t, b);
         e.state = DirState::Exclusive;
         e.owner = req;
         e.sharers.clear();
@@ -215,26 +245,26 @@ ServiceResult Dir1SW::get_exclusive(NodeId req, Block b, Cycle now,
         return r;
       }
       if (prefetch) {
-        const auto rq = net_->deliver(req, home, MsgType::PrefetchReq, now);
+        const auto rq = net_->deliver(req, home, MsgType::PrefetchReq, now, b);
         if (rq.dropped) return dropped_result(now, cost_);
         net_->count(home, MsgType::Nack);
         r.nacked = true;
         r.done_at = now;
         return r;
       }
-      const auto rq = net_->deliver(req, home, MsgType::Request, now);
+      const auto rq = net_->deliver(req, home, MsgType::Request, now, b);
       if (rq.dropped) return dropped_result(now, cost_);
       // TRAP: software invalidates every other sharer.
       stats_->add(home, Stat::Traps);
       r.trapped = true;
       const bool req_had_copy = e.has_sharer(req);
-      Cycle t = rq.at + cost_.dir_trap + handler_stall();
+      Cycle t = rq.at + cost_.dir_trap + handler_stall(b, req, rq.at);
       auto [inval_cycles, sent] = invalidate_sharers(e, b, home, req);
       t += inval_cycles;
       r.invalidations = sent;
       if (!req_had_copy) t += cost_.mem_access;
       const auto rp = net_->deliver(
-          home, req, req_had_copy ? MsgType::Ack : MsgType::DataReply, t);
+          home, req, req_had_copy ? MsgType::Ack : MsgType::DataReply, t, b);
       e.state = DirState::Exclusive;
       e.owner = req;
       e.sharers.clear();
@@ -249,27 +279,27 @@ ServiceResult Dir1SW::get_exclusive(NodeId req, Block b, Cycle now,
         return r;
       }
       if (prefetch) {
-        const auto rq = net_->deliver(req, home, MsgType::PrefetchReq, now);
+        const auto rq = net_->deliver(req, home, MsgType::PrefetchReq, now, b);
         if (rq.dropped) return dropped_result(now, cost_);
         net_->count(home, MsgType::Nack);
         r.nacked = true;
         r.done_at = now;
         return r;
       }
-      const auto rq = net_->deliver(req, home, MsgType::Request, now);
+      const auto rq = net_->deliver(req, home, MsgType::Request, now, b);
       if (rq.dropped) return dropped_result(now, cost_);
       // TRAP: recall and invalidate the current owner.
       stats_->add(home, Stat::Traps);
       stats_->add(home, Stat::Recalls);
       r.trapped = true;
-      Cycle t = rq.at + cost_.dir_trap + handler_stall();
-      t = net_->send(home, e.owner, MsgType::Recall, t);
+      Cycle t = rq.at + cost_.dir_trap + handler_stall(b, req, rq.at);
+      t = net_->send(home, e.owner, MsgType::Recall, t, b);
       caches_->invalidate(e.owner, b);
       add_past_sharer(e, e.owner);
-      t = net_->send(e.owner, home, MsgType::Writeback, t);
+      t = net_->send(e.owner, home, MsgType::Writeback, t, b);
       stats_->add(e.owner, Stat::Writebacks);
       t += cost_.mem_access;
-      const auto rp = net_->deliver(home, req, MsgType::DataReply, t);
+      const auto rp = net_->deliver(home, req, MsgType::DataReply, t, b);
       r.invalidations = 1;
       e.owner = req;
       e.sharers.clear();
@@ -308,7 +338,7 @@ ServiceResult Dir1SW::put(NodeId req, Block b, bool dirty, Cycle now,
       }
       // A lost check-in must not touch the directory: the block stays
       // checked out until the retransmit lands (retry layer in the sim).
-      const auto d = net_->deliver(req, home, msg, now);
+      const auto d = net_->deliver(req, home, msg, now, b);
       if (d.dropped) return dropped_result(now, cost_);
       remove_sharer(e, req);
       if (e.sharers.empty()) {
@@ -327,7 +357,7 @@ ServiceResult Dir1SW::put(NodeId req, Block b, bool dirty, Cycle now,
         return r;
       }
       const auto d =
-          net_->deliver(req, home, dirty ? MsgType::Writeback : msg, now);
+          net_->deliver(req, home, dirty ? MsgType::Writeback : msg, now, b);
       if (d.dropped) return dropped_result(now, cost_);
       if (dirty) stats_->add(req, Stat::Writebacks);
       add_past_sharer(e, req);
@@ -355,7 +385,7 @@ ServiceResult Dir1SW::post_store(NodeId req, Block b, Cycle now) {
     return r;
   }
   // Write back and downgrade the writer to Shared.
-  const auto d = net_->deliver(req, home, net::MsgType::Writeback, now);
+  const auto d = net_->deliver(req, home, net::MsgType::Writeback, now, b);
   if (d.dropped) return dropped_result(now, cost_);
   stats_->add(req, Stat::Writebacks);
   caches_->downgrade(req, b);
@@ -377,7 +407,7 @@ ServiceResult Dir1SW::post_store(NodeId req, Block b, Cycle now) {
 
 std::string Dir1SW::check_invariants() const {
   std::ostringstream bad;
-  for (const auto& [b, e] : dir_) {
+  auto check = [&](Block b, const DirEntry& e) {
     if (e.count != e.sharers.size() &&
         !(e.state == DirState::Exclusive || e.state == DirState::Idle)) {
       bad << "block " << b << ": counter " << e.count << " != sharer set size "
@@ -417,6 +447,16 @@ std::string Dir1SW::check_invariants() const {
         }
         break;
     }
+  };
+  // Walk homes in ascending order and blocks sorted within each slice so
+  // diagnostics come out in a stable order regardless of hash-map layout.
+  std::vector<Block> blocks;
+  for (const auto& slice : slices_) {
+    blocks.clear();
+    blocks.reserve(slice.size());
+    for (const auto& [b, unused] : slice) blocks.push_back(b);
+    std::sort(blocks.begin(), blocks.end());
+    for (const Block b : blocks) check(b, slice.at(b));
   }
   return bad.str();
 }

@@ -90,9 +90,27 @@ class Dir1SW final : public Protocol {
          Stats& stats, CacheControl& caches);
 
   /// Home node of a block (directory slices are block-interleaved).
-  [[nodiscard]] NodeId home_of(Block b) const {
+  [[nodiscard]] NodeId home_of(Block b) const override {
     return static_cast<NodeId>(b % nodes_);
   }
+
+  /// Directory state lives in per-home slices; Confined transactions on
+  /// blocks with distinct homes may be serviced concurrently.
+  [[nodiscard]] bool shardable() const override { return true; }
+
+  /// Hardware paths (fill, counter bump, sole-sharer upgrade, owner
+  /// re-reference) are confined to the home slice + requester.  Software
+  /// traps with a bounded footprint -- recalls (one owner cache) and
+  /// invalidations (the sharer list, when it fits Touched) -- are Confined
+  /// too, with their targets reported in `t`.  Only unbounded sharer lists
+  /// remain Cross.
+  [[nodiscard]] PathClass classify_get(NodeId req, Block b, bool exclusive,
+                                       Touched& t) const override;
+
+  /// Post-stores by a non-owner nack in hardware (Confined); an owner's
+  /// post-store pushes copies into other nodes' caches (Cross).
+  [[nodiscard]] PathClass classify_post_store(NodeId req,
+                                              Block b) const override;
 
   /// Read request (shared copy).  With prefetch=true the request is
   /// non-binding and is nacked instead of trapping.
@@ -133,10 +151,11 @@ class Dir1SW final : public Protocol {
   [[nodiscard]] const char* name() const override { return "dir1sw"; }
 
  private:
-  DirEntry& ent(Block b) { return dir_[b]; }
+  DirEntry& ent(Block b) { return slices_[home_of(b)][b]; }
 
   /// Injected software-handler stall (0 when no injector is attached).
-  [[nodiscard]] Cycle handler_stall();
+  /// The block/requester/time identify the invocation for keyed draws.
+  [[nodiscard]] Cycle handler_stall(Block b, NodeId req, Cycle at);
 
   /// Software handler: invalidate every sharer except `keep`.
   /// Returns (cycles of handler occupancy + last-ack latency, #invals).
@@ -148,7 +167,10 @@ class Dir1SW final : public Protocol {
   net::Network* net_;
   Stats* stats_;
   CacheControl* caches_;
-  std::unordered_map<Block, DirEntry> dir_;
+  /// Directory storage, partitioned by home node (slices_[home_of(b)]).
+  /// A shard worker touches only the slices whose homes it owns, so
+  /// Confined transactions never race on a map.
+  std::vector<std::unordered_map<Block, DirEntry>> slices_;
 };
 
 }  // namespace cico::proto

@@ -27,9 +27,11 @@ class DirNFullMap final : public Protocol {
   DirNFullMap(std::uint32_t nodes, const CostModel& cost, net::Network& net,
               Stats& stats, CacheControl& caches);
 
-  [[nodiscard]] NodeId home_of(Block b) const {
+  [[nodiscard]] NodeId home_of(Block b) const override {
     return static_cast<NodeId>(b % nodes_);
   }
+  // Not shardable: keeps the Protocol defaults (every transaction Cross),
+  // so the machine always services this directory serially.
 
   ServiceResult get_shared(NodeId req, Block b, Cycle now,
                            bool prefetch) override;

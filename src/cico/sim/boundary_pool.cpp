@@ -1,0 +1,60 @@
+#include "cico/sim/boundary_pool.hpp"
+
+namespace cico::sim {
+
+BoundaryPool::BoundaryPool(std::uint32_t workers) : workers_(workers) {
+  threads_.reserve(workers_ - 1);
+  for (std::uint32_t i = 0; i + 1 < workers_; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+BoundaryPool::~BoundaryPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void BoundaryPool::run(std::uint32_t jobs,
+                       const std::function<void(std::uint32_t)>& fn) {
+  std::unique_lock lk(mu_);
+  fn_ = &fn;
+  jobs_ = jobs;
+  next_ = 0;
+  done_ = 0;
+  ++generation_;
+  work_cv_.notify_all();
+  // The coordinator claims jobs alongside the workers.
+  while (next_ < jobs_) {
+    const std::uint32_t j = next_++;
+    lk.unlock();
+    fn(j);
+    lk.lock();
+    ++done_;
+  }
+  done_cv_.wait(lk, [&] { return done_ == jobs_; });
+  fn_ = nullptr;
+}
+
+void BoundaryPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    while (next_ < jobs_) {
+      const std::uint32_t j = next_++;
+      const auto* fn = fn_;
+      lk.unlock();
+      (*fn)(j);
+      lk.lock();
+      if (++done_ == jobs_) done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace cico::sim

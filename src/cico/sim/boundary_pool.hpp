@@ -1,0 +1,52 @@
+// Worker pool for the sharded boundary phase.
+//
+// A deliberately small pool: workers block on a condition variable between
+// batches (no spinning -- boundary batches are sparse and the host may be
+// oversubscribed), jobs are claimed by atomic index under the pool mutex,
+// and the coordinator thread participates so `workers` threads of work need
+// only `workers - 1` extra host threads.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cico::sim {
+
+class BoundaryPool {
+ public:
+  /// `workers` is the total parallelism (>= 2); the pool spawns
+  /// `workers - 1` host threads and the caller of run() supplies the rest.
+  explicit BoundaryPool(std::uint32_t workers);
+  ~BoundaryPool();
+
+  BoundaryPool(const BoundaryPool&) = delete;
+  BoundaryPool& operator=(const BoundaryPool&) = delete;
+
+  [[nodiscard]] std::uint32_t workers() const { return workers_; }
+
+  /// Runs fn(0) .. fn(jobs-1) across the pool and returns when all have
+  /// finished.  fn must tolerate concurrent calls for distinct indices.
+  /// Not reentrant: one run() at a time.
+  void run(std::uint32_t jobs, const std::function<void(std::uint32_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers: a new batch is available
+  std::condition_variable done_cv_;  ///< coordinator: batch complete
+  const std::function<void(std::uint32_t)>* fn_ = nullptr;
+  std::uint32_t jobs_ = 0;
+  std::uint32_t next_ = 0;
+  std::uint32_t done_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::uint32_t workers_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace cico::sim

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 namespace cico::sim {
@@ -56,7 +59,16 @@ Machine::Machine(SimConfig cfg)
   if (cfg_.nodes == 0) throw std::invalid_argument("Machine: nodes == 0");
   if (cfg_.faults.injects()) {
     injector_ = std::make_unique<fault::FaultInjector>(cfg_.faults);
+    // Keyed draws make every fault a function of the message's identity
+    // rather than of service order, so boundary_threads=1 and =N inject
+    // the exact same faults (the cross-thread equivalence guarantee).
+    injector_->set_keyed(true);
     net_.set_fault_injector(injector_.get());
+  }
+  if (cfg_.boundary_threads > 1 && dir_->shardable()) {
+    pool_ = std::make_unique<BoundaryPool>(cfg_.boundary_threads);
+    shard_items_.resize(cfg_.boundary_threads);
+    node_mut_.assign(cfg_.nodes, 0);
   }
   ctxs_.reserve(cfg_.nodes);
   for (std::uint32_t i = 0; i < cfg_.nodes; ++i) {
@@ -79,6 +91,7 @@ const mem::Cache& Machine::cache_of(NodeId n) const { return ctxs_[n]->cache; }
 void Machine::run(const std::function<void(Proc&)>& body) {
   if (ran_) throw std::logic_error("Machine::run may be called once");
   ran_ = true;
+  const auto host_start = std::chrono::steady_clock::now();
 
   // Epoch 0 begins at time zero: apply its planned start directives before
   // any node executes (single-threaded, so directory access is safe).
@@ -103,6 +116,11 @@ void Machine::run(const std::function<void(Proc&)>& body) {
   }
 
   for (auto& c : ctxs_) c->thread.join();
+
+  host_total_sec_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    host_start)
+          .count();
 
   final_time_ = 0;
   for (auto& c : ctxs_) final_time_ = std::max(final_time_, c->now);
@@ -348,9 +366,22 @@ void Machine::boundary() {
   // if the minimum virtual time over live nodes stops advancing for
   // watchdog_rounds consecutive rounds (e.g. a 100% drop rate), the run is
   // aborted as a SimDeadlock instead of livelocking the host.
+  struct PhaseTimer {
+    double& acc;
+    std::chrono::steady_clock::time_point t0;
+    ~PhaseTimer() {
+      acc += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           t0)
+                 .count();
+    }
+  } timer{host_boundary_sec_, std::chrono::steady_clock::now()};
+
   Cycle watch_min = kNever;
   std::uint32_t stuck_rounds = 0;
   for (;;) {
+    // Rounds are a pure function of simulated state, so the counter is
+    // deterministic; charged to node 0 like the watchdog's.
+    stats_.add(0, Stat::BoundaryRounds);
     process_ops();
     try_complete_barrier();
     if (aborted_) {
@@ -431,69 +462,34 @@ void Machine::resume_window(Cycle min_now) {
 }
 
 void Machine::process_ops() {
-  struct Item {
-    Cycle time;
-    NodeId node;
-    std::uint32_t seq;
-    int async_idx;  // -1 => the node's blocking op
-  };
-  std::vector<Item> items;
+  // items_ is a member so the steady-state round (the common no-retry case)
+  // rebuilds the list without reallocating.
+  items_.clear();
   for (NodeId n = 0; n < cfg_.nodes; ++n) {
     NodeCtx& c = *ctxs_[n];
     for (std::size_t i = 0; i < c.async.size(); ++i) {
-      items.push_back(Item{c.async[i].time, n, c.async[i].seq,
-                           static_cast<int>(i)});
+      items_.push_back(Item{c.async[i].time, n, c.async[i].seq,
+                            static_cast<int>(i)});
     }
     const bool blocking = c.wait == NodeCtx::Wait::Mem ||
                           c.wait == NodeCtx::Wait::Directive ||
                           (c.wait == NodeCtx::Wait::Lock && !c.lock_queued);
-    if (blocking) items.push_back(Item{c.op_time, n, c.async_seq, -1});
+    if (blocking) items_.push_back(Item{c.op_time, n, c.async_seq, -1});
   }
-  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+  std::sort(items_.begin(), items_.end(), [](const Item& a, const Item& b) {
     if (a.time != b.time) return a.time < b.time;
     if (a.node != b.node) return a.node < b.node;
     return a.seq < b.seq;
   });
 
-  for (const Item& it : items) {
-    if (aborted_) return;
-    NodeCtx& c = *ctxs_[it.node];
-    if (it.async_idx >= 0) {
-      const AsyncOp& op = c.async[static_cast<std::size_t>(it.async_idx)];
-      switch (op.kind) {
-        case AsyncOp::Kind::Put:
-          reliable_put(it.node, op.block, op.dirty, op.time, op.explicit_ci);
-          break;
-        case AsyncOp::Kind::Prefetch:
-          service_prefetch(c, it.node, op.block, op.exclusive, op.time);
-          break;
-        case AsyncOp::Kind::Unlock:
-          release_lock(op.lock_addr, it.node, op.time);
-          break;
-        case AsyncOp::Kind::PostStore:
-          reliable_post_store(it.node, op.block, op.time);
-          break;
-      }
-      for (auto& [vn, victim] : pending_push_evicts_) {
-        reliable_put(vn, victim.block, victim.state == LineState::Exclusive,
-                     it.time, false);
-      }
-      pending_push_evicts_.clear();
-    } else {
-      switch (c.wait) {
-        case NodeCtx::Wait::Mem:
-          service_mem(c, it.node);
-          break;
-        case NodeCtx::Wait::Directive:
-          service_checkout_range(c, it.node);
-          break;
-        case NodeCtx::Wait::Lock:
-          grant_or_queue_lock(c, it.node);
-          break;
-        default:
-          break;  // already handled (e.g. lock granted by an earlier unlock)
-      }
+  if (pool_ == nullptr) {
+    for (const Item& it : items_) {
+      if (aborted_) return;
+      execute_item(it);
     }
+  } else {
+    process_ops_sharded();
+    if (aborted_) return;
   }
   for (auto& c : ctxs_) {
     c->async.clear();
@@ -501,7 +497,247 @@ void Machine::process_ops() {
   }
 }
 
+void Machine::execute_item(const Item& it) {
+  NodeCtx& c = *ctxs_[it.node];
+  if (it.async_idx >= 0) {
+    const AsyncOp& op = c.async[static_cast<std::size_t>(it.async_idx)];
+    switch (op.kind) {
+      case AsyncOp::Kind::Put:
+        reliable_put(it.node, op.block, op.dirty, op.time, op.explicit_ci);
+        break;
+      case AsyncOp::Kind::Prefetch:
+        service_prefetch(c, it.node, op.block, op.exclusive, op.time);
+        break;
+      case AsyncOp::Kind::Unlock:
+        release_lock(op.lock_addr, it.node, op.time);
+        break;
+      case AsyncOp::Kind::PostStore:
+        reliable_post_store(it.node, op.block, op.time);
+        break;
+    }
+    if (!pending_push_evicts_.empty()) {
+      // Only Cross-path service queues push evictions, and Cross items run
+      // serially, so this drain never executes on a shard worker.
+      for (auto& [vn, victim] : pending_push_evicts_) {
+        reliable_put(vn, victim.block, victim.state == LineState::Exclusive,
+                     it.time, false);
+      }
+      pending_push_evicts_.clear();
+    }
+  } else {
+    switch (c.wait) {
+      case NodeCtx::Wait::Mem:
+        service_mem(c, it.node);
+        break;
+      case NodeCtx::Wait::Directive:
+        service_checkout_range(c, it.node);
+        break;
+      case NodeCtx::Wait::Lock:
+        grant_or_queue_lock(c, it.node);
+        break;
+      default:
+        break;  // already handled (e.g. lock granted by an earlier unlock)
+    }
+  }
+}
+
+Machine::ItemClass Machine::classify_item(const Item& it) const {
+  ItemClass k;
+  const NodeCtx& c = *ctxs_[it.node];
+  if (it.async_idx >= 0) {
+    const AsyncOp& op = c.async[static_cast<std::size_t>(it.async_idx)];
+    switch (op.kind) {
+      case AsyncOp::Kind::Put:
+        // The line left the cache when the op was issued, so the service
+        // touches only the block's home-slice directory entry.
+        k.serial = false;
+        k.block = op.block;
+        break;
+      case AsyncOp::Kind::PostStore:
+        // The update path downgrades third-party caches (Cross); the nack
+        // path touches only the home entry (Confined).
+        if (dir_->classify_post_store(it.node, op.block) ==
+            proto::PathClass::Confined) {
+          k.serial = false;
+          k.block = op.block;
+        }
+        break;
+      case AsyncOp::Kind::Prefetch:
+        // Contended blocks nack prefetches instead of trapping, so the
+        // directory side is always home-confined; the fill may evict, so
+        // the predicted victim is claimed too -- and its put must land on
+        // the same home shard.
+        k.serial = false;
+        k.cache_mut = true;
+        k.block = op.block;
+        if (auto v = c.cache.peek_victim(op.block); v.has_value()) {
+          k.has_victim = true;
+          k.victim = v->block;
+          if (dir_->home_of(v->block) != dir_->home_of(op.block)) {
+            k.serial = true;
+          }
+        }
+        break;
+      case AsyncOp::Kind::Unlock:
+        break;  // lock table is global state: serial
+    }
+  } else {
+    switch (c.wait) {
+      case NodeCtx::Wait::Mem: {
+        const Block b = cfg_.cache.block_of(c.op_addr);
+        const LineState ls = c.cache.state_of(b);
+        const bool write = c.op_write;
+        if (ls == LineState::Exclusive ||
+            (!write && ls != LineState::Invalid)) {
+          // Satisfied locally (e.g. by an earlier prefetch fill): touches
+          // only this node's cache and prefetch bookkeeping.
+          k.serial = false;
+          k.cache_mut = true;
+          k.block = b;
+          break;
+        }
+        bool fetch_excl = write;
+        if (!write && plan_ != nullptr) {
+          const NodeEpochDirectives* ned = plan_->find(it.node, c.epoch);
+          if (ned != nullptr && ned->fetch_exclusive.contains(b)) {
+            fetch_excl = true;
+          }
+        }
+        if (dir_->classify_get(it.node, b, fetch_excl, k.remote) !=
+            proto::PathClass::Confined) {
+          break;  // unbounded handler footprint: serial
+        }
+        k.serial = false;
+        k.cache_mut = true;
+        k.block = b;
+        if (auto v = c.cache.peek_victim(b); v.has_value()) {
+          k.has_victim = true;
+          k.victim = v->block;
+          if (dir_->home_of(v->block) != dir_->home_of(b)) k.serial = true;
+        }
+        break;
+      }
+      case NodeCtx::Wait::Directive:
+      case NodeCtx::Wait::Lock:
+        break;  // multi-block ranges / global lock table: serial
+      default:
+        k.skip = true;  // already handled (e.g. lock granted this round)
+        break;
+    }
+  }
+  if (!k.serial) k.home = dir_->home_of(k.block);
+  return k;
+}
+
+void Machine::process_ops_sharded() {
+  claimed_.clear();
+  batch_.clear();
+  for (auto& s : shard_items_) s.clear();
+  std::fill(node_mut_.begin(), node_mut_.end(), 0);
+
+  const std::uint32_t W = pool_->workers();
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (aborted_) return;
+    for (;;) {
+      const ItemClass k = classify_item(items_[i]);
+      if (k.skip) break;
+      if (k.serial) {
+        flush_batch();
+        if (aborted_) return;
+        execute_item(items_[i]);
+        break;
+      }
+      bool conflict = claimed_.contains(k.block) ||
+                      (k.has_victim && claimed_.contains(k.victim)) ||
+                      (k.cache_mut && node_mut_[items_[i].node] != 0);
+      for (std::uint8_t r = 0; r < k.remote.count && !conflict; ++r) {
+        conflict = node_mut_[k.remote.node[r]] != 0;
+      }
+      if (conflict && !batch_.empty()) {
+        // Drain the batch and re-classify: the conflicting state may have
+        // changed.  At most one extra pass -- the batch is empty after.
+        flush_batch();
+        if (aborted_) return;
+        continue;
+      }
+      claimed_.insert(k.block);
+      if (k.has_victim) claimed_.insert(k.victim);
+      if (k.cache_mut) node_mut_[items_[i].node] = 1;
+      for (std::uint8_t r = 0; r < k.remote.count; ++r) {
+        node_mut_[k.remote.node[r]] = 1;
+      }
+      shard_items_[k.home % W].push_back(static_cast<std::uint32_t>(i));
+      batch_.push_back(static_cast<std::uint32_t>(i));
+      break;
+    }
+  }
+  flush_batch();
+}
+
+void Machine::flush_batch() {
+  if (batch_.empty()) return;
+  const std::uint32_t W = pool_->workers();
+  std::uint32_t occupied = 0;
+  for (const auto& s : shard_items_) occupied += s.empty() ? 0 : 1;
+  // CICO_DEBUG_BATCHES=1 prints the batch-size distribution; handy when
+  // tuning boundary_batch_min against a new workload.
+  if (std::getenv("CICO_DEBUG_BATCHES") != nullptr) {
+    std::fprintf(stderr, "flush: %zu items, %u shards\n", batch_.size(),
+                 occupied);
+  }
+  const std::size_t batch_min =
+      cfg_.boundary_batch_min > 1 ? cfg_.boundary_batch_min : 1;
+  if (batch_.size() < batch_min || occupied < 2) {
+    // Too small to amortize the fork/join: run inline, still in canonical
+    // order, with effects applied directly (no logs).
+    for (const std::uint32_t idx : batch_) {
+      if (aborted_) break;
+      execute_item(items_[idx]);
+    }
+  } else {
+    logs_.resize(items_.size());
+    pool_->run(W, [this](std::uint32_t w) {
+      for (const std::uint32_t idx : shard_items_[w]) {
+        EffectLog& lg = logs_[idx];
+        lg.clear();
+        EffectLog::current() = &lg;
+        execute_item(items_[idx]);
+        EffectLog::current() = nullptr;
+      }
+    });
+    // Deterministic merge: replay every item's effects in canonical order,
+    // stopping at (and including) the first aborting item -- exactly the
+    // prefix a serial execution would have produced.
+    for (const std::uint32_t idx : batch_) {
+      const EffectLog& lg = logs_[idx];
+      stats_.apply(lg);
+      net_.apply(lg);
+      if (tracer_ != nullptr) {
+        for (const auto& mi : lg.misses) {
+          tracer_->record_miss(mi.node, static_cast<trace::MissKind>(mi.kind),
+                               mi.addr, mi.size, mi.pc, mi.epoch);
+        }
+      }
+      if (lg.aborted) {
+        abort_run(lg.abort_error, lg.abort_msg);
+        break;
+      }
+    }
+  }
+  batch_.clear();
+  for (auto& s : shard_items_) s.clear();
+  claimed_.clear();
+  std::fill(node_mut_.begin(), node_mut_.end(), 0);
+}
+
 void Machine::record_trace_miss(NodeCtx& c, NodeId n, trace::MissKind kind) {
+  if (EffectLog* lg = EffectLog::current(); lg != nullptr) {
+    // On a shard worker: buffer the miss; the coordinator replays logs in
+    // canonical order so the trace matches the serial schedule.
+    lg->misses.push_back({n, static_cast<std::uint8_t>(kind), c.op_addr,
+                          c.op_size, c.op_pc, c.epoch});
+    return;
+  }
   tracer_->record_miss(n, kind, c.op_addr, c.op_size, c.op_pc, c.epoch);
 }
 
@@ -872,6 +1108,17 @@ bool Machine::inline_retry_exhausted(std::uint32_t attempt) const {
 }
 
 void Machine::abort_run(std::exception_ptr e, std::string msg) {
+  if (EffectLog* lg = EffectLog::current(); lg != nullptr) {
+    // On a shard worker: divert into the item's log.  The coordinator
+    // replays logs in canonical order and re-raises the first abort, so the
+    // winning cause is schedule-independent.
+    if (!lg->aborted) {
+      lg->aborted = true;
+      lg->abort_msg = std::move(msg);
+      lg->abort_error = std::move(e);
+    }
+    return;
+  }
   if (aborted_) return;
   aborted_ = true;
   abort_msg_ = std::move(msg);

@@ -28,8 +28,10 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "cico/common/effect_log.hpp"
 #include "cico/common/pc_registry.hpp"
 #include "cico/common/stats.hpp"
 #include "cico/common/types.hpp"
@@ -37,6 +39,7 @@
 #include "cico/net/network.hpp"
 #include "cico/proto/dir1sw.hpp"
 #include "cico/proto/dirn.hpp"
+#include "cico/sim/boundary_pool.hpp"
 #include "cico/sim/config.hpp"
 #include "cico/sim/plan.hpp"
 #include "cico/sim/shared_heap.hpp"
@@ -150,6 +153,20 @@ class Machine {
     return injector_.get();
   }
 
+  /// Effective boundary-phase parallelism: cfg.boundary_threads when the
+  /// protocol is shardable, else 1 (serial fallback).
+  [[nodiscard]] std::uint32_t boundary_workers() const {
+    return pool_ != nullptr ? pool_->workers() : 1;
+  }
+
+  /// Host wall-clock of the whole run and of its boundary phase (valid
+  /// after run()).  Nondeterministic by nature: report on stderr or in
+  /// benches, never in deterministic output.
+  [[nodiscard]] double host_total_seconds() const { return host_total_sec_; }
+  [[nodiscard]] double host_boundary_seconds() const {
+    return host_boundary_sec_;
+  }
+
  private:
   friend class Proc;
 
@@ -247,9 +264,42 @@ class Machine {
   void park(NodeCtx& c, NodeCtx::Wait w);
 
   // --- boundary phase (runs with all threads parked, under mu_) ------------
+
+  /// One pending boundary operation in canonical (time, node, seq) order.
+  struct Item {
+    Cycle time;
+    NodeId node;
+    std::uint32_t seq;
+    int async_idx;  // -1 => the node's blocking op
+  };
+
+  /// Sharding verdict for one Item, derived from current machine state.
+  struct ItemClass {
+    bool skip = false;       ///< no-op (e.g. lock already granted); elide
+    bool serial = true;      ///< must run on the coordinator, batch flushed
+    bool cache_mut = false;  ///< mutates the issuing node's cache/prefetch state
+    bool has_victim = false;
+    Block block = 0;   ///< primary footprint (claimed for the batch)
+    Block victim = 0;  ///< predicted eviction target (claimed too)
+    NodeId home = 0;   ///< shard key: home_of(block)
+    /// Remote caches the handler would mutate (recall / invalidation
+    /// targets); each is claimed for the batch like a cache-mut node.
+    proto::Touched remote;
+  };
+
   void boundary();
   void resume_window(Cycle min_now);
   void process_ops();
+  /// Executes one item exactly as the original serial loop did (including
+  /// the push-eviction drain for async ops).
+  void execute_item(const Item& it);
+  [[nodiscard]] ItemClass classify_item(const Item& it) const;
+  /// Conflict-aware batched execution across the worker pool; equivalent
+  /// to executing items_ serially in canonical order (docs/boundary_sharding.md).
+  void process_ops_sharded();
+  /// Runs the accumulated batch (inline when tiny, else on the pool with
+  /// per-item effect logs replayed canonically) and resets claim state.
+  void flush_batch();
   void service_mem(NodeCtx& c, NodeId n);
   void service_checkout_range(NodeCtx& c, NodeId n);
   Cycle do_checkout(NodeCtx& c, NodeId n, DirectiveKind kind, BlockRun run,
@@ -299,6 +349,18 @@ class Machine {
 
   trace::TraceWriter* tracer_ = nullptr;
   const DirectivePlan* plan_ = nullptr;
+
+  // --- sharded boundary phase (tentpole) -----------------------------------
+  std::unique_ptr<BoundaryPool> pool_;  ///< null => original serial loop
+  std::vector<Item> items_;             ///< hoisted per-round item buffer
+  std::vector<EffectLog> logs_;         ///< per-item side-effect logs
+  std::vector<std::uint32_t> batch_;    ///< item indices of the open batch
+  std::vector<std::vector<std::uint32_t>> shard_items_;  ///< per-shard slices
+  std::unordered_set<Block> claimed_;   ///< blocks owned by the open batch
+  std::vector<std::uint8_t> node_mut_;  ///< node already has a cache-mut item
+
+  double host_total_sec_ = 0.0;
+  double host_boundary_sec_ = 0.0;
 
   std::mutex mu_;
   std::condition_variable cv_;

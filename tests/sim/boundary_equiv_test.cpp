@@ -1,0 +1,186 @@
+// Cross-thread equivalence of the sharded boundary phase: for any
+// boundary_threads value the simulator must produce the SAME run, observed
+// through every deterministic channel -- execution time, epoch count, every
+// per-node stat counter, network totals, fault-injector telemetry, and the
+// collected trace text.  Covered variants: fault-free, the standard fault
+// mix, paranoid audits, and trace mode.  boundary_batch_min is lowered to 2
+// so these small workloads actually dispatch batches to the worker pool
+// (the default of 4 would run most of them inline).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/jacobi.hpp"
+#include "apps/matmul.hpp"
+#include "cico/fault/fault.hpp"
+#include "cico/sim/machine.hpp"
+#include "cico/trace/trace.hpp"
+
+namespace cico::sim {
+namespace {
+
+constexpr const char* kMix =
+    "drop=0.03,dup=0.01,delay=0.05:25,stall=0.02:100,retries=0,throttle=4,"
+    "seed=11";
+
+enum class AppKind { MatMul, Jacobi };
+
+SimConfig equiv_cfg(AppKind app, std::uint32_t threads, const char* faults,
+                    bool paranoid, bool trace_mode) {
+  SimConfig c;
+  c.nodes = app == AppKind::MatMul ? 8 : 16;
+  c.cache.size_bytes = 4096;
+  c.cache.assoc = 4;
+  c.cache.block_bytes = 32;
+  c.boundary_threads = threads;
+  c.boundary_batch_min = 2;
+  if (faults != nullptr) c.faults = fault::FaultSpec::parse(faults);
+  c.audit_invariants = paranoid;
+  c.trace_mode = trace_mode;
+  return c;
+}
+
+std::unique_ptr<apps::App> make_app(AppKind app) {
+  if (app == AppKind::MatMul) {
+    apps::MatMulConfig c;
+    c.n = 24;
+    c.prow = 4;
+    c.pcol = 2;
+    return std::make_unique<apps::MatMul>(c, /*seed=*/2);
+  }
+  apps::JacobiConfig c;
+  c.n = 16;
+  c.steps = 2;
+  c.p = 4;
+  return std::make_unique<apps::Jacobi>(c, /*seed=*/2);
+}
+
+/// Everything deterministic a run exposes.  Per-node stat rows (not just
+/// totals) so a cross-thread accounting error cannot hide by shifting a
+/// count from one node to another.
+struct Fingerprint {
+  Cycle time = 0;
+  EpochId epochs = 0;
+  std::vector<std::array<std::uint64_t, kStatCount>> stats;
+  std::uint64_t msgs = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t dups = 0;
+  std::uint64_t delays = 0;
+  std::uint64_t stalls = 0;
+  std::string trace_text;
+
+  bool operator==(const Fingerprint& o) const = default;
+};
+
+Fingerprint run_once(AppKind app, std::uint32_t threads,
+                     const char* faults = nullptr, bool paranoid = false,
+                     bool trace_mode = false) {
+  const SimConfig cfg = equiv_cfg(app, threads, faults, paranoid, trace_mode);
+  Machine m(cfg);
+  EXPECT_EQ(m.boundary_workers(), threads);
+  trace::TraceWriter w;
+  if (trace_mode) m.set_trace_writer(&w);
+  std::unique_ptr<apps::App> a = make_app(app);
+  a->setup(m, apps::Variant::None);
+  m.run([&](Proc& p) { a->body(p); });
+  EXPECT_TRUE(a->verify());
+  EXPECT_EQ(m.directory().check_invariants(), "");
+
+  Fingerprint f;
+  f.time = m.exec_time();
+  f.epochs = m.epochs_completed();
+  f.stats.resize(cfg.nodes);
+  for (NodeId n = 0; n < cfg.nodes; ++n) {
+    for (std::size_t i = 0; i < kStatCount; ++i) {
+      f.stats[n][i] = m.stats().node(n, static_cast<Stat>(i));
+    }
+  }
+  f.msgs = m.network().total_sent();
+  if (const auto* inj = m.fault_injector()) {
+    f.drops = inj->drops();
+    f.dups = inj->dups();
+    f.delays = inj->delays();
+    f.stalls = inj->stalls();
+  }
+  if (trace_mode) {
+    std::ostringstream os;
+    trace::save_text(w.take(), os);
+    f.trace_text = os.str();
+  }
+  return f;
+}
+
+constexpr std::uint32_t kThreadCounts[] = {2, 3, 4};
+
+class BoundaryEquiv : public ::testing::TestWithParam<AppKind> {};
+
+TEST_P(BoundaryEquiv, FaultFreeRunsAreByteIdentical) {
+  const Fingerprint serial = run_once(GetParam(), 1);
+  for (std::uint32_t t : kThreadCounts) {
+    EXPECT_EQ(run_once(GetParam(), t), serial) << "threads=" << t;
+  }
+}
+
+TEST_P(BoundaryEquiv, FaultRunsAreByteIdentical) {
+  const Fingerprint serial = run_once(GetParam(), 1, kMix);
+  for (std::uint32_t t : kThreadCounts) {
+    EXPECT_EQ(run_once(GetParam(), t, kMix), serial) << "threads=" << t;
+  }
+}
+
+TEST_P(BoundaryEquiv, ParanoidRunsAreByteIdentical) {
+  const Fingerprint serial =
+      run_once(GetParam(), 1, nullptr, /*paranoid=*/true);
+  for (std::uint32_t t : kThreadCounts) {
+    EXPECT_EQ(run_once(GetParam(), t, nullptr, true), serial)
+        << "threads=" << t;
+  }
+}
+
+TEST_P(BoundaryEquiv, TraceModeProducesIdenticalTraces) {
+  const Fingerprint serial =
+      run_once(GetParam(), 1, nullptr, false, /*trace_mode=*/true);
+  ASSERT_FALSE(serial.trace_text.empty());
+  for (std::uint32_t t : kThreadCounts) {
+    EXPECT_EQ(run_once(GetParam(), t, nullptr, false, true), serial)
+        << "threads=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, BoundaryEquiv,
+                         ::testing::Values(AppKind::MatMul, AppKind::Jacobi),
+                         [](const auto& info) {
+                           return info.param == AppKind::MatMul ? "matmul"
+                                                                : "jacobi";
+                         });
+
+// The boundary_rounds counter itself must be deterministic and visible.
+TEST(BoundaryEquivStats, BoundaryRoundsCountedOnce) {
+  const Fingerprint f = run_once(AppKind::MatMul, 1);
+  std::uint64_t rounds = 0;
+  for (const auto& row : f.stats) {
+    rounds += row[static_cast<std::size_t>(Stat::BoundaryRounds)];
+  }
+  EXPECT_GT(rounds, 0u);
+  // Charged to node 0 only.
+  EXPECT_EQ(rounds,
+            f.stats[0][static_cast<std::size_t>(Stat::BoundaryRounds)]);
+}
+
+// Host wall-clock accessors report sane values after a run.
+TEST(BoundaryEquivStats, HostTimingIsPopulated) {
+  const SimConfig cfg = equiv_cfg(AppKind::MatMul, 2, nullptr, false, false);
+  Machine m(cfg);
+  std::unique_ptr<apps::App> a = make_app(AppKind::MatMul);
+  a->setup(m, apps::Variant::None);
+  m.run([&](Proc& p) { a->body(p); });
+  EXPECT_GT(m.host_total_seconds(), 0.0);
+  EXPECT_GT(m.host_boundary_seconds(), 0.0);
+  EXPECT_LE(m.host_boundary_seconds(), m.host_total_seconds());
+}
+
+}  // namespace
+}  // namespace cico::sim

@@ -59,6 +59,7 @@ struct Options {
   std::string plan_file;        ///< run --plan <file>
   std::uint32_t campaigns = 10; ///< soak campaigns
   std::uint64_t seed = 1;       ///< soak base seed
+  std::uint32_t boundary_threads = 1;  ///< boundary-phase worker threads
 };
 
 void usage() {
@@ -67,6 +68,7 @@ void usage() {
       "usage: cachier <annotate|run|plan|report|compare|trace> prog.mp\n"
       "               [-n nodes] [--mode programmer|performance]\n"
       "               [--plan file] [--faults spec] [--paranoid]\n"
+      "               [--boundary-threads N]\n"
       "       cachier soak [--campaigns N] [--seed s] [--faults spec]\n");
 }
 
@@ -83,6 +85,7 @@ sim::SimConfig make_config(const Options& opt) {
   cfg.nodes = opt.nodes;
   if (!opt.faults.empty()) cfg.faults = fault::FaultSpec::parse(opt.faults);
   cfg.audit_invariants = opt.paranoid;
+  cfg.boundary_threads = opt.boundary_threads;
   return cfg;
 }
 
@@ -125,7 +128,8 @@ Cycle run_program(const lang::Program& prog, const sim::SimConfig& cfg,
         Stat::SharedLoads,   Stat::SharedStores, Stat::ReadMisses,
         Stat::WriteMisses,   Stat::WriteFaults,  Stat::Traps,
         Stat::Invalidations, Stat::Messages,     Stat::CheckOutX,
-        Stat::CheckOutS,     Stat::CheckIns,     Stat::PrefetchIssued};
+        Stat::CheckOutS,     Stat::CheckIns,     Stat::PrefetchIssued,
+        Stat::BoundaryRounds};
     if (cfg.faults.injects()) {
       shown.insert(shown.end(),
                    {Stat::MsgDropped, Stat::MsgDuplicated, Stat::Retries,
@@ -136,6 +140,13 @@ Cycle run_program(const lang::Program& prog, const sim::SimConfig& cfg,
                   (std::string(stat_name(s)) + ":").c_str(),
                   static_cast<unsigned long long>(m.stats().total(s)));
     }
+    // Host wall-clock is inherently nondeterministic, so it goes to stderr:
+    // stdout stays byte-identical across boundary-thread counts.
+    std::fprintf(stderr,
+                 "# host: total=%.3fs boundary=%.3fs window=%.3fs threads=%u\n",
+                 m.host_total_seconds(), m.host_boundary_seconds(),
+                 m.host_total_seconds() - m.host_boundary_seconds(),
+                 m.boundary_workers());
   }
   return m.exec_time();
 }
@@ -216,10 +227,12 @@ struct SoakMeasure {
   std::uint64_t dups = 0;
 };
 
-SoakMeasure soak_once(const SoakApp& a, const std::string& spec) {
+SoakMeasure soak_once(const SoakApp& a, const std::string& spec,
+                      std::uint32_t boundary_threads = 1) {
   sim::SimConfig cfg;
   cfg.nodes = a.nodes;
   cfg.faults = fault::FaultSpec::parse(spec);
+  cfg.boundary_threads = boundary_threads;
   cfg.audit_invariants = true;  // soak always runs paranoid
   sim::Machine m(cfg);
   std::unique_ptr<apps::App> app = a.make(/*input seed=*/2);
@@ -268,27 +281,39 @@ int do_soak(const Options& opt) {
       ++total;
       const SoakMeasure r1 = soak_once(a, spec);
       const SoakMeasure r2 = soak_once(a, spec);
+      // Third replica on a sharded boundary (2 worker threads): completing
+      // runs must reproduce the serial fingerprint bit-for-bit; aborting
+      // runs promise only the same first abort cause, since items after it
+      // in a parallel batch may already have executed (see
+      // docs/boundary_sharding.md).
+      const SoakMeasure r3 = soak_once(a, spec, /*boundary_threads=*/2);
       const bool det = r1.time == r2.time && r1.msgs == r2.msgs &&
                        r1.retries == r2.retries && r1.drops == r2.drops &&
                        r1.dups == r2.dups &&
                        std::strcmp(r1.status, r2.status) == 0;
+      const bool xdet =
+          std::strcmp(r1.status, r3.status) == 0 &&
+          (std::strcmp(r1.status, "ok") != 0 ||
+           (r1.time == r3.time && r1.msgs == r3.msgs &&
+            r1.retries == r3.retries && r1.drops == r3.drops &&
+            r1.dups == r3.dups && r1.verified == r3.verified));
       const bool ok = std::strcmp(r1.status, "ok") == 0 && r1.verified;
       if (ok) ++survived;
       if (std::strcmp(r1.status, "timeout") == 0) ++timeouts;
       if (std::strcmp(r1.status, "deadlock") == 0) ++deadlocks;
       if (std::strcmp(r1.status, "invariant") == 0) ++violations;
-      if (!det) ++nondet;
+      if (!det || !xdet) ++nondet;
       retries += r1.retries;
       drops += r1.drops;
       std::printf(
           "[%3u] %-7s seed=%-4llu %-9s t=%-9llu retries=%-6llu "
-          "drops=%-5llu dups=%-5llu det=%s  %s\n",
+          "drops=%-5llu dups=%-5llu det=%s x2=%s  %s\n",
           total, a.name, static_cast<unsigned long long>(seed), r1.status,
           static_cast<unsigned long long>(r1.time),
           static_cast<unsigned long long>(r1.retries),
           static_cast<unsigned long long>(r1.drops),
           static_cast<unsigned long long>(r1.dups), det ? "yes" : "NO",
-          spec.c_str());
+          xdet ? "yes" : "NO", spec.c_str());
     }
   }
 
@@ -387,6 +412,8 @@ int main(int argc, char** argv) {
       opt.faults = argv[++i];
     } else if (arg == "--paranoid") {
       opt.paranoid = true;
+    } else if (arg == "--boundary-threads" && i + 1 < argc) {
+      opt.boundary_threads = static_cast<std::uint32_t>(std::atoi(argv[++i]));
     } else if (arg == "--plan" && i + 1 < argc) {
       opt.plan_file = argv[++i];
     } else if (arg == "--campaigns" && i + 1 < argc) {
@@ -404,7 +431,8 @@ int main(int argc, char** argv) {
   }
   const bool needs_file = opt.command != "soak";
   if (opt.command.empty() || (needs_file && opt.file.empty()) ||
-      opt.nodes == 0 || (opt.command == "soak" && opt.campaigns == 0)) {
+      opt.nodes == 0 || opt.boundary_threads == 0 ||
+      (opt.command == "soak" && opt.campaigns == 0)) {
     usage();
     return 1;
   }
