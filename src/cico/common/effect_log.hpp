@@ -45,6 +45,21 @@ struct EffectLog {
     EpochId epoch;
   };
 
+  /// Machine's observability hooks diverted (raw kind; the obs layer is
+  /// above common).  kind 0 = directory trap, 1 = prefetch lifetime.
+  struct ObsEvent {
+    static constexpr std::uint8_t kTrap = 0;
+    static constexpr std::uint8_t kPrefetch = 1;
+    std::uint8_t kind;
+    NodeId node;   ///< requester
+    NodeId home;   ///< trap handler's home node (kTrap)
+    Block block;
+    Cycle t0;
+    Cycle t1;
+    std::uint32_t aux;  ///< invalidations sent (kTrap)
+    EpochId epoch;
+  };
+
   /// Network::count diverted: per-MsgType message counts, by raw index
   /// (network.hpp static_asserts that its taxonomy fits).
   static constexpr std::size_t kMsgSlots = 16;
@@ -52,6 +67,7 @@ struct EffectLog {
   std::vector<StatAdd> stat_adds;
   std::array<std::uint64_t, kMsgSlots> msg_types{};
   std::vector<MissEvent> misses;
+  std::vector<ObsEvent> obs_events;
 
   /// Machine::abort_run diverted (first cause wins per item).
   bool aborted = false;
@@ -62,6 +78,7 @@ struct EffectLog {
     stat_adds.clear();
     msg_types.fill(0);
     misses.clear();
+    obs_events.clear();
     aborted = false;
     abort_msg.clear();
     abort_error = nullptr;

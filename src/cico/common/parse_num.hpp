@@ -1,0 +1,37 @@
+// Strict numeric parsing for CLI flags and text-file loaders.
+//
+// std::atoi-family conversions silently return 0 for garbage, stop at the
+// first non-digit, and have undefined behavior on overflow -- so `-n 4x`,
+// `-n foo` and `-n 99999999999999` all used to "work".  parse_num accepts a
+// string if and only if the ENTIRE string is one number that fits the
+// destination type, and throws std::runtime_error (which the CLI maps to
+// exit code 2) otherwise.  Signed input for an unsigned destination is
+// rejected by std::from_chars, so `-n -4` fails rather than wrapping.
+#pragma once
+
+#include <charconv>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <system_error>
+
+namespace cico {
+
+template <typename T>
+T parse_num(std::string_view text, std::string_view what) {
+  T v{};
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec == std::errc::result_out_of_range) {
+    throw std::runtime_error(std::string(what) + " out of range: '" +
+                             std::string(text) + "'");
+  }
+  if (ec != std::errc() || ptr != last || text.empty()) {
+    throw std::runtime_error("invalid " + std::string(what) + ": '" +
+                             std::string(text) + "'");
+  }
+  return v;
+}
+
+}  // namespace cico

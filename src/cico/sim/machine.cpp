@@ -125,6 +125,10 @@ void Machine::run(const std::function<void(Proc&)>& body) {
   final_time_ = 0;
   for (auto& c : ctxs_) final_time_ = std::max(final_time_, c->now);
 
+  if (obs_ != nullptr && !abort_error_ && !first_error_) {
+    obs_->on_run_end(final_time_, stats_);
+  }
+
   // The abort cause carries the precise type (SimDeadlock, ProtocolTimeout,
   // InvariantViolation); node threads unwound with a generic SimDeadlock
   // recorded in first_error_, so rethrow the cause preferentially.
@@ -718,6 +722,16 @@ void Machine::flush_batch() {
                                mi.addr, mi.size, mi.pc, mi.epoch);
         }
       }
+      if (obs_ != nullptr) {
+        for (const auto& ev : lg.obs_events) {
+          if (ev.kind == EffectLog::ObsEvent::kTrap) {
+            obs_->on_trap(ev.node, ev.home, ev.block, ev.t0, ev.t1, ev.aux,
+                          ev.epoch);
+          } else {
+            obs_->on_prefetch_fill(ev.node, ev.block, ev.t0, ev.t1, ev.epoch);
+          }
+        }
+      }
       if (lg.aborted) {
         abort_run(lg.abort_error, lg.abort_msg);
         break;
@@ -739,6 +753,28 @@ void Machine::record_trace_miss(NodeCtx& c, NodeId n, trace::MissKind kind) {
     return;
   }
   tracer_->record_miss(n, kind, c.op_addr, c.op_size, c.op_pc, c.epoch);
+}
+
+void Machine::record_obs_trap(NodeId n, Block b, Cycle t0, Cycle t1,
+                              std::uint32_t invalidations, EpochId epoch) {
+  if (obs_ == nullptr) return;
+  if (EffectLog* lg = EffectLog::current(); lg != nullptr) {
+    lg->obs_events.push_back({EffectLog::ObsEvent::kTrap, n, dir_->home_of(b),
+                              b, t0, t1, invalidations, epoch});
+    return;
+  }
+  obs_->on_trap(n, dir_->home_of(b), b, t0, t1, invalidations, epoch);
+}
+
+void Machine::record_obs_prefetch(NodeId n, Block b, Cycle issue, Cycle ready,
+                                  EpochId epoch) {
+  if (obs_ == nullptr) return;
+  if (EffectLog* lg = EffectLog::current(); lg != nullptr) {
+    lg->obs_events.push_back(
+        {EffectLog::ObsEvent::kPrefetch, n, 0, b, issue, ready, 0, epoch});
+    return;
+  }
+  obs_->on_prefetch_fill(n, b, issue, ready, epoch);
 }
 
 void Machine::insert_line(NodeCtx& c, NodeId n, Block b, LineState s, Cycle t) {
@@ -831,6 +867,9 @@ void Machine::service_mem(NodeCtx& c, NodeId n) {
     ++c.op_attempts;
     return;
   }
+  if (res.trapped) {
+    record_obs_trap(n, b, t, res.done_at, res.invalidations, c.epoch);
+  }
   insert_line(c, n, b, fetch_excl ? LineState::Exclusive : LineState::Shared,
               res.done_at);
   stats_.add(n, Stat::StallCycles, res.done_at - c.op_issue);
@@ -855,7 +894,9 @@ Cycle Machine::do_checkout(NodeCtx& c, NodeId n, DirectiveKind kind,
     // visit, so lost requests are retried inline rather than by re-parking.
     proto::ServiceResult res;
     std::uint32_t attempt = 0;
+    Cycle req_t = t;
     for (;;) {
+      req_t = t;
       res = excl ? dir_->get_exclusive(n, b, t, false)
                  : dir_->get_shared(n, b, t, false);
       if (!res.dropped) break;
@@ -871,6 +912,9 @@ Cycle Machine::do_checkout(NodeCtx& c, NodeId n, DirectiveKind kind,
       stats_.add(n, Stat::Retries);
       t = res.done_at + retry_backoff(attempt);
       ++attempt;
+    }
+    if (res.trapped) {
+      record_obs_trap(n, b, req_t, res.done_at, res.invalidations, c.epoch);
     }
     insert_line(c, n, b, excl ? LineState::Exclusive : LineState::Shared,
                 res.done_at);
@@ -923,6 +967,9 @@ void Machine::service_prefetch(NodeCtx& c, NodeId n, Block b, bool exclusive,
     return;
   }
   if (throttle != 0) c.prefetch_nacks = 0;
+  if (res.trapped) {
+    record_obs_trap(n, b, t, res.done_at, res.invalidations, c.epoch);
+  }
   // Prefetched data streams in bandwidth-limited: completions at one node
   // are spaced at least prefetch_min_gap apart.
   Cycle done = res.done_at;
@@ -932,6 +979,7 @@ void Machine::service_prefetch(NodeCtx& c, NodeId n, Block b, bool exclusive,
   c.prefetch_last_done = done;
   insert_line(c, n, b, exclusive ? LineState::Exclusive : LineState::Shared, t);
   c.prefetch_ready[b] = done;
+  record_obs_prefetch(n, b, t, done, c.epoch);
 }
 
 void Machine::grant_or_queue_lock(NodeCtx& c, NodeId n) {
@@ -1019,6 +1067,18 @@ bool Machine::try_complete_barrier() {
   Cycle t = 0;
   for (NodeId n : at_barrier) t = std::max(t, ctxs_[n]->now);
   t += cfg_.cost.barrier;
+
+  // 3a. Observability: per-node barrier waits (arrival -> release) and the
+  //     epoch's time-series row, flushed before the next epoch's planned
+  //     directives execute.  Runs on the coordinator after every effect
+  //     replay, so the stream is boundary-thread independent.
+  if (obs_ != nullptr) {
+    for (NodeId n : at_barrier) {
+      obs_->on_barrier_wait(n, ctxs_[n]->now, t, global_epoch_);
+    }
+    obs_->on_epoch_end(global_epoch_, t, stats_);
+  }
+
   ++global_epoch_;
   for (NodeId n : at_barrier) {
     NodeCtx& c = *ctxs_[n];

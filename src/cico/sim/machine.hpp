@@ -37,6 +37,7 @@
 #include "cico/common/types.hpp"
 #include "cico/mem/cache.hpp"
 #include "cico/net/network.hpp"
+#include "cico/obs/collector.hpp"
 #include "cico/proto/dir1sw.hpp"
 #include "cico/proto/dirn.hpp"
 #include "cico/sim/boundary_pool.hpp"
@@ -134,6 +135,13 @@ class Machine {
 
   /// Install a Cachier directive plan for this run (may be null).
   void set_plan(const DirectivePlan* p) { plan_ = p; }
+
+  /// Attach an observability collector (may be null; the collector must
+  /// outlive the run).  Callbacks fire on simulated virtual time in a
+  /// deterministic, boundary-thread-independent order: events raised on
+  /// shard workers divert through the per-item EffectLog and are replayed
+  /// canonically, like every other shared-state effect.
+  void set_observer(obs::Collector* o) { obs_ = o; }
 
   /// Runs `body` on every node to completion.  May be called once.
   void run(const std::function<void(Proc&)>& body);
@@ -313,6 +321,12 @@ class Machine {
   void insert_line(NodeCtx& c, NodeId n, Block b, mem::LineState s, Cycle t);
   void record_trace_miss(NodeCtx& c, NodeId n, trace::MissKind kind);
 
+  // --- observability (divert-or-deliver, like record_trace_miss) -----------
+  void record_obs_trap(NodeId n, Block b, Cycle t0, Cycle t1,
+                       std::uint32_t invalidations, EpochId epoch);
+  void record_obs_prefetch(NodeId n, Block b, Cycle issue, Cycle ready,
+                           EpochId epoch);
+
   // --- fault handling (boundary side) --------------------------------------
   /// Backoff before retry number `attempt` (exponential, capped).
   [[nodiscard]] Cycle retry_backoff(std::uint32_t attempt) const;
@@ -349,6 +363,7 @@ class Machine {
 
   trace::TraceWriter* tracer_ = nullptr;
   const DirectivePlan* plan_ = nullptr;
+  obs::Collector* obs_ = nullptr;
 
   // --- sharded boundary phase (tentpole) -----------------------------------
   std::unique_ptr<BoundaryPool> pool_;  ///< null => original serial loop

@@ -64,8 +64,22 @@ struct Trace {
 
   [[nodiscard]] EpochId num_epochs() const;
 
-  /// Region containing addr, or nullptr.
+  /// Region containing addr, or nullptr.  Binary search over a base-sorted
+  /// index built on first use (this sits on the Cachier analysis path for
+  /// every miss record).  Overlapping labels used to be resolved silently
+  /// by declaration order; they now throw.
   [[nodiscard]] const RegionLabel* region_of(Addr addr) const;
+
+  /// (Re)builds the sorted lookup index, throwing std::runtime_error if
+  /// two non-empty labelled regions overlap or a region wraps the address
+  /// space.  The loaders call this; call it yourself after mutating
+  /// `labels` without changing their count.
+  void validate_labels() const;
+
+ private:
+  /// Indices into `labels`, sorted by (base, bytes); rebuilt lazily when
+  /// the label count changes.
+  mutable std::vector<std::uint32_t> label_index_;
 };
 
 /// Accumulates a trace during simulation.  Mirrors WWT's collection scheme:
@@ -110,6 +124,10 @@ class TraceWriter {
 };
 
 /// Text serialization (one record per line; stable, diffable format).
+/// Region labels are escaped (\s space, \t \n \r \\, \e for the empty
+/// label) so any label round-trips.  load_text is strict: it validates
+/// field counts, numeric syntax and the MissKind range, rejects trailing
+/// junk, and reports every failure as `trace: line N: ...`.
 void save_text(const Trace& t, std::ostream& os);
 [[nodiscard]] Trace load_text(std::istream& is);
 

@@ -104,6 +104,105 @@ TEST_F(CliErrorsTest, ExhaustedRetryBudgetIsExit2) {
   EXPECT_NE(r.output.find("retry budget"), std::string::npos) << r.output;
 }
 
+// --- strict numeric flag parsing (std::atoi used to accept all of these) --
+
+TEST_F(CliErrorsTest, NonNumericNodeCountIsExit2) {
+  const CmdResult r = run_cli("run " + prog_ + " -n foo");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("cachier: error: invalid -n"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(CliErrorsTest, TrailingGarbageNodeCountIsExit2) {
+  // atoi("4x") == 4: the old parser ran this on 4 nodes without a word.
+  const CmdResult r = run_cli("run " + prog_ + " -n 4x");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("'4x'"), std::string::npos) << r.output;
+}
+
+TEST_F(CliErrorsTest, NegativeNodeCountIsExit2) {
+  // atoi("-4") cast to uint32 used to request ~4 billion nodes.
+  const CmdResult r = run_cli("run " + prog_ + " -n -4");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("cachier: error:"), std::string::npos) << r.output;
+}
+
+TEST_F(CliErrorsTest, OverflowingNodeCountIsExit2) {
+  const CmdResult r = run_cli("run " + prog_ + " -n 99999999999999999999");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("out of range"), std::string::npos) << r.output;
+}
+
+TEST_F(CliErrorsTest, ZeroNodeCountIsStillUsageExit1) {
+  // Structurally valid number, semantically useless: usage error contract.
+  const CmdResult r = run_cli("run " + prog_ + " -n 0");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos) << r.output;
+}
+
+TEST_F(CliErrorsTest, BadBoundaryThreadsIsExit2) {
+  const CmdResult r = run_cli("run " + prog_ + " --boundary-threads x");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--boundary-threads"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(CliErrorsTest, BadCampaignsIsExit2) {
+  const CmdResult r = run_cli("soak --campaigns many");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--campaigns"), std::string::npos) << r.output;
+}
+
+TEST_F(CliErrorsTest, BadSeedIsExit2) {
+  const CmdResult r = run_cli("soak --seed 12three");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--seed"), std::string::npos) << r.output;
+}
+
+// --- trace --load validation ----------------------------------------------
+
+TEST_F(CliErrorsTest, TraceLoadRoundTripsExit0) {
+  const CmdResult dump = run_cli("trace " + prog_ + " -n 4");
+  ASSERT_EQ(dump.exit_code, 0) << dump.output;
+  // stdout began with the trace header; stderr was empty on success.
+  write_file("cli_errors_trace.txt", dump.output);
+  const CmdResult r = run_cli("trace --load cli_errors_trace.txt");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output, dump.output);
+}
+
+TEST_F(CliErrorsTest, TraceLoadBadKindNamesTheLine) {
+  write_file("cli_errors_trace_bad.txt",
+             "cico-trace v1\nM 0 0 7 4096 8 1\n");
+  const CmdResult r = run_cli("trace --load cli_errors_trace_bad.txt");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("cachier: error: trace: line 2"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(CliErrorsTest, TraceLoadTrailingJunkIsExit2) {
+  write_file("cli_errors_trace_junk.txt",
+             "cico-trace v1\nB 0 0 1 555 junk\n");
+  const CmdResult r = run_cli("trace --load cli_errors_trace_junk.txt");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("line 2"), std::string::npos) << r.output;
+}
+
+TEST_F(CliErrorsTest, TraceLoadMissingFileIsExit2) {
+  const CmdResult r = run_cli("trace --load cli_errors_no_such_trace.txt");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("cannot open"), std::string::npos) << r.output;
+}
+
+// --- observability flags ---------------------------------------------------
+
+TEST_F(CliErrorsTest, ReportToUnwritablePathIsExit2) {
+  const CmdResult r =
+      run_cli("run " + prog_ + " -n 4 --report no_such_dir/out.json");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("cannot write"), std::string::npos) << r.output;
+}
+
 TEST_F(CliErrorsTest, CleanRunIsExit0) {
   const CmdResult r = run_cli("run " + prog_ + " -n 4");
   EXPECT_EQ(r.exit_code, 0) << r.output;

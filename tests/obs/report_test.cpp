@@ -1,0 +1,205 @@
+// Determinism and schema contract of the obs layer (ISSUE 3 tentpole):
+// the JSON run report and the Chrome trace export must be byte-identical
+// for every --boundary-threads value, the report envelope must carry the
+// pinned schema_version, and Json::parse(dump(x)) must round-trip
+// byte-for-byte so consumers can rewrite reports losslessly.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "apps/jacobi.hpp"
+#include "apps/matmul.hpp"
+#include "cico/obs/collector.hpp"
+#include "cico/obs/json.hpp"
+#include "cico/obs/report.hpp"
+#include "cico/sim/machine.hpp"
+
+namespace cico::obs {
+namespace {
+
+enum class AppKind { MatMul, Jacobi };
+
+// Same workload shape as boundary_equiv_test: small caches so the apps
+// actually miss, boundary_batch_min=2 so threads>1 really dispatch work.
+sim::SimConfig report_cfg(AppKind app, std::uint32_t threads) {
+  sim::SimConfig c;
+  c.nodes = app == AppKind::MatMul ? 8 : 16;
+  c.cache.size_bytes = 4096;
+  c.cache.assoc = 4;
+  c.cache.block_bytes = 32;
+  c.boundary_threads = threads;
+  c.boundary_batch_min = 2;
+  return c;
+}
+
+std::unique_ptr<apps::App> make_app(AppKind app) {
+  if (app == AppKind::MatMul) {
+    apps::MatMulConfig c;
+    c.n = 24;
+    c.prow = 4;
+    c.pcol = 2;
+    return std::make_unique<apps::MatMul>(c, /*seed=*/2);
+  }
+  apps::JacobiConfig c;
+  c.n = 16;
+  c.steps = 2;
+  c.p = 4;
+  return std::make_unique<apps::Jacobi>(c, /*seed=*/2);
+}
+
+struct RunArtifacts {
+  std::string report;  ///< dumped make_report envelope
+  std::string events;  ///< Chrome trace-event JSON
+};
+
+RunArtifacts run_once(AppKind app, std::uint32_t threads) {
+  const sim::SimConfig cfg = report_cfg(app, threads);
+  sim::Machine m(cfg);
+  Collector col;
+  col.set_events_enabled(true);
+  m.set_observer(&col);
+  std::unique_ptr<apps::App> a = make_app(app);
+  a->setup(m, apps::Variant::None);
+  m.run([&](sim::Proc& p) { a->body(p); });
+  EXPECT_TRUE(a->verify());
+
+  std::vector<Json> runs;
+  runs.push_back(run_json("run", m.exec_time(), m.epochs_completed(),
+                          m.stats(), m.network(), col));
+  const Json rep =
+      make_report("run", config_json(cfg, "dir1sw", ""), std::move(runs));
+
+  RunArtifacts out;
+  out.report = rep.dump_string();
+  std::ostringstream ev;
+  col.write_chrome_trace(ev);
+  out.events = ev.str();
+  return out;
+}
+
+class ReportEquiv : public ::testing::TestWithParam<AppKind> {};
+
+TEST_P(ReportEquiv, ReportBytesIdenticalAcrossBoundaryThreads) {
+  const RunArtifacts serial = run_once(GetParam(), 1);
+  ASSERT_FALSE(serial.report.empty());
+  for (std::uint32_t t : {2u, 4u}) {
+    const RunArtifacts sharded = run_once(GetParam(), t);
+    EXPECT_EQ(sharded.report, serial.report) << "threads=" << t;
+    EXPECT_EQ(sharded.events, serial.events) << "threads=" << t;
+  }
+}
+
+TEST_P(ReportEquiv, ReportParsesAndRoundTripsByteForByte) {
+  const RunArtifacts art = run_once(GetParam(), 2);
+  const Json back = Json::parse(art.report);
+  EXPECT_EQ(back.dump_string(), art.report);
+  // The event export is also well-formed JSON.
+  EXPECT_NO_THROW((void)Json::parse(art.events));
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, ReportEquiv,
+                         ::testing::Values(AppKind::MatMul, AppKind::Jacobi),
+                         [](const auto& info) {
+                           return info.param == AppKind::MatMul ? "matmul"
+                                                                : "jacobi";
+                         });
+
+TEST(ReportSchema, EnvelopeCarriesPinnedVersionAndSections) {
+  const RunArtifacts art = run_once(AppKind::MatMul, 1);
+  const Json rep = Json::parse(art.report);
+  ASSERT_NE(rep.find("schema_version"), nullptr);
+  EXPECT_EQ(rep.find("schema_version")->as_u64(), kReportSchemaVersion);
+  ASSERT_NE(rep.find("command"), nullptr);
+  EXPECT_EQ(rep.find("command")->as_string(), "run");
+  ASSERT_NE(rep.find("config"), nullptr);
+  ASSERT_NE(rep.find("runs"), nullptr);
+  ASSERT_EQ(rep.find("runs")->size(), 1u);
+  const Json& run = rep.find("runs")->at(0);
+  for (const char* key : {"exec_time", "epochs", "totals", "per_node",
+                          "cost_breakdown", "epoch_series", "hot_blocks"}) {
+    EXPECT_NE(run.find(key), nullptr) << "missing run section: " << key;
+  }
+}
+
+TEST(ReportSchema, ConfigExcludesHostTuningKnobs) {
+  // boundary_threads is a host performance knob; leaking it into the
+  // report would make equal runs compare unequal.
+  const RunArtifacts a = run_once(AppKind::MatMul, 1);
+  EXPECT_EQ(a.report.find("boundary_threads"), std::string::npos);
+  EXPECT_EQ(a.report.find("wall"), std::string::npos);
+}
+
+TEST(ReportSchema, EpochSeriesSumsToRunTotals) {
+  const sim::SimConfig cfg = report_cfg(AppKind::Jacobi, 1);
+  sim::Machine m(cfg);
+  Collector col;
+  m.set_observer(&col);
+  std::unique_ptr<apps::App> a = make_app(AppKind::Jacobi);
+  a->setup(m, apps::Variant::None);
+  m.run([&](sim::Proc& p) { a->body(p); });
+
+  ASSERT_FALSE(col.epochs().empty());
+  std::uint64_t misses = 0;
+  std::uint64_t traps = 0;
+  Cycle last_end = 0;
+  for (const EpochRow& row : col.epochs()) {
+    misses += row.misses;
+    traps += row.traps;
+    EXPECT_GE(row.end_vt, last_end);
+    last_end = row.end_vt;
+  }
+  const Stats& s = m.stats();
+  EXPECT_EQ(misses, s.total(Stat::ReadMisses) + s.total(Stat::WriteMisses) +
+                        s.total(Stat::WriteFaults));
+  EXPECT_EQ(traps, s.total(Stat::Traps));
+  EXPECT_EQ(last_end, m.exec_time());
+}
+
+TEST(ReportSchema, HotBlocksSortedByCountThenBlock) {
+  const sim::SimConfig cfg = report_cfg(AppKind::MatMul, 1);
+  sim::Machine m(cfg);
+  Collector col;
+  m.set_observer(&col);
+  std::unique_ptr<apps::App> a = make_app(AppKind::MatMul);
+  a->setup(m, apps::Variant::None);
+  m.run([&](sim::Proc& p) { a->body(p); });
+
+  const auto hot = col.hot_blocks();
+  ASSERT_FALSE(hot.empty());
+  EXPECT_LE(hot.size(), col.top_k());
+  for (std::size_t i = 1; i < hot.size(); ++i) {
+    const bool ordered = hot[i - 1].second > hot[i].second ||
+                         (hot[i - 1].second == hot[i].second &&
+                          hot[i - 1].first < hot[i].first);
+    EXPECT_TRUE(ordered) << "at " << i;
+  }
+}
+
+TEST(JsonModel, ScalarsAndEscapes) {
+  Json o = Json::object();
+  o.set("s", Json::string("a\"b\\c\n\t"));
+  o.set("n", Json::number(std::uint64_t{18446744073709551615ULL}));
+  o.set("neg", Json::number(std::int64_t{-42}));
+  o.set("b", Json::boolean(true));
+  o.set("nul", Json());
+  const std::string text = o.dump_string();
+  const Json back = Json::parse(text);
+  EXPECT_EQ(back.dump_string(), text);
+  EXPECT_EQ(back.find("s")->as_string(), "a\"b\\c\n\t");
+  EXPECT_EQ(back.find("n")->as_u64(), 18446744073709551615ULL);
+}
+
+TEST(JsonModel, ParseErrorsCarryPosition) {
+  try {
+    (void)Json::parse("{\n  \"a\": ]\n}");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("2:"), std::string::npos) << e.what();
+  }
+  EXPECT_THROW((void)Json::parse("{} trailing"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cico::obs

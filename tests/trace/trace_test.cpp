@@ -42,6 +42,51 @@ TEST(TraceWriterTest, DistinctKindsAreDistinctRecords) {
   EXPECT_EQ(t.misses.size(), 2u);
 }
 
+TEST(TraceTest, RegionLookupManyLabelsBinarySearch) {
+  Trace t;
+  for (int i = 0; i < 100; ++i) {
+    t.labels.push_back(RegionLabel{"r" + std::to_string(i),
+                                   0x1000 + static_cast<Addr>(i) * 0x100, 0x80,
+                                   true});
+  }
+  for (int i = 0; i < 100; ++i) {
+    const Addr base = 0x1000 + static_cast<Addr>(i) * 0x100;
+    ASSERT_NE(t.region_of(base + 0x7f), nullptr);
+    EXPECT_EQ(t.region_of(base + 0x7f)->label, "r" + std::to_string(i));
+    EXPECT_EQ(t.region_of(base + 0x80), nullptr);  // gap between regions
+  }
+}
+
+TEST(TraceTest, OverlappingLabelsThrow) {
+  // region_of used to silently return the first of several overlapping
+  // labels in declaration order; overlap is now a reported data error.
+  Trace t;
+  t.labels.push_back(RegionLabel{"A", 0x1000, 0x200, true});
+  t.labels.push_back(RegionLabel{"B", 0x1100, 0x80, true});
+  try {
+    (void)t.region_of(0x1100);
+    FAIL() << "expected overlap to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("overlapping"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("'A'"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("'B'"), std::string::npos);
+  }
+}
+
+TEST(TraceTest, ZeroLengthLabelDoesNotOverlapOrMatch) {
+  Trace t;
+  t.labels.push_back(RegionLabel{"empty", 0x1000, 0, true});
+  t.labels.push_back(RegionLabel{"real", 0x1000, 0x100, true});
+  ASSERT_NE(t.region_of(0x1000), nullptr);
+  EXPECT_EQ(t.region_of(0x1000)->label, "real");
+}
+
+TEST(TraceTest, RegionWrappingAddressSpaceThrows) {
+  Trace t;
+  t.labels.push_back(RegionLabel{"huge", ~Addr{0} - 8, 0x100, true});
+  EXPECT_THROW(t.validate_labels(), std::runtime_error);
+}
+
 TEST(TraceTest, RegionLookup) {
   Trace t;
   t.labels.push_back(RegionLabel{"A", 0x1000, 0x100, true});
@@ -122,9 +167,28 @@ TEST(TraceIoTest, BinaryRejectsCorruption) {
   EXPECT_THROW(load_binary(cut), std::runtime_error);
 }
 
+TEST(TraceIoTest, LabelsWithSpacesRoundTrip) {
+  // `ls >> r.label` used to truncate "my array" at the space and shift
+  // every numeric field by one token.
+  Trace t;
+  t.labels.push_back(RegionLabel{"my array", 0x1000, 256, true});
+  t.labels.push_back(RegionLabel{"tab\there", 0x2000, 128, false});
+  t.labels.push_back(RegionLabel{"back\\slash", 0x3000, 64, true});
+  t.labels.push_back(RegionLabel{"", 0x4000, 32, true});
+  std::stringstream ss;
+  save_text(t, ss);
+  const Trace back = load_text(ss);
+  EXPECT_EQ(back.labels, t.labels);
+}
+
 TEST(TraceIoTest, RejectsBadHeader) {
   std::stringstream ss("not a trace\n");
-  EXPECT_THROW(load_text(ss), std::runtime_error);
+  try {
+    (void)load_text(ss);
+    FAIL() << "expected bad header to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos);
+  }
 }
 
 TEST(TraceIoTest, RejectsMalformedRecord) {
@@ -135,6 +199,68 @@ TEST(TraceIoTest, RejectsMalformedRecord) {
 TEST(TraceIoTest, RejectsUnknownTag) {
   std::stringstream ss("cico-trace v1\nZ 1 2 3\n");
   EXPECT_THROW(load_text(ss), std::runtime_error);
+}
+
+TEST(TraceIoTest, RejectsOutOfRangeMissKind) {
+  // static_cast<MissKind>(kind) used to accept any integer here.
+  std::stringstream ss("cico-trace v1\nM 0 0 3 4096 8 1\n");
+  try {
+    (void)load_text(ss);
+    FAIL() << "expected bad kind to throw";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("miss kind"), std::string::npos) << msg;
+  }
+}
+
+TEST(TraceIoTest, RejectsTrailingJunkOnRecordLine) {
+  std::stringstream ss("cico-trace v1\nB 0 0 1 555 junk\n");
+  EXPECT_THROW(load_text(ss), std::runtime_error);
+}
+
+TEST(TraceIoTest, RejectsNumericGarbageWithLineNumber) {
+  std::stringstream ss("cico-trace v1\nB 0 0 1 555\nM 1 0 1 0x10 8 2\n");
+  try {
+    (void)load_text(ss);
+    FAIL() << "expected hex address to throw (format is decimal)";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceIoTest, RejectsNegativeField) {
+  std::stringstream ss("cico-trace v1\nM 0 -1 1 4096 8 2\n");
+  EXPECT_THROW(load_text(ss), std::runtime_error);
+}
+
+TEST(TraceIoTest, RejectsOverlappingLabelsOnLoad) {
+  std::stringstream ss(
+      "cico-trace v1\nL A 4096 512 1\nL B 4352 512 1\n");
+  EXPECT_THROW(load_text(ss), std::runtime_error);
+}
+
+TEST(TraceIoTest, RejectsBadLabelEscape) {
+  std::stringstream ss("cico-trace v1\nL bad\\q 4096 64 1\n");
+  EXPECT_THROW(load_text(ss), std::runtime_error);
+}
+
+TEST(TraceIoTest, RejectsTruncatedVarint) {
+  // A varint whose continuation bit promises more bytes than the stream
+  // has must be reported as truncation, not silently zero-extended.
+  Trace t;
+  for (int i = 0; i < 4; ++i) {
+    t.misses.push_back(
+        MissRecord{0, 0, MissKind::ReadMiss, 0xfedcba9876543210ULL, 8, 1});
+  }
+  std::stringstream full(std::ios::in | std::ios::out | std::ios::binary);
+  save_binary(t, full);
+  const std::string bytes = full.str();
+  // Cut inside the final record's varint fields.
+  std::stringstream cut(bytes.substr(0, bytes.size() - 3),
+                        std::ios::in | std::ios::binary);
+  EXPECT_THROW(load_binary(cut), std::runtime_error);
 }
 
 }  // namespace

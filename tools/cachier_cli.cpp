@@ -16,15 +16,24 @@
 //       annotate, then run both versions and print the speedup
 //   cachier trace prog.mp [-n nodes]
 //       dump the Fig. 3 trace (text format) to stdout
+//   cachier trace --load file
+//       validate a saved text trace and re-emit it canonically (exit 2
+//       with a line-numbered message on malformed input)
 //   cachier soak [--campaigns N] [--seed s] [--faults spec]
 //       run seeded fault-injection campaigns over the bundled apps
 //       (each campaign runs twice to verify per-seed determinism) and
 //       report survival / retry / timeout statistics
 //
+// Observability (run / compare): `--report out.json` writes the versioned
+// JSON run report and `--events out.json` the Chrome trace-event export
+// (docs/observability.md).  Both are pure functions of simulated state, so
+// their bytes are identical for any --boundary-threads value.
+//
 // Exit status: 0 on success, 1 on usage errors, 2 on program errors
-// (parse errors, SimDeadlock, ProtocolTimeout, InvariantViolation, failed
-// soak campaigns) -- every std::exception maps to exit 2 with a one-line
-// `cachier: error: ...` on stderr.
+// (malformed numeric flags, parse errors, bad trace files, SimDeadlock,
+// ProtocolTimeout, InvariantViolation, failed soak campaigns) -- every
+// std::exception maps to exit 2 with a one-line `cachier: error: ...` on
+// stderr.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -39,9 +48,11 @@
 #include "apps/matmul.hpp"
 #include "apps/ocean.hpp"
 #include "cico/cachier/cachier.hpp"
+#include "cico/common/parse_num.hpp"
 #include "cico/lang/interp.hpp"
 #include "cico/lang/parser.hpp"
 #include "cico/lang/unparse.hpp"
+#include "cico/obs/report.hpp"
 #include "cico/sim/plan_io.hpp"
 #include "cico/srcann/annotator.hpp"
 
@@ -60,6 +71,9 @@ struct Options {
   std::uint32_t campaigns = 10; ///< soak campaigns
   std::uint64_t seed = 1;       ///< soak base seed
   std::uint32_t boundary_threads = 1;  ///< boundary-phase worker threads
+  std::string report_file;      ///< run/compare --report <file>
+  std::string events_file;      ///< run/compare --events <file>
+  std::string trace_load;       ///< trace --load <file>
 };
 
 void usage() {
@@ -69,7 +83,20 @@ void usage() {
       "               [-n nodes] [--mode programmer|performance]\n"
       "               [--plan file] [--faults spec] [--paranoid]\n"
       "               [--boundary-threads N]\n"
+      "               [--report out.json] [--events out.json]\n"
+      "       cachier trace --load trace.txt\n"
       "       cachier soak [--campaigns N] [--seed s] [--faults spec]\n");
+}
+
+const char* protocol_name(sim::ProtocolKind k) {
+  return k == sim::ProtocolKind::DirNFullMap ? "dirn_full_map" : "dir1sw";
+}
+
+/// Opens `path` for writing or throws (maps to exit 2).
+std::ofstream open_out(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  return out;
 }
 
 std::string slurp(const std::string& path) {
@@ -114,11 +141,19 @@ Traced trace_program(const lang::Program& prog, std::uint32_t nodes) {
 }
 
 Cycle run_program(const lang::Program& prog, const sim::SimConfig& cfg,
-                  bool print_stats, const sim::DirectivePlan* plan = nullptr) {
+                  bool print_stats, const sim::DirectivePlan* plan = nullptr,
+                  obs::Collector* col = nullptr,
+                  obs::Json* run_out = nullptr,
+                  std::string_view run_name = "run") {
   sim::Machine m(cfg);
   lang::LoadedProgram lp(prog, m);
   if (plan != nullptr) m.set_plan(plan);
+  if (col != nullptr) m.set_observer(col);
   m.run([&](sim::Proc& p) { lp.run_node(p); });
+  if (col != nullptr && run_out != nullptr) {
+    *run_out = obs::run_json(run_name, m.exec_time(), m.epochs_completed(),
+                             m.stats(), m.network(), *col);
+  }
   if (print_stats) {
     std::printf("nodes:            %u\n", cfg.nodes);
     std::printf("execution time:   %llu cycles\n",
@@ -333,7 +368,18 @@ int do_soak(const Options& opt) {
 int dispatch(const Options& opt) {
   if (opt.command == "soak") return do_soak(opt);
 
+  if (opt.command == "trace" && !opt.trace_load.empty()) {
+    // Validate-and-reemit: a malformed file fails with exit 2 and a
+    // line-numbered message; a good one round-trips canonically.
+    std::ifstream in(opt.trace_load);
+    if (!in) throw std::runtime_error("cannot open " + opt.trace_load);
+    const trace::Trace t = trace::load_text(in);
+    trace::save_text(t, std::cout);
+    return 0;
+  }
+
   lang::Program prog = lang::parse(slurp(opt.file));
+  const bool want_obs = !opt.report_file.empty() || !opt.events_file.empty();
 
   if (opt.command == "run") {
     sim::DirectivePlan plan;
@@ -344,7 +390,25 @@ int dispatch(const Options& opt) {
       plan = sim::load_plan(in);
       pp = &plan;
     }
-    run_program(prog, make_config(opt), /*print_stats=*/true, pp);
+    const sim::SimConfig cfg = make_config(opt);
+    obs::Collector col;
+    col.set_events_enabled(!opt.events_file.empty());
+    obs::Json run_j;
+    run_program(prog, cfg, /*print_stats=*/true, pp,
+                want_obs ? &col : nullptr, &run_j, "run");
+    if (!opt.report_file.empty()) {
+      std::vector<obs::Json> runs;
+      runs.push_back(std::move(run_j));
+      const obs::Json rep = obs::make_report(
+          "run", obs::config_json(cfg, protocol_name(cfg.protocol), opt.faults),
+          std::move(runs));
+      std::ofstream out = open_out(opt.report_file);
+      rep.dump(out);
+    }
+    if (!opt.events_file.empty()) {
+      std::ofstream out = open_out(opt.events_file);
+      col.write_chrome_trace(out);
+    }
     return 0;
   }
   if (opt.command == "plan") {
@@ -379,13 +443,40 @@ int dispatch(const Options& opt) {
     srcann::AnnotateResult res = annotate_program(prog, opt.nodes, opt.mode);
     lang::Program annotated = lang::parse(lang::unparse(res.program));
     const sim::SimConfig cfg = make_config(opt);
+    obs::Collector base_col;
+    obs::Collector anno_col;
+    // --events on compare exports the ANNOTATED run (one trace per file).
+    anno_col.set_events_enabled(!opt.events_file.empty());
+    obs::Json base_j;
+    obs::Json anno_j;
     std::printf("-- unannotated --\n");
-    const Cycle base = run_program(prog, cfg, true);
+    const Cycle base = run_program(prog, cfg, true, nullptr,
+                                   want_obs ? &base_col : nullptr, &base_j,
+                                   "baseline");
     std::printf("-- %s CICO (%zu annotations) --\n",
                 cachier::mode_name(opt.mode), res.inserted);
-    const Cycle anno = run_program(annotated, cfg, true);
+    const Cycle anno = run_program(annotated, cfg, true, nullptr,
+                                   want_obs ? &anno_col : nullptr, &anno_j,
+                                   "annotated");
     std::printf("\nnormalized execution time: %.3f\n",
                 static_cast<double>(anno) / static_cast<double>(base));
+    if (!opt.report_file.empty()) {
+      const obs::Json cmp = obs::comparison_json(base_j, anno_j);
+      std::vector<obs::Json> runs;
+      runs.push_back(std::move(base_j));
+      runs.push_back(std::move(anno_j));
+      obs::Json rep = obs::make_report(
+          "compare",
+          obs::config_json(cfg, protocol_name(cfg.protocol), opt.faults),
+          std::move(runs));
+      rep.set("comparison", cmp);
+      std::ofstream out = open_out(opt.report_file);
+      rep.dump(out);
+    }
+    if (!opt.events_file.empty()) {
+      std::ofstream out = open_out(opt.events_file);
+      anno_col.write_chrome_trace(out);
+    }
     return 0;
   }
   usage();
@@ -394,12 +485,16 @@ int dispatch(const Options& opt) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  Options opt;
+/// Parses argv into `opt`.  Returns -1 on success, or the exit code to
+/// return for a usage error (usage already printed).  Malformed numeric
+/// values THROW (parse_num), so the caller's catch maps them to exit 2 --
+/// a flag the user got structurally right but numerically wrong is a
+/// program error, not a usage error.
+int parse_args(int argc, char** argv, Options& opt) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "-n" && i + 1 < argc) {
-      opt.nodes = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+      opt.nodes = parse_num<std::uint32_t>(argv[++i], "-n node count");
     } else if (arg == "--mode" && i + 1 < argc) {
       const std::string m = argv[++i];
       if (m == "programmer") opt.mode = cachier::Mode::Programmer;
@@ -413,13 +508,20 @@ int main(int argc, char** argv) {
     } else if (arg == "--paranoid") {
       opt.paranoid = true;
     } else if (arg == "--boundary-threads" && i + 1 < argc) {
-      opt.boundary_threads = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+      opt.boundary_threads =
+          parse_num<std::uint32_t>(argv[++i], "--boundary-threads value");
     } else if (arg == "--plan" && i + 1 < argc) {
       opt.plan_file = argv[++i];
+    } else if (arg == "--report" && i + 1 < argc) {
+      opt.report_file = argv[++i];
+    } else if (arg == "--events" && i + 1 < argc) {
+      opt.events_file = argv[++i];
+    } else if (arg == "--load" && i + 1 < argc) {
+      opt.trace_load = argv[++i];
     } else if (arg == "--campaigns" && i + 1 < argc) {
-      opt.campaigns = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+      opt.campaigns = parse_num<std::uint32_t>(argv[++i], "--campaigns value");
     } else if (arg == "--seed" && i + 1 < argc) {
-      opt.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      opt.seed = parse_num<std::uint64_t>(argv[++i], "--seed value");
     } else if (opt.command.empty()) {
       opt.command = arg;
     } else if (opt.file.empty()) {
@@ -429,18 +531,28 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  const bool needs_file = opt.command != "soak";
+  const bool needs_file =
+      opt.command != "soak" &&
+      !(opt.command == "trace" && !opt.trace_load.empty());
   if (opt.command.empty() || (needs_file && opt.file.empty()) ||
       opt.nodes == 0 || opt.boundary_threads == 0 ||
       (opt.command == "soak" && opt.campaigns == 0)) {
     usage();
     return 1;
   }
-  // Exit-code contract: EVERY failure below dispatch -- MiniPar parse
-  // errors, bad fault specs, malformed plans, SimDeadlock, ProtocolTimeout,
-  // InvariantViolation, soak failures -- surfaces as exit 2 with one line
-  // on stderr, never an unhandled terminate.
+  return -1;
+}
+
+int main(int argc, char** argv) {
+  // Exit-code contract: EVERY failure below -- malformed numeric flags,
+  // MiniPar parse errors, bad fault specs, malformed plans or traces,
+  // SimDeadlock, ProtocolTimeout, InvariantViolation, soak failures --
+  // surfaces as exit 2 with one line on stderr, never an unhandled
+  // terminate.  Structural usage errors still exit 1.
   try {
+    Options opt;
+    const int usage_exit = parse_args(argc, argv, opt);
+    if (usage_exit >= 0) return usage_exit;
     return dispatch(opt);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "cachier: error: %s\n", e.what());

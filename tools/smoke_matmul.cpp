@@ -2,10 +2,19 @@
 #include <cstdio>
 #include "apps/matmul.hpp"
 #include "apps/runner.hpp"
+#include "cico/common/parse_num.hpp"
 using namespace cico;
 using namespace cico::apps;
 int main(int argc, char** argv) {
-  std::size_t n = argc > 1 ? std::stoul(argv[1]) : 64;
+  std::size_t n = 64;
+  if (argc > 1) {
+    try {
+      n = parse_num<std::size_t>(argv[1], "matrix size");
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "smoke_matmul: error: %s\n", e.what());
+      return 2;
+    }
+  }
   HarnessConfig hc;
   hc.sim.nodes = 32;
   MatMulConfig mc; mc.n = n;
