@@ -1,0 +1,142 @@
+// Throughput benchmark (and standing self-check) for the report differ.
+//
+// Synthesizes schema-v2 reports with a configurable epoch_series length --
+// the field that dominates report size on long runs -- and measures
+// diff_reports() wall time for three cases:
+//
+//   * identical pair (the CI gate's hot path when nothing changed);
+//   * perturbed pair with no tolerances (worst case: every divergence is
+//     recorded as a regression);
+//   * perturbed pair under a wildcard tolerance set (adds glob matching
+//     per diverging path).
+//
+// The self-check doubles as a correctness gate: the identical pair must
+// come back Identical, the perturbed pair Regression without tolerances
+// and WithinTolerance with them; any violation exits 1.
+//
+// Results go to BENCH_report_diff.json (or argv[1]).
+// CICO_BENCH_SCALE scales the epoch count.
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hpp"
+#include "cico/obs/diff.hpp"
+#include "cico/obs/json.hpp"
+
+namespace {
+
+using namespace cico;
+
+/// A v2-shaped report with `epochs` epoch_series rows.  `bump` perturbs a
+/// handful of counters plus every 16th epoch row, modelling genuine drift.
+obs::Json synth_report(std::size_t epochs, std::uint64_t bump) {
+  using obs::Json;
+  Json cfg = Json::object();
+  cfg.set("nodes", Json::number(std::uint64_t{16}));
+  cfg.set("protocol", Json::string("dir1sw"));
+
+  Json totals = Json::object();
+  totals.set("traps", Json::number(std::uint64_t{1200 + bump}));
+  totals.set("messages", Json::number(std::uint64_t{48000}));
+  totals.set("stall_cycles", Json::number(std::uint64_t{910000 + 7 * bump}));
+
+  Json costs = Json::object();
+  costs.set("compute_cycles", Json::number(std::uint64_t{400000}));
+  costs.set("directive_cycles", Json::number(std::uint64_t{52000 + bump}));
+
+  Json series = Json::array();
+  for (std::size_t e = 0; e < epochs; ++e) {
+    Json row = Json::object();
+    row.set("epoch", Json::number(static_cast<std::uint64_t>(e + 1)));
+    row.set("end_vt", Json::number(static_cast<std::uint64_t>(
+                          (e + 1) * 4096 + (e % 16 == 0 ? bump : 0))));
+    row.set("misses", Json::number(static_cast<std::uint64_t>(37 + e % 11)));
+    row.set("traps", Json::number(static_cast<std::uint64_t>(e % 5)));
+    series.push_back(std::move(row));
+  }
+
+  Json run = Json::object();
+  run.set("name", Json::string("run"));
+  run.set("exec_time", Json::number(std::uint64_t{40960000 + bump}));
+  run.set("totals", std::move(totals));
+  run.set("cost_breakdown", std::move(costs));
+  run.set("epoch_series", std::move(series));
+
+  Json runs = Json::array();
+  runs.push_back(std::move(run));
+
+  Json rep = Json::object();
+  rep.set("schema_version", Json::number(std::uint64_t{2}));
+  rep.set("generator", Json::string("bench_report_diff"));
+  rep.set("command", Json::string("run"));
+  rep.set("config", std::move(cfg));
+  rep.set("runs", std::move(runs));
+  return rep;
+}
+
+double time_ms(const obs::Json& a, const obs::Json& b,
+               const obs::ToleranceSet& tol, int iters,
+               obs::DiffResult* last) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) *last = obs::diff_reports(a, b, tol);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count() / iters;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_report_diff.json";
+  const std::size_t epochs = cico::bench::scaled(4096);
+  const int iters = 25;
+
+  cico::bench::print_header("report diff: structural compare throughput");
+  std::printf("epochs=%zu iters=%d\n", epochs, iters);
+
+  const obs::Json base = synth_report(epochs, 0);
+  const obs::Json same = synth_report(epochs, 0);
+  const obs::Json drifted = synth_report(epochs, 9);
+  const obs::ToleranceSet none;
+  const obs::ToleranceSet generous = obs::ToleranceSet::parse(
+      "runs.*.exec_time = \"rel=1%\"\n"
+      "runs.*.totals.** = \"rel=5%\"\n"
+      "runs.*.cost_breakdown.** = \"rel=5%\"\n"
+      "runs.*.epoch_series.** = \"abs=16\"\n");
+
+  obs::DiffResult r_same;
+  obs::DiffResult r_reg;
+  obs::DiffResult r_tol;
+  const double ms_same = time_ms(base, same, none, iters, &r_same);
+  const double ms_reg = time_ms(base, drifted, none, iters, &r_reg);
+  const double ms_tol = time_ms(base, drifted, generous, iters, &r_tol);
+
+  std::printf("%-22s %-10s %-14s %-12s\n", "case", "ms/diff", "divergences",
+              "outcome");
+  std::printf("%-22s %-10.3f %-14zu %-12d\n", "identical", ms_same,
+              r_same.divergences.size(), static_cast<int>(r_same.outcome));
+  std::printf("%-22s %-10.3f %-14zu %-12d\n", "drift (no rules)", ms_reg,
+              r_reg.divergences.size(), static_cast<int>(r_reg.outcome));
+  std::printf("%-22s %-10.3f %-14zu %-12d\n", "drift (tolerated)", ms_tol,
+              r_tol.divergences.size(), static_cast<int>(r_tol.outcome));
+
+  const bool ok = r_same.outcome == obs::DiffOutcome::Identical &&
+                  r_reg.outcome == obs::DiffOutcome::Regression &&
+                  r_tol.outcome == obs::DiffOutcome::WithinTolerance;
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::perror(out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"report_diff\",\n");
+  std::fprintf(f, "  \"epochs\": %zu,\n  \"iters\": %d,\n", epochs, iters);
+  std::fprintf(f, "  \"identical_ms\": %.4f,\n", ms_same);
+  std::fprintf(f, "  \"drift_ms\": %.4f,\n", ms_reg);
+  std::fprintf(f, "  \"drift_tolerated_ms\": %.4f,\n", ms_tol);
+  std::fprintf(f, "  \"drift_divergences\": %zu,\n", r_reg.divergences.size());
+  std::fprintf(f, "  \"outcome_contract_ok\": %s\n}\n", ok ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s (contract=%s)\n", out_path, ok ? "ok" : "VIOLATED");
+  return ok ? 0 : 1;
+}

@@ -35,6 +35,14 @@ std::string_view stat_name(Stat s) {
     case Stat::PrefetchThrottled: return "prefetch_throttled";
     case Stat::WatchdogTrips: return "watchdog_trips";
     case Stat::BoundaryRounds: return "boundary_rounds";
+    case Stat::CheckOutXCycles: return "check_out_x_cycles";
+    case Stat::CheckOutSCycles: return "check_out_s_cycles";
+    case Stat::CheckInCycles: return "check_in_cycles";
+    case Stat::PostStoreCycles: return "post_store_cycles";
+    case Stat::PrefetchX: return "prefetch_x";
+    case Stat::PrefetchS: return "prefetch_s";
+    case Stat::PrefetchXCycles: return "prefetch_x_cycles";
+    case Stat::PrefetchSCycles: return "prefetch_s_cycles";
     case Stat::Count_: break;
   }
   return "unknown";

@@ -51,6 +51,19 @@ enum class Stat : std::uint32_t {
   PrefetchThrottled, ///< prefetches suppressed by the self-throttle
   WatchdogTrips,     ///< liveness-watchdog livelock detections
   BoundaryRounds,    ///< boundary-phase service rounds executed (node 0)
+  // Per-directive attribution (report schema v2).  The *Cycles counters
+  // partition DirectiveCycles: check_out_x_cycles + check_out_s_cycles +
+  // check_in_cycles + post_store_cycles == directive_cycles.  Prefetch
+  // issue cost is charged to the node clock but not to DirectiveCycles
+  // (prefetches are asynchronous), so its cycles live only here.
+  CheckOutXCycles,   ///< cycles attributed to check_out_X issues + waits
+  CheckOutSCycles,   ///< cycles attributed to check_out_S issues + waits
+  CheckInCycles,     ///< cycles attributed to check_in issues
+  PostStoreCycles,   ///< cycles attributed to post_store issues
+  PrefetchX,         ///< prefetch_X directives issued (subset of PrefetchIssued)
+  PrefetchS,         ///< prefetch_S directives issued (subset of PrefetchIssued)
+  PrefetchXCycles,   ///< issue cycles attributed to prefetch_X
+  PrefetchSCycles,   ///< issue cycles attributed to prefetch_S
   Count_
 };
 

@@ -65,6 +65,11 @@ void Collector::flush_epoch(EpochId epoch, Cycle end_vt, const Stats& stats) {
                             0, epoch});
   }
   prev_end_vt_ = end_vt;
+  ++rows_flushed_;
+  if (sink_ != nullptr) {
+    sink_->on_row(row);  // streamed, not retained: O(1) memory in epochs
+    return;
+  }
   rows_.push_back(std::move(row));
 }
 
@@ -78,7 +83,7 @@ void Collector::on_run_end(Cycle final_vt, const Stats& stats) {
   // The tail of the run after the last barrier is its own (unclosed) epoch;
   // flush it even when nothing happened so row count == epoch count + 1 and
   // consumers never need a special case for barrier-free programs.
-  flush_epoch(static_cast<EpochId>(rows_.size()), final_vt, stats);
+  flush_epoch(static_cast<EpochId>(rows_flushed_), final_vt, stats);
 }
 
 std::vector<std::pair<Block, std::uint64_t>> Collector::hot_blocks() const {

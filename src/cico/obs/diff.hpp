@@ -1,0 +1,129 @@
+// Schema-aware structural diff over run reports (`cachier diff`).
+//
+// Compares two --report JSON documents and classifies every divergence:
+// config mismatches, counter deltas (absolute + percent), cost-model
+// deltas, fault-telemetry deltas, epoch-series drift, and structural
+// differences.  Per-metric tolerance rules -- loaded from a small TOML
+// file (--tolerances) or given inline (--tol pattern=spec) -- decide
+// which numeric deltas are acceptable drift and which are regressions,
+// so CI can gate directly on the exit status:
+//
+//   0  reports identical
+//   1  divergences found, every one within tolerance
+//   2  at least one regression (or a program error: malformed JSON,
+//      unsupported schema version, bad tolerance file)
+//
+// The differ reads schema v1 and v2 reports.  When the two sides have
+// different (supported) versions, fields missing from the *older* side
+// are treated as additive schema growth and tolerated, never flagged as
+// regressions -- the v1 compatibility path that lets old golden reports
+// gate new binaries.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cico/obs/json.hpp"
+
+namespace cico::obs {
+
+/// Maps directly to the CLI exit status.
+enum class DiffOutcome : int {
+  Identical = 0,
+  WithinTolerance = 1,
+  Regression = 2,
+};
+
+/// What kind of report field diverged (decided by the field's path).
+enum class DiffClass : std::uint8_t {
+  Config,     ///< `config` block or envelope (command, generator)
+  Counter,    ///< totals / per_node / messages_by_type / directives / comparison
+  Cost,       ///< `cost_breakdown`
+  Fault,      ///< fault telemetry
+  Epoch,      ///< `epoch_series` / `hot_blocks` drift
+  Structure,  ///< shape problems: type mismatch, array length change
+};
+
+[[nodiscard]] std::string_view diff_class_name(DiffClass c);
+
+/// One per-metric tolerance rule.  `pattern` is a dotted path glob over
+/// report paths (array indices are path segments): `*` matches exactly one
+/// segment, `**` matches any number (including zero).  A numeric delta is
+/// within tolerance when |delta| <= abs OR |pct| <= rel, whichever rules
+/// are present; `ignore` drops anything recorded at a matching path from
+/// the diff (it does not prune recursion into containers, so a later,
+/// deeper rule can still re-enable a field under an ignored subtree).
+struct ToleranceRule {
+  std::string pattern;
+  bool ignore = false;
+  bool has_abs = false;
+  double abs_bound = 0.0;
+  bool has_rel = false;
+  double rel_bound = 0.0;  ///< percent
+  std::string text;        ///< original spec (for diagnostics)
+};
+
+/// An ordered rule list; the last rule whose pattern matches a path wins,
+/// so later rules (e.g. --tol flags after --tolerances) override earlier
+/// ones.
+class ToleranceSet {
+ public:
+  /// Parses the TOML-flavoured tolerance file grammar:
+  ///
+  ///   # comment
+  ///   [tolerance]                      # optional section header
+  ///   runs.*.totals.stall_cycles = "abs=200 rel=1%"
+  ///   "runs.*.epoch_series.**"   = "rel=5%"
+  ///   config.faults              = "ignore"
+  ///
+  /// Keys may be bare (letters, digits, `_ . * -`) or double-quoted;
+  /// values are quoted specs or the bare word `ignore`.  Throws
+  /// std::runtime_error with a `line N:` position on malformed input.
+  [[nodiscard]] static ToleranceSet parse(std::string_view text);
+
+  /// Adds one `pattern=spec` rule (the --tol flag form; split at the
+  /// first '=').  Throws on a malformed spec.
+  void add_flag(std::string_view pattern_eq_spec);
+
+  /// Last matching rule, or nullptr.
+  [[nodiscard]] const ToleranceRule* match(std::string_view path) const;
+
+  [[nodiscard]] std::size_t size() const { return rules_.size(); }
+
+ private:
+  std::vector<ToleranceRule> rules_;
+};
+
+struct Divergence {
+  DiffClass cls = DiffClass::Structure;
+  std::string path;
+  std::string baseline;   ///< rendered value; "<absent>" when missing
+  std::string candidate;
+  bool numeric = false;
+  double delta = 0.0;     ///< candidate - baseline
+  double pct = 0.0;       ///< 100 * delta / |baseline|; infinite from zero
+  bool tolerated = false;
+  std::string rule;       ///< why it was tolerated (spec text / compat note)
+};
+
+struct DiffResult {
+  DiffOutcome outcome = DiffOutcome::Identical;
+  std::vector<Divergence> divergences;
+  std::size_t tolerated = 0;
+  std::size_t regressions = 0;
+};
+
+/// Diffs two parsed reports.  Throws std::runtime_error when either
+/// document is not a report or carries an unsupported schema_version.
+[[nodiscard]] DiffResult diff_reports(const Json& baseline,
+                                      const Json& candidate,
+                                      const ToleranceSet& tolerances);
+
+/// Human-readable listing: one line per divergence plus a summary line
+/// naming the exit status.
+void print_diff(std::ostream& os, const DiffResult& result);
+
+}  // namespace cico::obs

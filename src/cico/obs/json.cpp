@@ -58,6 +58,13 @@ Json Json::object() {
   return j;
 }
 
+Json Json::splice(std::string id) {
+  Json j;
+  j.type_ = Type::Splice;
+  j.scalar_ = std::move(id);
+  return j;
+}
+
 void Json::push_back(Json v) {
   if (type_ != Type::Array) throw std::logic_error("json: push_back on non-array");
   arr_.push_back(std::move(v));
@@ -135,12 +142,22 @@ void put_indent(std::ostream& os, int depth) {
 }
 }  // namespace
 
-void Json::dump_indented(std::ostream& os, int depth) const {
+void Json::dump_indented(std::ostream& os, int depth,
+                         const SpliceResolver* resolver) const {
   switch (type_) {
     case Type::Null: os << "null"; break;
     case Type::Bool: os << (bool_ ? "true" : "false"); break;
     case Type::Number: os << scalar_; break;
     case Type::String: write_json_string(os, scalar_); break;
+    case Type::Splice:
+      if (resolver == nullptr) {
+        throw std::logic_error("json: splice node dumped without a resolver");
+      }
+      os << "[\n";
+      (*resolver)(os, scalar_);
+      put_indent(os, depth);
+      os.put(']');
+      break;
     case Type::Array:
       if (arr_.empty()) {
         os << "[]";
@@ -149,7 +166,7 @@ void Json::dump_indented(std::ostream& os, int depth) const {
       os << "[\n";
       for (std::size_t i = 0; i < arr_.size(); ++i) {
         put_indent(os, depth + 1);
-        arr_[i].dump_indented(os, depth + 1);
+        arr_[i].dump_indented(os, depth + 1, resolver);
         if (i + 1 < arr_.size()) os.put(',');
         os.put('\n');
       }
@@ -166,7 +183,7 @@ void Json::dump_indented(std::ostream& os, int depth) const {
         put_indent(os, depth + 1);
         write_json_string(os, obj_[i].first);
         os << ": ";
-        obj_[i].second.dump_indented(os, depth + 1);
+        obj_[i].second.dump_indented(os, depth + 1, resolver);
         if (i + 1 < obj_.size()) os.put(',');
         os.put('\n');
       }
@@ -177,8 +194,17 @@ void Json::dump_indented(std::ostream& os, int depth) const {
 }
 
 void Json::dump(std::ostream& os) const {
-  dump_indented(os, 0);
+  dump_indented(os, 0, nullptr);
   os.put('\n');
+}
+
+void Json::dump(std::ostream& os, const SpliceResolver& resolver) const {
+  dump_indented(os, 0, &resolver);
+  os.put('\n');
+}
+
+void Json::dump_element(std::ostream& os, int depth) const {
+  dump_indented(os, depth, nullptr);
 }
 
 std::string Json::dump_string() const {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <string_view>
@@ -20,7 +21,13 @@ namespace cico::obs {
 
 class Json {
  public:
-  enum class Type : std::uint8_t { Null, Bool, Number, String, Array, Object };
+  enum class Type : std::uint8_t {
+    Null, Bool, Number, String, Array, Object,
+    /// An array whose element bytes live outside the document (streamed to
+    /// a sidecar file); dump() asks a SpliceResolver to emit them.  Never
+    /// produced by parse() -- a dumped document contains only plain JSON.
+    Splice,
+  };
 
   Json() = default;  // null
 
@@ -33,6 +40,9 @@ class Json {
   [[nodiscard]] static Json string(std::string s);
   [[nodiscard]] static Json array();
   [[nodiscard]] static Json object();
+  /// Placeholder for an array whose elements were streamed to a sidecar
+  /// (see EpochStreamWriter); `id` names the sidecar for the resolver.
+  [[nodiscard]] static Json splice(std::string id);
 
   [[nodiscard]] Type type() const { return type_; }
 
@@ -61,20 +71,37 @@ class Json {
   }
 
   // --- serialization -------------------------------------------------------
-  /// Canonical multi-line form, 2-space indent per level.
+  /// Called for each Splice node: must emit the element lines exactly as
+  /// the canonical array dump would (indent + element, ",\n" separators,
+  /// trailing newline after the last element).  EpochStreamWriter's
+  /// sidecars are written in this form, so splice_into() just copies.
+  using SpliceResolver =
+      std::function<void(std::ostream& os, std::string_view id)>;
+
+  /// Canonical multi-line form, 2-space indent per level.  Documents
+  /// holding Splice nodes need the resolver overload; the plain overload
+  /// throws std::logic_error if it meets one.
   void dump(std::ostream& os) const;
+  void dump(std::ostream& os, const SpliceResolver& resolver) const;
   [[nodiscard]] std::string dump_string() const;
+
+  /// Dumps as an array/object element nested `depth` levels deep, without
+  /// a trailing newline -- exactly the bytes dump() would emit for this
+  /// value at that position.  The streaming epoch writer uses this to
+  /// format sidecar rows identically to the embedded path.
+  void dump_element(std::ostream& os, int depth) const;
 
   /// Parses a complete JSON document; rejects trailing junk.  Throws
   /// std::runtime_error with a line:column position on malformed input.
   [[nodiscard]] static Json parse(std::string_view text);
 
  private:
-  void dump_indented(std::ostream& os, int depth) const;
+  void dump_indented(std::ostream& os, int depth,
+                     const SpliceResolver* resolver) const;
 
   Type type_ = Type::Null;
   bool bool_ = false;
-  std::string scalar_;  ///< number lexeme or string payload
+  std::string scalar_;  ///< number lexeme, string payload, or splice id
   std::vector<Json> arr_;
   std::vector<std::pair<std::string, Json>> obj_;
 };

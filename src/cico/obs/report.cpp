@@ -27,6 +27,16 @@ std::uint64_t u64_of(const Json& run, std::string_view section,
   return v != nullptr ? v->as_u64() : 0;
 }
 
+/// One row of the per-directive table: how often the directive was issued
+/// and the cycles attributed to issuing (and, for blocking check-outs,
+/// waiting on) it.
+Json directive_entry(const Stats& stats, Stat count, Stat cycles) {
+  Json e = Json::object();
+  e.set("count", Json::number(stats.total(count)));
+  e.set("cycles", Json::number(stats.total(cycles)));
+  return e;
+}
+
 /// delta = annotated - baseline, emitted as a signed number.
 Json delta_json(std::uint64_t base, std::uint64_t anno) {
   return Json::number(static_cast<std::int64_t>(anno) -
@@ -80,9 +90,21 @@ Json config_json(const sim::SimConfig& cfg, std::string_view protocol_name,
   return c;
 }
 
+Json epoch_row_json(const EpochRow& row) {
+  Json e = Json::object();
+  e.set("epoch", Json::number(static_cast<std::uint64_t>(row.epoch)));
+  e.set("end_vt", Json::number(static_cast<std::uint64_t>(row.end_vt)));
+  e.set("misses", Json::number(row.misses));
+  e.set("traps", Json::number(row.traps));
+  e.set("messages", Json::number(row.messages));
+  e.set("stall_cycles", Json::number(row.stall_cycles));
+  e.set("hot_blocks", hot_blocks_json(row.hot_blocks));
+  return e;
+}
+
 Json run_json(std::string_view name, Cycle exec_time, EpochId epochs,
               const Stats& stats, const net::Network& net,
-              const Collector& col) {
+              const Collector& col, std::string_view series_splice_id) {
   Json r = Json::object();
   r.set("name", Json::string(std::string(name)));
   r.set("exec_time", Json::number(static_cast<std::uint64_t>(exec_time)));
@@ -128,6 +150,24 @@ Json run_json(std::string_view name, Cycle exec_time, EpochId epochs,
   cost.set("invalidations", Json::number(stats.total(Stat::Invalidations)));
   r.set("cost_breakdown", std::move(cost));
 
+  // Schema v2: per-directive counts and attributed cost.  The four
+  // non-prefetch cycle rows partition cost_breakdown.directive_cycles;
+  // prefetch issue cost is asynchronous and accounted only here.
+  Json dirs = Json::object();
+  dirs.set("check_out_x",
+           directive_entry(stats, Stat::CheckOutX, Stat::CheckOutXCycles));
+  dirs.set("check_out_s",
+           directive_entry(stats, Stat::CheckOutS, Stat::CheckOutSCycles));
+  dirs.set("check_in",
+           directive_entry(stats, Stat::CheckIns, Stat::CheckInCycles));
+  dirs.set("prefetch_x",
+           directive_entry(stats, Stat::PrefetchX, Stat::PrefetchXCycles));
+  dirs.set("prefetch_s",
+           directive_entry(stats, Stat::PrefetchS, Stat::PrefetchSCycles));
+  dirs.set("post_store",
+           directive_entry(stats, Stat::PostStores, Stat::PostStoreCycles));
+  r.set("directives", std::move(dirs));
+
   Json faults = Json::object();
   faults.set("msg_dropped", Json::number(stats.total(Stat::MsgDropped)));
   faults.set("msg_duplicated", Json::number(stats.total(Stat::MsgDuplicated)));
@@ -137,19 +177,17 @@ Json run_json(std::string_view name, Cycle exec_time, EpochId epochs,
   faults.set("watchdog_trips", Json::number(stats.total(Stat::WatchdogTrips)));
   r.set("faults", std::move(faults));
 
-  Json series = Json::array();
-  for (const EpochRow& row : col.epochs()) {
-    Json e = Json::object();
-    e.set("epoch", Json::number(static_cast<std::uint64_t>(row.epoch)));
-    e.set("end_vt", Json::number(static_cast<std::uint64_t>(row.end_vt)));
-    e.set("misses", Json::number(row.misses));
-    e.set("traps", Json::number(row.traps));
-    e.set("messages", Json::number(row.messages));
-    e.set("stall_cycles", Json::number(row.stall_cycles));
-    e.set("hot_blocks", hot_blocks_json(row.hot_blocks));
-    series.push_back(std::move(e));
+  if (col.streaming() && col.rows_flushed() > 0) {
+    // Rows already live in the sink's sidecar; the caller splices their
+    // bytes in at dump time (byte-identical to the embedded path).
+    r.set("epoch_series", Json::splice(std::string(series_splice_id)));
+  } else {
+    Json series = Json::array();
+    for (const EpochRow& row : col.epochs()) {
+      series.push_back(epoch_row_json(row));
+    }
+    r.set("epoch_series", std::move(series));
   }
-  r.set("epoch_series", std::move(series));
   r.set("hot_blocks", hot_blocks_json(col.hot_blocks()));
   return r;
 }
@@ -185,6 +223,29 @@ Json comparison_json(const Json& baseline, const Json& annotated) {
                           u64_of(annotated, section, key)));
   }
   c.set("delta", std::move(d));
+
+  // Schema v2: per-directive count/cycle deltas, mirroring the runs'
+  // `directives` tables.  Reads tolerate v1 runs (absent table => zeros).
+  auto dir_u64 = [](const Json& run, std::string_view kind,
+                    std::string_view field) -> std::uint64_t {
+    const Json* table = run.find("directives");
+    if (table == nullptr) return 0;
+    const Json* entry = table->find(kind);
+    if (entry == nullptr) return 0;
+    const Json* v = entry->find(field);
+    return v != nullptr ? v->as_u64() : 0;
+  };
+  Json dd = Json::object();
+  for (const char* kind : {"check_out_x", "check_out_s", "check_in",
+                           "prefetch_x", "prefetch_s", "post_store"}) {
+    Json e = Json::object();
+    e.set("count", delta_json(dir_u64(baseline, kind, "count"),
+                              dir_u64(annotated, kind, "count")));
+    e.set("cycles", delta_json(dir_u64(baseline, kind, "cycles"),
+                               dir_u64(annotated, kind, "cycles")));
+    dd.set(kind, std::move(e));
+  }
+  c.set("directives", std::move(dd));
   return c;
 }
 

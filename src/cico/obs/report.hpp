@@ -25,8 +25,13 @@
 namespace cico::obs {
 
 /// Bump on any breaking schema change; additive fields do not bump it
-/// (consumers must tolerate unknown keys).
-inline constexpr std::uint64_t kReportSchemaVersion = 1;
+/// (consumers must tolerate unknown keys).  v2 added the per-directive
+/// breakdown (`directives` in each run and in `comparison`) and the
+/// per-directive cycle counters in `totals`; see docs/report_schema.md
+/// for the full v1 -> v2 changelog.
+inline constexpr std::uint64_t kReportSchemaVersion = 2;
+/// Oldest schema the tooling (cachier diff) still reads.
+inline constexpr std::uint64_t kReportSchemaMinSupported = 1;
 
 /// The deterministic subset of a SimConfig.  `faults_spec` is the CLI's
 /// textual fault spec (empty when faults are disabled).
@@ -34,10 +39,20 @@ inline constexpr std::uint64_t kReportSchemaVersion = 1;
                                std::string_view protocol_name,
                                std::string_view faults_spec);
 
-/// One measured run: counters, cost breakdown, epoch series, hot blocks.
+/// One epoch_series row, exactly as it appears inside a run (shared by the
+/// in-memory path and the streaming epoch writer so both emit identical
+/// bytes).
+[[nodiscard]] Json epoch_row_json(const EpochRow& row);
+
+/// One measured run: counters, cost breakdown, per-directive table, epoch
+/// series, hot blocks.  When the collector streamed its rows to a sink
+/// (Collector::streaming()), `series_splice_id` names the sidecar and
+/// `epoch_series` becomes a Json::splice node the caller resolves at dump
+/// time; otherwise the series is embedded from col.epochs().
 [[nodiscard]] Json run_json(std::string_view name, Cycle exec_time,
                             EpochId epochs, const Stats& stats,
-                            const net::Network& net, const Collector& col);
+                            const net::Network& net, const Collector& col,
+                            std::string_view series_splice_id = {});
 
 /// Paper Table-2-style effectiveness deltas between a baseline run and an
 /// annotated run (both built by run_json).

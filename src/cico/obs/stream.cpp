@@ -1,0 +1,51 @@
+#include "cico/obs/stream.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+#include "cico/obs/report.hpp"
+
+namespace cico::obs {
+
+EpochStreamWriter::EpochStreamWriter(std::string sidecar_path)
+    : path_(std::move(sidecar_path)), out_(path_, std::ios::trunc) {
+  if (!out_) {
+    throw std::runtime_error("cannot write epoch stream sidecar " + path_);
+  }
+}
+
+EpochStreamWriter::~EpochStreamWriter() {
+  out_.close();
+  std::remove(path_.c_str());
+}
+
+void EpochStreamWriter::on_row(const EpochRow& row) {
+  // Canonical array layout: "," after every element but the last, one
+  // element per indented line group.  The last row is unknown until the
+  // run ends, so the separator goes *before* each row after the first and
+  // splice_into() supplies the final newline.
+  if (rows_ > 0) out_ << ",\n";
+  for (int i = 0; i < kEpochSeriesDepth * 2; ++i) out_.put(' ');
+  epoch_row_json(row).dump_element(out_, kEpochSeriesDepth);
+  ++rows_;
+}
+
+void EpochStreamWriter::splice_into(std::ostream& os) {
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error("epoch stream sidecar write failed: " + path_);
+  }
+  if (rows_ == 0) return;
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot reopen epoch stream sidecar " + path_);
+  }
+  char buf[1 << 16];
+  while (in.read(buf, sizeof(buf)) || in.gcount() > 0) {
+    os.write(buf, in.gcount());
+  }
+  os.put('\n');
+}
+
+}  // namespace cico::obs

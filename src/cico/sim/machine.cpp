@@ -197,6 +197,7 @@ void Machine::after_access(NodeCtx& c, NodeId n, Block b, bool write) {
   if (st == LineState::Invalid) return;
   stats_.add(n, Stat::CheckIns);
   stats_.add(n, Stat::DirectiveCycles, cfg_.cost.directive_issue);
+  stats_.add(n, Stat::CheckInCycles, cfg_.cost.directive_issue);
   c.now += cfg_.cost.directive_issue;
   c.cache.erase(b);
   c.prefetch_ready.erase(b);
@@ -280,6 +281,7 @@ void Machine::checkin_inline(NodeCtx& c, NodeId n, Addr a, std::uint64_t bytes) 
     if (st == LineState::Invalid) continue;
     stats_.add(n, Stat::CheckIns);
     stats_.add(n, Stat::DirectiveCycles, cfg_.cost.directive_issue);
+    stats_.add(n, Stat::CheckInCycles, cfg_.cost.directive_issue);
     c.now += cfg_.cost.directive_issue;
     c.cache.erase(b);
     c.prefetch_ready.erase(b);
@@ -303,6 +305,7 @@ void Machine::poststore_inline(NodeCtx& c, NodeId n, Addr a,
     if (c.cache.state_of(b) != LineState::Exclusive) continue;
     stats_.add(n, Stat::PostStores);
     stats_.add(n, Stat::DirectiveCycles, cfg_.cost.directive_issue);
+    stats_.add(n, Stat::PostStoreCycles, cfg_.cost.directive_issue);
     c.now += cfg_.cost.directive_issue;
     // The writer keeps a Shared copy; the downgrade happens when the
     // directory processes the post-store at the boundary.
@@ -322,6 +325,9 @@ void Machine::prefetch_inline(NodeCtx& c, NodeId n, bool exclusive, Addr a,
   const Block last = cfg_.cache.last_block(a, bytes);
   for (Block b = first; b <= last; ++b) {
     stats_.add(n, Stat::PrefetchIssued);
+    stats_.add(n, exclusive ? Stat::PrefetchX : Stat::PrefetchS);
+    stats_.add(n, exclusive ? Stat::PrefetchXCycles : Stat::PrefetchSCycles,
+               cfg_.cost.prefetch_issue);
     c.now += cfg_.cost.prefetch_issue;
     AsyncOp op;
     op.time = c.now;
@@ -842,6 +848,7 @@ void Machine::service_mem(NodeCtx& c, NodeId n) {
       if (first_attempt) {
         stats_.add(n, Stat::CheckOutX);
         stats_.add(n, Stat::DirectiveCycles, cfg_.cost.directive_issue);
+        stats_.add(n, Stat::CheckOutXCycles, cfg_.cost.directive_issue);
         t += cfg_.cost.directive_issue;
       }
     }
@@ -930,6 +937,10 @@ void Machine::service_checkout_range(NodeCtx& c, NodeId n) {
   const Cycle t0 = c.op_time;
   const Cycle t = do_checkout(c, n, c.op_dir, run, t0);
   stats_.add(n, Stat::DirectiveCycles, t - t0);
+  stats_.add(n,
+             c.op_dir == DirectiveKind::CheckOutX ? Stat::CheckOutXCycles
+                                                  : Stat::CheckOutSCycles,
+             t - t0);
   c.now = t;
   c.wait = NodeCtx::Wait::Ready;
 }
@@ -1107,6 +1118,10 @@ void Machine::apply_epoch_start(NodeId n, EpochId e) {
         const Cycle t0 = c.now;
         c.now = do_checkout(c, n, pd.kind, pd.run, c.now);
         stats_.add(n, Stat::DirectiveCycles, c.now - t0);
+        stats_.add(n,
+                   pd.kind == DirectiveKind::CheckOutX ? Stat::CheckOutXCycles
+                                                       : Stat::CheckOutSCycles,
+                   c.now - t0);
         break;
       }
       case DirectiveKind::PrefetchX:
@@ -1114,6 +1129,9 @@ void Machine::apply_epoch_start(NodeId n, EpochId e) {
         const bool excl = pd.kind == DirectiveKind::PrefetchX;
         for (Block b = pd.run.first; b <= pd.run.last; ++b) {
           stats_.add(n, Stat::PrefetchIssued);
+          stats_.add(n, excl ? Stat::PrefetchX : Stat::PrefetchS);
+          stats_.add(n, excl ? Stat::PrefetchXCycles : Stat::PrefetchSCycles,
+                     cfg_.cost.prefetch_issue);
           c.now += cfg_.cost.prefetch_issue;
           service_prefetch(c, n, b, excl, c.now);
         }
@@ -1137,6 +1155,7 @@ void Machine::apply_epoch_end(NodeId n, EpochId e) {
       if (st == LineState::Invalid) continue;
       stats_.add(n, Stat::CheckIns);
       stats_.add(n, Stat::DirectiveCycles, cfg_.cost.directive_issue);
+      stats_.add(n, Stat::CheckInCycles, cfg_.cost.directive_issue);
       c.now += cfg_.cost.directive_issue;
       c.cache.erase(b);
       c.prefetch_ready.erase(b);

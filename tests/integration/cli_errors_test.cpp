@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <sys/wait.h>
 
@@ -201,6 +202,107 @@ TEST_F(CliErrorsTest, ReportToUnwritablePathIsExit2) {
       run_cli("run " + prog_ + " -n 4 --report no_such_dir/out.json");
   EXPECT_EQ(r.exit_code, 2);
   EXPECT_NE(r.output.find("cannot write"), std::string::npos) << r.output;
+}
+
+TEST_F(CliErrorsTest, StreamEpochsWithoutReportIsUsageExit1) {
+  const CmdResult r = run_cli("run " + prog_ + " -n 4 --stream-epochs");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos) << r.output;
+}
+
+TEST_F(CliErrorsTest, StreamEpochsWritesIdenticalReportAndCleansSidecar) {
+  ASSERT_EQ(run_cli("run " + prog_ + " -n 4 --report cli_errors_buf.json")
+                .exit_code,
+            0);
+  ASSERT_EQ(run_cli("run " + prog_ +
+                    " -n 4 --report cli_errors_stream.json --stream-epochs")
+                .exit_code,
+            0);
+  std::ifstream a("cli_errors_buf.json");
+  std::ifstream b("cli_errors_stream.json");
+  const std::string buf((std::istreambuf_iterator<char>(a)),
+                        std::istreambuf_iterator<char>());
+  const std::string streamed((std::istreambuf_iterator<char>(b)),
+                             std::istreambuf_iterator<char>());
+  ASSERT_FALSE(buf.empty());
+  EXPECT_EQ(streamed, buf);
+  std::ifstream sidecar("cli_errors_stream.json.epochs0");
+  EXPECT_FALSE(sidecar.good()) << "sidecar left behind";
+}
+
+// --- diff: 0/1/2 outcome contract on the real binary -----------------------
+
+class CliDiffTest : public CliErrorsTest {
+ protected:
+  void SetUp() override {
+    CliErrorsTest::SetUp();
+    ASSERT_EQ(run_cli("run " + prog_ + " -n 4 --report cli_diff_base.json")
+                  .exit_code,
+              0);
+  }
+};
+
+TEST_F(CliDiffTest, IdenticalReportsExit0) {
+  const CmdResult r = run_cli("diff cli_diff_base.json cli_diff_base.json");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("identical"), std::string::npos) << r.output;
+}
+
+TEST_F(CliDiffTest, DivergentReportExits2AndTolerancesDowngradeTo1) {
+  ASSERT_EQ(run_cli("run " + prog_ + " -n 8 --report cli_diff_cand.json")
+                .exit_code,
+            0);
+  const CmdResult reg = run_cli("diff cli_diff_base.json cli_diff_cand.json");
+  EXPECT_EQ(reg.exit_code, 2) << reg.output;
+  EXPECT_NE(reg.output.find("REGRESSION"), std::string::npos) << reg.output;
+
+  // Ignoring everything but one numeric counter, with a generous bound,
+  // leaves only tolerated divergences: exit 1.  (totals.barriers scales
+  // with the node count, so it is guaranteed to diverge here.)
+  write_file("cli_diff_rules.toml",
+             "[tolerance]\n"
+             "runs.*.totals.barriers = \"rel=10000%\"\n");
+  const CmdResult tol = run_cli(
+      "diff cli_diff_base.json cli_diff_cand.json "
+      "--tolerances cli_diff_rules.toml --tol '**=ignore' "
+      "--tol 'runs.*.totals.barriers=rel=10000%'");
+  EXPECT_EQ(tol.exit_code, 1) << tol.output;
+  EXPECT_NE(tol.output.find("(exit 1)"), std::string::npos) << tol.output;
+}
+
+TEST_F(CliDiffTest, MalformedJsonNamesFileAndLineExit2) {
+  write_file("cli_diff_bad.json", "{\n  \"schema_version\": ]\n}\n");
+  const CmdResult r = run_cli("diff cli_diff_base.json cli_diff_bad.json");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("cachier: error: cli_diff_bad.json"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("line 2"), std::string::npos) << r.output;
+}
+
+TEST_F(CliDiffTest, UnsupportedSchemaVersionIsExit2) {
+  write_file("cli_diff_v99.json", "{\n  \"schema_version\": 99\n}\n");
+  const CmdResult r = run_cli("diff cli_diff_base.json cli_diff_v99.json");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unsupported schema_version 99"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(CliDiffTest, BadToleranceFileNamesTheLineExit2) {
+  write_file("cli_diff_bad_rules.toml", "a = \"abs=1\"\nnot a rule\n");
+  const CmdResult r = run_cli(
+      "diff cli_diff_base.json cli_diff_base.json "
+      "--tolerances cli_diff_bad_rules.toml");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("cli_diff_bad_rules.toml"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("line 2"), std::string::npos) << r.output;
+}
+
+TEST_F(CliDiffTest, MissingCandidateArgumentIsUsageExit1) {
+  const CmdResult r = run_cli("diff cli_diff_base.json");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos) << r.output;
 }
 
 TEST_F(CliErrorsTest, CleanRunIsExit0) {

@@ -1,0 +1,347 @@
+// Contract tests for the report differ (ISSUE 4 tentpole): the 0/1/2
+// outcome mapping, per-metric tolerance rules (file grammar + flag form),
+// divergence classification, the v1->v2 schema compatibility path, and
+// line-numbered errors for malformed tolerance input.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "cico/obs/diff.hpp"
+#include "cico/obs/json.hpp"
+
+namespace cico::obs {
+namespace {
+
+// A small but shape-complete v2 report; tests perturb copies of it.
+constexpr const char* kBase = R"({
+  "schema_version": 2,
+  "generator": "cachier",
+  "command": "run",
+  "config": {
+    "nodes": 4,
+    "protocol": "dir1sw"
+  },
+  "runs": [
+    {
+      "name": "run",
+      "exec_time": 10000,
+      "totals": {
+        "traps": 120,
+        "messages": 400
+      },
+      "cost_breakdown": {
+        "directive_cycles": 500
+      },
+      "directives": {
+        "check_in": {
+          "count": 12,
+          "cycles": 120
+        }
+      },
+      "faults": {
+        "msg_dropped": 0
+      },
+      "epoch_series": [
+        {
+          "epoch": 1,
+          "end_vt": 5000
+        }
+      ],
+      "hot_blocks": []
+    }
+  ]
+})";
+
+Json base_report() { return Json::parse(kBase); }
+
+/// Returns kBase with one literal substring replaced.
+Json perturbed(const std::string& from, const std::string& to) {
+  std::string text = kBase;
+  const std::size_t pos = text.find(from);
+  EXPECT_NE(pos, std::string::npos) << from;
+  text.replace(pos, from.size(), to);
+  return Json::parse(text);
+}
+
+DiffResult run_diff(const Json& b, const Json& c,
+                    const std::string& tol_text = {}) {
+  ToleranceSet tol;
+  if (!tol_text.empty()) tol = ToleranceSet::parse(tol_text);
+  return diff_reports(b, c, tol);
+}
+
+// --- exit-code contract ----------------------------------------------------
+
+TEST(ReportDiff, IdenticalReportsExitZero) {
+  const DiffResult r = run_diff(base_report(), base_report());
+  EXPECT_EQ(r.outcome, DiffOutcome::Identical);
+  EXPECT_TRUE(r.divergences.empty());
+  std::ostringstream os;
+  print_diff(os, r);
+  EXPECT_NE(os.str().find("identical (exit 0)"), std::string::npos);
+}
+
+TEST(ReportDiff, CounterDeltaWithoutToleranceIsRegression) {
+  const DiffResult r =
+      run_diff(base_report(), perturbed("\"traps\": 120", "\"traps\": 134"));
+  EXPECT_EQ(r.outcome, DiffOutcome::Regression);
+  ASSERT_EQ(r.divergences.size(), 1u);
+  const Divergence& d = r.divergences[0];
+  EXPECT_EQ(d.cls, DiffClass::Counter);
+  EXPECT_EQ(d.path, "runs.0.totals.traps");
+  EXPECT_TRUE(d.numeric);
+  EXPECT_DOUBLE_EQ(d.delta, 14.0);
+  EXPECT_NEAR(d.pct, 100.0 * 14.0 / 120.0, 1e-9);
+  EXPECT_FALSE(d.tolerated);
+  std::ostringstream os;
+  print_diff(os, r);
+  EXPECT_NE(os.str().find("REGRESSION"), std::string::npos);
+  EXPECT_NE(os.str().find("(exit 2)"), std::string::npos);
+}
+
+TEST(ReportDiff, RelativeToleranceDowngradesToWithinTolerance) {
+  const DiffResult r =
+      run_diff(base_report(), perturbed("\"traps\": 120", "\"traps\": 134"),
+               "runs.*.totals.traps = \"rel=15%\"\n");
+  EXPECT_EQ(r.outcome, DiffOutcome::WithinTolerance);
+  ASSERT_EQ(r.divergences.size(), 1u);
+  EXPECT_TRUE(r.divergences[0].tolerated);
+  EXPECT_EQ(r.divergences[0].rule, "rel=15%");
+  std::ostringstream os;
+  print_diff(os, r);
+  EXPECT_NE(os.str().find("(exit 1)"), std::string::npos);
+}
+
+TEST(ReportDiff, AbsoluteToleranceBoundIsExact) {
+  const Json cand = perturbed("\"traps\": 120", "\"traps\": 134");
+  EXPECT_EQ(run_diff(base_report(), cand,
+                     "runs.*.totals.traps = \"abs=14\"\n")
+                .outcome,
+            DiffOutcome::WithinTolerance);
+  EXPECT_EQ(run_diff(base_report(), cand,
+                     "runs.*.totals.traps = \"abs=13\"\n")
+                .outcome,
+            DiffOutcome::Regression);
+}
+
+TEST(ReportDiff, IgnoreDropsTheMetricEntirely) {
+  // An ignored metric must not even force exit 1, or a permanently
+  // volatile field would keep the gate from ever reporting "identical".
+  const DiffResult r =
+      run_diff(base_report(), perturbed("\"traps\": 120", "\"traps\": 999"),
+               "runs.*.totals.traps = \"ignore\"\n");
+  EXPECT_EQ(r.outcome, DiffOutcome::Identical);
+  EXPECT_TRUE(r.divergences.empty());
+}
+
+TEST(ReportDiff, IgnoreDoesNotPruneDeeperOverrides) {
+  // '**' matches the container paths too; if ignore pruned recursion, the
+  // later per-field override could never fire.
+  ToleranceSet tol;
+  tol.add_flag("**=ignore");
+  tol.add_flag("runs.*.totals.traps=abs=0");
+  const DiffResult r = diff_reports(
+      base_report(), perturbed("\"traps\": 120", "\"traps\": 134"), tol);
+  EXPECT_EQ(r.outcome, DiffOutcome::Regression);
+  ASSERT_EQ(r.divergences.size(), 1u);
+  EXPECT_EQ(r.divergences[0].path, "runs.0.totals.traps");
+}
+
+TEST(ReportDiff, LaterRulesOverrideEarlierOnes) {
+  ToleranceSet tol = ToleranceSet::parse(
+      "runs.*.totals.traps = \"rel=1%\"\n");  // would fail
+  tol.add_flag("runs.*.totals.traps=rel=50%");  // --tol wins
+  const DiffResult r = diff_reports(
+      base_report(), perturbed("\"traps\": 120", "\"traps\": 134"), tol);
+  EXPECT_EQ(r.outcome, DiffOutcome::WithinTolerance);
+}
+
+// --- classification --------------------------------------------------------
+
+TEST(ReportDiff, DivergencesAreClassifiedByPath) {
+  struct Case {
+    const char* from;
+    const char* to;
+    DiffClass cls;
+  };
+  const Case cases[] = {
+      {"\"nodes\": 4", "\"nodes\": 8", DiffClass::Config},
+      {"\"messages\": 400", "\"messages\": 500", DiffClass::Counter},
+      {"\"directive_cycles\": 500", "\"directive_cycles\": 600",
+       DiffClass::Cost},
+      {"\"msg_dropped\": 0", "\"msg_dropped\": 3", DiffClass::Fault},
+      {"\"end_vt\": 5000", "\"end_vt\": 6000", DiffClass::Epoch},
+      {"\"cycles\": 120", "\"cycles\": 130", DiffClass::Counter},
+  };
+  for (const Case& c : cases) {
+    const DiffResult r = run_diff(base_report(), perturbed(c.from, c.to));
+    ASSERT_EQ(r.divergences.size(), 1u) << c.from;
+    EXPECT_EQ(r.divergences[0].cls, c.cls)
+        << c.from << " classified as "
+        << diff_class_name(r.divergences[0].cls);
+  }
+}
+
+TEST(ReportDiff, TypeChangeIsAStructureRegression) {
+  const DiffResult r = run_diff(
+      base_report(), perturbed("\"exec_time\": 10000", "\"exec_time\": \"x\""));
+  EXPECT_EQ(r.outcome, DiffOutcome::Regression);
+  ASSERT_EQ(r.divergences.size(), 1u);
+  EXPECT_EQ(r.divergences[0].cls, DiffClass::Structure);
+  EXPECT_FALSE(r.divergences[0].numeric);
+}
+
+TEST(ReportDiff, ArrayLengthChangeDiffsCommonPrefixToo) {
+  const Json cand = perturbed(
+      "{\n          \"epoch\": 1,\n          \"end_vt\": 5000\n        }",
+      "{\n          \"epoch\": 1,\n          \"end_vt\": 5500\n        },\n"
+      "        {\n          \"epoch\": 2,\n          \"end_vt\": 9000\n"
+      "        }");
+  const DiffResult r = run_diff(base_report(), cand);
+  EXPECT_EQ(r.outcome, DiffOutcome::Regression);
+  // Length mismatch at the array path plus the end_vt drift inside row 0.
+  bool saw_len = false;
+  bool saw_row = false;
+  for (const Divergence& d : r.divergences) {
+    if (d.path == "runs.0.epoch_series" && d.cls == DiffClass::Structure) {
+      saw_len = true;
+    }
+    if (d.path == "runs.0.epoch_series.0.end_vt") {
+      saw_row = true;
+      EXPECT_EQ(d.cls, DiffClass::Epoch);
+    }
+  }
+  EXPECT_TRUE(saw_len);
+  EXPECT_TRUE(saw_row);
+}
+
+// --- v1 compatibility ------------------------------------------------------
+
+TEST(ReportDiff, KeysMissingFromOlderSchemaAreTolerated) {
+  // A v1 baseline has no per-directive table; diffing it against a v2
+  // candidate must not flag the additive keys (or the version bump) as
+  // regressions -- old goldens keep gating new binaries.
+  std::string v1 = kBase;
+  const std::size_t dpos = v1.find("      \"directives\"");
+  ASSERT_NE(dpos, std::string::npos);
+  const std::size_t dend = v1.find("      \"faults\"");
+  v1.erase(dpos, dend - dpos);
+  const std::size_t vpos = v1.find("\"schema_version\": 2");
+  v1.replace(vpos, 19, "\"schema_version\": 1");
+
+  const DiffResult r = run_diff(Json::parse(v1), base_report());
+  EXPECT_EQ(r.outcome, DiffOutcome::WithinTolerance) << [&] {
+    std::ostringstream os;
+    print_diff(os, r);
+    return os.str();
+  }();
+  EXPECT_EQ(r.regressions, 0u);
+  EXPECT_GE(r.tolerated, 2u);  // schema_version bump + directives table
+  for (const Divergence& d : r.divergences) {
+    EXPECT_EQ(d.rule, "schema-compat") << d.path;
+  }
+}
+
+TEST(ReportDiff, KeyMissingFromNewerSideStaysARegression) {
+  // Same version pair, but the *newer* report lost a key: that is a real
+  // structural regression, not schema growth.
+  std::string v1 = kBase;
+  const std::size_t vpos = v1.find("\"schema_version\": 2");
+  v1.replace(vpos, 19, "\"schema_version\": 1");
+  std::string v2_missing = kBase;
+  const std::size_t hpos = v2_missing.find(",\n      \"hot_blocks\": []");
+  ASSERT_NE(hpos, std::string::npos);
+  v2_missing.erase(hpos, std::string(",\n      \"hot_blocks\": []").size());
+
+  const DiffResult r = run_diff(Json::parse(v1), Json::parse(v2_missing));
+  EXPECT_EQ(r.outcome, DiffOutcome::Regression);
+  bool saw = false;
+  for (const Divergence& d : r.divergences) {
+    if (d.path == "runs.0.hot_blocks" && !d.tolerated) saw = true;
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST(ReportDiff, SameVersionMissingKeyIsARegression) {
+  std::string missing = kBase;
+  const std::size_t pos = missing.find(",\n        \"messages\": 400");
+  ASSERT_NE(pos, std::string::npos);
+  missing.erase(pos, std::string(",\n        \"messages\": 400").size());
+  const DiffResult r = run_diff(base_report(), Json::parse(missing));
+  EXPECT_EQ(r.outcome, DiffOutcome::Regression);
+  ASSERT_EQ(r.divergences.size(), 1u);
+  EXPECT_EQ(r.divergences[0].candidate, "<absent>");
+}
+
+// --- schema validation -----------------------------------------------------
+
+TEST(ReportDiff, UnsupportedSchemaVersionThrows) {
+  const Json bad = perturbed("\"schema_version\": 2", "\"schema_version\": 99");
+  try {
+    (void)run_diff(base_report(), bad);
+    FAIL() << "expected schema error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unsupported schema_version 99"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("candidate"), std::string::npos) << msg;
+  }
+}
+
+TEST(ReportDiff, MissingSchemaVersionThrows) {
+  Json not_a_report = Json::object();
+  not_a_report.set("hello", Json::string("world"));
+  EXPECT_THROW((void)run_diff(not_a_report, base_report()),
+               std::runtime_error);
+  EXPECT_THROW((void)run_diff(base_report(), Json::string("nope")),
+               std::runtime_error);
+}
+
+// --- tolerance grammar -----------------------------------------------------
+
+TEST(ToleranceGrammar, ParsesSectionsCommentsAndQuotedKeys) {
+  const ToleranceSet tol = ToleranceSet::parse(
+      "# drift budget for the CI gate\n"
+      "[tolerance]\n"
+      "runs.*.totals.stall_cycles = \"abs=200, rel=1.5%\"  # both bounds\n"
+      "\"runs.*.epoch_series.**\" = \"rel=5%\"\n"
+      "config.faults = \"ignore\"\n");
+  EXPECT_EQ(tol.size(), 3u);
+  const ToleranceRule* r = tol.match("runs.1.totals.stall_cycles");
+  ASSERT_NE(r, nullptr);
+  EXPECT_TRUE(r->has_abs);
+  EXPECT_DOUBLE_EQ(r->abs_bound, 200.0);
+  EXPECT_TRUE(r->has_rel);
+  EXPECT_DOUBLE_EQ(r->rel_bound, 1.5);
+  // ** spans any depth, including zero extra segments.
+  EXPECT_NE(tol.match("runs.0.epoch_series.3.end_vt"), nullptr);
+  EXPECT_NE(tol.match("runs.0.epoch_series"), nullptr);
+  // * is exactly one segment.
+  EXPECT_EQ(tol.match("runs.0.extra.totals.stall_cycles"), nullptr);
+  EXPECT_EQ(tol.match("unrelated"), nullptr);
+}
+
+TEST(ToleranceGrammar, ErrorsCarryLineNumbers) {
+  try {
+    (void)ToleranceSet::parse("config.nodes = \"abs=1\"\nbogus line\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2:"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW((void)ToleranceSet::parse("a = \"abs=-1\"\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)ToleranceSet::parse("a = \"frobnicate=3\"\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)ToleranceSet::parse("[surprise]\n"), std::runtime_error);
+  EXPECT_THROW((void)ToleranceSet::parse("a = \"unterminated\n"),
+               std::runtime_error);
+  ToleranceSet tol;
+  EXPECT_THROW(tol.add_flag("no-spec-here"), std::runtime_error);
+  EXPECT_THROW(tol.add_flag("a=rel=banana"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cico::obs

@@ -5,6 +5,7 @@
 // byte-for-byte so consumers can rewrite reports losslessly.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -14,6 +15,7 @@
 #include "cico/obs/collector.hpp"
 #include "cico/obs/json.hpp"
 #include "cico/obs/report.hpp"
+#include "cico/obs/stream.hpp"
 #include "cico/sim/machine.hpp"
 
 namespace cico::obs {
@@ -79,7 +81,57 @@ RunArtifacts run_once(AppKind app, std::uint32_t threads) {
   return out;
 }
 
+/// Same workload, but epoch rows stream through an EpochStreamWriter
+/// sidecar instead of buffering in the Collector; returns the final
+/// report bytes assembled via the splice resolver.
+std::string run_streamed(AppKind app, std::uint32_t threads,
+                         const std::string& sidecar) {
+  const sim::SimConfig cfg = report_cfg(app, threads);
+  sim::Machine m(cfg);
+  Collector col;
+  EpochStreamWriter writer(sidecar);
+  col.set_epoch_sink(&writer);
+  m.set_observer(&col);
+  std::unique_ptr<apps::App> a = make_app(app);
+  a->setup(m, apps::Variant::None);
+  m.run([&](sim::Proc& p) { a->body(p); });
+
+  EXPECT_TRUE(col.epochs().empty()) << "streaming must not buffer rows";
+  EXPECT_GT(writer.rows(), 0u);
+  EXPECT_EQ(writer.rows(), col.rows_flushed());
+
+  std::vector<Json> runs;
+  runs.push_back(run_json("run", m.exec_time(), m.epochs_completed(),
+                          m.stats(), m.network(), col, "epochs0"));
+  const Json rep =
+      make_report("run", config_json(cfg, "dir1sw", ""), std::move(runs));
+  std::ostringstream os;
+  rep.dump(os, [&](std::ostream& s, std::string_view) {
+    writer.splice_into(s);
+  });
+  return os.str();
+}
+
 class ReportEquiv : public ::testing::TestWithParam<AppKind> {};
+
+TEST_P(ReportEquiv, StreamedEpochSeriesIsByteIdenticalToBuffered) {
+  // O(1)-memory streaming must not change a single report byte, for any
+  // boundary-thread count (rows flush on the coordinator at barriers, so
+  // their order is canonical regardless of sharding).
+  const RunArtifacts buffered = run_once(GetParam(), 1);
+  const std::string dir = ::testing::TempDir();
+  EXPECT_EQ(run_streamed(GetParam(), 1, dir + "epochs_t1.rows"),
+            buffered.report);
+  EXPECT_EQ(run_streamed(GetParam(), 4, dir + "epochs_t4.rows"),
+            buffered.report);
+}
+
+TEST_P(ReportEquiv, StreamWriterRemovesItsSidecar) {
+  const std::string sidecar = ::testing::TempDir() + "epochs_tmp.rows";
+  (void)run_streamed(GetParam(), 1, sidecar);
+  std::ifstream left(sidecar);
+  EXPECT_FALSE(left.good()) << "sidecar not cleaned up: " << sidecar;
+}
 
 TEST_P(ReportEquiv, ReportBytesIdenticalAcrossBoundaryThreads) {
   const RunArtifacts serial = run_once(GetParam(), 1);
@@ -121,6 +173,49 @@ TEST(ReportSchema, EnvelopeCarriesPinnedVersionAndSections) {
                           "cost_breakdown", "epoch_series", "hot_blocks"}) {
     EXPECT_NE(run.find(key), nullptr) << "missing run section: " << key;
   }
+}
+
+TEST(ReportSchema, DirectiveTablePartitionsDirectiveCycles) {
+  // Schema v2: runs carry a per-directive {count, cycles} table whose
+  // check-out/check-in/post-store cycles partition DirectiveCycles exactly
+  // (prefetch issue is asynchronous and deliberately outside the sum).
+  const sim::SimConfig cfg = report_cfg(AppKind::MatMul, 1);
+  sim::Machine m(cfg);
+  Collector col;
+  m.set_observer(&col);
+  std::unique_ptr<apps::App> a = make_app(AppKind::MatMul);
+  a->setup(m, apps::Variant::Hand);  // hand CICO => nonzero directives
+  m.run([&](sim::Proc& p) { a->body(p); });
+  EXPECT_TRUE(a->verify());
+
+  std::vector<Json> runs;
+  runs.push_back(run_json("run", m.exec_time(), m.epochs_completed(),
+                          m.stats(), m.network(), col));
+  const Json rep =
+      make_report("run", config_json(cfg, "dir1sw", ""), std::move(runs));
+  const Json& run = rep.find("runs")->at(0);
+  const Json* dir = run.find("directives");
+  ASSERT_NE(dir, nullptr);
+  std::uint64_t partition = 0;
+  for (const char* kind : {"check_out_x", "check_out_s", "check_in",
+                           "prefetch_x", "prefetch_s", "post_store"}) {
+    const Json* entry = dir->find(kind);
+    ASSERT_NE(entry, nullptr) << kind;
+    ASSERT_NE(entry->find("count"), nullptr) << kind;
+    ASSERT_NE(entry->find("cycles"), nullptr) << kind;
+    if (std::string(kind).rfind("prefetch", 0) != 0) {
+      partition += entry->find("cycles")->as_u64();
+    }
+  }
+  const Stats& s = m.stats();
+  EXPECT_GT(dir->find("check_in")->find("count")->as_u64(), 0u);
+  EXPECT_EQ(dir->find("check_in")->find("count")->as_u64(),
+            s.total(Stat::CheckIns));
+  EXPECT_EQ(dir->find("check_out_x")->find("count")->as_u64(),
+            s.total(Stat::CheckOutX));
+  EXPECT_EQ(partition, s.total(Stat::DirectiveCycles));
+  EXPECT_EQ(partition,
+            run.find("cost_breakdown")->find("directive_cycles")->as_u64());
 }
 
 TEST(ReportSchema, ConfigExcludesHostTuningKnobs) {

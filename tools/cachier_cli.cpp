@@ -23,17 +23,27 @@
 //       run seeded fault-injection campaigns over the bundled apps
 //       (each campaign runs twice to verify per-seed determinism) and
 //       report survival / retry / timeout statistics
+//   cachier diff baseline.json candidate.json [--tolerances file]
+//               [--tol pattern=spec]...
+//       schema-aware structural diff of two --report files; exits 0
+//       (identical), 1 (divergences, all within tolerance), or 2
+//       (regression / malformed input) -- the CI regression gate
+//       (docs/report_schema.md, docs/observability.md)
 //
 // Observability (run / compare): `--report out.json` writes the versioned
 // JSON run report and `--events out.json` the Chrome trace-event export
 // (docs/observability.md).  Both are pure functions of simulated state, so
 // their bytes are identical for any --boundary-threads value.
+// `--stream-epochs` writes epoch_series rows to a sidecar at each barrier
+// flush instead of buffering them, keeping report memory O(1) in epoch
+// count; the final report bytes are identical either way.
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on program errors
 // (malformed numeric flags, parse errors, bad trace files, SimDeadlock,
 // ProtocolTimeout, InvariantViolation, failed soak campaigns) -- every
 // std::exception maps to exit 2 with a one-line `cachier: error: ...` on
-// stderr.
+// stderr.  `diff` overloads 1 as within-tolerance (its usage errors still
+// print the usage text first).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -52,7 +62,9 @@
 #include "cico/lang/interp.hpp"
 #include "cico/lang/parser.hpp"
 #include "cico/lang/unparse.hpp"
+#include "cico/obs/diff.hpp"
 #include "cico/obs/report.hpp"
+#include "cico/obs/stream.hpp"
 #include "cico/sim/plan_io.hpp"
 #include "cico/srcann/annotator.hpp"
 
@@ -63,6 +75,7 @@ namespace {
 struct Options {
   std::string command;
   std::string file;
+  std::string file2;            ///< diff: the candidate report
   std::uint32_t nodes = 8;
   cachier::Mode mode = cachier::Mode::Performance;
   std::string faults;           ///< FaultSpec text; empty = faults disabled
@@ -73,7 +86,10 @@ struct Options {
   std::uint32_t boundary_threads = 1;  ///< boundary-phase worker threads
   std::string report_file;      ///< run/compare --report <file>
   std::string events_file;      ///< run/compare --events <file>
+  bool stream_epochs = false;   ///< stream epoch_series rows to a sidecar
   std::string trace_load;       ///< trace --load <file>
+  std::string tolerances_file;  ///< diff --tolerances <file>
+  std::vector<std::string> tol_flags;  ///< diff --tol pattern=spec
 };
 
 void usage() {
@@ -84,8 +100,11 @@ void usage() {
       "               [--plan file] [--faults spec] [--paranoid]\n"
       "               [--boundary-threads N]\n"
       "               [--report out.json] [--events out.json]\n"
+      "               [--stream-epochs]\n"
       "       cachier trace --load trace.txt\n"
-      "       cachier soak [--campaigns N] [--seed s] [--faults spec]\n");
+      "       cachier soak [--campaigns N] [--seed s] [--faults spec]\n"
+      "       cachier diff baseline.json candidate.json\n"
+      "               [--tolerances rules.toml] [--tol pattern=spec]...\n");
 }
 
 const char* protocol_name(sim::ProtocolKind k) {
@@ -144,7 +163,8 @@ Cycle run_program(const lang::Program& prog, const sim::SimConfig& cfg,
                   bool print_stats, const sim::DirectivePlan* plan = nullptr,
                   obs::Collector* col = nullptr,
                   obs::Json* run_out = nullptr,
-                  std::string_view run_name = "run") {
+                  std::string_view run_name = "run",
+                  std::string_view series_splice_id = {}) {
   sim::Machine m(cfg);
   lang::LoadedProgram lp(prog, m);
   if (plan != nullptr) m.set_plan(plan);
@@ -152,7 +172,7 @@ Cycle run_program(const lang::Program& prog, const sim::SimConfig& cfg,
   m.run([&](sim::Proc& p) { lp.run_node(p); });
   if (col != nullptr && run_out != nullptr) {
     *run_out = obs::run_json(run_name, m.exec_time(), m.epochs_completed(),
-                             m.stats(), m.network(), *col);
+                             m.stats(), m.network(), *col, series_splice_id);
   }
   if (print_stats) {
     std::printf("nodes:            %u\n", cfg.nodes);
@@ -365,8 +385,37 @@ int do_soak(const Options& opt) {
   return 0;
 }
 
+// --- diff: schema-aware report comparison (the CI regression gate) ---------
+
+int do_diff(const Options& opt) {
+  obs::ToleranceSet tol;
+  if (!opt.tolerances_file.empty()) {
+    try {
+      tol = obs::ToleranceSet::parse(slurp(opt.tolerances_file));
+    } catch (const std::runtime_error& e) {
+      // Keep the parser's "line N:" position but name the file.
+      throw std::runtime_error(opt.tolerances_file + ": " + e.what());
+    }
+  }
+  for (const std::string& flag : opt.tol_flags) tol.add_flag(flag);
+
+  const auto load_report = [](const std::string& path) {
+    try {
+      return obs::Json::parse(slurp(path));
+    } catch (const std::runtime_error& e) {
+      throw std::runtime_error(path + ": " + e.what());
+    }
+  };
+  const obs::Json baseline = load_report(opt.file);
+  const obs::Json candidate = load_report(opt.file2);
+  const obs::DiffResult result = obs::diff_reports(baseline, candidate, tol);
+  obs::print_diff(std::cout, result);
+  return static_cast<int>(result.outcome);
+}
+
 int dispatch(const Options& opt) {
   if (opt.command == "soak") return do_soak(opt);
+  if (opt.command == "diff") return do_diff(opt);
 
   if (opt.command == "trace" && !opt.trace_load.empty()) {
     // Validate-and-reemit: a malformed file fails with exit 2 and a
@@ -393,9 +442,15 @@ int dispatch(const Options& opt) {
     const sim::SimConfig cfg = make_config(opt);
     obs::Collector col;
     col.set_events_enabled(!opt.events_file.empty());
+    std::unique_ptr<obs::EpochStreamWriter> stream;
+    if (opt.stream_epochs) {
+      stream = std::make_unique<obs::EpochStreamWriter>(opt.report_file +
+                                                        ".epochs0");
+      col.set_epoch_sink(stream.get());
+    }
     obs::Json run_j;
     run_program(prog, cfg, /*print_stats=*/true, pp,
-                want_obs ? &col : nullptr, &run_j, "run");
+                want_obs ? &col : nullptr, &run_j, "run", "epochs0");
     if (!opt.report_file.empty()) {
       std::vector<obs::Json> runs;
       runs.push_back(std::move(run_j));
@@ -403,7 +458,13 @@ int dispatch(const Options& opt) {
           "run", obs::config_json(cfg, protocol_name(cfg.protocol), opt.faults),
           std::move(runs));
       std::ofstream out = open_out(opt.report_file);
-      rep.dump(out);
+      if (stream != nullptr) {
+        rep.dump(out, [&](std::ostream& os, std::string_view) {
+          stream->splice_into(os);
+        });
+      } else {
+        rep.dump(out);
+      }
     }
     if (!opt.events_file.empty()) {
       std::ofstream out = open_out(opt.events_file);
@@ -447,17 +508,27 @@ int dispatch(const Options& opt) {
     obs::Collector anno_col;
     // --events on compare exports the ANNOTATED run (one trace per file).
     anno_col.set_events_enabled(!opt.events_file.empty());
+    std::unique_ptr<obs::EpochStreamWriter> base_stream;
+    std::unique_ptr<obs::EpochStreamWriter> anno_stream;
+    if (opt.stream_epochs) {
+      base_stream = std::make_unique<obs::EpochStreamWriter>(opt.report_file +
+                                                             ".epochs0");
+      anno_stream = std::make_unique<obs::EpochStreamWriter>(opt.report_file +
+                                                             ".epochs1");
+      base_col.set_epoch_sink(base_stream.get());
+      anno_col.set_epoch_sink(anno_stream.get());
+    }
     obs::Json base_j;
     obs::Json anno_j;
     std::printf("-- unannotated --\n");
     const Cycle base = run_program(prog, cfg, true, nullptr,
                                    want_obs ? &base_col : nullptr, &base_j,
-                                   "baseline");
+                                   "baseline", "epochs0");
     std::printf("-- %s CICO (%zu annotations) --\n",
                 cachier::mode_name(opt.mode), res.inserted);
     const Cycle anno = run_program(annotated, cfg, true, nullptr,
                                    want_obs ? &anno_col : nullptr, &anno_j,
-                                   "annotated");
+                                   "annotated", "epochs1");
     std::printf("\nnormalized execution time: %.3f\n",
                 static_cast<double>(anno) / static_cast<double>(base));
     if (!opt.report_file.empty()) {
@@ -471,7 +542,13 @@ int dispatch(const Options& opt) {
           std::move(runs));
       rep.set("comparison", cmp);
       std::ofstream out = open_out(opt.report_file);
-      rep.dump(out);
+      if (base_stream != nullptr) {
+        rep.dump(out, [&](std::ostream& os, std::string_view id) {
+          (id == "epochs0" ? *base_stream : *anno_stream).splice_into(os);
+        });
+      } else {
+        rep.dump(out);
+      }
     }
     if (!opt.events_file.empty()) {
       std::ofstream out = open_out(opt.events_file);
@@ -516,6 +593,12 @@ int parse_args(int argc, char** argv, Options& opt) {
       opt.report_file = argv[++i];
     } else if (arg == "--events" && i + 1 < argc) {
       opt.events_file = argv[++i];
+    } else if (arg == "--stream-epochs") {
+      opt.stream_epochs = true;
+    } else if (arg == "--tolerances" && i + 1 < argc) {
+      opt.tolerances_file = argv[++i];
+    } else if (arg == "--tol" && i + 1 < argc) {
+      opt.tol_flags.emplace_back(argv[++i]);
     } else if (arg == "--load" && i + 1 < argc) {
       opt.trace_load = argv[++i];
     } else if (arg == "--campaigns" && i + 1 < argc) {
@@ -526,6 +609,8 @@ int parse_args(int argc, char** argv, Options& opt) {
       opt.command = arg;
     } else if (opt.file.empty()) {
       opt.file = arg;
+    } else if (opt.command == "diff" && opt.file2.empty()) {
+      opt.file2 = arg;
     } else {
       usage();
       return 1;
@@ -536,7 +621,10 @@ int parse_args(int argc, char** argv, Options& opt) {
       !(opt.command == "trace" && !opt.trace_load.empty());
   if (opt.command.empty() || (needs_file && opt.file.empty()) ||
       opt.nodes == 0 || opt.boundary_threads == 0 ||
-      (opt.command == "soak" && opt.campaigns == 0)) {
+      (opt.command == "soak" && opt.campaigns == 0) ||
+      (opt.command == "diff" && opt.file2.empty()) ||
+      // Streaming only makes sense while a report is being written.
+      (opt.stream_epochs && opt.report_file.empty())) {
     usage();
     return 1;
   }
