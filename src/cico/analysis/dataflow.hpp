@@ -1,0 +1,256 @@
+// Reusable dataflow framework over the MiniPar control-flow graph.
+//
+// The CICO typestate linter (typestate.hpp) and a pair of classic base
+// analyses (reaching definitions, live shared arrays) are all built on the
+// same pieces:
+//
+//   * CfgInfo      -- derived graph structure: reverse postorder, exit
+//                     blocks, reachability, loop headers (retreating-edge
+//                     targets);
+//   * Dominators   -- iterative dominator tree (Cooper-Harvey-Kennedy),
+//                     back edges and a reducibility check;
+//   * solve()      -- a direction-agnostic worklist solver parameterised
+//                     by a Domain (lattice + transfer), with optional
+//                     loop-aware widening at header blocks so
+//                     infinite-height domains still terminate;
+//   * StmtIndex / SharedArrays / shared_accesses() -- statement lookup and
+//     shared-array access extraction shared by every client.
+//
+// Domain concept (duck-typed, checked at instantiation):
+//
+//   struct Domain {
+//     using State = ...;                             // copyable
+//     State init() const;                            // bottom
+//     State boundary() const;                        // entry/exit value
+//     bool  join(State& into, const State& from) const;   // true if grew
+//     bool  widen(State& into, const State& from) const;  // >= join
+//     void  transfer(std::uint32_t block, State& s) const;
+//   };
+//
+// transfer() applies the whole block in the solve direction (a backward
+// domain walks the block's statements in reverse itself).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cico/lang/cfg.hpp"
+
+namespace cico::analysis {
+
+// ---------------------------------------------------------------------------
+// Graph structure
+// ---------------------------------------------------------------------------
+
+/// Orderings and reachability derived from a Cfg.  The Cfg must outlive it.
+struct CfgInfo {
+  explicit CfgInfo(const lang::Cfg& cfg);
+
+  const lang::Cfg* cfg = nullptr;
+  /// Reachable blocks in reverse postorder (entry first).
+  std::vector<std::uint32_t> rpo;
+  /// rpo position per block id; kUnreachable for unreachable blocks.
+  std::vector<std::uint32_t> rpo_pos;
+  /// Reachable blocks with no successors (backward-analysis boundary).
+  std::vector<std::uint32_t> exits;
+  /// Targets of retreating edges (loop headers in a reducible graph).
+  std::vector<bool> is_header;
+
+  static constexpr std::uint32_t kUnreachable = 0xffffffffu;
+
+  [[nodiscard]] bool reachable(std::uint32_t b) const {
+    return b < rpo_pos.size() && rpo_pos[b] != kUnreachable;
+  }
+};
+
+/// Immediate dominators over the reachable subgraph.
+class Dominators {
+ public:
+  Dominators(const lang::Cfg& cfg, const CfgInfo& info);
+
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  /// Immediate dominator; entry's idom is itself, kNone for unreachable.
+  [[nodiscard]] std::uint32_t idom(std::uint32_t b) const { return idom_[b]; }
+  /// Reflexive dominance over reachable blocks.
+  [[nodiscard]] bool dominates(std::uint32_t a, std::uint32_t b) const;
+  /// Edges tail->header whose header dominates the tail.
+  [[nodiscard]] const std::vector<std::pair<std::uint32_t, std::uint32_t>>&
+  back_edges() const {
+    return back_edges_;
+  }
+  /// True when every retreating edge is a back edge (structured MiniPar
+  /// CFGs always are; the typestate checker relies on it).
+  [[nodiscard]] bool is_reducible() const { return reducible_; }
+
+ private:
+  const CfgInfo* info_;
+  std::vector<std::uint32_t> idom_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> back_edges_;
+  bool reducible_ = true;
+};
+
+// ---------------------------------------------------------------------------
+// Worklist solver
+// ---------------------------------------------------------------------------
+
+enum class Direction : std::uint8_t { Forward, Backward };
+
+template <class Domain>
+struct Solution {
+  /// Per-block state at the block's input edge in the solve direction
+  /// (block entry for forward, block exit for backward).
+  std::vector<typename Domain::State> in;
+  /// State after transfer (block exit for forward, block entry backward).
+  std::vector<typename Domain::State> out;
+};
+
+/// Iterates to a fixpoint.  When `widen_after` > 0, a header block whose
+/// input has been recomputed more than `widen_after` times is widened
+/// (Domain::widen) instead of joined -- domains with infinite ascending
+/// chains (intervals, counters) terminate, finite domains are unaffected
+/// if their widen() equals join().
+template <class Domain>
+Solution<Domain> solve(const CfgInfo& info, const Domain& dom,
+                       Direction dir = Direction::Forward,
+                       int widen_after = 0) {
+  const auto& blocks = info.cfg->blocks();
+  const std::size_t n = blocks.size();
+  Solution<Domain> sol;
+  sol.in.assign(n, dom.init());
+  sol.out.assign(n, dom.init());
+
+  const auto inputs = [&](std::uint32_t b) -> const std::vector<std::uint32_t>& {
+    return dir == Direction::Forward ? blocks[b].pred : blocks[b].succ;
+  };
+  const auto is_boundary = [&](std::uint32_t b) {
+    if (dir == Direction::Forward) return b == info.cfg->entry();
+    return blocks[b].succ.empty();
+  };
+
+  // Seed in solve order: rpo forward, reverse rpo backward.
+  std::deque<std::uint32_t> worklist;
+  std::vector<bool> queued(n, false);
+  const auto push = [&](std::uint32_t b) {
+    if (!queued[b] && info.reachable(b)) {
+      queued[b] = true;
+      worklist.push_back(b);
+    }
+  };
+  if (dir == Direction::Forward) {
+    for (std::uint32_t b : info.rpo) push(b);
+  } else {
+    for (auto it = info.rpo.rbegin(); it != info.rpo.rend(); ++it) push(*it);
+  }
+
+  std::vector<std::uint32_t> visits(n, 0);
+  while (!worklist.empty()) {
+    const std::uint32_t b = worklist.front();
+    worklist.pop_front();
+    queued[b] = false;
+
+    typename Domain::State newin = dom.init();
+    if (is_boundary(b)) newin = dom.boundary();
+    for (std::uint32_t p : inputs(b)) dom.join(newin, sol.out[p]);
+
+    ++visits[b];
+    const bool widen = widen_after > 0 && info.is_header[b] &&
+                       visits[b] > static_cast<std::uint32_t>(widen_after);
+    const bool in_changed = widen ? dom.widen(sol.in[b], newin)
+                                  : dom.join(sol.in[b], newin);
+    if (!in_changed && visits[b] > 1) continue;
+
+    typename Domain::State o = sol.in[b];
+    dom.transfer(b, o);
+    if (dom.join(sol.out[b], o)) {
+      const auto& outs =
+          dir == Direction::Forward ? blocks[b].succ : blocks[b].pred;
+      for (std::uint32_t s : outs) push(s);
+    }
+  }
+  return sol;
+}
+
+// ---------------------------------------------------------------------------
+// Program-side helpers
+// ---------------------------------------------------------------------------
+
+/// AstId -> Stmt lookup over a whole program (decls + body, recursive).
+class StmtIndex {
+ public:
+  explicit StmtIndex(const lang::Program& p);
+  /// nullptr when the id does not name a statement.
+  [[nodiscard]] const lang::Stmt* stmt(lang::AstId id) const;
+
+ private:
+  void walk(const std::vector<lang::StmtPtr>& stmts);
+  std::unordered_map<lang::AstId, const lang::Stmt*> by_id_;
+};
+
+/// The program's shared arrays, in declaration order.
+struct SharedArrays {
+  explicit SharedArrays(const lang::Program& p);
+  std::vector<std::string> names;
+  /// Index into names, or -1 when `name` is not a shared array.
+  [[nodiscard]] int index_of(std::string_view name) const;
+  [[nodiscard]] std::size_t size() const { return names.size(); }
+};
+
+/// One shared-array access made by a statement's own expressions.
+struct SharedAccess {
+  std::uint32_t array = 0;  ///< index into SharedArrays::names
+  bool write = false;
+  lang::SrcLoc loc;         ///< the access site (expr for reads, stmt for writes)
+};
+
+/// Accesses of one statement, reads first then the write (nested
+/// statements report their own accesses in their own blocks).
+[[nodiscard]] std::vector<SharedAccess> shared_accesses(
+    const lang::Stmt& s, const SharedArrays& arrays);
+
+// ---------------------------------------------------------------------------
+// Base analyses
+// ---------------------------------------------------------------------------
+
+/// Classic reaching definitions for scalar (private / loop / const)
+/// variables: which assignments may reach each block entry.
+class ReachingDefs {
+ public:
+  ReachingDefs(const lang::Program& p, const lang::Cfg& cfg,
+               const CfgInfo& info);
+  /// Definition statements of `var` that may reach the entry of `block`
+  /// (empty set when the variable is unknown or nothing reaches).
+  [[nodiscard]] const std::set<lang::AstId>& reaching_in(
+      std::uint32_t block, std::string_view var) const;
+  [[nodiscard]] const std::vector<std::string>& vars() const { return vars_; }
+
+ private:
+  std::vector<std::string> vars_;
+  std::vector<std::vector<std::set<lang::AstId>>> in_;  // [block][var]
+  std::set<lang::AstId> empty_;
+};
+
+/// Backward may-liveness of shared arrays within an epoch: an array is
+/// live at a point when some path reaches a shared access of it before
+/// the next barrier (barriers kill all liveness -- epochs are the paper's
+/// unit of annotation).
+class LiveSharedArrays {
+ public:
+  LiveSharedArrays(const lang::Program& p, const lang::Cfg& cfg,
+                   const CfgInfo& info);
+  /// Is `array` (SharedArrays index) live at the entry of `block`?
+  [[nodiscard]] bool live_in(std::uint32_t block, std::uint32_t array) const;
+  [[nodiscard]] const SharedArrays& arrays() const { return arrays_; }
+
+ private:
+  SharedArrays arrays_;
+  std::vector<std::vector<bool>> in_;  // [block][array]
+};
+
+}  // namespace cico::analysis

@@ -1,0 +1,128 @@
+#include "cico/analysis/diagnostics.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <tuple>
+
+namespace cico::analysis {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+std::string rule_id(Rule r) {
+  const int n = static_cast<int>(r);
+  std::string id = "CICO000";
+  id[4] = static_cast<char>('0' + n / 100);
+  id[5] = static_cast<char>('0' + (n / 10) % 10);
+  id[6] = static_cast<char>('0' + n % 10);
+  return id;
+}
+
+const char* rule_name(Rule r) {
+  switch (r) {
+    case Rule::MissedCheckoutWrite: return "missed-checkout-write";
+    case Rule::MissedCheckoutRead: return "missed-checkout-read";
+    case Rule::WriteUnderShared: return "write-under-shared-checkout";
+    case Rule::DoubleCheckout: return "double-checkout";
+    case Rule::CheckinWithoutCheckout: return "checkin-without-checkout";
+    case Rule::CheckoutLeak: return "checkout-leak";
+    case Rule::EarlyCheckin: return "early-checkin";
+    case Rule::RedundantLoopCheckout: return "redundant-loop-checkout";
+    case Rule::PrefetchAfterUse: return "prefetch-after-use";
+  }
+  return "?";
+}
+
+int LintResult::errors() const {
+  return static_cast<int>(std::count_if(
+      diagnostics.begin(), diagnostics.end(),
+      [](const Diagnostic& d) { return d.severity == Severity::Error; }));
+}
+
+int LintResult::warnings() const {
+  return static_cast<int>(std::count_if(
+      diagnostics.begin(), diagnostics.end(),
+      [](const Diagnostic& d) { return d.severity == Severity::Warning; }));
+}
+
+int LintResult::notes() const {
+  return static_cast<int>(std::count_if(
+      diagnostics.begin(), diagnostics.end(),
+      [](const Diagnostic& d) { return d.severity == Severity::Note; }));
+}
+
+int LintResult::exit_code() const {
+  if (errors() > 0) return 2;
+  if (warnings() > 0) return 1;
+  return 0;
+}
+
+void sort_diagnostics(std::vector<Diagnostic>& diags) {
+  std::stable_sort(diags.begin(), diags.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return std::tie(a.line, a.col, a.rule, a.array,
+                                     a.message) < std::tie(b.line, b.col,
+                                                           b.rule, b.array,
+                                                           b.message);
+                   });
+  diags.erase(std::unique(diags.begin(), diags.end(),
+                          [](const Diagnostic& a, const Diagnostic& b) {
+                            return a.rule == b.rule && a.line == b.line &&
+                                   a.col == b.col && a.array == b.array &&
+                                   a.message == b.message;
+                          }),
+              diags.end());
+}
+
+void print_text(std::ostream& os, const std::string& file,
+                const LintResult& result) {
+  for (const Diagnostic& d : result.diagnostics) {
+    os << file << ':' << d.line << ':' << d.col << ": "
+       << severity_name(d.severity) << ": [" << rule_id(d.rule) << "] "
+       << d.message << '\n';
+    if (!d.hint.empty()) os << "    hint: " << d.hint << '\n';
+  }
+  os << file << ": " << result.errors() << " error(s), " << result.warnings()
+     << " warning(s), " << result.notes() << " note(s)\n";
+}
+
+obs::Json lint_json(const std::string& file, const LintResult& result) {
+  obs::Json doc = obs::Json::object();
+  doc.set("schema_version",
+          obs::Json::number(static_cast<std::int64_t>(kLintSchemaVersion)));
+  doc.set("generator", obs::Json::string("cachier-lint"));
+  doc.set("command", obs::Json::string("lint"));
+  doc.set("file", obs::Json::string(file));
+
+  obs::Json summary = obs::Json::object();
+  summary.set("errors", obs::Json::number(static_cast<std::int64_t>(result.errors())));
+  summary.set("warnings",
+              obs::Json::number(static_cast<std::int64_t>(result.warnings())));
+  summary.set("notes", obs::Json::number(static_cast<std::int64_t>(result.notes())));
+  summary.set("exit", obs::Json::number(static_cast<std::int64_t>(result.exit_code())));
+  doc.set("summary", std::move(summary));
+
+  obs::Json diags = obs::Json::array();
+  for (const Diagnostic& d : result.diagnostics) {
+    obs::Json j = obs::Json::object();
+    j.set("rule", obs::Json::string(rule_id(d.rule)));
+    j.set("name", obs::Json::string(rule_name(d.rule)));
+    j.set("severity", obs::Json::string(severity_name(d.severity)));
+    j.set("line", obs::Json::number(static_cast<std::int64_t>(d.line)));
+    j.set("col", obs::Json::number(static_cast<std::int64_t>(d.col)));
+    j.set("array", obs::Json::string(d.array));
+    j.set("message", obs::Json::string(d.message));
+    j.set("hint", obs::Json::string(d.hint));
+    diags.push_back(std::move(j));
+  }
+  doc.set("diagnostics", std::move(diags));
+  return doc;
+}
+
+}  // namespace cico::analysis

@@ -1,0 +1,76 @@
+// Lint diagnostics: rule catalogue, ordering, text and JSON rendering.
+//
+// Diagnostics are a CI artifact like the run reports: deterministic order,
+// schema-versioned JSON (diffable with `cachier diff`), and a fixed exit
+// contract (0 clean / 1 warnings / 2 errors) that scripts can rely on.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cico/obs/json.hpp"
+
+namespace cico::analysis {
+
+/// Version of the lint --json document layout.  Bump when the shape of the
+/// document changes; `cachier diff` accepts any supported report version.
+inline constexpr int kLintSchemaVersion = 1;
+
+enum class Severity : std::uint8_t { Note, Warning, Error };
+
+[[nodiscard]] const char* severity_name(Severity s);
+
+/// Stable rule identifiers (the number is part of the public contract --
+/// never renumber, only append).
+enum class Rule : std::uint8_t {
+  MissedCheckoutWrite = 1,   ///< CICO001: shared write outside a checkout
+  MissedCheckoutRead = 2,    ///< CICO002: shared read outside a checkout
+  WriteUnderShared = 3,      ///< CICO003: write while checked out shared
+  DoubleCheckout = 4,        ///< CICO004: re-checkout of an identical region
+  CheckinWithoutCheckout = 5,///< CICO005: check_in on a never-checked-out array
+  CheckoutLeak = 6,          ///< CICO006: checkout never checked in on some path
+  EarlyCheckin = 7,          ///< CICO007: check_in before a later use (Mp3d)
+  RedundantLoopCheckout = 8, ///< CICO008: loop-invariant checkout in a loop (MM)
+  PrefetchAfterUse = 9,      ///< CICO009: prefetch after the first access
+};
+
+/// "CICO001" etc.
+[[nodiscard]] std::string rule_id(Rule r);
+/// Short kebab-case rule name ("missed-checkout-write").
+[[nodiscard]] const char* rule_name(Rule r);
+
+struct Diagnostic {
+  Rule rule = Rule::MissedCheckoutWrite;
+  Severity severity = Severity::Warning;
+  int line = 0;
+  int col = 0;
+  std::string array;    ///< shared array the diagnostic is about
+  std::string message;  ///< one-line description
+  std::string hint;     ///< suggested fix ("" = none)
+};
+
+struct LintResult {
+  std::vector<Diagnostic> diagnostics;
+
+  [[nodiscard]] int errors() const;
+  [[nodiscard]] int warnings() const;
+  [[nodiscard]] int notes() const;
+  /// 0 clean, 1 warnings only, 2 any error.
+  [[nodiscard]] int exit_code() const;
+};
+
+/// Deterministic order: (line, col, rule, array, message).
+void sort_diagnostics(std::vector<Diagnostic>& diags);
+
+/// Human-readable listing: "file:line:col: severity: [CICO00x] message"
+/// lines (+ indented "hint: ..." lines) and a trailing summary.
+void print_text(std::ostream& os, const std::string& file,
+                const LintResult& result);
+
+/// Schema-versioned JSON document (see docs/static_analysis.md).
+[[nodiscard]] obs::Json lint_json(const std::string& file,
+                                  const LintResult& result);
+
+}  // namespace cico::analysis

@@ -4,7 +4,10 @@ namespace cico::lang {
 
 Cfg::Cfg(const Program& p) {
   new_block();  // entry
-  build_seq(p.body, 0, 0, 0, 0);
+  exit_ = build_seq(p.body, 0, 0, 0, 0);
+  for (const BasicBlock& b : blocks_) {
+    for (std::uint32_t s : b.succ) blocks_[s].pred.push_back(b.id);
+  }
 }
 
 std::uint32_t Cfg::new_block() {

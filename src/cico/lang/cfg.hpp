@@ -21,6 +21,7 @@ struct BasicBlock {
   std::uint32_t id = 0;
   std::vector<AstId> stmts;          ///< straight-line statement ids
   std::vector<std::uint32_t> succ;   ///< successor block ids
+  std::vector<std::uint32_t> pred;   ///< predecessor block ids
 };
 
 class Cfg {
@@ -30,6 +31,9 @@ class Cfg {
 
   [[nodiscard]] const std::vector<BasicBlock>& blocks() const { return blocks_; }
   [[nodiscard]] std::uint32_t entry() const { return 0; }
+  /// The block execution falls into after the last statement (the unique
+  /// block with no successors that ends the parallel body).
+  [[nodiscard]] std::uint32_t exit() const { return exit_; }
 
   /// Innermost enclosing For statement of a statement (0 = none).
   [[nodiscard]] AstId loop_of(AstId stmt) const;
@@ -57,6 +61,7 @@ class Cfg {
                           int depth);
 
   std::vector<BasicBlock> blocks_;
+  std::uint32_t exit_ = 0;
   std::vector<AstId> loops_;
   std::vector<AstId> barriers_;
   std::unordered_map<AstId, AstId> loop_of_;

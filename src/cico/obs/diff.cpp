@@ -479,4 +479,14 @@ void print_diff(std::ostream& os, const DiffResult& result) {
   }
 }
 
+void print_diff_summary(std::ostream& os, const DiffResult& result) {
+  const char* verdict = "IDENTICAL";
+  if (result.outcome == DiffOutcome::WithinTolerance) verdict = "OK";
+  if (result.outcome == DiffOutcome::Regression) verdict = "REGRESSION";
+  os << "diff: " << verdict << " divergences=" << result.divergences.size()
+     << " tolerated=" << result.tolerated
+     << " regressions=" << result.regressions
+     << " exit=" << static_cast<int>(result.outcome) << "\n";
+}
+
 }  // namespace cico::obs

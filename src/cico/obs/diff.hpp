@@ -126,4 +126,8 @@ struct DiffResult {
 /// naming the exit status.
 void print_diff(std::ostream& os, const DiffResult& result);
 
+/// One-line machine-greppable verdict (`cachier diff --summary`):
+///   diff: IDENTICAL|OK|REGRESSION divergences=N tolerated=N regressions=N exit=E
+void print_diff_summary(std::ostream& os, const DiffResult& result);
+
 }  // namespace cico::obs

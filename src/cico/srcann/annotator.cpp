@@ -605,7 +605,9 @@ AnnotateResult annotate(const Program& src, const trace::Trace& trace,
                         const lang::LoadedProgram& binding,
                         const mem::CacheGeometry& geo,
                         const AnnotateOptions& opt) {
-  return Annotator(src, trace, binding, geo, opt).run();
+  AnnotateResult res = Annotator(src, trace, binding, geo, opt).run();
+  res.lint = analysis::lint(res.program);
+  return res;
 }
 
 Program annotate_naive(const Program& src) {

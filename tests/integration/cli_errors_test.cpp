@@ -305,6 +305,118 @@ TEST_F(CliDiffTest, MissingCandidateArgumentIsUsageExit1) {
   EXPECT_NE(r.output.find("usage:"), std::string::npos) << r.output;
 }
 
+TEST_F(CliDiffTest, SummaryIsOneLinePerVerdict) {
+  const CmdResult same =
+      run_cli("diff cli_diff_base.json cli_diff_base.json --summary");
+  EXPECT_EQ(same.exit_code, 0) << same.output;
+  EXPECT_EQ(same.output, "diff: IDENTICAL divergences=0 tolerated=0 "
+                         "regressions=0 exit=0\n");
+
+  ASSERT_EQ(run_cli("run " + prog_ + " -n 8 --report cli_diff_sum_cand.json")
+                .exit_code,
+            0);
+  const CmdResult reg = run_cli(
+      "diff cli_diff_base.json cli_diff_sum_cand.json --summary");
+  EXPECT_EQ(reg.exit_code, 2) << reg.output;
+  EXPECT_EQ(reg.output.compare(0, 17, "diff: REGRESSION "), 0) << reg.output;
+  // Exactly one line, ending in the exit code.
+  EXPECT_EQ(reg.output.find('\n'), reg.output.size() - 1) << reg.output;
+  EXPECT_NE(reg.output.find("exit=2"), std::string::npos) << reg.output;
+}
+
+// --- lint: 0/1/2 severity contract and --json sidecar -----------------------
+
+class CliLintTest : public CliErrorsTest {
+ protected:
+  // kGoodProgram has shared writes but no directives at all, so no array is
+  // CICO-managed and the linter stays silent.
+  const std::string warn_ = "cli_lint_warn.mp";
+  const std::string err_ = "cli_lint_err.mp";
+  void SetUp() override {
+    CliErrorsTest::SetUp();
+    // Checked out, used, never checked in anywhere: CICO006 warning.
+    write_file(warn_,
+               "shared real A[8];\n"
+               "parallel\n"
+               "  check_out_X A[0:7];\n"
+               "  A[0] = 1;\n"
+               "  barrier;\n"
+               "end\n");
+    // Write under a shared (read-only) checkout: CICO003 error.
+    write_file(err_,
+               "shared real A[8];\n"
+               "parallel\n"
+               "  check_out_S A[0:7];\n"
+               "  A[0] = 1;\n"
+               "  check_in A[0:7];\n"
+               "  barrier;\n"
+               "end\n");
+  }
+};
+
+TEST_F(CliLintTest, CleanProgramIsExit0) {
+  const CmdResult r = run_cli("lint " + prog_);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 error(s), 0 warning(s)"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(CliLintTest, WarningsAreExit1) {
+  const CmdResult r = run_cli("lint " + warn_);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[CICO006]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find(warn_ + ":3:3: warning:"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(CliLintTest, ErrorsAreExit2) {
+  const CmdResult r = run_cli("lint " + err_);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("[CICO003]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("error:"), std::string::npos) << r.output;
+}
+
+TEST_F(CliLintTest, JsonSidecarIsWrittenAndDiffable) {
+  ASSERT_EQ(run_cli("lint " + warn_ + " --json cli_lint_a.json").exit_code, 1);
+  std::ifstream in("cli_lint_a.json");
+  const std::string doc((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  EXPECT_NE(doc.find("\"generator\": \"cachier-lint\""), std::string::npos)
+      << doc;
+  EXPECT_NE(doc.find("\"rule\": \"CICO006\""), std::string::npos) << doc;
+  // The diagnostics document rides the same differ as run reports.
+  const CmdResult same =
+      run_cli("diff cli_lint_a.json cli_lint_a.json --summary");
+  EXPECT_EQ(same.exit_code, 0) << same.output;
+  ASSERT_EQ(run_cli("lint " + err_ + " --json cli_lint_b.json").exit_code, 2);
+  const CmdResult reg = run_cli("diff cli_lint_a.json cli_lint_b.json");
+  EXPECT_EQ(reg.exit_code, 2) << reg.output;
+}
+
+TEST_F(CliLintTest, MissingFileIsExit2) {
+  const CmdResult r = run_cli("lint cli_lint_no_such_file.mp");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("cannot open"), std::string::npos) << r.output;
+}
+
+TEST_F(CliLintTest, JsonToUnwritablePathIsExit2) {
+  const CmdResult r =
+      run_cli("lint " + warn_ + " --json no_such_dir/diag.json");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("cannot write"), std::string::npos) << r.output;
+}
+
+TEST_F(CliLintTest, AnnotateSelfLintReportsDefectsOnItsOutput) {
+  // annotate | lint is the supported pipeline: the annotated program must
+  // never lint worse than warnings (exit 0 or 1, never 2).
+  ASSERT_EQ(
+      run_cli("annotate " + prog_ + " -n 4 2>/dev/null > cli_lint_ann.mp")
+          .exit_code,
+      0);
+  const CmdResult r = run_cli("lint cli_lint_ann.mp");
+  EXPECT_NE(r.exit_code, 2) << r.output;
+}
+
 TEST_F(CliErrorsTest, CleanRunIsExit0) {
   const CmdResult r = run_cli("run " + prog_ + " -n 4");
   EXPECT_EQ(r.exit_code, 0) << r.output;

@@ -299,6 +299,40 @@ TEST(ReportDiff, MissingSchemaVersionThrows) {
                std::runtime_error);
 }
 
+// --- one-line summary (`cachier diff --summary`) ---------------------------
+
+TEST(DiffSummary, IdenticalIsOneStableLine) {
+  const DiffResult r = run_diff(base_report(), base_report());
+  std::ostringstream os;
+  print_diff_summary(os, r);
+  EXPECT_EQ(os.str(),
+            "diff: IDENTICAL divergences=0 tolerated=0 regressions=0 exit=0\n");
+}
+
+TEST(DiffSummary, ToleratedDivergencesSummarizeAsOk) {
+  const DiffResult r =
+      run_diff(base_report(), perturbed("\"traps\": 120", "\"traps\": 134"),
+               "runs.*.totals.traps = \"rel=15%\"\n");
+  std::ostringstream os;
+  print_diff_summary(os, r);
+  EXPECT_EQ(os.str(),
+            "diff: OK divergences=1 tolerated=1 regressions=0 exit=1\n");
+}
+
+TEST(DiffSummary, RegressionsCountOnlyUntolerated) {
+  // Two divergences, one tolerated: the verdict follows the worst one.
+  const DiffResult r = run_diff(
+      base_report(),
+      perturbed("\"traps\": 120,\n        \"messages\": 400",
+                "\"traps\": 134,\n        \"messages\": 444"),
+      "runs.*.totals.traps = \"rel=15%\"\n");
+  ASSERT_EQ(r.outcome, DiffOutcome::Regression);
+  std::ostringstream os;
+  print_diff_summary(os, r);
+  EXPECT_EQ(os.str(),
+            "diff: REGRESSION divergences=2 tolerated=1 regressions=1 exit=2\n");
+}
+
 // --- tolerance grammar -----------------------------------------------------
 
 TEST(ToleranceGrammar, ParsesSectionsCommentsAndQuotedKeys) {

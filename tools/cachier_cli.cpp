@@ -24,11 +24,18 @@
 //       (each campaign runs twice to verify per-seed determinism) and
 //       report survival / retry / timeout statistics
 //   cachier diff baseline.json candidate.json [--tolerances file]
-//               [--tol pattern=spec]...
+//               [--tol pattern=spec]... [--summary]
 //       schema-aware structural diff of two --report files; exits 0
 //       (identical), 1 (divergences, all within tolerance), or 2
 //       (regression / malformed input) -- the CI regression gate
-//       (docs/report_schema.md, docs/observability.md)
+//       (docs/report_schema.md, docs/observability.md); --summary prints
+//       a one-line verdict instead of the full listing
+//   cachier lint prog.mp [--json diag.json]
+//       static CICO typestate check (docs/static_analysis.md): verifies
+//       the check-in/check-out discipline over the CFG and prints
+//       file:line:col diagnostics with stable CICO00x rule ids; --json
+//       writes the schema-versioned diagnostic document (diffable with
+//       `cachier diff`); exits 0 clean / 1 warnings / 2 errors
 //
 // Observability (run / compare): `--report out.json` writes the versioned
 // JSON run report and `--events out.json` the Chrome trace-event export
@@ -57,6 +64,8 @@
 #include "apps/jacobi.hpp"
 #include "apps/matmul.hpp"
 #include "apps/ocean.hpp"
+#include "cico/analysis/diagnostics.hpp"
+#include "cico/analysis/typestate.hpp"
 #include "cico/cachier/cachier.hpp"
 #include "cico/common/parse_num.hpp"
 #include "cico/lang/interp.hpp"
@@ -90,6 +99,8 @@ struct Options {
   std::string trace_load;       ///< trace --load <file>
   std::string tolerances_file;  ///< diff --tolerances <file>
   std::vector<std::string> tol_flags;  ///< diff --tol pattern=spec
+  bool diff_summary = false;    ///< diff --summary (one-line verdict)
+  std::string json_file;        ///< lint --json <file>
 };
 
 void usage() {
@@ -101,10 +112,12 @@ void usage() {
       "               [--boundary-threads N]\n"
       "               [--report out.json] [--events out.json]\n"
       "               [--stream-epochs]\n"
+      "       cachier lint prog.mp [--json diag.json]\n"
       "       cachier trace --load trace.txt\n"
       "       cachier soak [--campaigns N] [--seed s] [--faults spec]\n"
       "       cachier diff baseline.json candidate.json\n"
-      "               [--tolerances rules.toml] [--tol pattern=spec]...\n");
+      "               [--tolerances rules.toml] [--tol pattern=spec]...\n"
+      "               [--summary]\n");
 }
 
 const char* protocol_name(sim::ProtocolKind k) {
@@ -409,7 +422,11 @@ int do_diff(const Options& opt) {
   const obs::Json baseline = load_report(opt.file);
   const obs::Json candidate = load_report(opt.file2);
   const obs::DiffResult result = obs::diff_reports(baseline, candidate, tol);
-  obs::print_diff(std::cout, result);
+  if (opt.diff_summary) {
+    obs::print_diff_summary(std::cout, result);
+  } else {
+    obs::print_diff(std::cout, result);
+  }
   return static_cast<int>(result.outcome);
 }
 
@@ -430,6 +447,15 @@ int dispatch(const Options& opt) {
   lang::Program prog = lang::parse(slurp(opt.file));
   const bool want_obs = !opt.report_file.empty() || !opt.events_file.empty();
 
+  if (opt.command == "lint") {
+    const analysis::LintResult res = analysis::lint(prog);
+    analysis::print_text(std::cout, opt.file, res);
+    if (!opt.json_file.empty()) {
+      std::ofstream out = open_out(opt.json_file);
+      analysis::lint_json(opt.file, res).dump(out);
+    }
+    return res.exit_code();
+  }
   if (opt.command == "run") {
     sim::DirectivePlan plan;
     const sim::DirectivePlan* pp = nullptr;
@@ -498,6 +524,14 @@ int dispatch(const Options& opt) {
                  "dropped, %zu races, %zu false-sharing blocks\n",
                  res.inserted, res.generated_loops, res.dropped, res.races,
                  res.false_shares);
+    // Self-lint oracle: Cachier's own output must satisfy the CICO rules.
+    // A diagnostic here is an annotator bug, so errors fail the command.
+    if (!res.lint.diagnostics.empty()) {
+      std::ostringstream ss;
+      analysis::print_text(ss, "<annotated>", res.lint);
+      std::fprintf(stderr, "# cachier: self-lint:\n%s", ss.str().c_str());
+      if (res.lint.exit_code() == 2) return 2;
+    }
     return 0;
   }
   if (opt.command == "compare") {
@@ -599,6 +633,10 @@ int parse_args(int argc, char** argv, Options& opt) {
       opt.tolerances_file = argv[++i];
     } else if (arg == "--tol" && i + 1 < argc) {
       opt.tol_flags.emplace_back(argv[++i]);
+    } else if (arg == "--summary") {
+      opt.diff_summary = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      opt.json_file = argv[++i];
     } else if (arg == "--load" && i + 1 < argc) {
       opt.trace_load = argv[++i];
     } else if (arg == "--campaigns" && i + 1 < argc) {
