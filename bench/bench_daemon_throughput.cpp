@@ -1,0 +1,215 @@
+// Throughput benchmark (and standing self-check) for cachierd.
+//
+// Starts an in-process daemon::Server on a private Unix socket, then
+// drives it with concurrent clients through the real framed protocol --
+// the same path `cachier --daemon` takes -- in two phases:
+//
+//   * cold: N distinct jobs (every source differs, so every cache key
+//     differs) fan out across C client threads; measures end-to-end
+//     jobs/sec when each result must be simulated;
+//   * warm: the identical N jobs resubmitted; every one must be served
+//     from the content-addressed result cache.
+//
+// The self-check doubles as a correctness gate: every warm result must
+// report cached=true and be byte-identical (stdout, exit) to its cold
+// counterpart, the server must record >= N cache hits and zero failed /
+// cancelled jobs, and the drain must complete; any violation exits 1.
+//
+// Results go to BENCH_daemon_throughput.json (or argv[1]).
+// CICO_BENCH_SCALE scales the job count.
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cico/daemon/client.hpp"
+#include "cico/daemon/job.hpp"
+#include "cico/daemon/server.hpp"
+
+namespace {
+
+using namespace cico;
+using Clock = std::chrono::steady_clock;
+
+double env_scale() {
+  const char* s = std::getenv("CICO_BENCH_SCALE");
+  if (s == nullptr) return 1.0;
+  const double v = std::atof(s);
+  return v > 0.0 ? v : 1.0;
+}
+
+/// A distinct program per job index: the round count changes the
+/// simulated work AND the output bytes, so every job has its own cache
+/// key while staying in the tens-of-milliseconds range.
+std::string program_for(std::size_t idx) {
+  const std::size_t rounds = 8 + idx % 16;
+  return "const N = 64;\n"
+         "shared real A[N];\n"
+         "parallel\n"
+         "  for r = 1 to " + std::to_string(rounds) + " do\n"
+         "    A[pid] = A[pid] + " + std::to_string(idx + 1) + ";\n"
+         "    barrier;\n"
+         "  od\n"
+         "end\n";
+}
+
+daemon::JobRequest request_for(std::size_t idx) {
+  daemon::JobRequest req;
+  req.command = "run";
+  req.name = "bench_" + std::to_string(idx) + ".mp";
+  req.source = program_for(idx);
+  req.cfg.nodes = 4;
+  return req;
+}
+
+struct Ledger {
+  std::mutex mu;
+  std::map<std::string, std::string> bytes;  ///< cache key -> out + exit
+  std::size_t cached = 0;
+  std::size_t mismatches = 0;
+  std::size_t errors = 0;
+};
+
+/// Runs jobs [begin, end) against the daemon and records each result in
+/// the ledger; on the warm pass, divergence from the cold bytes counts
+/// as a mismatch.
+void drive(const daemon::ClientOptions& copt, std::size_t begin,
+           std::size_t end, bool warm, Ledger* ledger) {
+  for (std::size_t i = begin; i < end; ++i) {
+    try {
+      const daemon::JobResult res = daemon::submit_job(copt, request_for(i));
+      const std::string flat = res.out + "\x1f" + std::to_string(res.exit);
+      std::lock_guard<std::mutex> lk(ledger->mu);
+      if (res.cached) ++ledger->cached;
+      auto it = ledger->bytes.find(res.key);
+      if (it == ledger->bytes.end()) {
+        ledger->bytes.emplace(res.key, flat);
+      } else if (it->second != flat) {
+        ++ledger->mismatches;
+      }
+      if (warm && !res.cached) ++ledger->errors;  // warm pass must hit
+      if (res.exit != 0) ++ledger->errors;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "job %zu: %s\n", i, e.what());
+      std::lock_guard<std::mutex> lk(ledger->mu);
+      ++ledger->errors;
+    }
+  }
+}
+
+/// One full pass over all jobs with `clients` threads; returns wall ms.
+double run_phase(const daemon::ClientOptions& copt, std::size_t jobs,
+                 std::size_t clients, bool warm, Ledger* ledger) {
+  const auto t0 = Clock::now();
+  std::vector<std::thread> pool;
+  const std::size_t per = (jobs + clients - 1) / clients;
+  for (std::size_t c = 0; c < clients; ++c) {
+    const std::size_t begin = c * per;
+    const std::size_t end = begin + per < jobs ? begin + per : jobs;
+    if (begin >= end) break;
+    pool.emplace_back(drive, copt, begin, end, warm, ledger);
+  }
+  for (auto& t : pool) t.join();
+  const auto dt = Clock::now() - t0;
+  return std::chrono::duration<double, std::milli>(dt).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path =
+      argc > 1 ? argv[1] : "BENCH_daemon_throughput.json";
+  const std::size_t jobs = [] {
+    const auto v = static_cast<std::size_t>(24 * env_scale());
+    return v < 4 ? std::size_t{4} : v;
+  }();
+  const std::size_t clients = 4;
+
+  char cache_tmpl[] = "/tmp/cachierd_bench_cache_XXXXXX";
+  if (::mkdtemp(cache_tmpl) == nullptr) {
+    std::perror("mkdtemp");
+    return 1;
+  }
+
+  daemon::ServerOptions sopt;
+  sopt.socket_path =
+      "/tmp/cachierd_bench_" + std::to_string(::getpid()) + ".sock";
+  sopt.workers = 4;
+  sopt.queue_limit = 64;
+  sopt.cache_dir = cache_tmpl;
+  daemon::Server server(sopt);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "server start: %s\n", e.what());
+    return 1;
+  }
+
+  daemon::ClientOptions copt;
+  copt.socket_path = sopt.socket_path;
+  copt.max_attempts = 20;
+
+  Ledger ledger;
+  const double cold_ms = run_phase(copt, jobs, clients, false, &ledger);
+  const std::size_t cold_cached = ledger.cached;  // expected: 0
+  const double warm_ms = run_phase(copt, jobs, clients, true, &ledger);
+  const std::size_t warm_cached = ledger.cached - cold_cached;
+
+  server.request_drain();
+  server.join();
+  const daemon::Server::Counters c = server.counters();
+  std::error_code ec;
+  std::filesystem::remove_all(cache_tmpl, ec);
+
+  const double cold_jps = 1000.0 * static_cast<double>(jobs) / cold_ms;
+  const double warm_jps = 1000.0 * static_cast<double>(jobs) / warm_ms;
+
+  std::printf("%-8s %-8s %-10s %-10s\n", "phase", "jobs", "wall_ms",
+              "jobs/sec");
+  std::printf("%-8s %-8zu %-10.1f %-10.1f\n", "cold", jobs, cold_ms, cold_jps);
+  std::printf("%-8s %-8zu %-10.1f %-10.1f\n", "warm", jobs, warm_ms, warm_jps);
+
+  const bool ok = ledger.errors == 0 && ledger.mismatches == 0 &&
+                  warm_cached == jobs && c.cache_hits >= jobs &&
+                  c.failed == 0 && c.cancelled == 0;
+  if (!ok) {
+    std::fprintf(stderr,
+                 "self-check FAILED: errors=%zu mismatches=%zu "
+                 "warm_cached=%zu/%zu hits=%llu failed=%llu cancelled=%llu\n",
+                 ledger.errors, ledger.mismatches, warm_cached, jobs,
+                 static_cast<unsigned long long>(c.cache_hits),
+                 static_cast<unsigned long long>(c.failed),
+                 static_cast<unsigned long long>(c.cancelled));
+  }
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::perror(out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"daemon_throughput\",\n");
+  std::fprintf(f, "  \"jobs\": %zu,\n  \"clients\": %zu,\n", jobs, clients);
+  std::fprintf(f, "  \"workers\": %u,\n", sopt.workers);
+  std::fprintf(f, "  \"cold_ms\": %.1f,\n  \"cold_jobs_per_sec\": %.1f,\n",
+               cold_ms, cold_jps);
+  std::fprintf(f, "  \"warm_ms\": %.1f,\n  \"warm_jobs_per_sec\": %.1f,\n",
+               warm_ms, warm_jps);
+  std::fprintf(f, "  \"warm_speedup\": %.1f,\n",
+               warm_ms > 0.0 ? cold_ms / warm_ms : 0.0);
+  std::fprintf(f, "  \"cache_hits\": %llu,\n",
+               static_cast<unsigned long long>(c.cache_hits));
+  std::fprintf(f, "  \"byte_identical\": %s,\n",
+               ledger.mismatches == 0 ? "true" : "false");
+  std::fprintf(f, "  \"self_check_ok\": %s\n}\n", ok ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s (self-check=%s)\n", out_path, ok ? "ok" : "VIOLATED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,70 @@
+// Content hashing for the daemon's content-addressed result cache.
+//
+// Cache keys must be (a) a pure function of the request bytes, (b) stable
+// across builds and platforms (the cache directory outlives the process),
+// and (c) wide enough that accidental collisions are out of the picture
+// for any realistic fleet.  128 bits from two independent multiply-xor
+// streams (FNV-1a with distinct odd multipliers and offset bases)
+// satisfies all three without pulling a crypto dependency into the tree
+// -- the cache is a performance structure, not a security boundary, and
+// a colliding adversary could at worst serve themselves a stale report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cico::common {
+
+/// Incremental 128-bit content hasher.  Feed logical fields with
+/// operator<< (each field is length-delimited, so ("a","b") never
+/// collides with ("ab","")), then take hex() as the cache entry name.
+class ContentHasher {
+ public:
+  ContentHasher() = default;
+
+  /// Appends one length-delimited field.
+  ContentHasher& operator<<(std::string_view bytes) {
+    for (const unsigned char c : bytes) mix(c);
+    // Field terminator: the length, little-endian, then a break byte.
+    std::uint64_t n = bytes.size();
+    for (int i = 0; i < 8; ++i, n >>= 8) mix(static_cast<unsigned char>(n));
+    mix(0xFFU);
+    return *this;
+  }
+
+  /// 32 lowercase hex chars, hi word first.
+  [[nodiscard]] std::string hex() const {
+    static const char kDigits[] = "0123456789abcdef";
+    std::string s(32, '0');
+    std::uint64_t v = hi_;
+    for (int i = 15; i >= 0; --i, v >>= 4) {
+      s[static_cast<std::size_t>(i)] = kDigits[v & 0xF];
+    }
+    v = lo_;
+    for (int i = 31; i >= 16; --i, v >>= 4) {
+      s[static_cast<std::size_t>(i)] = kDigits[v & 0xF];
+    }
+    return s;
+  }
+
+ private:
+  void mix(unsigned char c) {
+    lo_ = (lo_ ^ c) * kPrimeLo;
+    hi_ = (hi_ ^ c) * kPrimeHi;
+  }
+
+  static constexpr std::uint64_t kPrimeLo = 0x100000001B3ULL;  // FNV-64
+  static constexpr std::uint64_t kPrimeHi = 0x9E3779B97F4A7C15ULL;  // odd
+  std::uint64_t lo_ = 0xCBF29CE484222325ULL;  // FNV-64 offset basis
+  std::uint64_t hi_ = 0x84222325CBF29CE4ULL;  // swapped basis
+};
+
+/// One-shot convenience: hex key of a single field.
+[[nodiscard]] inline std::string content_hash_hex(std::string_view bytes) {
+  ContentHasher h;
+  h << bytes;
+  return h.hex();
+}
+
+}  // namespace cico::common

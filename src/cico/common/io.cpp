@@ -1,0 +1,93 @@
+#include "cico/common/io.hpp"
+
+#include <cerrno>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace cico::io {
+
+void Fd::reset(int fd) {
+  if (fd_ >= 0) {
+    // close() may itself be interrupted; retrying close on EINTR is
+    // unsafe on Linux (the fd is already gone), so a single call is
+    // correct here.
+    ::close(fd_);
+  }
+  fd_ = fd;
+}
+
+IoStatus read_full(int fd, void* buf, std::size_t n) {
+  char* p = static_cast<char*>(buf);
+  while (n > 0) {
+    const ssize_t r = ::read(fd, p, n);
+    if (r > 0) {
+      p += r;
+      n -= static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) return IoStatus::Closed;
+    if (errno == EINTR) continue;
+    if (errno == ECONNRESET) return IoStatus::Closed;
+    return IoStatus::Error;
+  }
+  return IoStatus::Ok;
+}
+
+IoStatus write_full(int fd, const void* buf, std::size_t n) {
+  const char* p = static_cast<const char*>(buf);
+  // Sockets are written with send(MSG_NOSIGNAL) so a vanished peer
+  // surfaces as EPIPE -> Closed instead of killing the process with
+  // SIGPIPE; non-socket fds (ENOTSOCK) fall back to plain write.
+  bool use_send = true;
+  while (n > 0) {
+    const ssize_t r = use_send ? ::send(fd, p, n, MSG_NOSIGNAL)
+                               : ::write(fd, p, n);
+    if (use_send && r < 0 && errno == ENOTSOCK) {
+      use_send = false;
+      continue;
+    }
+    if (r >= 0) {
+      p += r;
+      n -= static_cast<std::size_t>(r);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EPIPE || errno == ECONNRESET) return IoStatus::Closed;
+    return IoStatus::Error;
+  }
+  return IoStatus::Ok;
+}
+
+int poll_in(int fd, int timeout_ms) {
+  for (;;) {
+    struct pollfd pfd {};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int r = ::poll(&pfd, 1, timeout_ms);
+    if (r >= 0) return r;
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+bool peer_hung_up(int fd) {
+  struct pollfd pfd {};
+  pfd.fd = fd;
+#ifdef POLLRDHUP
+  pfd.events = POLLRDHUP;
+#else
+  pfd.events = 0;
+#endif
+  int r;
+  do {
+    r = ::poll(&pfd, 1, 0);
+  } while (r < 0 && errno == EINTR);
+  if (r <= 0) return false;
+#ifdef POLLRDHUP
+  if ((pfd.revents & POLLRDHUP) != 0) return true;
+#endif
+  return (pfd.revents & (POLLHUP | POLLERR | POLLNVAL)) != 0;
+}
+
+}  // namespace cico::io

@@ -1,0 +1,79 @@
+// EINTR-safe POSIX I/O wrappers shared by the daemon, the client mode,
+// and any tool that talks to raw file descriptors.
+//
+// Every blocking syscall a long-running service issues can return early
+// with EINTR (SIGCHLD from a test harness, a profiler's SIGPROF, the
+// drain signal itself); naive callers turn that into spurious protocol
+// errors.  These helpers retry the interrupted call and loop partial
+// reads/writes to completion, so callers reason only about three
+// outcomes: done, peer-closed, or a real errno.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cico::io {
+
+/// RAII file descriptor.  Close errors are swallowed (there is nothing a
+/// destructor could do about them); use release() to hand ownership off.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Fd& operator=(Fd&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = o.fd_;
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int release() {
+    const int f = fd_;
+    fd_ = -1;
+    return f;
+  }
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Outcome of a full-buffer read/write.
+enum class IoStatus : std::uint8_t {
+  Ok,      ///< the whole buffer was transferred
+  Closed,  ///< EOF (read) or EPIPE/ECONNRESET (write) before completion
+  Error,   ///< some other errno (left in errno for the caller)
+};
+
+/// Reads exactly `n` bytes, retrying on EINTR and looping on short reads.
+/// Returns Closed on EOF at any point (a partial frame counts as Closed:
+/// the peer went away mid-message).
+[[nodiscard]] IoStatus read_full(int fd, void* buf, std::size_t n);
+
+/// Writes exactly `n` bytes, retrying on EINTR and looping on short
+/// writes.  EPIPE/ECONNRESET map to Closed so writers can treat a
+/// vanished peer as a normal condition, not an error.  Callers must
+/// ignore SIGPIPE (the daemon and client both do).
+[[nodiscard]] IoStatus write_full(int fd, const void* buf, std::size_t n);
+
+/// poll(2) for readability, retrying on EINTR (the remaining timeout is
+/// re-armed in full -- callers wanting a hard deadline pass one computed
+/// from a clock).  Returns >0 when readable, 0 on timeout, -1 on error.
+/// `timeout_ms` < 0 blocks indefinitely.
+[[nodiscard]] int poll_in(int fd, int timeout_ms);
+
+/// True when the peer of a stream socket has hung up (POLLHUP / POLLERR /
+/// POLLRDHUP without blocking).  Used by the daemon's job monitor to
+/// cancel work whose client is gone.
+[[nodiscard]] bool peer_hung_up(int fd);
+
+}  // namespace cico::io

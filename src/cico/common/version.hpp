@@ -1,0 +1,16 @@
+// Tool-wide version identity.
+//
+// `cachier version` prints this plus every schema version the tool
+// speaks, and the client<->daemon handshake exchanges the same numbers so
+// mismatched peers fail fast with a clear error instead of trading
+// frames they parse differently (docs/cachierd.md).
+#pragma once
+
+namespace cico::common {
+
+/// Human-facing tool version.  Bump the minor for each feature PR; the
+/// schema versions (report / lint / daemon protocol) carry the actual
+/// compatibility contracts.
+inline constexpr const char* kToolVersion = "0.6.0";
+
+}  // namespace cico::common

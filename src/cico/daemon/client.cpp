@@ -1,0 +1,174 @@
+#include "cico/daemon/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "cico/common/io.hpp"
+#include "cico/daemon/protocol.hpp"
+
+namespace cico::daemon {
+
+namespace {
+
+/// Connects to the Unix socket; invalid Fd when the daemon is not there
+/// (ENOENT / ECONNREFUSED -- both mean "retry later"), throws on anything
+/// structural (path too long, out of descriptors).
+io::Fd try_connect(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  io::Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    throw std::runtime_error(std::string("socket(): ") + std::strerror(errno));
+  }
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    if (errno == ENOENT || errno == ECONNREFUSED) return io::Fd();
+    throw std::runtime_error("connect(" + path + "): " + std::strerror(errno));
+  }
+  return fd;
+}
+
+/// What one connect-and-submit attempt produced.
+struct Attempt {
+  bool retry = false;           ///< transient: back off and try again
+  std::uint64_t retry_ms = 0;   ///< server-suggested delay (0 = use backoff)
+  JobResult result;
+};
+
+Attempt attempt_once(const ClientOptions& opt, const JobRequest& req) {
+  Attempt a;
+  io::Fd fd = try_connect(opt.socket_path);
+  if (!fd.valid()) {
+    a.retry = true;  // daemon not (yet) listening
+    return a;
+  }
+
+  if (write_frame(fd.get(), hello_frame()) != FrameStatus::Ok) {
+    a.retry = true;
+    return a;
+  }
+  obs::Json frame;
+  if (read_frame(fd.get(), &frame) != FrameStatus::Ok) {
+    a.retry = true;  // daemon closed during handshake (e.g. drain raced in)
+    return a;
+  }
+  if (frame_type(frame) == "error") {
+    const obs::Json* code = frame.find("code");
+    const obs::Json* msg = frame.find("message");
+    const std::string text = msg != nullptr ? msg->as_string() : "";
+    if (code != nullptr && code->as_string() == "version_mismatch") {
+      throw VersionMismatch("daemon rejected handshake: " + text);
+    }
+    throw std::runtime_error("daemon rejected handshake: " + text);
+  }
+  if (frame_type(frame) != "hello_ok") {
+    throw ProtocolError("expected hello_ok, got frame type '" +
+                        std::string(frame_type(frame)) + "'");
+  }
+  // Symmetric check: the client refuses a daemon from the future too.
+  const std::string mismatch = hello_mismatch(frame);
+  if (!mismatch.empty()) {
+    throw VersionMismatch("daemon version incompatible: " + mismatch);
+  }
+
+  if (write_frame(fd.get(), submit_frame(req)) != FrameStatus::Ok) {
+    a.retry = true;
+    return a;
+  }
+
+  bool accepted = false;  // a queued/running/cached status was seen
+  for (;;) {
+    const FrameStatus st = read_frame(fd.get(), &frame);
+    if (st != FrameStatus::Ok) {
+      if (!accepted) {
+        a.retry = true;  // dropped before admission: safe to resubmit
+        return a;
+      }
+      throw std::runtime_error(
+          "connection to daemon lost mid-job (after admission)");
+    }
+    const std::string_view type = frame_type(frame);
+    if (type == "retry_after") {
+      const obs::Json* ms = frame.find("ms");
+      a.retry = true;
+      a.retry_ms = ms != nullptr ? ms->as_u64() : 0;
+      return a;
+    }
+    if (type == "status") {
+      accepted = true;
+      if (opt.on_status) {
+        const obs::Json* state = frame.find("state");
+        opt.on_status(state != nullptr ? state->as_string() : "");
+      }
+      continue;
+    }
+    if (type == "diag") {
+      if (opt.on_diag) {
+        const obs::Json* text = frame.find("text");
+        opt.on_diag(text != nullptr ? text->as_string() : "");
+      }
+      continue;
+    }
+    if (type == "error") {
+      const obs::Json* code = frame.find("code");
+      const obs::Json* msg = frame.find("message");
+      const std::string c = code != nullptr ? code->as_string() : "";
+      const std::string m = msg != nullptr ? msg->as_string() : "";
+      if (c == "draining") {
+        // Safe to resubmit even after admission: the server only sends
+        // "draining" for jobs it never started (a successor may bind).
+        a.retry = true;
+        return a;
+      }
+      throw std::runtime_error("daemon error (" + c + "): " + m);
+    }
+    if (type == "result") {
+      a.result = parse_result(frame);
+      return a;
+    }
+    // Unknown frame type within the same protocol version: skip.
+  }
+}
+
+}  // namespace
+
+std::uint64_t backoff_delay_ms(const ClientOptions& opt,
+                               std::uint32_t attempt) {
+  // Same shape as the fault layer's retransmit backoff (PR 1):
+  // exponential with a hard cap, and shift-overflow guarded.
+  const std::uint64_t shifted =
+      attempt >= 63 ? opt.backoff_cap_ms : (opt.backoff_base_ms << attempt);
+  return shifted > opt.backoff_cap_ms ? opt.backoff_cap_ms : shifted;
+}
+
+JobResult submit_job(const ClientOptions& opt, const JobRequest& req) {
+  const std::uint32_t attempts = opt.max_attempts == 0 ? 1 : opt.max_attempts;
+  for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    Attempt a = attempt_once(opt, req);
+    if (!a.retry) return a.result;
+    if (attempt + 1 == attempts) break;
+    const std::uint64_t delay =
+        a.retry_ms != 0 ? a.retry_ms : backoff_delay_ms(opt, attempt);
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+  }
+  throw std::runtime_error("daemon at " + opt.socket_path +
+                           " unreachable or overloaded after " +
+                           std::to_string(attempts) + " attempts");
+}
+
+}  // namespace cico::daemon

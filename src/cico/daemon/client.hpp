@@ -1,0 +1,56 @@
+// The `cachier --daemon <sock>` client: connects, version-handshakes,
+// submits one job, and streams the server's frames back through
+// callbacks until the result arrives.
+//
+// Transient conditions -- the daemon not yet listening (connect refused),
+// a shed submit (retry_after), or a draining daemon -- are retried with
+// the exponential backoff policy the fault layer established in PR 1:
+// min(cap, base << attempt).  A version mismatch is NOT transient: it
+// raises VersionMismatch so the CLI can exit 2 immediately (a
+// half-upgraded fleet must fail loudly, not loop).
+//
+// A connection lost mid-stream (after submit was accepted) is a hard
+// error too: the job may have side effects on the cache, and silently
+// resubmitting would hide daemon crashes from the user.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "cico/daemon/job.hpp"
+
+namespace cico::daemon {
+
+/// Handshake rejected: the daemon speaks a different protocol or schema
+/// version.  Maps to exit 2 in the CLI.
+class VersionMismatch : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct ClientOptions {
+  std::string socket_path;
+  /// Total connect/submit attempts before giving up (>= 1).
+  std::uint32_t max_attempts = 8;
+  std::uint64_t backoff_base_ms = 50;
+  std::uint64_t backoff_cap_ms = 2000;
+  /// Called for each status frame ("queued", "running", "cached").
+  std::function<void(const std::string&)> on_status;
+  /// Called for each diag frame (the job's stderr stream, line by line).
+  std::function<void(const std::string&)> on_diag;
+};
+
+/// Backoff delay before retry `attempt` (0-based): min(cap, base << attempt).
+[[nodiscard]] std::uint64_t backoff_delay_ms(const ClientOptions& opt,
+                                             std::uint32_t attempt);
+
+/// Submits `req` to the daemon at opt.socket_path and returns its result.
+/// Throws VersionMismatch on handshake rejection and std::runtime_error
+/// when the daemon is unreachable after max_attempts, rejects the
+/// request, or vanishes mid-stream.
+[[nodiscard]] JobResult submit_job(const ClientOptions& opt,
+                                   const JobRequest& req);
+
+}  // namespace cico::daemon

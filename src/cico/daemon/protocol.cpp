@@ -1,0 +1,198 @@
+#include "cico/daemon/protocol.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "cico/analysis/diagnostics.hpp"
+#include "cico/common/io.hpp"
+#include "cico/common/version.hpp"
+#include "cico/obs/report.hpp"
+
+namespace cico::daemon {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw ProtocolError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+FrameStatus write_frame(int fd, const obs::Json& payload) {
+  const std::string body = payload.dump_string();
+  if (body.size() > kMaxFrameBytes) {
+    throw ProtocolError("frame too large to send (" +
+                        std::to_string(body.size()) + " bytes)");
+  }
+  unsigned char hdr[4];
+  const auto n = static_cast<std::uint32_t>(body.size());
+  hdr[0] = static_cast<unsigned char>(n);
+  hdr[1] = static_cast<unsigned char>(n >> 8);
+  hdr[2] = static_cast<unsigned char>(n >> 16);
+  hdr[3] = static_cast<unsigned char>(n >> 24);
+  // Header and body are written separately; a peer that dies between the
+  // two leaves a half frame, which the reader reports as Closed.
+  switch (io::write_full(fd, hdr, sizeof hdr)) {
+    case io::IoStatus::Ok: break;
+    case io::IoStatus::Closed: return FrameStatus::Closed;
+    case io::IoStatus::Error: throw_errno("write frame header");
+  }
+  switch (io::write_full(fd, body.data(), body.size())) {
+    case io::IoStatus::Ok: return FrameStatus::Ok;
+    case io::IoStatus::Closed: return FrameStatus::Closed;
+    case io::IoStatus::Error: throw_errno("write frame body");
+  }
+  return FrameStatus::Ok;  // unreachable
+}
+
+FrameStatus read_frame(int fd, obs::Json* out, int timeout_ms) {
+  // The timeout covers the WHOLE frame: a peer that sends the header and
+  // stalls cannot pin a handshake thread forever.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms < 0 ? 0 : timeout_ms);
+  const auto wait_readable = [&]() -> FrameStatus {
+    if (timeout_ms < 0) return FrameStatus::Ok;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    const int ms = static_cast<int>(left.count());
+    const int r = io::poll_in(fd, ms < 0 ? 0 : ms);
+    if (r < 0) throw_errno("poll");
+    return r == 0 ? FrameStatus::Timeout : FrameStatus::Ok;
+  };
+
+  if (const FrameStatus s = wait_readable(); s != FrameStatus::Ok) return s;
+  unsigned char hdr[4];
+  switch (io::read_full(fd, hdr, sizeof hdr)) {
+    case io::IoStatus::Ok: break;
+    case io::IoStatus::Closed: return FrameStatus::Closed;
+    case io::IoStatus::Error: throw_errno("read frame header");
+  }
+  const std::uint32_t n = static_cast<std::uint32_t>(hdr[0]) |
+                          (static_cast<std::uint32_t>(hdr[1]) << 8) |
+                          (static_cast<std::uint32_t>(hdr[2]) << 16) |
+                          (static_cast<std::uint32_t>(hdr[3]) << 24);
+  if (n > kMaxFrameBytes) {
+    throw ProtocolError("oversized frame (" + std::to_string(n) +
+                        " bytes); peer is not speaking cachierd protocol " +
+                        std::to_string(kDaemonProtocolVersion));
+  }
+  std::string body(n, '\0');
+  if (n > 0) {
+    if (const FrameStatus s = wait_readable(); s != FrameStatus::Ok) return s;
+    switch (io::read_full(fd, body.data(), n)) {
+      case io::IoStatus::Ok: break;
+      case io::IoStatus::Closed: return FrameStatus::Closed;
+      case io::IoStatus::Error: throw_errno("read frame body");
+    }
+  }
+  try {
+    *out = obs::Json::parse(body);
+  } catch (const std::runtime_error& e) {
+    throw ProtocolError(std::string("malformed frame payload: ") + e.what());
+  }
+  return FrameStatus::Ok;
+}
+
+obs::Json version_json() {
+  obs::Json v = obs::Json::object();
+  v.set("tool", obs::Json::string("cachier"));
+  v.set("version", obs::Json::string(common::kToolVersion));
+  obs::Json schemas = obs::Json::object();
+  schemas.set("report", obs::Json::number(obs::kReportSchemaVersion));
+  schemas.set("report_min_supported",
+              obs::Json::number(obs::kReportSchemaMinSupported));
+  schemas.set("lint", obs::Json::number(
+                          static_cast<std::uint64_t>(analysis::kLintSchemaVersion)));
+  schemas.set("daemon_protocol", obs::Json::number(kDaemonProtocolVersion));
+  v.set("schemas", std::move(schemas));
+  return v;
+}
+
+namespace {
+
+obs::Json hello_like(std::string_view type) {
+  obs::Json f = version_json();
+  // "type" leads every frame; rebuild with it first for readability.
+  obs::Json out = obs::Json::object();
+  out.set("type", obs::Json::string(std::string(type)));
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    const auto& [k, v] = f.entry(i);
+    out.set(k, v);
+  }
+  return out;
+}
+
+}  // namespace
+
+obs::Json hello_frame() { return hello_like("hello"); }
+obs::Json hello_ok_frame() { return hello_like("hello_ok"); }
+
+obs::Json error_frame(std::string_view code, std::string_view message) {
+  obs::Json f = obs::Json::object();
+  f.set("type", obs::Json::string("error"));
+  f.set("code", obs::Json::string(std::string(code)));
+  f.set("message", obs::Json::string(std::string(message)));
+  return f;
+}
+
+obs::Json retry_after_frame(std::uint64_t ms, std::string_view reason) {
+  obs::Json f = obs::Json::object();
+  f.set("type", obs::Json::string("retry_after"));
+  f.set("ms", obs::Json::number(ms));
+  f.set("reason", obs::Json::string(std::string(reason)));
+  return f;
+}
+
+obs::Json status_frame(std::string_view state) {
+  obs::Json f = obs::Json::object();
+  f.set("type", obs::Json::string("status"));
+  f.set("state", obs::Json::string(std::string(state)));
+  return f;
+}
+
+obs::Json diag_frame(std::string_view text) {
+  obs::Json f = obs::Json::object();
+  f.set("type", obs::Json::string("diag"));
+  f.set("text", obs::Json::string(std::string(text)));
+  return f;
+}
+
+std::string hello_mismatch(const obs::Json& hello) {
+  const auto want = [](const obs::Json* v, std::uint64_t expect,
+                       const char* what) -> std::string {
+    if (v == nullptr || v->type() != obs::Json::Type::Number) {
+      return std::string("peer did not announce its ") + what;
+    }
+    if (v->as_u64() != expect) {
+      return std::string(what) + " mismatch: peer speaks " +
+             v->number_lexeme() + ", this build speaks " +
+             std::to_string(expect);
+    }
+    return {};
+  };
+  const obs::Json* schemas = hello.find("schemas");
+  if (schemas == nullptr) return "peer did not announce its schema versions";
+  if (std::string m =
+          want(schemas->find("daemon_protocol"), kDaemonProtocolVersion,
+               "daemon protocol version");
+      !m.empty()) {
+    return m;
+  }
+  if (std::string m = want(schemas->find("report"), obs::kReportSchemaVersion,
+                           "report schema version");
+      !m.empty()) {
+    return m;
+  }
+  return want(schemas->find("lint"),
+              static_cast<std::uint64_t>(analysis::kLintSchemaVersion),
+              "lint schema version");
+}
+
+std::string_view frame_type(const obs::Json& frame) {
+  const obs::Json* t = frame.find("type");
+  if (t == nullptr || t->type() != obs::Json::Type::String) return {};
+  return t->as_string();
+}
+
+}  // namespace cico::daemon

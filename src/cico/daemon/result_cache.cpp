@@ -1,0 +1,163 @@
+#include "cico/daemon/result_cache.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace cico::daemon {
+
+namespace fs = std::filesystem;
+
+ResultCache::ResultCache(std::string dir, std::size_t max_entries)
+    : dir_(std::move(dir)), max_entries_(max_entries == 0 ? 1 : max_entries) {
+  if (!dir_.empty()) {
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec) {
+      throw std::runtime_error("cannot create cache directory " + dir_ +
+                               ": " + ec.message());
+    }
+  }
+}
+
+std::string ResultCache::path_of(const std::string& key) const {
+  return dir_ + "/" + key + ".json";
+}
+
+std::optional<JobResult> ResultCache::lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    ++counters_.hits;
+    touch_locked(key);
+    JobResult r = it->second.result;
+    r.cached = true;
+    r.key = key;
+    return r;
+  }
+  if (!dir_.empty()) {
+    std::ifstream in(path_of(key));
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      try {
+        JobResult r = job_result_from_json(obs::Json::parse(ss.str()));
+        ++counters_.hits;
+        ++counters_.disk_loads;
+        lru_.push_front(key);
+        map_[key] = Entry{r, lru_.begin()};
+        evict_locked();
+        r.cached = true;
+        r.key = key;
+        return r;
+      } catch (const std::exception&) {
+        // A corrupt file (partial write from a crash) is treated as a
+        // miss; the fresh result will overwrite it.
+      }
+    }
+  }
+  ++counters_.misses;
+  return std::nullopt;
+}
+
+void ResultCache::insert(const std::string& key, const JobResult& r) {
+  if (r.cancelled) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second.result = r;
+    touch_locked(key);
+  } else {
+    lru_.push_front(key);
+    map_[key] = Entry{r, lru_.begin()};
+    evict_locked();
+  }
+  ++counters_.inserts;
+  if (!dir_.empty()) {
+    // Write-then-rename so a crash mid-write never leaves a half entry
+    // under the final name (lookup tolerates stray .tmp files).
+    const std::string tmp = path_of(key) + ".tmp";
+    {
+      std::ofstream out(tmp);
+      if (!out) return;  // disk tier is best-effort; memory tier has it
+      job_result_json(r).dump(out);
+    }
+    std::error_code ec;
+    fs::rename(tmp, path_of(key), ec);
+    if (ec) fs::remove(tmp, ec);
+  }
+}
+
+void ResultCache::flush_index() const {
+  if (dir_.empty()) return;
+  std::vector<std::pair<std::string, std::uint64_t>> entries;
+  std::error_code ec;
+  for (const auto& de : fs::directory_iterator(dir_, ec)) {
+    const std::string name = de.path().filename().string();
+    if (name.size() != 37 || name.substr(32) != ".json") continue;
+    const std::string key = name.substr(0, 32);
+    if (!std::all_of(key.begin(), key.end(), [](unsigned char c) {
+          return std::isxdigit(c) != 0;
+        })) {
+      continue;
+    }
+    std::error_code sec;
+    const std::uint64_t bytes = de.file_size(sec);
+    entries.emplace_back(key, sec ? 0 : bytes);
+  }
+  std::sort(entries.begin(), entries.end());
+
+  obs::Json idx = obs::Json::object();
+  idx.set("schema_version", obs::Json::number(std::uint64_t{1}));
+  idx.set("generator", obs::Json::string("cachierd"));
+  idx.set("entry_count",
+          obs::Json::number(static_cast<std::uint64_t>(entries.size())));
+  obs::Json arr = obs::Json::array();
+  for (const auto& [key, bytes] : entries) {
+    obs::Json e = obs::Json::object();
+    e.set("key", obs::Json::string(key));
+    e.set("bytes", obs::Json::number(bytes));
+    arr.push_back(std::move(e));
+  }
+  idx.set("entries", std::move(arr));
+
+  const std::string tmp = dir_ + "/index.json.tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) return;
+    idx.dump(out);
+  }
+  fs::rename(tmp, dir_ + "/index.json", ec);
+  if (ec) fs::remove(tmp, ec);
+}
+
+ResultCache::Counters ResultCache::counters() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return counters_;
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return map_.size();
+}
+
+void ResultCache::touch_locked(const std::string& key) {
+  auto it = map_.find(key);
+  lru_.erase(it->second.lru);
+  lru_.push_front(key);
+  it->second.lru = lru_.begin();
+}
+
+void ResultCache::evict_locked() {
+  while (map_.size() > max_entries_) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim);
+    ++counters_.evictions;
+  }
+}
+
+}  // namespace cico::daemon

@@ -1,0 +1,158 @@
+// cachierd's serving core: a Unix-domain socket listener, a bounded job
+// queue with explicit backpressure, a worker pool, and a deadline /
+// disconnect monitor.  Robustness properties (all tested):
+//
+//   * Bounded queue + load shedding.  A submit that arrives with the
+//     queue full gets a retry_after frame and a closed connection --
+//     never unbounded buffering, never a silent hang.
+//   * Per-job deadlines with cooperative cancellation.  The monitor
+//     thread flips the job's cancel flag; the simulator observes it at
+//     the next window boundary and unwinds with SimCancelled.
+//   * Client-disconnect reclamation.  The monitor polls running jobs'
+//     sockets for hangup and cancels work nobody is waiting for, so a
+//     vanished client frees its worker slot within one monitor tick.
+//   * Poisoned-job isolation.  Every job failure (parse error, injected
+//     fault exhausting its budget, SimDeadlock from the liveness
+//     watchdog, InvariantViolation) is caught per job and returned as a
+//     structured result; the pool keeps serving.
+//   * Graceful drain.  request_drain() stops the accept loop; workers
+//     finish the queue (the monitor cancels jobs still running past the
+//     drain grace), the cache index is flushed, and the socket file is
+//     removed.  The cachierd binary wires SIGTERM/SIGINT to this.
+//
+// The class is used two ways: embedded in-process by the tests and the
+// throughput bench (start()/request_drain()/join()), and wrapped by the
+// cachierd binary with real signal handling.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cico/common/io.hpp"
+#include "cico/daemon/job.hpp"
+#include "cico/daemon/result_cache.hpp"
+
+namespace cico::daemon {
+
+struct ServerOptions {
+  std::string socket_path;
+  std::uint32_t workers = 2;
+  std::uint32_t queue_limit = 8;     ///< queued (not yet running) jobs
+  std::string cache_dir;             ///< empty = memory-only cache
+  std::size_t cache_entries = 1024;  ///< memory-tier bound
+  std::uint64_t default_deadline_ms = 0;  ///< 0 = jobs have no deadline
+  std::uint64_t drain_grace_ms = 5000;    ///< then running jobs are cancelled
+  std::uint64_t retry_after_ms = 200;     ///< backoff hint for shed clients
+  std::uint64_t handshake_timeout_ms = 5000;
+  std::uint64_t monitor_tick_ms = 20;
+  bool verbose = false;  ///< one stderr line per lifecycle event
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opt);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the socket (replacing a stale file from a crashed daemon),
+  /// then spawns the accept loop, workers, and monitor.  Throws
+  /// std::runtime_error when the path is unusable or actively served.
+  void start();
+
+  /// Begins graceful drain: stop accepting, let workers finish the
+  /// queue, cancel whatever still runs after drain_grace_ms.  Safe to
+  /// call from any thread, and more than once.
+  void request_drain();
+
+  /// Waits for the drain to complete, flushes the cache index, removes
+  /// the socket file.  Call after request_drain().
+  void join();
+
+  [[nodiscard]] bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  struct Counters {
+    std::uint64_t connections = 0;
+    std::uint64_t handshake_rejects = 0;
+    std::uint64_t bad_requests = 0;
+    std::uint64_t submitted = 0;
+    std::uint64_t shed = 0;        ///< retry_after sent (queue full)
+    std::uint64_t completed = 0;   ///< results delivered (fresh or cached)
+    std::uint64_t cache_hits = 0;
+    std::uint64_t failed = 0;      ///< exit-2 results (poisoned jobs)
+    std::uint64_t cancelled = 0;   ///< deadline expiry or client gone
+    std::uint64_t disconnects = 0; ///< client vanished mid-stream
+  };
+  [[nodiscard]] Counters counters() const;
+
+  /// Queued + running jobs (a shed-and-retry test polls this for zero).
+  [[nodiscard]] std::size_t jobs_in_flight() const;
+
+  [[nodiscard]] ResultCache& cache() { return cache_; }
+  [[nodiscard]] const ServerOptions& options() const { return opt_; }
+
+ private:
+  struct Job {
+    JobRequest req;
+    io::Fd fd;
+    std::atomic<bool> cancel{false};
+    std::atomic<bool> disconnected{false};
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
+  };
+
+  void accept_loop();
+  void connection(io::Fd fd);
+  void worker_loop();
+  void monitor_loop();
+  void serve(const std::shared_ptr<Job>& job);
+  void log(const std::string& line) const;
+
+  ServerOptions opt_;
+  ResultCache cache_;
+
+  io::Fd listen_fd_;
+  io::Fd wake_r_, wake_w_;  ///< self-pipe: request_drain -> accept loop
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::thread monitor_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  std::size_t queue_reserved_ = 0;  ///< admission slots held pre-publish
+  std::vector<std::shared_ptr<Job>> running_;
+  std::uint64_t conn_live_ = 0;  ///< live connection threads (join barrier)
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> monitor_stop_{false};
+  std::chrono::steady_clock::time_point drain_start_{};
+  bool started_ = false;
+  bool joined_ = false;
+
+  // Counters (relaxed atomics: monotonic telemetry, no ordering needed).
+  std::atomic<std::uint64_t> c_connections_{0};
+  std::atomic<std::uint64_t> c_handshake_rejects_{0};
+  std::atomic<std::uint64_t> c_bad_requests_{0};
+  std::atomic<std::uint64_t> c_submitted_{0};
+  std::atomic<std::uint64_t> c_shed_{0};
+  std::atomic<std::uint64_t> c_completed_{0};
+  std::atomic<std::uint64_t> c_cache_hits_{0};
+  std::atomic<std::uint64_t> c_failed_{0};
+  std::atomic<std::uint64_t> c_cancelled_{0};
+  std::atomic<std::uint64_t> c_disconnects_{0};
+};
+
+}  // namespace cico::daemon

@@ -389,6 +389,15 @@ void Machine::boundary() {
   Cycle watch_min = kNever;
   std::uint32_t stuck_rounds = 0;
   for (;;) {
+    // Cooperative cancellation (job deadlines, vanished daemon clients):
+    // checked once per round, so a cancel lands within one conservative
+    // window of virtual time and never mid-transaction.
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+      const std::string msg = "run cancelled (deadline or client gone)";
+      abort_run(std::make_exception_ptr(SimCancelled(msg)), msg);
+      cv_.notify_all();
+      return;
+    }
     // Rounds are a pure function of simulated state, so the counter is
     // deterministic; charged to node 0 like the watchdog's.
     stats_.add(0, Stat::BoundaryRounds);

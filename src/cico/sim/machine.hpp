@@ -19,6 +19,7 @@
 //     MiniPar interpreter.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -112,6 +113,16 @@ class InvariantViolation : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Thrown when an external cancel flag (Machine::set_cancel_flag) is
+/// observed at a window boundary: a job deadline expired or the client
+/// that asked for the run went away.  Cooperative -- the run unwinds
+/// through the same abort path as SimDeadlock, so every node thread
+/// parks, joins, and the Machine is left safe to destroy.
+class SimCancelled : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 class Machine {
  public:
   explicit Machine(SimConfig cfg);
@@ -135,6 +146,13 @@ class Machine {
 
   /// Install a Cachier directive plan for this run (may be null).
   void set_plan(const DirectivePlan* p) { plan_ = p; }
+
+  /// Cooperative cancellation: when `f` is non-null, every boundary round
+  /// (at most one conservative window, cfg.quantum cycles, apart) checks
+  /// it and aborts the run with SimCancelled once it reads true.  The
+  /// flag may be set from any thread at any time (the daemon's deadline /
+  /// disconnect monitor does); the Machine only ever reads it.
+  void set_cancel_flag(const std::atomic<bool>* f) { cancel_ = f; }
 
   /// Attach an observability collector (may be null; the collector must
   /// outlive the run).  Callbacks fire on simulated virtual time in a
@@ -364,6 +382,7 @@ class Machine {
   trace::TraceWriter* tracer_ = nullptr;
   const DirectivePlan* plan_ = nullptr;
   obs::Collector* obs_ = nullptr;
+  const std::atomic<bool>* cancel_ = nullptr;
 
   // --- sharded boundary phase (tentpole) -----------------------------------
   std::unique_ptr<BoundaryPool> pool_;  ///< null => original serial loop

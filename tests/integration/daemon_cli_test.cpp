@@ -1,0 +1,184 @@
+// End-to-end test of the REAL binaries (paths passed by CTest as argv[1]
+// = cachier, argv[2] = cachierd): a daemon-served `cachier --daemon` run
+// must print byte-identical stdout to the one-shot CLI, cached or fresh;
+// `cachier version` prints the schema identity document; SIGTERM drains
+// the daemon cleanly (exit 0, socket removed).
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+
+namespace {
+
+using namespace std::chrono_literals;
+
+std::string g_cachier;   // argv[1]
+std::string g_cachierd;  // argv[2]
+
+struct CmdResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CmdResult run_cmd(const std::string& cmd) {
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return {};
+  CmdResult r;
+  char buf[4096];
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) r.output += buf;
+  const int status = pclose(pipe);
+  if (WIFEXITED(status)) r.exit_code = WEXITSTATUS(status);
+  return r;
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  ASSERT_TRUE(out.is_open()) << path;
+  out << text;
+}
+
+const char* kProgram =
+    "const N = 64;\n"
+    "shared real A[N];\n"
+    "shared real SUM[2];\n"
+    "parallel\n"
+    "  A[pid] = pid + 1;\n"
+    "  barrier;\n"
+    "  lock SUM[1];\n"
+    "  SUM[1] = SUM[1] + A[pid];\n"
+    "  unlock SUM[1];\n"
+    "  barrier;\n"
+    "end\n";
+
+/// Runs cachierd in a child process; SIGTERMs and reaps it on teardown.
+class DaemonCliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sock_ = ::testing::TempDir() + "daemon_cli_test.sock";
+    ::unlink(sock_.c_str());
+    write_file(prog_, kProgram);
+    pid_ = fork();
+    ASSERT_GE(pid_, 0);
+    if (pid_ == 0) {
+      // Quiet child: the daemon's stderr chatter is not under test.
+      FILE* null = std::freopen("/dev/null", "w", stderr);
+      (void)null;
+      execl(g_cachierd.c_str(), g_cachierd.c_str(), "--socket", sock_.c_str(),
+            "--workers", "2", (char*)nullptr);
+      _exit(127);
+    }
+    // The client retries while the daemon binds, so no readiness dance.
+  }
+
+  void TearDown() override {
+    if (pid_ > 0) {
+      kill(pid_, SIGTERM);
+      int status = 0;
+      waitpid(pid_, &status, 0);
+      EXPECT_TRUE(WIFEXITED(status));
+      EXPECT_EQ(WEXITSTATUS(status), 0) << "drain must exit 0";
+      // Graceful drain removes the socket file.
+      struct stat st{};
+      EXPECT_NE(stat(sock_.c_str(), &st), 0);
+    }
+    ::unlink(prog_.c_str());
+  }
+
+  std::string sock_;
+  pid_t pid_ = -1;
+  const std::string prog_ = "daemon_cli_test.mp";
+};
+
+TEST_F(DaemonCliTest, DaemonStdoutIsByteIdenticalToOneShot) {
+  const std::string q = "'" + g_cachier + "'";
+  const CmdResult one_shot =
+      run_cmd(q + " run " + prog_ + " -n 4 2>/dev/null");
+  ASSERT_EQ(one_shot.exit_code, 0) << one_shot.output;
+
+  const std::string via_daemon =
+      q + " run " + prog_ + " -n 4 --daemon '" + sock_ + "' 2>/dev/null";
+  const CmdResult fresh = run_cmd(via_daemon);
+  ASSERT_EQ(fresh.exit_code, 0) << fresh.output;
+  EXPECT_EQ(fresh.output, one_shot.output) << "daemon-served bytes diverged";
+
+  const CmdResult cached = run_cmd(via_daemon);  // second run: cache hit
+  ASSERT_EQ(cached.exit_code, 0) << cached.output;
+  EXPECT_EQ(cached.output, one_shot.output) << "cache-served bytes diverged";
+}
+
+TEST_F(DaemonCliTest, AnnotateViaDaemonMatchesOneShot) {
+  const std::string q = "'" + g_cachier + "'";
+  const CmdResult one_shot =
+      run_cmd(q + " annotate " + prog_ + " -n 4 2>/dev/null");
+  ASSERT_EQ(one_shot.exit_code, 0) << one_shot.output;
+  const CmdResult via = run_cmd(q + " annotate " + prog_ +
+                                " -n 4 --daemon '" + sock_ + "' 2>/dev/null");
+  ASSERT_EQ(via.exit_code, 0) << via.output;
+  EXPECT_EQ(via.output, one_shot.output);
+}
+
+TEST_F(DaemonCliTest, LintExitCodeSurvivesTheProtocol) {
+  // The racy program lints with warnings in the one-shot CLI; the daemon
+  // path must report the identical exit code and diagnostics text.
+  const std::string q = "'" + g_cachier + "'";
+  const CmdResult one_shot = run_cmd(q + " lint " + prog_ + " 2>/dev/null");
+  const CmdResult via = run_cmd(q + " lint " + prog_ + " --daemon '" + sock_ +
+                                "' 2>/dev/null");
+  EXPECT_EQ(via.exit_code, one_shot.exit_code);
+  EXPECT_EQ(via.output, one_shot.output);
+}
+
+TEST_F(DaemonCliTest, ParseErrorViaDaemonIsExitTwo) {
+  write_file("daemon_cli_bad.mp", "this is @@ not minipar $$\n");
+  const CmdResult r =
+      run_cmd("'" + g_cachier + "' run daemon_cli_bad.mp --daemon '" + sock_ +
+              "' 2>&1");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("cachier: error:"), std::string::npos) << r.output;
+  ::unlink("daemon_cli_bad.mp");
+}
+
+TEST(DaemonCliStandalone, VersionPrintsSchemaDocument) {
+  const CmdResult r = run_cmd("'" + g_cachier + "' version");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("\"tool\": \"cachier\""), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"daemon_protocol\""), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"report\""), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"lint\""), std::string::npos) << r.output;
+}
+
+TEST(DaemonCliStandalone, DaemonFlagRejectsLocalOnlySideChannels) {
+  write_file("daemon_cli_flags.mp", kProgram);
+  const CmdResult r =
+      run_cmd("'" + g_cachier +
+              "' run daemon_cli_flags.mp --daemon /tmp/x.sock "
+              "--events ev.json 2>&1");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos) << r.output;
+  ::unlink("daemon_cli_flags.mp");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: daemon_cli_test <cachier-path> <cachierd-path>\n");
+    return 2;
+  }
+  g_cachier = argv[1];
+  g_cachierd = argv[2];
+  return RUN_ALL_TESTS();
+}

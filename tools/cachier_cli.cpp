@@ -22,7 +22,13 @@
 //   cachier soak [--campaigns N] [--seed s] [--faults spec]
 //       run seeded fault-injection campaigns over the bundled apps
 //       (each campaign runs twice to verify per-seed determinism) and
-//       report survival / retry / timeout statistics
+//       report survival / retry / timeout statistics; failing campaigns
+//       leave a repro spec under a temp directory (printed); SIGINT /
+//       SIGTERM stops between runs, cleans the temp artifacts, reports
+//       the partial campaign and exits 3 (distinct from errors)
+//   cachier version
+//       print the tool + schema versions as JSON (the same identity
+//       document the cachierd handshake exchanges)
 //   cachier diff baseline.json candidate.json [--tolerances file]
 //               [--tol pattern=spec]... [--summary]
 //       schema-aware structural diff of two --report files; exits 0
@@ -45,14 +51,26 @@
 // flush instead of buffering them, keeping report memory O(1) in epoch
 // count; the final report bytes are identical either way.
 //
+// Daemon mode: `--daemon <sock>` sends annotate / lint / run / trace /
+// report / plan to a running cachierd instead of executing in-process
+// (docs/cachierd.md).  The client streams status and diagnostics to
+// stderr, prints the job's stdout bytes verbatim (byte-identical to a
+// one-shot run, cached or fresh), honors `--deadline-ms`, and retries a
+// busy or not-yet-listening daemon with exponential backoff.  A version
+// mismatch at the handshake is exit 2.
+//
 // Exit status: 0 on success, 1 on usage errors, 2 on program errors
 // (malformed numeric flags, parse errors, bad trace files, SimDeadlock,
 // ProtocolTimeout, InvariantViolation, failed soak campaigns) -- every
 // std::exception maps to exit 2 with a one-line `cachier: error: ...` on
 // stderr.  `diff` overloads 1 as within-tolerance (its usage errors still
-// print the usage text first).
+// print the usage text first).  `soak` adds exit 3: interrupted by
+// SIGINT/SIGTERM with only a partial campaign completed.
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -68,6 +86,9 @@
 #include "cico/analysis/typestate.hpp"
 #include "cico/cachier/cachier.hpp"
 #include "cico/common/parse_num.hpp"
+#include "cico/daemon/client.hpp"
+#include "cico/daemon/job.hpp"
+#include "cico/daemon/protocol.hpp"
 #include "cico/lang/interp.hpp"
 #include "cico/lang/parser.hpp"
 #include "cico/lang/unparse.hpp"
@@ -101,6 +122,8 @@ struct Options {
   std::vector<std::string> tol_flags;  ///< diff --tol pattern=spec
   bool diff_summary = false;    ///< diff --summary (one-line verdict)
   std::string json_file;        ///< lint --json <file>
+  std::string daemon_sock;      ///< --daemon <sock>: send to cachierd
+  std::uint64_t deadline_ms = 0;  ///< --deadline-ms for daemon jobs
 };
 
 void usage() {
@@ -112,9 +135,12 @@ void usage() {
       "               [--boundary-threads N]\n"
       "               [--report out.json] [--events out.json]\n"
       "               [--stream-epochs]\n"
-      "       cachier lint prog.mp [--json diag.json]\n"
+      "               [--daemon sock] [--deadline-ms N]\n"
+      "       cachier lint prog.mp [--json diag.json] [--daemon sock]\n"
       "       cachier trace --load trace.txt\n"
+      "       cachier version\n"
       "       cachier soak [--campaigns N] [--seed s] [--faults spec]\n"
+      "               (exit 3 when interrupted by SIGINT/SIGTERM)\n"
       "       cachier diff baseline.json candidate.json\n"
       "               [--tolerances rules.toml] [--tol pattern=spec]...\n"
       "               [--summary]\n");
@@ -188,26 +214,10 @@ Cycle run_program(const lang::Program& prog, const sim::SimConfig& cfg,
                              m.stats(), m.network(), *col, series_splice_id);
   }
   if (print_stats) {
-    std::printf("nodes:            %u\n", cfg.nodes);
-    std::printf("execution time:   %llu cycles\n",
-                static_cast<unsigned long long>(m.exec_time()));
-    std::printf("epochs:           %u\n", m.epochs_completed());
-    std::vector<Stat> shown = {
-        Stat::SharedLoads,   Stat::SharedStores, Stat::ReadMisses,
-        Stat::WriteMisses,   Stat::WriteFaults,  Stat::Traps,
-        Stat::Invalidations, Stat::Messages,     Stat::CheckOutX,
-        Stat::CheckOutS,     Stat::CheckIns,     Stat::PrefetchIssued,
-        Stat::BoundaryRounds};
-    if (cfg.faults.injects()) {
-      shown.insert(shown.end(),
-                   {Stat::MsgDropped, Stat::MsgDuplicated, Stat::Retries,
-                    Stat::PrefetchThrottled, Stat::WatchdogTrips});
-    }
-    for (Stat s : shown) {
-      std::printf("%-17s %llu\n",
-                  (std::string(stat_name(s)) + ":").c_str(),
-                  static_cast<unsigned long long>(m.stats().total(s)));
-    }
+    // The deterministic stats block is shared with the daemon job runner
+    // (cico::daemon::format_run_stats) so a cachierd-served `run` is
+    // byte-identical to this one-shot path.
+    std::fputs(daemon::format_run_stats(m, cfg).c_str(), stdout);
     // Host wall-clock is inherently nondeterministic, so it goes to stderr:
     // stdout stays byte-identical across boundary-thread counts.
     std::fprintf(stderr,
@@ -324,9 +334,57 @@ SoakMeasure soak_once(const SoakApp& a, const std::string& spec,
   return r;
 }
 
+/// SIGINT/SIGTERM flag for soak: the handler only sets this; the campaign
+/// loop polls it between runs so an interrupt never tears a simulation
+/// mid-flight or leaks temp artifacts.
+volatile std::sig_atomic_t g_soak_stop = 0;
+
+void soak_signal(int) { g_soak_stop = 1; }
+
+/// RAII for soak's repro-artifact directory.  Failing campaigns leave a
+/// .repro spec file behind for replay; the directory is removed when
+/// every campaign passed -- and always on SIGINT/SIGTERM, so an aborted
+/// soak never litters /tmp.
+struct SoakArtifacts {
+  std::string dir;
+
+  SoakArtifacts() {
+    char tmpl[] = "/tmp/cachier_soak_XXXXXX";
+    if (::mkdtemp(tmpl) != nullptr) dir = tmpl;
+  }
+  ~SoakArtifacts() { clean(); }
+
+  void note(std::uint64_t seed, const std::string& spec,
+            const char* app) const {
+    if (dir.empty()) return;
+    std::ofstream out(dir + "/campaign_" + std::to_string(seed) + "_" + app +
+                      ".repro");
+    out << "# replay: cachier soak --campaigns 1 --seed " << seed
+        << " --faults '" << spec << "'  (app: " << app << ")\n"
+        << spec << "\n";
+  }
+
+  [[nodiscard]] bool empty() const {
+    if (dir.empty()) return true;
+    std::error_code ec;
+    return std::filesystem::is_empty(dir, ec) || ec;
+  }
+
+  void clean() {
+    if (dir.empty()) return;
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+    dir.clear();
+  }
+};
+
 int do_soak(const Options& opt) {
   const std::vector<SoakApp> bundled = soak_apps();
   const std::size_t n_mixes = sizeof(kSoakMixes) / sizeof(kSoakMixes[0]);
+  g_soak_stop = 0;
+  std::signal(SIGINT, soak_signal);
+  std::signal(SIGTERM, soak_signal);
+  SoakArtifacts artifacts;
   std::uint32_t total = 0;
   std::uint32_t survived = 0;
   std::uint32_t timeouts = 0;
@@ -336,7 +394,8 @@ int do_soak(const Options& opt) {
   std::uint64_t retries = 0;
   std::uint64_t drops = 0;
 
-  for (std::uint32_t c = 0; c < opt.campaigns; ++c) {
+  bool interrupted = false;
+  for (std::uint32_t c = 0; c < opt.campaigns && !interrupted; ++c) {
     const std::uint64_t seed = opt.seed + c;
     // retries=0 (unbounded budget) so moderate drop rates never abort on a
     // timeout; the watchdog still converts true livelock into SimDeadlock.
@@ -346,6 +405,10 @@ int do_soak(const Options& opt) {
                            : opt.faults;
     spec += ",seed=" + std::to_string(seed);
     for (const SoakApp& a : bundled) {
+      if (g_soak_stop != 0) {
+        interrupted = true;
+        break;
+      }
       ++total;
       const SoakMeasure r1 = soak_once(a, spec);
       const SoakMeasure r2 = soak_once(a, spec);
@@ -371,6 +434,7 @@ int do_soak(const Options& opt) {
       if (std::strcmp(r1.status, "deadlock") == 0) ++deadlocks;
       if (std::strcmp(r1.status, "invariant") == 0) ++violations;
       if (!det || !xdet) ++nondet;
+      if (!ok || !det || !xdet) artifacts.note(seed, spec, a.name);
       retries += r1.retries;
       drops += r1.drops;
       std::printf(
@@ -392,8 +456,22 @@ int do_soak(const Options& opt) {
       total, opt.campaigns, bundled.size(), survived, timeouts, deadlocks,
       violations, nondet, static_cast<unsigned long long>(retries),
       static_cast<unsigned long long>(drops));
+  if (interrupted) {
+    // Partial campaign: report what completed, clean the temp artifacts,
+    // and exit with a code distinct from both success and error so a
+    // supervisor can tell "operator stopped it" from "it broke".
+    std::printf("soak: interrupted by signal after %u of %u runs\n", total,
+                opt.campaigns * static_cast<std::uint32_t>(bundled.size()));
+    artifacts.clean();
+    return 3;
+  }
   if (survived != total || nondet != 0) {
-    throw std::runtime_error("soak: campaign failures (see table above)");
+    std::string msg = "soak: campaign failures (see table above)";
+    if (!artifacts.empty()) {
+      msg += "; repro specs kept in " + artifacts.dir;
+      artifacts.dir.clear();  // keep the directory for replay
+    }
+    throw std::runtime_error(msg);
   }
   return 0;
 }
@@ -430,7 +508,53 @@ int do_diff(const Options& opt) {
   return static_cast<int>(result.outcome);
 }
 
+// --- daemon client mode: ship the job to a running cachierd ----------------
+
+int do_daemon_job(const Options& opt) {
+  daemon::JobRequest req;
+  req.command = opt.command;
+  req.name = opt.file;
+  req.source = slurp(opt.file);
+  if (!opt.plan_file.empty()) req.plan_text = slurp(opt.plan_file);
+  req.cfg.nodes = opt.nodes;
+  req.cfg.mode = opt.mode;
+  req.cfg.faults = opt.faults;
+  req.cfg.paranoid = opt.paranoid;
+  req.cfg.boundary_threads = opt.boundary_threads;
+  req.cfg.want_report = !opt.report_file.empty();
+  req.cfg.deadline_ms = opt.deadline_ms;
+
+  daemon::ClientOptions copt;
+  copt.socket_path = opt.daemon_sock;
+  copt.on_status = [](const std::string& state) {
+    std::fprintf(stderr, "# cachierd: %s\n", state.c_str());
+  };
+  // diags are the job's stderr stream (annotate's summary line, lint
+  // echoes, self-lint output); replay them verbatim so daemon-mode stderr
+  // matches the one-shot run apart from the status lines above.
+  copt.on_diag = [](const std::string& text) {
+    std::fputs(text.c_str(), stderr);
+  };
+
+  const daemon::JobResult res = daemon::submit_job(copt, req);
+  std::fputs(res.out.c_str(), stdout);
+  if (!opt.report_file.empty() && !res.report.empty()) {
+    std::ofstream out = open_out(opt.report_file);
+    out << res.report;
+  }
+  if (res.exit == 2 && !res.error.empty()) {
+    std::fprintf(stderr, "cachier: error: %s\n", res.error.c_str());
+  }
+  return res.exit;
+}
+
 int dispatch(const Options& opt) {
+  if (opt.command == "version") {
+    daemon::version_json().dump(std::cout);
+    std::cout << "\n";
+    return 0;
+  }
+  if (!opt.daemon_sock.empty()) return do_daemon_job(opt);
   if (opt.command == "soak") return do_soak(opt);
   if (opt.command == "diff") return do_diff(opt);
 
@@ -639,6 +763,11 @@ int parse_args(int argc, char** argv, Options& opt) {
       opt.json_file = argv[++i];
     } else if (arg == "--load" && i + 1 < argc) {
       opt.trace_load = argv[++i];
+    } else if (arg == "--daemon" && i + 1 < argc) {
+      opt.daemon_sock = argv[++i];
+    } else if (arg == "--deadline-ms" && i + 1 < argc) {
+      opt.deadline_ms =
+          parse_num<std::uint64_t>(argv[++i], "--deadline-ms value");
     } else if (arg == "--campaigns" && i + 1 < argc) {
       opt.campaigns = parse_num<std::uint32_t>(argv[++i], "--campaigns value");
     } else if (arg == "--seed" && i + 1 < argc) {
@@ -655,14 +784,23 @@ int parse_args(int argc, char** argv, Options& opt) {
     }
   }
   const bool needs_file =
-      opt.command != "soak" &&
+      opt.command != "soak" && opt.command != "version" &&
       !(opt.command == "trace" && !opt.trace_load.empty());
+  // Daemon mode ships exactly the deterministic job surface: commands the
+  // protocol knows, minus local-only side channels (events export, epoch
+  // streaming, lint --json, trace --load all write/read local files the
+  // daemon cannot see).
+  const bool daemon_ok =
+      opt.daemon_sock.empty() ||
+      (daemon::known_command(opt.command) && opt.events_file.empty() &&
+       !opt.stream_epochs && opt.json_file.empty() && opt.trace_load.empty());
   if (opt.command.empty() || (needs_file && opt.file.empty()) ||
       opt.nodes == 0 || opt.boundary_threads == 0 ||
       (opt.command == "soak" && opt.campaigns == 0) ||
       (opt.command == "diff" && opt.file2.empty()) ||
       // Streaming only makes sense while a report is being written.
-      (opt.stream_epochs && opt.report_file.empty())) {
+      (opt.stream_epochs && opt.report_file.empty()) || !daemon_ok ||
+      (opt.deadline_ms != 0 && opt.daemon_sock.empty())) {
     usage();
     return 1;
   }
