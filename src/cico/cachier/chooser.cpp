@@ -4,35 +4,29 @@ namespace cico::cachier {
 
 namespace {
 
+// The section 4.1 set equations, realized as word-level kernel algebra on
+// the dense bitsets (cico::kern dispatch) instead of element-wise hashing.
+
 /// a - b
 BlockSet minus(const BlockSet& a, const BlockSet& b) {
-  BlockSet out;
-  for (Block x : a) {
-    if (!b.contains(x)) out.insert(x);
-  }
+  BlockSet out = a;
+  out -= b;
   return out;
 }
 
 /// a ^ b (intersection)
 BlockSet intersect(const BlockSet& a, const BlockSet& b) {
-  BlockSet out;
-  const BlockSet& small = a.size() <= b.size() ? a : b;
-  const BlockSet& large = a.size() <= b.size() ? b : a;
-  for (Block x : small) {
-    if (large.contains(x)) out.insert(x);
-  }
+  BlockSet out = a;
+  out &= b;
   return out;
 }
 
-void merge_into(BlockSet& dst, const BlockSet& src) {
-  dst.insert(src.begin(), src.end());
-}
+void merge_into(BlockSet& dst, const BlockSet& src) { dst |= src; }
 
 void partition_by(const BlockSet& src, const BlockSet& pred, BlockSet& in_pred,
                   BlockSet& not_in_pred) {
-  for (Block x : src) {
-    (pred.contains(x) ? in_pred : not_in_pred).insert(x);
-  }
+  in_pred |= intersect(src, pred);
+  not_in_pred |= minus(src, pred);
 }
 
 }  // namespace

@@ -13,7 +13,7 @@ EpochDB::EpochDB(const trace::Trace& t, const mem::CacheGeometry& g) : geo_(g) {
   users_.resize(epochs_);
 
   for (const auto& m : t.misses) {
-    users_[m.epoch][g.block_of(m.addr)] |= 1ULL << (m.node % 64);
+    users_[m.epoch][g.block_of(m.addr)].set(m.node);
   }
 
   auto slot = [&](EpochId e, NodeId n) -> NodeEpochData& {
@@ -44,8 +44,8 @@ EpochDB::EpochDB(const trace::Trace& t, const mem::CacheGeometry& g) : geo_(g) {
         if (!d.WF.contains(b) && !d.SW.contains(b)) d.SR.insert(b);
       }
       d.S = d.SW;
-      d.S.insert(d.SR.begin(), d.SR.end());
-      sw_union_[e].insert(d.SW.begin(), d.SW.end());
+      d.S |= d.SR;
+      sw_union_[e] |= d.SW;
     }
   }
 }
@@ -60,10 +60,10 @@ const BlockSet& EpochDB::epoch_sw_union(EpochId e) const {
   return sw_union_[e];
 }
 
-std::uint64_t EpochDB::users_of(EpochId e, Block b) const {
-  if (e >= epochs_) return 0;
+const kern::NodeMask& EpochDB::users_of(EpochId e, Block b) const {
+  if (e >= epochs_) return empty_mask_;
   auto it = users_[e].find(b);
-  return it == users_[e].end() ? 0 : it->second;
+  return it == users_[e].end() ? empty_mask_ : it->second;
 }
 
 }  // namespace cico::cachier

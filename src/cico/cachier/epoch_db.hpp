@@ -16,17 +16,21 @@
 #pragma once
 
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "cico/common/types.hpp"
+#include "cico/kern/bitset.hpp"
+#include "cico/kern/nodemask.hpp"
 #include "cico/mem/geometry.hpp"
 #include "cico/trace/trace.hpp"
 
 namespace cico::cachier {
 
-using BlockSet = std::unordered_set<Block>;
-using WordSet = std::unordered_set<Addr>;
+// Dense SIMD bitsets (cico::kern): same membership API as the historical
+// unordered_set aliases, but iteration is ascending and set algebra
+// (|=, &=, -=) runs on the dispatched word kernels.
+using BlockSet = kern::BlockSet;
+using WordSet = kern::BlockSet;
 
 struct NodeEpochData {
   WordSet read_words;   ///< word addresses of shared read misses
@@ -55,13 +59,14 @@ class EpochDB {
   /// check-in rule: "will be written by SOME processor in the next epoch").
   [[nodiscard]] const BlockSet& epoch_sw_union(EpochId e) const;
 
-  /// Bitmask of the nodes that touch block b in epoch e (bit n%64 set for
-  /// node n).  0 when nobody does.
-  [[nodiscard]] std::uint64_t users_of(EpochId e, Block b) const;
+  /// Mask of the nodes that touch block b in epoch e (empty when nobody
+  /// does).  Dynamic width: nodes >= 64 get distinct bits instead of
+  /// aliasing onto n % 64 as the old uint64_t mask did.
+  [[nodiscard]] const kern::NodeMask& users_of(EpochId e, Block b) const;
 
   /// True when node n is the ONLY node touching block b in epoch e.
   [[nodiscard]] bool sole_user(EpochId e, Block b, NodeId n) const {
-    return users_of(e, b) == (1ULL << (n % 64));
+    return users_of(e, b).is_sole(n);
   }
 
  private:
@@ -71,9 +76,10 @@ class EpochDB {
   // data_[e * nodes_ + n]
   std::vector<NodeEpochData> data_;
   std::vector<BlockSet> sw_union_;
-  std::vector<std::unordered_map<Block, std::uint64_t>> users_;
+  std::vector<std::unordered_map<Block, kern::NodeMask>> users_;
   NodeEpochData empty_;
   BlockSet empty_blocks_;
+  kern::NodeMask empty_mask_;
 };
 
 }  // namespace cico::cachier

@@ -10,10 +10,9 @@ PlanBuilder::PlanBuilder(const trace::Trace& trace,
     : trace_(&trace), geo_(geo) {}
 
 std::vector<sim::BlockRun> PlanBuilder::to_runs(const BlockSet& s) {
-  std::vector<Block> sorted(s.begin(), s.end());
-  std::sort(sorted.begin(), sorted.end());
+  // BlockSet iteration is already ascending; runs coalesce directly.
   std::vector<sim::BlockRun> runs;
-  for (Block b : sorted) {
+  for (Block b : s) {
     if (!runs.empty() && runs.back().last + 1 == b) {
       runs.back().last = b;
     } else {

@@ -1,30 +1,32 @@
 #include "cico/cachier/sharing.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <map>
 #include <sstream>
+
+#include "cico/kern/nodemask.hpp"
 
 namespace cico::cachier {
 
 namespace {
 
 struct WordInfo {
-  std::uint64_t reader_mask = 0;
-  std::uint64_t writer_mask = 0;
+  // Dynamic-width masks: nodes >= 64 used to alias onto bit n % 64, which
+  // could both invent and hide races/false sharing on wide machines.
+  kern::NodeMask reader_mask;
+  kern::NodeMask writer_mask;
   std::vector<NodeId> nodes;  // unique accessors, in first-seen order
   std::vector<PcId> pcs;      // unique pcs
 
   void add(NodeId n, bool write, PcId pc) {
-    const std::uint64_t bit = 1ULL << (n % 64);
-    if (write) writer_mask |= bit;
-    else reader_mask |= bit;
+    if (write) writer_mask.set(n);
+    else reader_mask.set(n);
     if (std::find(nodes.begin(), nodes.end(), n) == nodes.end()) nodes.push_back(n);
     if (std::find(pcs.begin(), pcs.end(), pc) == pcs.end()) pcs.push_back(pc);
   }
 
   [[nodiscard]] int popcount_accessors() const {
-    return std::popcount(reader_mask | writer_mask);
+    return kern::NodeMask::count_union(reader_mask, writer_mask);
   }
 };
 
@@ -59,7 +61,7 @@ SharingAnalyzer::SharingAnalyzer(const trace::Trace& t,
 
     // Data races: same word, >=2 nodes, >=1 write.
     for (const auto& [addr, wi] : words) {
-      if (wi.popcount_accessors() < 2 || wi.writer_mask == 0) continue;
+      if (wi.popcount_accessors() < 2 || !wi.writer_mask.any()) continue;
       es.race_blocks.insert(geo_.block_of(addr));
       RaceSite rs;
       rs.epoch = e;
@@ -81,14 +83,14 @@ SharingAnalyzer::SharingAnalyzer(const trace::Trace& t,
     for (const auto& [blk, bi] : blocks) {
       if (bi.popcount_accessors() < 2) continue;
       if (block_word_count[blk] < 2) continue;
-      if (opt.fs_requires_write && bi.writer_mask == 0) continue;
+      if (opt.fs_requires_write && !bi.writer_mask.any()) continue;
       // Does some pair of nodes access different words of this block?
       // Equivalent: there exists a word whose accessor set != block's.
       bool different_words = false;
-      const std::uint64_t block_mask = bi.reader_mask | bi.writer_mask;
       for (const auto& [addr, wi] : words) {
         if (geo_.block_of(addr) != blk) continue;
-        if ((wi.reader_mask | wi.writer_mask) != block_mask) {
+        if (!kern::NodeMask::union_equals(wi.reader_mask, wi.writer_mask,
+                                          bi.reader_mask, bi.writer_mask)) {
           different_words = true;
           break;
         }
@@ -104,7 +106,7 @@ SharingAnalyzer::SharingAnalyzer(const trace::Trace& t,
     }
 
     es.drfs_blocks = es.race_blocks;
-    es.drfs_blocks.insert(es.fs_blocks.begin(), es.fs_blocks.end());
+    es.drfs_blocks |= es.fs_blocks;
   }
 }
 

@@ -1,0 +1,112 @@
+// NEON kernels (128-bit, 2 words per vector).  NEON is baseline on
+// AArch64, so no runtime probe is needed there; on every other
+// architecture the level reports unavailable.
+#include "cico/kern/kernels.hpp"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace cico::kern {
+namespace {
+
+void bor_neon(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(dst + i, vorrq_u64(vld1q_u64(dst + i), vld1q_u64(src + i)));
+  }
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+
+void band_neon(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(dst + i, vandq_u64(vld1q_u64(dst + i), vld1q_u64(src + i)));
+  }
+  for (; i < n; ++i) dst[i] &= src[i];
+}
+
+void bandnot_neon(std::uint64_t* dst, const std::uint64_t* src,
+                  std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    // bic computes first & ~second.
+    vst1q_u64(dst + i, vbicq_u64(vld1q_u64(dst + i), vld1q_u64(src + i)));
+  }
+  for (; i < n; ++i) dst[i] &= ~src[i];
+}
+
+std::uint64_t popcount_neon(const std::uint64_t* a, std::size_t n) {
+  std::uint64_t total = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint8x16_t bytes = vreinterpretq_u8_u64(vld1q_u64(a + i));
+    total += vaddvq_u8(vcntq_u8(bytes));
+  }
+  for (; i < n; ++i) total += static_cast<std::uint64_t>(std::popcount(a[i]));
+  return total;
+}
+
+bool equal_neon(const std::uint64_t* a, const std::uint64_t* b,
+                std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t x = veorq_u64(vld1q_u64(a + i), vld1q_u64(b + i));
+    if ((vgetq_lane_u64(x, 0) | vgetq_lane_u64(x, 1)) != 0) return false;
+  }
+  for (; i < n; ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+std::size_t find_nonzero_neon(const std::uint64_t* a, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t v = vld1q_u64(a + i);
+    if (vgetq_lane_u64(v, 0) != 0) return i;
+    if (vgetq_lane_u64(v, 1) != 0) return i + 1;
+  }
+  for (; i < n; ++i) {
+    if (a[i] != 0) return i;
+  }
+  return n;
+}
+
+std::size_t find_u64_neon(const std::uint64_t* a, std::size_t n,
+                          std::uint64_t key) {
+  const uint64x2_t k = vdupq_n_u64(key);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t eq = vceqq_u64(vld1q_u64(a + i), k);
+    if (vgetq_lane_u64(eq, 0) != 0) return i;
+    if (vgetq_lane_u64(eq, 1) != 0) return i + 1;
+  }
+  for (; i < n; ++i) {
+    if (a[i] == key) return i;
+  }
+  return n;
+}
+
+const Ops neon_table = {
+    Level::NEON, bor_neon,   band_neon,         bandnot_neon,
+    popcount_neon, equal_neon, find_nonzero_neon, find_u64_neon,
+};
+
+}  // namespace
+
+const Ops* neon_ops_or_null() { return &neon_table; }
+
+}  // namespace cico::kern
+
+#else  // non-AArch64: level never available
+
+namespace cico::kern {
+const Ops* neon_ops_or_null() { return nullptr; }
+}  // namespace cico::kern
+
+#endif

@@ -1,0 +1,67 @@
+// Portable reference kernels.  Every other dispatch level is tested for
+// bit-identical results against this table.
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "cico/kern/kernels.hpp"
+
+namespace cico::kern {
+namespace {
+
+void bor_scalar(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] |= src[i];
+}
+
+void band_scalar(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] &= src[i];
+}
+
+void bandnot_scalar(std::uint64_t* dst, const std::uint64_t* src,
+                    std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] &= ~src[i];
+}
+
+std::uint64_t popcount_scalar(const std::uint64_t* a, std::size_t n) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += static_cast<std::uint64_t>(std::popcount(a[i]));
+  }
+  return total;
+}
+
+bool equal_scalar(const std::uint64_t* a, const std::uint64_t* b,
+                  std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+std::size_t find_nonzero_scalar(const std::uint64_t* a, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] != 0) return i;
+  }
+  return n;
+}
+
+std::size_t find_u64_scalar(const std::uint64_t* a, std::size_t n,
+                            std::uint64_t key) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] == key) return i;
+  }
+  return n;
+}
+
+}  // namespace
+
+const Ops& scalar_ops() {
+  static const Ops table = {
+      Level::Scalar,       bor_scalar,   band_scalar,    bandnot_scalar,
+      popcount_scalar,     equal_scalar, find_nonzero_scalar,
+      find_u64_scalar,
+  };
+  return table;
+}
+
+}  // namespace cico::kern

@@ -1,0 +1,61 @@
+// Generation-stamped membership set for batch claim tracking.
+//
+// The boundary batcher claims blocks / lock addresses per batch and clears
+// the claim set at every flush.  A bitset would pay an O(range) memset per
+// flush; a hash set pays allocation churn.  This structure stores one
+// 32-bit generation stamp per key slot and makes clear() a single counter
+// bump: a key is a member iff its slot holds the current generation.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace cico::kern {
+
+class StampSet {
+ public:
+  /// O(1): keys stamped in earlier generations stop being members.
+  void clear() {
+    ++gen_;
+    if (gen_ == 0) {  // wrapped: stale stamps would alias, so wipe them
+      std::fill(stamp_.begin(), stamp_.end(), 0U);
+      gen_ = 1;
+    }
+  }
+
+  void insert(std::uint64_t v) {
+    const std::size_t slot = slot_for(v);
+    stamp_[slot] = gen_;
+  }
+
+  [[nodiscard]] bool contains(std::uint64_t v) const {
+    if (stamp_.empty() || v < base_) return false;
+    const std::uint64_t idx = v - base_;
+    return idx < stamp_.size() && stamp_[idx] == gen_;
+  }
+
+ private:
+  std::size_t slot_for(std::uint64_t v) {
+    if (stamp_.empty()) {
+      base_ = v;
+      stamp_.assign(1, 0U);
+      return 0;
+    }
+    if (v < base_) {
+      const std::uint64_t grow = base_ - v;
+      stamp_.insert(stamp_.begin(), static_cast<std::size_t>(grow), 0U);
+      base_ = v;
+      return 0;
+    }
+    const std::uint64_t idx = v - base_;
+    if (idx >= stamp_.size()) stamp_.resize(static_cast<std::size_t>(idx) + 1, 0U);
+    return static_cast<std::size_t>(idx);
+  }
+
+  std::vector<std::uint32_t> stamp_;
+  std::uint64_t base_ = 0;
+  std::uint32_t gen_ = 1;
+};
+
+}  // namespace cico::kern

@@ -1,102 +1,122 @@
 #include "cico/mem/cache.hpp"
 
-#include <algorithm>
+#include "cico/kern/kernels.hpp"
 
 namespace cico::mem {
 
-Cache::Cache(CacheGeometry g) : geo_(g), sets_(g.num_sets()) {
-  for (auto& s : sets_) s.reserve(g.assoc);
+Cache::Cache(CacheGeometry g)
+    : geo_(g),
+      tags_(static_cast<std::size_t>(g.num_sets()) * g.assoc, 0),
+      states_(static_cast<std::size_t>(g.num_sets()) * g.assoc,
+              LineState::Invalid),
+      fill_(g.num_sets(), 0) {}
+
+std::size_t Cache::way_of(Block b, std::size_t fill) const {
+  return kern::ops().find_u64(tags_.data() + row(b), fill, b);
+}
+
+void Cache::to_mru(std::size_t base, std::size_t i) {
+  if (i == 0) return;
+  const Block tag = tags_[base + i];
+  const LineState st = states_[base + i];
+  for (std::size_t j = i; j > 0; --j) {
+    tags_[base + j] = tags_[base + j - 1];
+    states_[base + j] = states_[base + j - 1];
+  }
+  tags_[base] = tag;
+  states_[base] = st;
 }
 
 LineState Cache::state_of(Block b) const {
-  const Set& set = set_for(b);
-  for (const Line& l : set) {
-    if (l.block == b) return l.state;
-  }
-  return LineState::Invalid;
+  const std::size_t fill = fill_[geo_.set_of(b)];
+  const std::size_t i = way_of(b, fill);
+  return i < fill ? states_[row(b) + i] : LineState::Invalid;
 }
 
 bool Cache::touch(Block b) {
-  Set& set = set_for(b);
-  for (std::size_t i = 0; i < set.size(); ++i) {
-    if (set[i].block == b) {
-      if (i != 0) {
-        Line l = set[i];
-        set.erase(set.begin() + static_cast<std::ptrdiff_t>(i));
-        set.insert(set.begin(), l);
-      }
-      return true;
-    }
-  }
-  return false;
+  const std::size_t fill = fill_[geo_.set_of(b)];
+  const std::size_t i = way_of(b, fill);
+  if (i >= fill) return false;
+  to_mru(row(b), i);
+  return true;
 }
 
 std::optional<Cache::Eviction> Cache::insert(Block b, LineState s) {
-  Set& set = set_for(b);
-  for (std::size_t i = 0; i < set.size(); ++i) {
-    if (set[i].block == b) {
-      set[i].state = s;
-      touch(b);
-      return std::nullopt;
-    }
+  const std::size_t set = geo_.set_of(b);
+  const std::size_t base = row(b);
+  std::size_t fill = fill_[set];
+  const std::size_t i = way_of(b, fill);
+  if (i < fill) {
+    states_[base + i] = s;
+    to_mru(base, i);
+    return std::nullopt;
   }
   std::optional<Eviction> victim;
-  if (set.size() >= geo_.assoc) {
-    const Line& lru = set.back();
-    victim = Eviction{lru.block, lru.state};
-    set.pop_back();
+  if (fill >= geo_.assoc) {
+    victim = Eviction{tags_[base + fill - 1], states_[base + fill - 1]};
+    --fill;
     --occupancy_;
   }
-  set.insert(set.begin(), Line{b, s});
+  // Shift the whole (possibly shortened) row down one way and write the
+  // new line at MRU.
+  for (std::size_t j = fill; j > 0; --j) {
+    tags_[base + j] = tags_[base + j - 1];
+    states_[base + j] = states_[base + j - 1];
+  }
+  tags_[base] = b;
+  states_[base] = s;
+  fill_[set] = static_cast<std::uint32_t>(fill + 1);
   ++occupancy_;
   return victim;
 }
 
 std::optional<Cache::Eviction> Cache::peek_victim(Block b) const {
-  const Set& set = set_for(b);
-  for (const Line& l : set) {
-    if (l.block == b) return std::nullopt;  // hit path: no eviction
-  }
-  if (set.size() < geo_.assoc) return std::nullopt;
-  const Line& lru = set.back();
-  return Eviction{lru.block, lru.state};
+  const std::size_t fill = fill_[geo_.set_of(b)];
+  if (way_of(b, fill) < fill) return std::nullopt;  // hit path: no eviction
+  if (fill < geo_.assoc) return std::nullopt;
+  const std::size_t base = row(b);
+  return Eviction{tags_[base + fill - 1], states_[base + fill - 1]};
 }
 
 bool Cache::set_state(Block b, LineState s) {
-  Set& set = set_for(b);
-  for (Line& l : set) {
-    if (l.block == b) {
-      l.state = s;
-      return true;
-    }
-  }
-  return false;
+  const std::size_t fill = fill_[geo_.set_of(b)];
+  const std::size_t i = way_of(b, fill);
+  if (i >= fill) return false;
+  states_[row(b) + i] = s;
+  return true;
 }
 
 LineState Cache::erase(Block b) {
-  Set& set = set_for(b);
-  for (std::size_t i = 0; i < set.size(); ++i) {
-    if (set[i].block == b) {
-      LineState s = set[i].state;
-      set.erase(set.begin() + static_cast<std::ptrdiff_t>(i));
-      --occupancy_;
-      return s;
-    }
+  const std::size_t set = geo_.set_of(b);
+  const std::size_t base = row(b);
+  const std::size_t fill = fill_[set];
+  const std::size_t i = way_of(b, fill);
+  if (i >= fill) return LineState::Invalid;
+  const LineState s = states_[base + i];
+  for (std::size_t j = i; j + 1 < fill; ++j) {
+    tags_[base + j] = tags_[base + j + 1];
+    states_[base + j] = states_[base + j + 1];
   }
-  return LineState::Invalid;
+  fill_[set] = static_cast<std::uint32_t>(fill - 1);
+  --occupancy_;
+  return s;
 }
 
 void Cache::flush(const std::function<void(Block, LineState)>& fn) {
-  for (Set& set : sets_) {
-    for (const Line& l : set) fn(l.block, l.state);
-    occupancy_ -= set.size();
-    set.clear();
+  for (std::size_t set = 0; set < fill_.size(); ++set) {
+    const std::size_t base = set * geo_.assoc;
+    const std::size_t fill = fill_[set];
+    for (std::size_t i = 0; i < fill; ++i) fn(tags_[base + i], states_[base + i]);
+    occupancy_ -= fill;
+    fill_[set] = 0;
   }
 }
 
 void Cache::for_each(const std::function<void(Block, LineState)>& fn) const {
-  for (const Set& set : sets_) {
-    for (const Line& l : set) fn(l.block, l.state);
+  for (std::size_t set = 0; set < fill_.size(); ++set) {
+    const std::size_t base = set * geo_.assoc;
+    const std::size_t fill = fill_[set];
+    for (std::size_t i = 0; i < fill; ++i) fn(tags_[base + i], states_[base + i]);
   }
 }
 

@@ -65,17 +65,23 @@ class Cache {
   void for_each(const std::function<void(Block, LineState)>& fn) const;
 
  private:
-  struct Line {
-    Block block;
-    LineState state;
-  };
-  using Set = std::vector<Line>;  // front = MRU, back = LRU
-
-  Set& set_for(Block b) { return sets_[geo_.set_of(b)]; }
-  const Set& set_for(Block b) const { return sets_[geo_.set_of(b)]; }
+  // Structure-of-arrays layout: the tags of set s occupy
+  // tags_[s*assoc .. s*assoc + fill_[s]) with index 0 = MRU and
+  // fill_[s]-1 = LRU, states_ in parallel.  A lookup is one SIMD compare
+  // over the set's tag row (kern::find_u64) instead of a pointer-chasing
+  // scan of per-set vectors; LRU maintenance is a short memmove rotation.
+  [[nodiscard]] std::size_t row(Block b) const {
+    return static_cast<std::size_t>(geo_.set_of(b)) * geo_.assoc;
+  }
+  /// Index of b within its set row, or fill when absent.
+  [[nodiscard]] std::size_t way_of(Block b, std::size_t fill) const;
+  /// Moves way `i` of the row to MRU (index 0), rotating the prefix.
+  void to_mru(std::size_t base, std::size_t i);
 
   CacheGeometry geo_;
-  std::vector<Set> sets_;
+  std::vector<Block> tags_;            ///< num_sets * assoc
+  std::vector<LineState> states_;      ///< num_sets * assoc
+  std::vector<std::uint32_t> fill_;    ///< live ways per set
   std::size_t occupancy_ = 0;
 };
 

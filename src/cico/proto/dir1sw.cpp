@@ -55,7 +55,7 @@ ServiceResult dropped_result(Cycle now, const CostModel& cost) {
 Dir1SW::Dir1SW(std::uint32_t nodes, const CostModel& cost, net::Network& net,
                Stats& stats, CacheControl& caches)
     : nodes_(nodes), cost_(cost), net_(&net), stats_(&stats), caches_(&caches),
-      slices_(nodes) {}
+      slices_(nodes), dirty_(nodes) {}
 
 const DirEntry* Dir1SW::entry(Block b) const {
   const auto& slice = slices_[home_of(b)];
@@ -405,49 +405,51 @@ ServiceResult Dir1SW::post_store(NodeId req, Block b, Cycle now) {
   return r;
 }
 
+void Dir1SW::check_block(Block b, const DirEntry& e,
+                         std::ostringstream& bad) const {
+  if (e.count != e.sharers.size() &&
+      !(e.state == DirState::Exclusive || e.state == DirState::Idle)) {
+    bad << "block " << b << ": counter " << e.count << " != sharer set size "
+        << e.sharers.size() << "\n";
+  }
+  switch (e.state) {
+    case DirState::Idle:
+      if (!e.sharers.empty())
+        bad << "block " << b << ": Idle with sharers\n";
+      for (NodeId n = 0; n < nodes_; ++n) {
+        if (caches_->peek(n, b) != LineState::Invalid)
+          bad << "block " << b << ": Idle but cached at node " << n << "\n";
+      }
+      break;
+    case DirState::Shared:
+      if (e.sharers.empty())
+        bad << "block " << b << ": Shared with empty sharer set\n";
+      for (NodeId n = 0; n < nodes_; ++n) {
+        const LineState ls = caches_->peek(n, b);
+        const bool should = e.has_sharer(n);
+        if (should && ls != LineState::Shared)
+          bad << "block " << b << ": sharer " << n << " not Shared in cache\n";
+        if (!should && ls != LineState::Invalid)
+          bad << "block " << b << ": non-sharer " << n << " holds copy\n";
+        if (ls == LineState::Exclusive)
+          bad << "block " << b << ": Exclusive copy under Shared entry\n";
+      }
+      break;
+    case DirState::Exclusive:
+      for (NodeId n = 0; n < nodes_; ++n) {
+        const LineState ls = caches_->peek(n, b);
+        if (n == e.owner && ls != LineState::Exclusive)
+          bad << "block " << b << ": owner " << n << " lost exclusive copy\n";
+        if (n != e.owner && ls != LineState::Invalid)
+          bad << "block " << b << ": node " << n
+              << " holds copy under foreign Exclusive entry\n";
+      }
+      break;
+  }
+}
+
 std::string Dir1SW::check_invariants() const {
   std::ostringstream bad;
-  auto check = [&](Block b, const DirEntry& e) {
-    if (e.count != e.sharers.size() &&
-        !(e.state == DirState::Exclusive || e.state == DirState::Idle)) {
-      bad << "block " << b << ": counter " << e.count << " != sharer set size "
-          << e.sharers.size() << "\n";
-    }
-    switch (e.state) {
-      case DirState::Idle:
-        if (!e.sharers.empty())
-          bad << "block " << b << ": Idle with sharers\n";
-        for (NodeId n = 0; n < nodes_; ++n) {
-          if (caches_->peek(n, b) != LineState::Invalid)
-            bad << "block " << b << ": Idle but cached at node " << n << "\n";
-        }
-        break;
-      case DirState::Shared:
-        if (e.sharers.empty())
-          bad << "block " << b << ": Shared with empty sharer set\n";
-        for (NodeId n = 0; n < nodes_; ++n) {
-          const LineState ls = caches_->peek(n, b);
-          const bool should = e.has_sharer(n);
-          if (should && ls != LineState::Shared)
-            bad << "block " << b << ": sharer " << n << " not Shared in cache\n";
-          if (!should && ls != LineState::Invalid)
-            bad << "block " << b << ": non-sharer " << n << " holds copy\n";
-          if (ls == LineState::Exclusive)
-            bad << "block " << b << ": Exclusive copy under Shared entry\n";
-        }
-        break;
-      case DirState::Exclusive:
-        for (NodeId n = 0; n < nodes_; ++n) {
-          const LineState ls = caches_->peek(n, b);
-          if (n == e.owner && ls != LineState::Exclusive)
-            bad << "block " << b << ": owner " << n << " lost exclusive copy\n";
-          if (n != e.owner && ls != LineState::Invalid)
-            bad << "block " << b << ": node " << n
-                << " holds copy under foreign Exclusive entry\n";
-        }
-        break;
-    }
-  };
   // Walk homes in ascending order and blocks sorted within each slice so
   // diagnostics come out in a stable order regardless of hash-map layout.
   std::vector<Block> blocks;
@@ -456,9 +458,29 @@ std::string Dir1SW::check_invariants() const {
     blocks.reserve(slice.size());
     for (const auto& [b, unused] : slice) blocks.push_back(b);
     std::sort(blocks.begin(), blocks.end());
-    for (const Block b : blocks) check(b, slice.at(b));
+    for (const Block b : blocks) check_block(b, slice.at(b), bad);
   }
   return bad.str();
+}
+
+std::string Dir1SW::check_invariants_incremental() {
+  std::ostringstream bad;
+  // Same home-ascending, block-ascending order as the full walk; BlockSet
+  // iteration is already ascending, so no sort is needed.
+  for (NodeId h = 0; h < nodes_; ++h) {
+    const auto& slice = slices_[h];
+    for (const Block b : dirty_[h]) {
+      // ent() marks conservatively; a dirty block with no entry was only
+      // ever read through a const path and is equivalent to Idle.
+      auto it = slice.find(b);
+      if (it != slice.end()) check_block(b, it->second, bad);
+    }
+  }
+  std::string diag = bad.str();
+  if (diag.empty()) {
+    for (auto& d : dirty_) d.clear();
+  }
+  return diag;
 }
 
 }  // namespace cico::proto

@@ -28,10 +28,12 @@
 #pragma once
 
 #include <cstdint>
+#include <sstream>
 #include <unordered_map>
 #include <vector>
 
 #include "cico/common/cost.hpp"
+#include "cico/kern/bitset.hpp"
 #include "cico/common/stats.hpp"
 #include "cico/common/types.hpp"
 #include "cico/mem/cache.hpp"
@@ -148,10 +150,25 @@ class Dir1SW final : public Protocol {
   /// Returns an empty string when consistent, else a diagnostic.
   [[nodiscard]] std::string check_invariants() const override;
 
+  /// Memoized audit: rechecks only the blocks ent() marked dirty since the
+  /// last clean incremental audit, then clears the memo.  The per-slice
+  /// dirty sets are written only by the shard worker owning the slice, so
+  /// marking is race-free under the sharded boundary phase.
+  [[nodiscard]] std::string check_invariants_incremental() override;
+
   [[nodiscard]] const char* name() const override { return "dir1sw"; }
 
  private:
-  DirEntry& ent(Block b) { return slices_[home_of(b)][b]; }
+  /// The single choke point through which every handler reaches an entry;
+  /// marking here is what makes the incremental audit's memo sound.
+  DirEntry& ent(Block b) {
+    const NodeId h = home_of(b);
+    dirty_[h].insert(b);
+    return slices_[h][b];
+  }
+
+  /// One block's share of check_invariants (stable diagnostic order).
+  void check_block(Block b, const DirEntry& e, std::ostringstream& bad) const;
 
   /// Injected software-handler stall (0 when no injector is attached).
   /// The block/requester/time identify the invocation for keyed draws.
@@ -171,6 +188,9 @@ class Dir1SW final : public Protocol {
   /// A shard worker touches only the slices whose homes it owns, so
   /// Confined transactions never race on a map.
   std::vector<std::unordered_map<Block, DirEntry>> slices_;
+  /// Blocks touched through ent() since the last clean incremental audit,
+  /// partitioned like slices_ (same single-writer-per-slice discipline).
+  std::vector<kern::BlockSet> dirty_;
 };
 
 }  // namespace cico::proto

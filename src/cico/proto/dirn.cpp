@@ -85,56 +85,56 @@ ServiceResult DirNFullMap::get_shared(NodeId req, Block b, Cycle now,
   switch (e.state) {
     case DirState::Idle:
     case DirState::Shared: {
-      const auto rq = net_->deliver(req, home, req_msg, now);
-      if (rq.dropped) return dropped_result(now, cost_);
-      Cycle t = rq.at + cost_.dir_hw + cost_.mem_access;
-      if (prefetch) {
-        // Prefetches are never retried; their reply leg is reliable so a
-        // lost prefetch never leaves the directory ahead of the cache.
-        t = net_->send(home, req, rep_msg, t);
-        e.state = DirState::Shared;
-        add_sharer(e, req);
-        if (e.owner == kInvalidNode) e.owner = req;
-        r.done_at = t;
-        return r;
-      }
-      const auto rp = net_->deliver(home, req, rep_msg, t);
+    const auto rq = net_->deliver(req, home, req_msg, now);
+    if (rq.dropped) return dropped_result(now, cost_);
+    Cycle t = rq.at + cost_.dir_hw + cost_.mem_access;
+    if (prefetch) {
+      // Prefetches are never retried; their reply leg is reliable so a
+      // lost prefetch never leaves the directory ahead of the cache.
+      t = net_->send(home, req, rep_msg, t);
       e.state = DirState::Shared;
       add_sharer(e, req);
       if (e.owner == kInvalidNode) e.owner = req;
-      if (rp.dropped) return dropped_result(now, cost_);
-      r.done_at = rp.at;
+      r.done_at = t;
       return r;
     }
+    const auto rp = net_->deliver(home, req, rep_msg, t);
+    e.state = DirState::Shared;
+    add_sharer(e, req);
+    if (e.owner == kInvalidNode) e.owner = req;
+    if (rp.dropped) return dropped_result(now, cost_);
+    r.done_at = rp.at;
+    return r;
+    }
     case DirState::Exclusive: {
-      if (e.owner == req) {
-        r.done_at = now + cost_.hit;
-        return r;
-      }
-      // All-hardware 3-hop forwarding: home forwards the request to the
-      // owner, which downgrades and sends the data onward.  No trap.
-      const auto rq = net_->deliver(req, home, req_msg, now);
-      if (rq.dropped) return dropped_result(now, cost_);
-      Cycle t = rq.at + cost_.dir_hw;
-      t = net_->send(home, e.owner, MsgType::Recall, t);
-      caches_->downgrade(e.owner, b);
-      stats_->add(e.owner, Stat::Writebacks);
-      net_->count(e.owner, MsgType::Writeback);  // sharing writeback home
-      if (prefetch) {
-        t = net_->send(e.owner, req, rep_msg, t);
-        e.state = DirState::Shared;
-        add_sharer(e, e.owner);
-        add_sharer(e, req);
-        r.done_at = t;
-        return r;
-      }
-      const auto rp = net_->deliver(e.owner, req, rep_msg, t);
+    if (e.owner == req) {
+      r.done_at = now + cost_.hit;
+      return r;
+    }
+    // All-hardware 3-hop forwarding: home forwards the request to the
+    // owner, which downgrades and sends the data onward.  No trap.
+    const auto rq = net_->deliver(req, home, req_msg, now);
+    if (rq.dropped) return dropped_result(now, cost_);
+    Cycle t = rq.at + cost_.dir_hw;
+    t = net_->send(home, e.owner, MsgType::Recall, t);
+    caches_->downgrade(e.owner, b);
+    stats_->add(e.owner, Stat::Writebacks);
+    net_->count(e.owner, MsgType::Writeback);  // sharing writeback home
+    if (prefetch) {
+      t = net_->send(e.owner, req, rep_msg, t);
       e.state = DirState::Shared;
       add_sharer(e, e.owner);
       add_sharer(e, req);
-      if (rp.dropped) return dropped_result(now, cost_);
-      r.done_at = rp.at;
+      r.done_at = t;
       return r;
+    }
+    const auto rp = net_->deliver(e.owner, req, rep_msg, t);
+    e.state = DirState::Shared;
+    add_sharer(e, e.owner);
+    add_sharer(e, req);
+    if (rp.dropped) return dropped_result(now, cost_);
+    r.done_at = rp.at;
+    return r;
     }
   }
   r.done_at = now;
@@ -142,7 +142,7 @@ ServiceResult DirNFullMap::get_shared(NodeId req, Block b, Cycle now,
 }
 
 ServiceResult DirNFullMap::get_exclusive(NodeId req, Block b, Cycle now,
-                                         bool prefetch) {
+                                       bool prefetch) {
   DirEntry& e = ent(b);
   const NodeId home = home_of(b);
   const MsgType req_msg = prefetch ? MsgType::PrefetchReq : MsgType::Request;
@@ -151,87 +151,87 @@ ServiceResult DirNFullMap::get_exclusive(NodeId req, Block b, Cycle now,
 
   switch (e.state) {
     case DirState::Idle: {
-      const auto rq = net_->deliver(req, home, req_msg, now);
-      if (rq.dropped) return dropped_result(now, cost_);
-      Cycle t = rq.at + cost_.dir_hw + cost_.mem_access;
-      if (prefetch) {
-        t = net_->send(home, req, rep_msg, t);
-        e.state = DirState::Exclusive;
-        e.owner = req;
-        e.sharers.clear();
-        e.count = 0;
-        r.done_at = t;
-        return r;
-      }
-      const auto rp = net_->deliver(home, req, rep_msg, t);
+    const auto rq = net_->deliver(req, home, req_msg, now);
+    if (rq.dropped) return dropped_result(now, cost_);
+    Cycle t = rq.at + cost_.dir_hw + cost_.mem_access;
+    if (prefetch) {
+      t = net_->send(home, req, rep_msg, t);
       e.state = DirState::Exclusive;
       e.owner = req;
       e.sharers.clear();
       e.count = 0;
-      if (rp.dropped) return dropped_result(now, cost_);
-      r.done_at = rp.at;
+      r.done_at = t;
       return r;
+    }
+    const auto rp = net_->deliver(home, req, rep_msg, t);
+    e.state = DirState::Exclusive;
+    e.owner = req;
+    e.sharers.clear();
+    e.count = 0;
+    if (rp.dropped) return dropped_result(now, cost_);
+    r.done_at = rp.at;
+    return r;
     }
     case DirState::Shared: {
-      // Hardware invalidation of every other sharer, in parallel.
-      const bool req_had_copy =
-          std::binary_search(e.sharers.begin(), e.sharers.end(), req);
-      const auto rq = net_->deliver(req, home, req_msg, now);
-      if (rq.dropped) return dropped_result(now, cost_);
-      Cycle t = rq.at + cost_.dir_hw;
-      std::uint32_t sent = 0;
-      t += invalidate_sharers_hw(e, b, home, req, &sent);
-      r.invalidations = sent;
-      if (!req_had_copy) t += cost_.mem_access;
-      const MsgType rep = req_had_copy && !prefetch ? MsgType::Ack : rep_msg;
-      if (prefetch) {
-        t = net_->send(home, req, rep, t);
-        e.state = DirState::Exclusive;
-        e.owner = req;
-        e.sharers.clear();
-        e.count = 0;
-        r.done_at = t;
-        return r;
-      }
-      const auto rp = net_->deliver(home, req, rep, t);
+    // Hardware invalidation of every other sharer, in parallel.
+    const bool req_had_copy =
+        std::binary_search(e.sharers.begin(), e.sharers.end(), req);
+    const auto rq = net_->deliver(req, home, req_msg, now);
+    if (rq.dropped) return dropped_result(now, cost_);
+    Cycle t = rq.at + cost_.dir_hw;
+    std::uint32_t sent = 0;
+    t += invalidate_sharers_hw(e, b, home, req, &sent);
+    r.invalidations = sent;
+    if (!req_had_copy) t += cost_.mem_access;
+    const MsgType rep = req_had_copy && !prefetch ? MsgType::Ack : rep_msg;
+    if (prefetch) {
+      t = net_->send(home, req, rep, t);
       e.state = DirState::Exclusive;
       e.owner = req;
       e.sharers.clear();
       e.count = 0;
-      if (rp.dropped) return dropped_result(now, cost_);
-      r.done_at = rp.at;
+      r.done_at = t;
       return r;
     }
+    const auto rp = net_->deliver(home, req, rep, t);
+    e.state = DirState::Exclusive;
+    e.owner = req;
+    e.sharers.clear();
+    e.count = 0;
+    if (rp.dropped) return dropped_result(now, cost_);
+    r.done_at = rp.at;
+    return r;
+    }
     case DirState::Exclusive: {
-      if (e.owner == req) {
-        r.done_at = now + cost_.hit;
-        return r;
-      }
-      // Hardware owner transfer (3-hop).
-      const auto rq = net_->deliver(req, home, req_msg, now);
-      if (rq.dropped) return dropped_result(now, cost_);
-      Cycle t = rq.at + cost_.dir_hw;
-      t = net_->send(home, e.owner, MsgType::Recall, t);
-      caches_->invalidate(e.owner, b);
-      add_past(e, e.owner);
-      stats_->add(e.owner, Stat::Writebacks);
-      net_->count(e.owner, MsgType::Writeback);
-      r.invalidations = 1;
-      if (prefetch) {
-        t = net_->send(e.owner, req, rep_msg, t);
-        e.owner = req;
-        e.sharers.clear();
-        e.count = 0;
-        r.done_at = t;
-        return r;
-      }
-      const auto rp = net_->deliver(e.owner, req, rep_msg, t);
+    if (e.owner == req) {
+      r.done_at = now + cost_.hit;
+      return r;
+    }
+    // Hardware owner transfer (3-hop).
+    const auto rq = net_->deliver(req, home, req_msg, now);
+    if (rq.dropped) return dropped_result(now, cost_);
+    Cycle t = rq.at + cost_.dir_hw;
+    t = net_->send(home, e.owner, MsgType::Recall, t);
+    caches_->invalidate(e.owner, b);
+    add_past(e, e.owner);
+    stats_->add(e.owner, Stat::Writebacks);
+    net_->count(e.owner, MsgType::Writeback);
+    r.invalidations = 1;
+    if (prefetch) {
+      t = net_->send(e.owner, req, rep_msg, t);
       e.owner = req;
       e.sharers.clear();
       e.count = 0;
-      if (rp.dropped) return dropped_result(now, cost_);
-      r.done_at = rp.at;
+      r.done_at = t;
       return r;
+    }
+    const auto rp = net_->deliver(e.owner, req, rep_msg, t);
+    e.owner = req;
+    e.sharers.clear();
+    e.count = 0;
+    if (rp.dropped) return dropped_result(now, cost_);
+    r.done_at = rp.at;
+    return r;
     }
   }
   r.done_at = now;
@@ -239,7 +239,7 @@ ServiceResult DirNFullMap::get_exclusive(NodeId req, Block b, Cycle now,
 }
 
 ServiceResult DirNFullMap::put(NodeId req, Block b, bool dirty, Cycle now,
-                               bool explicit_ci) {
+                             bool explicit_ci) {
   DirEntry& e = ent(b);
   const NodeId home = home_of(b);
   const MsgType msg = explicit_ci ? MsgType::Directive : MsgType::Writeback;
@@ -248,47 +248,47 @@ ServiceResult DirNFullMap::put(NodeId req, Block b, bool dirty, Cycle now,
 
   switch (e.state) {
     case DirState::Idle:
+    net_->count(req, msg);
+    net_->count(home, MsgType::Nack);
+    r.nacked = true;
+    return r;
+    case DirState::Shared: {
+    if (!std::binary_search(e.sharers.begin(), e.sharers.end(), req)) {
       net_->count(req, msg);
       net_->count(home, MsgType::Nack);
       r.nacked = true;
       return r;
-    case DirState::Shared: {
-      if (!std::binary_search(e.sharers.begin(), e.sharers.end(), req)) {
-        net_->count(req, msg);
-        net_->count(home, MsgType::Nack);
-        r.nacked = true;
-        return r;
-      }
-      // A lost check-in must not touch the directory: the block stays
-      // checked out until the retransmit lands (retry layer in the sim).
-      const auto d = net_->deliver(req, home, msg, now);
-      if (d.dropped) return dropped_result(now, cost_);
-      remove_sharer(e, req);
-      if (e.sharers.empty()) {
-        e.state = DirState::Idle;
-        e.owner = kInvalidNode;
-      } else {
-        e.owner = e.sharers.front();
-      }
-      return r;
     }
-    case DirState::Exclusive: {
-      if (e.owner != req) {
-        net_->count(req, msg);
-        net_->count(home, MsgType::Nack);
-        r.nacked = true;
-        return r;
-      }
-      const auto d =
-          net_->deliver(req, home, dirty ? MsgType::Writeback : msg, now);
-      if (d.dropped) return dropped_result(now, cost_);
-      if (dirty) stats_->add(req, Stat::Writebacks);
-      add_past(e, req);
+    // A lost check-in must not touch the directory: the block stays
+    // checked out until the retransmit lands (retry layer in the sim).
+    const auto d = net_->deliver(req, home, msg, now);
+    if (d.dropped) return dropped_result(now, cost_);
+    remove_sharer(e, req);
+    if (e.sharers.empty()) {
       e.state = DirState::Idle;
       e.owner = kInvalidNode;
-      e.sharers.clear();
-      e.count = 0;
+    } else {
+      e.owner = e.sharers.front();
+    }
+    return r;
+    }
+    case DirState::Exclusive: {
+    if (e.owner != req) {
+      net_->count(req, msg);
+      net_->count(home, MsgType::Nack);
+      r.nacked = true;
       return r;
+    }
+    const auto d =
+        net_->deliver(req, home, dirty ? MsgType::Writeback : msg, now);
+    if (d.dropped) return dropped_result(now, cost_);
+    if (dirty) stats_->add(req, Stat::Writebacks);
+    add_past(e, req);
+    e.state = DirState::Idle;
+    e.owner = kInvalidNode;
+    e.sharers.clear();
+    e.count = 0;
+    return r;
     }
   }
   return r;
@@ -323,43 +323,57 @@ ServiceResult DirNFullMap::post_store(NodeId req, Block b, Cycle now) {
   return r;
 }
 
+void DirNFullMap::check_block(Block b, const DirEntry& e,
+                            std::ostringstream& bad) const {
+  switch (e.state) {
+    case DirState::Idle:
+      for (NodeId n = 0; n < nodes_; ++n) {
+        if (caches_->peek(n, b) != LineState::Invalid) {
+          bad << "block " << b << ": Idle but cached at node " << n << "\n";
+        }
+      }
+      break;
+    case DirState::Shared:
+      for (NodeId n = 0; n < nodes_; ++n) {
+        const bool should = e.has_sharer(n);
+        const LineState ls = caches_->peek(n, b);
+        if (should && ls != LineState::Shared) {
+          bad << "block " << b << ": sharer " << n << " lost copy\n";
+        }
+        if (!should && ls != LineState::Invalid) {
+          bad << "block " << b << ": stray copy at node " << n << "\n";
+        }
+      }
+      break;
+    case DirState::Exclusive:
+      for (NodeId n = 0; n < nodes_; ++n) {
+        const LineState ls = caches_->peek(n, b);
+        if (n == e.owner && ls != LineState::Exclusive) {
+          bad << "block " << b << ": owner " << n << " not exclusive\n";
+        }
+        if (n != e.owner && ls != LineState::Invalid) {
+          bad << "block " << b << ": stray copy under exclusive\n";
+        }
+      }
+      break;
+  }
+}
+
 std::string DirNFullMap::check_invariants() const {
   std::ostringstream bad;
-  for (const auto& [b, e] : dir_) {
-    switch (e.state) {
-      case DirState::Idle:
-        for (NodeId n = 0; n < nodes_; ++n) {
-          if (caches_->peek(n, b) != LineState::Invalid) {
-            bad << "block " << b << ": Idle but cached at node " << n << "\n";
-          }
-        }
-        break;
-      case DirState::Shared:
-        for (NodeId n = 0; n < nodes_; ++n) {
-          const bool should = e.has_sharer(n);
-          const LineState ls = caches_->peek(n, b);
-          if (should && ls != LineState::Shared) {
-            bad << "block " << b << ": sharer " << n << " lost copy\n";
-          }
-          if (!should && ls != LineState::Invalid) {
-            bad << "block " << b << ": stray copy at node " << n << "\n";
-          }
-        }
-        break;
-      case DirState::Exclusive:
-        for (NodeId n = 0; n < nodes_; ++n) {
-          const LineState ls = caches_->peek(n, b);
-          if (n == e.owner && ls != LineState::Exclusive) {
-            bad << "block " << b << ": owner " << n << " not exclusive\n";
-          }
-          if (n != e.owner && ls != LineState::Invalid) {
-            bad << "block " << b << ": stray copy under exclusive\n";
-          }
-        }
-        break;
-    }
-  }
+  for (const auto& [b, e] : dir_) check_block(b, e, bad);
   return bad.str();
+}
+
+std::string DirNFullMap::check_invariants_incremental() {
+  std::ostringstream bad;
+  for (const Block b : dirty_) {
+    auto it = dir_.find(b);
+    if (it != dir_.end()) check_block(b, it->second, bad);
+  }
+  std::string diag = bad.str();
+  if (diag.empty()) dirty_.clear();
+  return diag;
 }
 
 }  // namespace cico::proto

@@ -42,12 +42,20 @@ class DirNFullMap final : public Protocol {
   ServiceResult post_store(NodeId req, Block b, Cycle now) override;
 
   [[nodiscard]] std::string check_invariants() const override;
+  /// Memoized audit over the blocks ent() touched since the last clean one
+  /// (this protocol always runs serially, so a single dirty set suffices).
+  [[nodiscard]] std::string check_invariants_incremental() override;
   [[nodiscard]] const char* name() const override { return "dirn-fullmap"; }
 
   [[nodiscard]] const DirEntry* entry(Block b) const;
 
  private:
-  DirEntry& ent(Block b) { return dir_[b]; }
+  DirEntry& ent(Block b) {
+    dirty_.insert(b);
+    return dir_[b];
+  }
+  /// One block's share of check_invariants.
+  void check_block(Block b, const DirEntry& e, std::ostringstream& bad) const;
   /// Hardware fan-out invalidation: parallel sends, one ack-collect RTT
   /// plus a small per-sharer directory occupancy.
   Cycle invalidate_sharers_hw(DirEntry& e, Block b, NodeId home, NodeId keep,
@@ -59,6 +67,8 @@ class DirNFullMap final : public Protocol {
   Stats* stats_;
   CacheControl* caches_;
   std::unordered_map<Block, DirEntry> dir_;
+  /// Blocks touched through ent() since the last clean incremental audit.
+  kern::BlockSet dirty_;
 };
 
 }  // namespace cico::proto

@@ -85,6 +85,17 @@ class Protocol {
   /// Consistency self-check (empty string == consistent).
   [[nodiscard]] virtual std::string check_invariants() const = 0;
 
+  /// Memoized variant for per-epoch paranoid audits: verifies only blocks
+  /// whose directory entries a handler has touched since the last CLEAN
+  /// incremental check, and clears that memo on success ("unobtrusive
+  /// property caching").  Sound because every cache-line mutation flows
+  /// through a protocol handler for the same block before the next audit
+  /// point, so an untouched block cannot have drifted.  Protocols without
+  /// dirty tracking fall back to the full check.
+  [[nodiscard]] virtual std::string check_invariants_incremental() {
+    return check_invariants();
+  }
+
   [[nodiscard]] virtual const char* name() const = 0;
 };
 

@@ -70,6 +70,7 @@ Machine::Machine(SimConfig cfg)
     shard_items_.resize(cfg_.boundary_threads);
     node_mut_.assign(cfg_.nodes, 0);
   }
+  lock_slices_.resize(cfg_.nodes);
   ctxs_.reserve(cfg_.nodes);
   for (std::uint32_t i = 0; i < cfg_.nodes; ++i) {
     ctxs_.push_back(std::make_unique<NodeCtx>(cfg_.cache));
@@ -413,7 +414,7 @@ void Machine::boundary() {
       if (c->wait == NodeCtx::Wait::Done) ++done;
     }
     if (done == cfg_.nodes) {
-      if (cfg_.audit_invariants) audit_now("end of run");
+      if (cfg_.audit_invariants) audit_now("end of run", /*full=*/true);
       cv_.notify_all();
       return;
     }
@@ -570,6 +571,7 @@ Machine::ItemClass Machine::classify_item(const Item& it) const {
         // The line left the cache when the op was issued, so the service
         // touches only the block's home-slice directory entry.
         k.serial = false;
+        k.has_block = true;
         k.block = op.block;
         break;
       case AsyncOp::Kind::PostStore:
@@ -578,6 +580,7 @@ Machine::ItemClass Machine::classify_item(const Item& it) const {
         if (dir_->classify_post_store(it.node, op.block) ==
             proto::PathClass::Confined) {
           k.serial = false;
+          k.has_block = true;
           k.block = op.block;
         }
         break;
@@ -588,6 +591,7 @@ Machine::ItemClass Machine::classify_item(const Item& it) const {
         // the same home shard.
         k.serial = false;
         k.cache_mut = true;
+        k.has_block = true;
         k.block = op.block;
         if (auto v = c.cache.peek_victim(op.block); v.has_value()) {
           k.has_victim = true;
@@ -597,8 +601,31 @@ Machine::ItemClass Machine::classify_item(const Item& it) const {
           }
         }
         break;
-      case AsyncOp::Kind::Unlock:
-        break;  // lock table is global state: serial
+      case AsyncOp::Kind::Unlock: {
+        // The release touches one lock-table slice plus, when the queue is
+        // non-empty, the context of the waiter it wakes; claiming the slot
+        // and that node makes it batchable.  The queue seen here is the
+        // queue at execution: any open-batch item on the same lock would
+        // have conflict-flushed before this item was admitted.
+        k.serial = false;
+        k.has_lock = true;
+        k.lock_addr = op.lock_addr;
+        k.home = lock_home(op.lock_addr);
+        const auto& slice = lock_slices_[k.home];
+        if (auto lit = slice.find(op.lock_addr);
+            lit != slice.end() && !lit->second.queue.empty()) {
+          const auto& q = lit->second.queue;
+          auto w = std::min_element(q.begin(), q.end(),
+                                    [](const LockState::Waiter& x,
+                                       const LockState::Waiter& y) {
+                                      if (x.time != y.time)
+                                        return x.time < y.time;
+                                      return x.node < y.node;
+                                    });
+          k.remote.add(w->node);  // release_lock will wake exactly this node
+        }
+        break;
+      }
     }
   } else {
     switch (c.wait) {
@@ -612,6 +639,7 @@ Machine::ItemClass Machine::classify_item(const Item& it) const {
           // only this node's cache and prefetch bookkeeping.
           k.serial = false;
           k.cache_mut = true;
+          k.has_block = true;
           k.block = b;
           break;
         }
@@ -628,6 +656,7 @@ Machine::ItemClass Machine::classify_item(const Item& it) const {
         }
         k.serial = false;
         k.cache_mut = true;
+        k.has_block = true;
         k.block = b;
         if (auto v = c.cache.peek_victim(b); v.has_value()) {
           k.has_victim = true;
@@ -636,20 +665,32 @@ Machine::ItemClass Machine::classify_item(const Item& it) const {
         }
         break;
       }
-      case NodeCtx::Wait::Directive:
       case NodeCtx::Wait::Lock:
-        break;  // multi-block ranges / global lock table: serial
+        // Grant-or-queue touches one lock-table slice and this node's own
+        // context; claiming both makes it batchable.  Whether it grants or
+        // queues is decided by slice state that cannot change between
+        // classification and execution (same conflict-flush argument as
+        // Unlock above).
+        k.serial = false;
+        k.cache_mut = true;
+        k.has_lock = true;
+        k.lock_addr = c.op_addr;
+        k.home = lock_home(c.op_addr);
+        break;
+      case NodeCtx::Wait::Directive:
+        break;  // multi-block check-out ranges: serial
       default:
         k.skip = true;  // already handled (e.g. lock granted this round)
         break;
     }
   }
-  if (!k.serial) k.home = dir_->home_of(k.block);
+  if (!k.serial && k.has_block) k.home = dir_->home_of(k.block);
   return k;
 }
 
 void Machine::process_ops_sharded() {
   claimed_.clear();
+  lock_claimed_.clear();
   batch_.clear();
   for (auto& s : shard_items_) s.clear();
   std::fill(node_mut_.begin(), node_mut_.end(), 0);
@@ -666,9 +707,11 @@ void Machine::process_ops_sharded() {
         execute_item(items_[i]);
         break;
       }
-      bool conflict = claimed_.contains(k.block) ||
-                      (k.has_victim && claimed_.contains(k.victim)) ||
-                      (k.cache_mut && node_mut_[items_[i].node] != 0);
+      bool conflict =
+          (k.has_block && (claimed_.contains(k.block) ||
+                           (k.has_victim && claimed_.contains(k.victim)))) ||
+          (k.has_lock && lock_claimed_.contains(k.lock_addr)) ||
+          (k.cache_mut && node_mut_[items_[i].node] != 0);
       for (std::uint8_t r = 0; r < k.remote.count && !conflict; ++r) {
         conflict = node_mut_[k.remote.node[r]] != 0;
       }
@@ -679,8 +722,11 @@ void Machine::process_ops_sharded() {
         if (aborted_) return;
         continue;
       }
-      claimed_.insert(k.block);
-      if (k.has_victim) claimed_.insert(k.victim);
+      if (k.has_block) {
+        claimed_.insert(k.block);
+        if (k.has_victim) claimed_.insert(k.victim);
+      }
+      if (k.has_lock) lock_claimed_.insert(k.lock_addr);
       if (k.cache_mut) node_mut_[items_[i].node] = 1;
       for (std::uint8_t r = 0; r < k.remote.count; ++r) {
         node_mut_[k.remote.node[r]] = 1;
@@ -756,6 +802,7 @@ void Machine::flush_batch() {
   batch_.clear();
   for (auto& s : shard_items_) s.clear();
   claimed_.clear();
+  lock_claimed_.clear();
   std::fill(node_mut_.begin(), node_mut_.end(), 0);
 }
 
@@ -1003,7 +1050,7 @@ void Machine::service_prefetch(NodeCtx& c, NodeId n, Block b, bool exclusive,
 }
 
 void Machine::grant_or_queue_lock(NodeCtx& c, NodeId n) {
-  LockState& L = locks_[c.op_addr];
+  LockState& L = lock_state(c.op_addr);
   if (!L.held) {
     L.held = true;
     L.holder = n;
@@ -1019,7 +1066,7 @@ void Machine::grant_or_queue_lock(NodeCtx& c, NodeId n) {
 }
 
 void Machine::release_lock(Addr a, NodeId /*n*/, Cycle t) {
-  LockState& L = locks_[a];
+  LockState& L = lock_state(a);
   L.held = false;
   L.holder = kInvalidNode;
   if (L.queue.empty()) return;
@@ -1079,7 +1126,7 @@ bool Machine::try_complete_barrier() {
   if (cfg_.audit_invariants) {
     std::ostringstream when;
     when << "epoch " << global_epoch_ << " boundary";
-    audit_now(when.str());
+    audit_now(when.str(), /*full=*/false);
     if (aborted_) return true;
   }
 
@@ -1254,8 +1301,10 @@ void Machine::reliable_post_store(NodeId n, Block b, Cycle t) {
   }
 }
 
-void Machine::audit_now(const std::string& when) {
-  const std::string diag = dir_->check_invariants();
+void Machine::audit_now(const std::string& when, bool full) {
+  const std::string diag = full || !cfg_.audit_memo
+                               ? dir_->check_invariants()
+                               : dir_->check_invariants_incremental();
   if (diag.empty()) return;
   std::ostringstream os;
   os << "invariant audit failed (" << when << "):\n" << diag;

@@ -29,13 +29,13 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "cico/common/effect_log.hpp"
 #include "cico/common/pc_registry.hpp"
 #include "cico/common/stats.hpp"
 #include "cico/common/types.hpp"
+#include "cico/kern/stampset.hpp"
 #include "cico/mem/cache.hpp"
 #include "cico/net/network.hpp"
 #include "cico/obs/collector.hpp"
@@ -305,9 +305,12 @@ class Machine {
     bool serial = true;      ///< must run on the coordinator, batch flushed
     bool cache_mut = false;  ///< mutates the issuing node's cache/prefetch state
     bool has_victim = false;
+    bool has_block = false;  ///< block/home are meaningful (directory footprint)
+    bool has_lock = false;   ///< lock_addr is meaningful (lock-table footprint)
     Block block = 0;   ///< primary footprint (claimed for the batch)
     Block victim = 0;  ///< predicted eviction target (claimed too)
-    NodeId home = 0;   ///< shard key: home_of(block)
+    Addr lock_addr = 0;  ///< lock-table slot the item grabs or releases
+    NodeId home = 0;   ///< shard key: home_of(block) or lock_home(lock_addr)
     /// Remote caches the handler would mutate (recall / invalidation
     /// targets); each is claimed for the batch like a cache-mut node.
     proto::Touched remote;
@@ -362,7 +365,10 @@ class Machine {
   /// the boundary phase would strand every parked thread).
   void abort_run(std::exception_ptr e, std::string msg);
   /// Paranoid-mode audit; aborts with InvariantViolation on divergence.
-  void audit_now(const std::string& when);
+  /// Per-epoch audits run memoized (only blocks touched since the last
+  /// clean audit are rechecked); `full` forces the exhaustive walk, used
+  /// as the end-of-run backstop and when SimConfig::audit_memo is off.
+  void audit_now(const std::string& when, bool full);
   [[nodiscard]] std::string wait_dump() const;
 
   SimConfig cfg_;
@@ -374,7 +380,15 @@ class Machine {
   std::unique_ptr<fault::FaultInjector> injector_;
   SharedHeap heap_;
   std::vector<std::unique_ptr<NodeCtx>> ctxs_;
-  std::unordered_map<Addr, LockState> locks_;
+  /// Lock table, partitioned like directory slices (lock_home(a) == a %
+  /// nodes): a shard worker may grant or release a lock without touching
+  /// any other worker's slice, which is what lets Lock/Unlock items run
+  /// batched instead of forcing a serial flush (docs/boundary_sharding.md).
+  std::vector<std::unordered_map<Addr, LockState>> lock_slices_;
+  [[nodiscard]] NodeId lock_home(Addr a) const {
+    return static_cast<NodeId>(a % cfg_.nodes);
+  }
+  LockState& lock_state(Addr a) { return lock_slices_[lock_home(a)][a]; }
   /// Evictions caused by push_shared while the directory is mid-call;
   /// drained after the triggering transaction returns (re-entrancy guard).
   std::vector<std::pair<NodeId, mem::Cache::Eviction>> pending_push_evicts_;
@@ -390,7 +404,11 @@ class Machine {
   std::vector<EffectLog> logs_;         ///< per-item side-effect logs
   std::vector<std::uint32_t> batch_;    ///< item indices of the open batch
   std::vector<std::vector<std::uint32_t>> shard_items_;  ///< per-shard slices
-  std::unordered_set<Block> claimed_;   ///< blocks owned by the open batch
+  /// Claim sets of the open batch.  Generation-stamped (kern::StampSet):
+  /// resetting between batches is a counter bump, not a hash-table or
+  /// bitset wipe, which matters because flush_batch runs per conflict.
+  kern::StampSet claimed_;        ///< blocks owned by the open batch
+  kern::StampSet lock_claimed_;   ///< lock-table slots owned by the batch
   std::vector<std::uint8_t> node_mut_;  ///< node already has a cache-mut item
 
   double host_total_sec_ = 0.0;

@@ -18,10 +18,10 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "cico/common/types.hpp"
+#include "cico/kern/bitset.hpp"
 
 namespace cico::sim {
 
@@ -50,17 +50,20 @@ struct PlannedDirective {
   friend bool operator==(const PlannedDirective&, const PlannedDirective&) = default;
 };
 
-/// Everything the runtime must do for one (node, epoch).
+/// Everything the runtime must do for one (node, epoch).  The block sets
+/// are dense SIMD bitsets (cico::kern): the simulator probes them on every
+/// shared access, and plan application iterates them in ascending block
+/// order.
 struct NodeEpochDirectives {
   std::vector<PlannedDirective> at_start;
   std::vector<PlannedDirective> at_end;
-  std::unordered_set<Block> fetch_exclusive;
+  kern::BlockSet fetch_exclusive;
   /// Check in after ANY access (read-side DRFS blocks).
-  std::unordered_set<Block> checkin_after_access;
+  kern::BlockSet checkin_after_access;
   /// Check in after a WRITE only: for racy read-modify-write blocks the
   /// check-in goes after the update, exactly like the section 4.4 listing
   /// (check_out_X C[i,j]; C[i,j] = ...; check_in C[i,j]).
-  std::unordered_set<Block> checkin_after_write;
+  kern::BlockSet checkin_after_write;
 
   [[nodiscard]] bool empty() const {
     return at_start.empty() && at_end.empty() && fetch_exclusive.empty() &&

@@ -30,12 +30,6 @@ sorted_entries(const DirectivePlan& plan) {
   return out;
 }
 
-std::vector<Block> sorted(const std::unordered_set<Block>& s) {
-  std::vector<Block> v(s.begin(), s.end());
-  std::sort(v.begin(), v.end());
-  return v;
-}
-
 }  // namespace
 
 void save_plan(const DirectivePlan& plan, std::ostream& os) {
@@ -50,9 +44,11 @@ void save_plan(const DirectivePlan& plan, std::ostream& os) {
       os << "T " << static_cast<int>(pd.kind) << ' ' << pd.run.first << ' '
          << pd.run.last << '\n';
     }
-    for (Block b : sorted(d->fetch_exclusive)) os << "X " << b << '\n';
-    for (Block b : sorted(d->checkin_after_access)) os << "A " << b << '\n';
-    for (Block b : sorted(d->checkin_after_write)) os << "W " << b << '\n';
+    // BlockSet iteration is ascending, so the serialization stays sorted
+    // without materializing a side vector.
+    for (Block b : d->fetch_exclusive) os << "X " << b << '\n';
+    for (Block b : d->checkin_after_access) os << "A " << b << '\n';
+    for (Block b : d->checkin_after_write) os << "W " << b << '\n';
   }
 }
 

@@ -107,5 +107,31 @@ TEST(EpochDbTest, EpochsAreIndependent) {
   EXPECT_TRUE(db.at(1, 0).SR.contains(0x1000 / 32));
 }
 
+TEST(EpochDbTest, SoleUserBeyond64NodesDoesNotAlias) {
+  // Regression for the `1ULL << (n % 64)` accessor masks: node 64 aliased
+  // onto node 0, so a block touched by BOTH still looked sole-user (one
+  // bit), defeating checkout-exclusive safety on >64-node machines.
+  const Block b = 0x1000 / 32;
+  trace::Trace t;
+  t.misses = {
+      rec(0, 0, trace::MissKind::WriteMiss, 0x1000),
+      rec(0, 64, trace::MissKind::ReadMiss, 0x1000),
+  };
+  EpochDB db(t, geo());
+  EXPECT_EQ(db.nodes(), 65u);
+  EXPECT_FALSE(db.sole_user(0, b, 0));
+  EXPECT_FALSE(db.sole_user(0, b, 64));
+  EXPECT_EQ(db.users_of(0, b).count(), 2);
+  EXPECT_TRUE(db.users_of(0, b).test(0));
+  EXPECT_TRUE(db.users_of(0, b).test(64));
+
+  // And a genuinely sole high node reports sole -- for itself only.
+  trace::Trace t2;
+  t2.misses = {rec(0, 64, trace::MissKind::WriteMiss, 0x1020)};
+  EpochDB db2(t2, geo());
+  EXPECT_TRUE(db2.sole_user(0, 0x1020 / 32, 64));
+  EXPECT_FALSE(db2.sole_user(0, 0x1020 / 32, 0));
+}
+
 }  // namespace
 }  // namespace cico::cachier

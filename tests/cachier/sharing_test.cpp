@@ -137,5 +137,34 @@ TEST(SharingTest, ReportNamesRegionsAndSites) {
   EXPECT_NE(rep.find("1 potential data race"), std::string::npos);
 }
 
+TEST(SharingTest, RaceBetweenNode0AndNode64Detected) {
+  // Regression for the word-level accessor masks built with
+  // `1ULL << (n % 64)`: writers at nodes 0 and 64 collapsed onto one bit,
+  // so their same-word write-write race was invisible.
+  trace::Trace t;
+  t.misses = {
+      rec(0, 0, trace::MissKind::WriteMiss, 0x1000),
+      rec(0, 64, trace::MissKind::WriteMiss, 0x1000),
+  };
+  SharingAnalyzer sa(t, geo());
+  EXPECT_TRUE(sa.epoch(0).race_blocks.contains(0x1000 / 32));
+  ASSERT_EQ(sa.races().size(), 1u);
+  EXPECT_EQ(sa.races()[0].nodes.size(), 2u);
+}
+
+TEST(SharingTest, FalseSharingBetweenNode1AndNode65Detected) {
+  // Different words of one block, writers 64 nodes apart: false sharing,
+  // not a race -- and previously missed entirely (node 65 aliased onto
+  // node 1, making the block look single-writer).
+  trace::Trace t;
+  t.misses = {
+      rec(0, 1, trace::MissKind::WriteMiss, 0x1000),
+      rec(0, 65, trace::MissKind::WriteMiss, 0x1008),
+  };
+  SharingAnalyzer sa(t, geo());
+  EXPECT_FALSE(sa.epoch(0).race_blocks.contains(0x1000 / 32));
+  EXPECT_TRUE(sa.epoch(0).fs_blocks.contains(0x1000 / 32));
+}
+
 }  // namespace
 }  // namespace cico::cachier

@@ -110,6 +110,7 @@ struct Options {
   cachier::Mode mode = cachier::Mode::Performance;
   std::string faults;           ///< FaultSpec text; empty = faults disabled
   bool paranoid = false;        ///< audit invariants at every epoch boundary
+  bool audit_memo = true;       ///< memoize paranoid audits (--no-audit-memo)
   std::string plan_file;        ///< run --plan <file>
   std::uint32_t campaigns = 10; ///< soak campaigns
   std::uint64_t seed = 1;       ///< soak base seed
@@ -132,6 +133,7 @@ void usage() {
       "usage: cachier <annotate|run|plan|report|compare|trace> prog.mp\n"
       "               [-n nodes] [--mode programmer|performance]\n"
       "               [--plan file] [--faults spec] [--paranoid]\n"
+      "               [--no-audit-memo]\n"
       "               [--boundary-threads N]\n"
       "               [--report out.json] [--events out.json]\n"
       "               [--stream-epochs]\n"
@@ -170,6 +172,7 @@ sim::SimConfig make_config(const Options& opt) {
   cfg.nodes = opt.nodes;
   if (!opt.faults.empty()) cfg.faults = fault::FaultSpec::parse(opt.faults);
   cfg.audit_invariants = opt.paranoid;
+  cfg.audit_memo = opt.audit_memo;
   cfg.boundary_threads = opt.boundary_threads;
   return cfg;
 }
@@ -742,6 +745,8 @@ int parse_args(int argc, char** argv, Options& opt) {
       opt.faults = argv[++i];
     } else if (arg == "--paranoid") {
       opt.paranoid = true;
+    } else if (arg == "--no-audit-memo") {
+      opt.audit_memo = false;
     } else if (arg == "--boundary-threads" && i + 1 < argc) {
       opt.boundary_threads =
           parse_num<std::uint32_t>(argv[++i], "--boundary-threads value");
