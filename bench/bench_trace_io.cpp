@@ -1,0 +1,206 @@
+// Trace codec benchmark (and standing self-check): text vs v1 binary vs
+// the epoch-chunked v2 store format.
+//
+// Builds a synthetic multi-epoch trace shaped like the larger apps'
+// (hundreds of thousands of dedup'd miss records across many epochs,
+// stride-pattern addresses, one barrier per node per epoch), then
+// measures encode time, decode time, and encoded size for each codec.
+// v2 is additionally measured at several epochs_per_chunk values, since
+// chunk granularity trades dedupe resolution against per-chunk framing
+// overhead.
+//
+// The self-check doubles as a correctness gate: every codec must round
+// trip the canonical trace exactly, v2 must re-serialize byte-identically
+// (bijectivity -- the content-addressing invariant), and a one-epoch
+// change must dirty exactly one v2 chunk; any violation exits 1.
+//
+// Results go to BENCH_trace_io.json (or argv[1]).  CICO_BENCH_SCALE
+// scales the record count.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cico/store/format.hpp"
+#include "cico/store/store.hpp"
+#include "cico/trace/trace.hpp"
+
+namespace {
+
+using namespace cico;
+using Clock = std::chrono::steady_clock;
+
+double env_scale() {
+  const char* s = std::getenv("CICO_BENCH_SCALE");
+  if (s == nullptr) return 1.0;
+  const double v = std::atof(s);
+  return v > 0.0 ? v : 1.0;
+}
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// A trace shaped like ocean/tomcatv's: per epoch, each node misses on a
+/// strided window of two labelled regions plus a few conflict addresses.
+trace::Trace make_trace(std::uint32_t epochs, std::uint32_t nodes,
+                        std::uint32_t per_node) {
+  trace::Trace t;
+  t.labels.push_back({"grid", 0x100000, 1u << 22, true});
+  t.labels.push_back({"edges", 0x600000, 1u << 20, false});
+  for (std::uint32_t e = 0; e < epochs; ++e) {
+    for (std::uint32_t n = 0; n < nodes; ++n) {
+      for (std::uint32_t i = 0; i < per_node; ++i) {
+        const bool grid = (i % 4) != 3;
+        const Addr base = grid ? 0x100000 : 0x600000;
+        t.misses.push_back(
+            {e, n,
+             (i % 8) == 0 ? trace::MissKind::WriteMiss
+                          : trace::MissKind::ReadMiss,
+             base + 8ull * (n * per_node + i) + 32ull * e, 8,
+             100 + (i % 16)});
+      }
+      t.barriers.push_back({e, n, 7, 1000ull * (e + 1) + n});
+    }
+  }
+  trace::canonicalize(t);
+  return t;
+}
+
+struct CodecResult {
+  const char* name;
+  double save_ms = 0;
+  double load_ms = 0;
+  std::size_t bytes = 0;
+  bool round_trip = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_trace_io.json";
+  const double scale = env_scale();
+  const auto epochs = static_cast<std::uint32_t>(64 * scale < 2 ? 2 : 64 * scale);
+  const std::uint32_t nodes = 32;
+  const std::uint32_t per_node = 40;
+  const trace::Trace t = make_trace(epochs, nodes, per_node);
+  std::printf("trace: %zu misses, %zu barriers, %u epochs, %u nodes\n",
+              t.misses.size(), t.barriers.size(), epochs, nodes);
+
+  bool ok = true;
+  std::vector<CodecResult> results;
+  const auto check = [&](const trace::Trace& back, CodecResult& r) {
+    trace::Trace c = back;
+    trace::canonicalize(c);
+    r.round_trip = c.misses == t.misses && c.barriers == t.barriers &&
+                   c.labels == t.labels;
+    ok = ok && r.round_trip;
+  };
+
+  {
+    CodecResult r{"text"};
+    auto t0 = Clock::now();
+    std::ostringstream os;
+    trace::save_text(t, os);
+    r.save_ms = ms_since(t0);
+    const std::string bytes = os.str();
+    r.bytes = bytes.size();
+    t0 = Clock::now();
+    std::istringstream is(bytes);
+    const trace::Trace back = trace::load_text(is);
+    r.load_ms = ms_since(t0);
+    check(back, r);
+    results.push_back(r);
+  }
+  {
+    CodecResult r{"binary_v1"};
+    auto t0 = Clock::now();
+    std::ostringstream os;
+    trace::save_binary(t, os);
+    r.save_ms = ms_since(t0);
+    const std::string bytes = os.str();
+    r.bytes = bytes.size();
+    t0 = Clock::now();
+    std::istringstream is(bytes);
+    const trace::Trace back = trace::load_binary(is);
+    r.load_ms = ms_since(t0);
+    check(back, r);
+    results.push_back(r);
+  }
+  std::string v2_k1;
+  for (const EpochId k : {1u, 4u, 16u}) {
+    static char names[3][16] = {"chunked_v2_k1", "chunked_v2_k4",
+                                "chunked_v2_k16"};
+    CodecResult r{names[k == 1 ? 0 : k == 4 ? 1 : 2]};
+    auto t0 = Clock::now();
+    std::ostringstream os;
+    store::save_v2(t, os, k);
+    r.save_ms = ms_since(t0);
+    const std::string bytes = os.str();
+    if (k == 1) v2_k1 = bytes;
+    r.bytes = bytes.size();
+    t0 = Clock::now();
+    std::istringstream is(bytes);
+    const trace::Trace back = store::load_v2(is);
+    r.load_ms = ms_since(t0);
+    check(back, r);
+    // Bijectivity: re-serializing the decoded trace reproduces the bytes.
+    std::ostringstream os2;
+    store::save_v2(back, os2, k);
+    ok = ok && os2.str() == bytes;
+    results.push_back(r);
+  }
+
+  // Dedupe self-check: one changed epoch dirties exactly one k=1 chunk.
+  trace::Trace t2 = t;
+  for (auto& m : t2.misses) {
+    if (m.epoch == epochs / 2) {
+      m.addr += 8;
+      break;
+    }
+  }
+  std::ostringstream os2;
+  store::save_v2(t2, os2);
+  const store::V2Sections sa = store::split_v2(v2_k1);
+  const store::V2Sections sb = store::split_v2(os2.str());
+  std::size_t dirty = 0;
+  ok = ok && sa.chunks.size() == sb.chunks.size();
+  for (std::size_t i = 0; ok && i < sa.chunks.size(); ++i) {
+    if (sa.chunks[i] != sb.chunks[i]) ++dirty;
+  }
+  ok = ok && dirty == 1 && sa.header == sb.header && sa.trailer == sb.trailer;
+
+  std::printf("%-16s %-12s %-10s %-10s %-8s\n", "codec", "bytes", "save_ms",
+              "load_ms", "ok");
+  for (const auto& r : results) {
+    std::printf("%-16s %-12zu %-10.1f %-10.1f %-8s\n", r.name, r.bytes,
+                r.save_ms, r.load_ms, r.round_trip ? "yes" : "NO");
+  }
+  std::printf("one-epoch delta dirties %zu/%zu chunks\n", dirty,
+              sa.chunks.size());
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"trace_io\",\n");
+  std::fprintf(f, "  \"misses\": %zu,\n  \"barriers\": %zu,\n",
+               t.misses.size(), t.barriers.size());
+  std::fprintf(f, "  \"epochs\": %u,\n  \"nodes\": %u,\n", epochs, nodes);
+  for (const auto& r : results) {
+    std::fprintf(f,
+                 "  \"%s_bytes\": %zu,\n  \"%s_save_ms\": %.1f,\n"
+                 "  \"%s_load_ms\": %.1f,\n",
+                 r.name, r.bytes, r.name, r.save_ms, r.name, r.load_ms);
+  }
+  std::fprintf(f, "  \"delta_dirty_chunks\": %zu,\n", dirty);
+  std::fprintf(f, "  \"total_chunks\": %zu,\n", sa.chunks.size());
+  std::fprintf(f, "  \"self_check_ok\": %s\n}\n", ok ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s (self-check=%s)\n", out_path, ok ? "ok" : "VIOLATED");
+  return ok ? 0 : 1;
+}

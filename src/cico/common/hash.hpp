@@ -10,6 +10,7 @@
 // a colliding adversary could at worst serve themselves a stale report.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -48,6 +49,22 @@ class ContentHasher {
     return s;
   }
 
+  /// The same 128 bits as raw bytes, hi word first, big-endian within
+  /// each word -- so hex_of(digest()) == hex().  The epoch-chunked trace
+  /// format embeds this form (16 bytes instead of 32 hex chars).
+  [[nodiscard]] std::array<unsigned char, 16> digest() const {
+    std::array<unsigned char, 16> d{};
+    std::uint64_t v = hi_;
+    for (int i = 7; i >= 0; --i, v >>= 8) {
+      d[static_cast<std::size_t>(i)] = static_cast<unsigned char>(v & 0xFF);
+    }
+    v = lo_;
+    for (int i = 15; i >= 8; --i, v >>= 8) {
+      d[static_cast<std::size_t>(i)] = static_cast<unsigned char>(v & 0xFF);
+    }
+    return d;
+  }
+
  private:
   void mix(unsigned char c) {
     lo_ = (lo_ ^ c) * kPrimeLo;
@@ -65,6 +82,19 @@ class ContentHasher {
   ContentHasher h;
   h << bytes;
   return h.hex();
+}
+
+/// Lowercase hex of a raw 16-byte digest (inverse presentation of
+/// ContentHasher::digest(); hex_of(h.digest()) == h.hex()).
+[[nodiscard]] inline std::string hex_of(
+    const std::array<unsigned char, 16>& d) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string s(32, '0');
+  for (std::size_t i = 0; i < 16; ++i) {
+    s[2 * i] = kDigits[d[i] >> 4];
+    s[2 * i + 1] = kDigits[d[i] & 0xF];
+  }
+  return s;
 }
 
 }  // namespace cico::common

@@ -1,0 +1,100 @@
+// Canonical unsigned LEB128 varints, shared by the binary trace codec
+// (trace/trace.cpp) and the epoch-chunked store format (store/format.cpp).
+//
+// Content-addressing is only sound if equal values encode to equal bytes
+// and vice versa, so the reader enforces BOTH canonicality properties the
+// first binary codec missed:
+//
+//   * minimal length -- a final zero group after at least one continuation
+//     byte (e.g. `0x80 0x00` for 0) is rejected, so every value has
+//     exactly one encoding;
+//   * no overflow bits -- the tenth byte carries shift-63 data, so any
+//     group there above 1, or an eleventh byte, is rejected instead of
+//     silently discarded.
+//
+// With those two rules a byte stream is a bijective function of its value,
+// which is what makes per-chunk content hashes stable across writers.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace cico::common {
+
+/// Writes v as minimal-length unsigned LEB128 (1..10 bytes).
+inline void put_varint(std::ostream& os, std::uint64_t v) {
+  while (v >= 0x80) {
+    os.put(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  os.put(static_cast<char>(v));
+}
+
+/// Reads one canonical unsigned LEB128 varint.  Throws std::runtime_error
+/// (message prefixed with `ctx`) on truncation, a non-minimal encoding,
+/// or overflow past 64 bits.
+inline std::uint64_t get_varint(std::istream& is, const char* ctx = "varint") {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    const int c = is.get();
+    if (c == std::char_traits<char>::eof()) {
+      throw std::runtime_error(std::string(ctx) + ": truncated varint");
+    }
+    const auto group = static_cast<std::uint64_t>(c & 0x7f);
+    // Shift 63 is the tenth byte: only its low bit is representable.
+    if (shift == 63 && group > 1) {
+      throw std::runtime_error(std::string(ctx) +
+                               ": varint overflows 64 bits");
+    }
+    v |= group << shift;
+    if ((c & 0x80) == 0) {
+      if (shift > 0 && group == 0) {
+        throw std::runtime_error(std::string(ctx) +
+                                 ": non-canonical varint encoding");
+      }
+      return v;
+    }
+    shift += 7;
+    if (shift > 63) {
+      throw std::runtime_error(std::string(ctx) +
+                               ": varint overflows 64 bits");
+    }
+  }
+}
+
+/// ZigZag maps signed deltas to small unsigned varints (|d| <= 63 fits in
+/// one byte either sign).  Deltas are computed with wraparound unsigned
+/// subtraction, so the pair is bijective over the full 64-bit range.
+[[nodiscard]] inline std::uint64_t zigzag_encode(std::uint64_t value,
+                                                 std::uint64_t previous) {
+  const auto d = static_cast<std::int64_t>(value - previous);
+  return (static_cast<std::uint64_t>(d) << 1) ^
+         static_cast<std::uint64_t>(d >> 63);
+}
+
+[[nodiscard]] inline std::uint64_t zigzag_decode(std::uint64_t encoded,
+                                                 std::uint64_t previous) {
+  const std::uint64_t d = (encoded >> 1) ^ (~(encoded & 1) + 1);
+  return previous + d;
+}
+
+/// Range-checked narrowing for varint-decoded fields.  The binary trace
+/// loader used to `static_cast` 64-bit varints straight into 32-bit ids,
+/// silently truncating out-of-range input; this throws like the text
+/// loader's parse_num path instead.
+template <typename T>
+[[nodiscard]] T narrow_varint(std::uint64_t v, const char* ctx,
+                              const char* what) {
+  if (v > std::numeric_limits<T>::max()) {
+    throw std::runtime_error(std::string(ctx) + ": " + what +
+                             " out of range: " + std::to_string(v));
+  }
+  return static_cast<T>(v);
+}
+
+}  // namespace cico::common

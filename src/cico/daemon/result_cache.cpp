@@ -20,6 +20,8 @@ ResultCache::ResultCache(std::string dir, std::size_t max_entries)
       throw std::runtime_error("cannot create cache directory " + dir_ +
                                ": " + ec.message());
     }
+    store_ = std::make_unique<store::ObjectStore>(
+        dir_ + "/store", store::ObjectStore::Open::kCreate);
   }
 }
 
@@ -44,7 +46,19 @@ std::optional<JobResult> ResultCache::lookup(const std::string& key) {
       std::ostringstream ss;
       ss << in.rdbuf();
       try {
-        JobResult r = job_result_from_json(obs::Json::parse(ss.str()));
+        obs::Json doc = obs::Json::parse(ss.str());
+        // Resolve content-addressed payloads back inline.  get_object
+        // re-verifies the hash, so a corrupt or gc'd object throws and
+        // lands in the catch below -- a miss, never corrupt bytes.
+        if (const obs::Json* ref = doc.find("stdout_ref")) {
+          doc.set("stdout",
+                  obs::Json::string(store_->get_object(ref->as_string())));
+        }
+        if (const obs::Json* ref = doc.find("report_ref")) {
+          doc.set("report",
+                  obs::Json::string(store_->get_object(ref->as_string())));
+        }
+        JobResult r = job_result_from_json(doc);
         ++counters_.hits;
         ++counters_.disk_loads;
         lru_.push_front(key);
@@ -83,7 +97,24 @@ void ResultCache::insert(const std::string& key, const JobResult& r) {
     {
       std::ofstream out(tmp);
       if (!out) return;  // disk tier is best-effort; memory tier has it
-      job_result_json(r).dump(out);
+      obs::Json doc = job_result_json(r);
+      // Big payloads go to the content-addressed store tier so identical
+      // bytes across keys are stored once (and syncable between hosts).
+      try {
+        if (r.out.size() >= kInlineMax) {
+          doc.set("stdout", obs::Json::string(""));
+          doc.set("stdout_ref",
+                  obs::Json::string(store_->put_object(r.out).hash_hex));
+        }
+        if (r.report.size() >= kInlineMax) {
+          doc.set("report", obs::Json::string(""));
+          doc.set("report_ref",
+                  obs::Json::string(store_->put_object(r.report).hash_hex));
+        }
+      } catch (const std::exception&) {
+        return;  // store tier unavailable: keep the memory tier only
+      }
+      doc.dump(out);
     }
     std::error_code ec;
     fs::rename(tmp, path_of(key), ec);

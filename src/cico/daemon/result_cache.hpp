@@ -15,16 +15,27 @@
 // restarts.  Memory eviction never deletes the file tier; a later lookup
 // quietly reloads from disk.  flush_index() writes a human-readable
 // index of the file tier; the daemon calls it during graceful drain.
+//
+// Large result payloads (stdout bytes, report JSON) are not inlined in
+// the per-key file: they go into a content-addressed ObjectStore under
+// <dir>/store, and the entry carries their hashes.  Different keys whose
+// jobs produced the same bytes -- e.g. the same source at two deadline
+// settings, or a report that did not change across a config tweak --
+// share one object, and `cachier sync` can move the store tier between
+// hosts.  A missing or corrupt object turns the lookup into a miss, same
+// as a corrupt entry file.
 #pragma once
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 
 #include "cico/daemon/job.hpp"
+#include "cico/store/store.hpp"
 
 namespace cico::daemon {
 
@@ -60,6 +71,15 @@ class ResultCache {
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] const std::string& dir() const { return dir_; }
 
+  /// The content-addressed payload store (nullptr when memory-only).
+  [[nodiscard]] const store::ObjectStore* artifact_store() const {
+    return store_.get();
+  }
+
+  /// Payloads at or above this size are stored by content hash instead of
+  /// inline in the entry JSON.
+  static constexpr std::size_t kInlineMax = 128;
+
  private:
   void touch_locked(const std::string& key);
   void evict_locked();
@@ -67,6 +87,7 @@ class ResultCache {
 
   std::string dir_;
   std::size_t max_entries_;
+  std::unique_ptr<store::ObjectStore> store_;  ///< set iff dir_ non-empty
 
   mutable std::mutex mu_;
   struct Entry {

@@ -1,0 +1,407 @@
+#include "cico/store/format.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+#include "cico/common/hash.hpp"
+#include "cico/common/varint.hpp"
+
+namespace cico::store {
+
+namespace {
+
+constexpr std::uint64_t kMaxPayloadBytes = 1ull << 30;
+constexpr std::uint64_t kMaxLabelBytes = 1u << 20;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("trace: " + what);
+}
+
+std::uint64_t get(std::istream& is) { return common::get_varint(is, "trace"); }
+
+void put_string(std::ostream& os, const std::string& s) {
+  common::put_varint(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string get_string(std::istream& is) {
+  const auto n = get(is);
+  if (n > kMaxLabelBytes) fail("oversized string");
+  std::string s(n, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  if (!is) fail("truncated v2 input");
+  return s;
+}
+
+[[nodiscard]] auto miss_key(const trace::MissRecord& m) {
+  return std::tuple(m.epoch, m.node, m.addr, m.pc,
+                    static_cast<std::uint8_t>(m.kind), m.size);
+}
+
+[[nodiscard]] auto barrier_key(const trace::BarrierRecord& b) {
+  return std::tuple(b.epoch, b.node, b.vt, b.barrier_pc);
+}
+
+/// Encodes one chunk's records (already canonically sorted) with deltas
+/// reset at the chunk boundary, so every chunk decodes independently.
+std::string encode_payload(EpochId first_epoch,
+                           const std::vector<trace::MissRecord>& misses,
+                           const std::vector<trace::BarrierRecord>& barriers) {
+  std::ostringstream ss;
+  common::put_varint(ss, misses.size());
+  EpochId prev_e = first_epoch;
+  Addr prev_addr = 0;
+  for (const auto& m : misses) {
+    common::put_varint(ss, m.epoch - prev_e);
+    prev_e = m.epoch;
+    common::put_varint(ss, m.node);
+    common::put_varint(ss, static_cast<std::uint64_t>(m.kind));
+    common::put_varint(ss, common::zigzag_encode(m.addr, prev_addr));
+    prev_addr = m.addr;
+    common::put_varint(ss, m.size);
+    common::put_varint(ss, m.pc);
+  }
+  common::put_varint(ss, barriers.size());
+  prev_e = first_epoch;
+  Cycle prev_vt = 0;
+  for (const auto& b : barriers) {
+    common::put_varint(ss, b.epoch - prev_e);
+    prev_e = b.epoch;
+    common::put_varint(ss, b.node);
+    common::put_varint(ss, b.barrier_pc);
+    common::put_varint(ss, common::zigzag_encode(b.vt, prev_vt));
+    prev_vt = b.vt;
+  }
+  return ss.str();
+}
+
+/// Decodes and validates one payload: canonical record order, in-chunk
+/// epochs, range-checked narrow fields, and full consumption.
+void decode_payload(const std::string& payload, EpochId first_epoch,
+                    EpochId span, ChunkRecords& out) {
+  std::istringstream ps(payload);
+  const std::uint64_t chunk_end =
+      static_cast<std::uint64_t>(first_epoch) + span;  // exclusive
+
+  const auto nmisses = get(ps);
+  if (nmisses > payload.size() / 6) fail("miss count exceeds payload");
+  out.misses.reserve(nmisses);
+  EpochId prev_e = first_epoch;
+  Addr prev_addr = 0;
+  for (std::uint64_t i = 0; i < nmisses; ++i) {
+    trace::MissRecord m;
+    const std::uint64_t e = static_cast<std::uint64_t>(prev_e) + get(ps);
+    if (e >= chunk_end) fail("record epoch outside chunk");
+    m.epoch = static_cast<EpochId>(e);
+    prev_e = m.epoch;
+    m.node = common::narrow_varint<NodeId>(get(ps), "trace", "node");
+    const auto kind = get(ps);
+    if (kind > static_cast<std::uint64_t>(trace::MissKind::WriteFault)) {
+      fail("bad miss kind");
+    }
+    m.kind = static_cast<trace::MissKind>(kind);
+    m.addr = common::zigzag_decode(get(ps), prev_addr);
+    prev_addr = m.addr;
+    m.size = common::narrow_varint<std::uint32_t>(get(ps), "trace", "size");
+    m.pc = common::narrow_varint<PcId>(get(ps), "trace", "pc");
+    if (!out.misses.empty() && miss_key(m) < miss_key(out.misses.back())) {
+      fail("chunk records out of canonical order");
+    }
+    out.misses.push_back(m);
+  }
+
+  const auto nbarriers = get(ps);
+  if (nbarriers > payload.size() / 4) fail("barrier count exceeds payload");
+  out.barriers.reserve(nbarriers);
+  prev_e = first_epoch;
+  Cycle prev_vt = 0;
+  for (std::uint64_t i = 0; i < nbarriers; ++i) {
+    trace::BarrierRecord b;
+    const std::uint64_t e = static_cast<std::uint64_t>(prev_e) + get(ps);
+    if (e >= chunk_end) fail("record epoch outside chunk");
+    b.epoch = static_cast<EpochId>(e);
+    prev_e = b.epoch;
+    b.node = common::narrow_varint<NodeId>(get(ps), "trace", "node");
+    b.barrier_pc =
+        common::narrow_varint<PcId>(get(ps), "trace", "barrier pc");
+    b.vt = common::zigzag_decode(get(ps), prev_vt);
+    prev_vt = b.vt;
+    if (!out.barriers.empty() &&
+        barrier_key(b) < barrier_key(out.barriers.back())) {
+      fail("chunk records out of canonical order");
+    }
+    out.barriers.push_back(b);
+  }
+
+  if (ps.peek() != std::char_traits<char>::eof()) {
+    fail("chunk payload has trailing bytes");
+  }
+}
+
+}  // namespace
+
+bool is_v2(std::string_view bytes) {
+  return bytes.size() >= sizeof(kV2Magic) &&
+         std::memcmp(bytes.data(), kV2Magic, sizeof(kV2Magic)) == 0;
+}
+
+// --- ChunkWriter -----------------------------------------------------------
+
+ChunkWriter::ChunkWriter(std::ostream& os,
+                         std::vector<trace::RegionLabel> labels,
+                         EpochId epochs_per_chunk)
+    : os_(os), k_(epochs_per_chunk == 0 ? 1 : epochs_per_chunk) {
+  os_.write(kV2Magic, sizeof(kV2Magic));
+  common::put_varint(os_, 2);  // version
+  common::put_varint(os_, k_);
+  common::put_varint(os_, labels.size());
+  for (const auto& r : labels) {
+    put_string(os_, r.label);
+    common::put_varint(os_, r.base);
+    common::put_varint(os_, r.bytes);
+    common::put_varint(os_, r.regular ? 1 : 0);
+  }
+}
+
+void ChunkWriter::advance_to(EpochId epoch) {
+  if (finished_) {
+    throw std::logic_error("trace: ChunkWriter used after finish()");
+  }
+  if (epoch < group_first_) {
+    fail("record epoch out of order for chunked write");
+  }
+  if (epoch - group_first_ >= k_) {
+    // The open group is complete; the incoming record guarantees a later
+    // chunk follows, so this one is emitted with the full span K (empty
+    // groups in between are simply skipped -- they have no chunk).
+    if (!misses_.empty() || !barriers_.empty()) flush_group(false);
+    group_first_ = epoch / k_ * k_;
+  }
+}
+
+void ChunkWriter::add(const trace::MissRecord& m) {
+  advance_to(m.epoch);
+  misses_.push_back(m);
+}
+
+void ChunkWriter::add(const trace::BarrierRecord& b) {
+  advance_to(b.epoch);
+  barriers_.push_back(b);
+}
+
+void ChunkWriter::flush_group(bool final_chunk) {
+  std::sort(misses_.begin(), misses_.end(),
+            [](const trace::MissRecord& a, const trace::MissRecord& b) {
+              return miss_key(a) < miss_key(b);
+            });
+  std::sort(barriers_.begin(), barriers_.end(),
+            [](const trace::BarrierRecord& a, const trace::BarrierRecord& b) {
+              return barrier_key(a) < barrier_key(b);
+            });
+  EpochId last = group_first_;
+  for (const auto& m : misses_) last = std::max(last, m.epoch);
+  for (const auto& b : barriers_) last = std::max(last, b.epoch);
+  const EpochId span = final_chunk ? last - group_first_ + 1 : k_;
+
+  const std::string payload = encode_payload(group_first_, misses_, barriers_);
+  common::ContentHasher h;
+  h << payload;
+  const auto digest = h.digest();
+
+  os_.put(0x01);
+  common::put_varint(os_, group_first_);
+  common::put_varint(os_, span);
+  common::put_varint(os_, payload.size());
+  os_.write(reinterpret_cast<const char*>(digest.data()),
+            static_cast<std::streamsize>(digest.size()));
+  os_.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+
+  total_misses_ += misses_.size();
+  total_barriers_ += barriers_.size();
+  ++chunks_;
+  misses_.clear();
+  barriers_.clear();
+}
+
+void ChunkWriter::finish() {
+  if (finished_) {
+    throw std::logic_error("trace: ChunkWriter::finish() called twice");
+  }
+  if (!misses_.empty() || !barriers_.empty()) flush_group(true);
+  os_.put(0x00);
+  common::put_varint(os_, chunks_);
+  common::put_varint(os_, total_misses_);
+  common::put_varint(os_, total_barriers_);
+  finished_ = true;
+}
+
+// --- ChunkReader -----------------------------------------------------------
+
+ChunkReader::ChunkReader(std::istream& is) : is_(is) {
+  char magic[sizeof(kV2Magic)] = {};
+  is_.read(magic, sizeof(magic));
+  if (!is_ || std::memcmp(magic, kV2Magic, sizeof(magic)) != 0) {
+    fail("bad v2 header");
+  }
+  const auto version = get(is_);
+  if (version != 2) {
+    fail("unsupported v2 version " + std::to_string(version));
+  }
+  k_ = common::narrow_varint<EpochId>(get(is_), "trace", "epochs per chunk");
+  if (k_ == 0) fail("epochs per chunk must be >= 1");
+  const auto nlabels = get(is_);
+  if (nlabels > kMaxLabelBytes) fail("label count");
+  labels_.reserve(nlabels);
+  for (std::uint64_t i = 0; i < nlabels; ++i) {
+    trace::RegionLabel r;
+    r.label = get_string(is_);
+    r.base = get(is_);
+    r.bytes = get(is_);
+    const auto reg = get(is_);
+    if (reg > 1) fail("regular flag must be 0 or 1");
+    r.regular = reg != 0;
+    labels_.push_back(std::move(r));
+  }
+}
+
+bool ChunkReader::next(ChunkRecords& out) {
+  if (done_) return false;
+  const int tag = is_.get();
+  if (tag == std::char_traits<char>::eof()) fail("truncated v2 input");
+
+  if (tag == 0x00) {
+    // End marker: the chunk before it is the final one, so its span must
+    // end exactly at its own last record epoch (canonical form).
+    if (have_prev_ && prev_first_ + prev_span_ - 1 != prev_last_epoch_) {
+      fail("final chunk span mismatch");
+    }
+    const auto nchunks = get(is_);
+    const auto nmisses = get(is_);
+    const auto nbarriers = get(is_);
+    if (nchunks != chunks_ || nmisses != misses_ || nbarriers != barriers_) {
+      fail("trailer counts mismatch");
+    }
+    if (is_.peek() != std::char_traits<char>::eof()) {
+      fail("trailing junk after trailer");
+    }
+    done_ = true;
+    return false;
+  }
+  if (tag != 0x01) fail("bad chunk tag");
+
+  // Every chunk except the final one spans exactly K epochs.
+  if (have_prev_ && prev_span_ != k_) fail("short chunk before end");
+
+  const auto first =
+      common::narrow_varint<EpochId>(get(is_), "trace", "chunk first epoch");
+  const auto span =
+      common::narrow_varint<EpochId>(get(is_), "trace", "chunk span");
+  if (span == 0 || span > k_) fail("bad chunk span");
+  if (first % k_ != 0) fail("misaligned chunk");
+  if (have_prev_ && first <= prev_first_) fail("chunks out of order");
+  if (span - 1 > std::numeric_limits<EpochId>::max() - first) {
+    fail("chunk epoch range overflow");
+  }
+
+  const auto plen = get(is_);
+  if (plen > kMaxPayloadBytes) fail("oversized chunk");
+  char digest[16] = {};
+  is_.read(digest, sizeof(digest));
+  if (!is_) fail("truncated v2 input");
+  std::string payload(plen, '\0');
+  is_.read(payload.data(), static_cast<std::streamsize>(plen));
+  if (!is_) fail("truncated v2 input");
+
+  common::ContentHasher h;
+  h << payload;
+  const auto want = h.digest();
+  if (std::memcmp(digest, want.data(), want.size()) != 0) {
+    fail("chunk hash mismatch");
+  }
+
+  out.first_epoch = first;
+  out.epochs = span;
+  out.misses.clear();
+  out.barriers.clear();
+  out.hash_hex = h.hex();
+  decode_payload(payload, first, span, out);
+  if (out.misses.empty() && out.barriers.empty()) fail("empty chunk");
+
+  EpochId last = first;
+  for (const auto& m : out.misses) last = std::max(last, m.epoch);
+  for (const auto& b : out.barriers) last = std::max(last, b.epoch);
+
+  have_prev_ = true;
+  prev_first_ = first;
+  prev_span_ = span;
+  prev_last_epoch_ = last;
+  ++chunks_;
+  misses_ += out.misses.size();
+  barriers_ += out.barriers.size();
+  return true;
+}
+
+// --- whole-trace conveniences ----------------------------------------------
+
+void save_v2(const trace::Trace& t, std::ostream& os,
+             EpochId epochs_per_chunk) {
+  trace::Trace c;
+  c.misses = t.misses;
+  c.barriers = t.barriers;
+  c.labels = t.labels;
+  trace::canonicalize(c);
+  (void)c.num_epochs();  // rejects the unrepresentable EpochId-max epoch
+
+  ChunkWriter w(os, c.labels, epochs_per_chunk);
+  // Merge the two (epoch-sorted) streams so the writer sees nondecreasing
+  // epochs; record counts, not epoch ids, bound this loop.
+  std::size_t mi = 0;
+  std::size_t bi = 0;
+  while (mi < c.misses.size() || bi < c.barriers.size()) {
+    EpochId e = std::numeric_limits<EpochId>::max();
+    if (mi < c.misses.size()) e = std::min(e, c.misses[mi].epoch);
+    if (bi < c.barriers.size()) e = std::min(e, c.barriers[bi].epoch);
+    while (mi < c.misses.size() && c.misses[mi].epoch == e) w.add(c.misses[mi++]);
+    while (bi < c.barriers.size() && c.barriers[bi].epoch == e) {
+      w.add(c.barriers[bi++]);
+    }
+  }
+  w.finish();
+}
+
+trace::Trace load_v2(std::istream& is) {
+  ChunkReader r(is);
+  trace::Trace t;
+  t.labels = r.labels();
+  ChunkRecords c;
+  while (r.next(c)) {
+    t.misses.insert(t.misses.end(), c.misses.begin(), c.misses.end());
+    t.barriers.insert(t.barriers.end(), c.barriers.begin(), c.barriers.end());
+  }
+  t.validate_labels();
+  return t;
+}
+
+V2Sections split_v2(std::string_view bytes) {
+  std::istringstream is{std::string(bytes)};
+  V2Sections out;
+  ChunkReader r(is);
+  auto pos = static_cast<std::size_t>(is.tellg());
+  out.header = std::string(bytes.substr(0, pos));
+  ChunkRecords c;
+  while (r.next(c)) {
+    const auto end = static_cast<std::size_t>(is.tellg());
+    out.chunks.emplace_back(bytes.substr(pos, end - pos));
+    pos = end;
+  }
+  out.trailer = std::string(bytes.substr(pos));
+  return out;
+}
+
+}  // namespace cico::store

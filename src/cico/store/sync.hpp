@@ -1,0 +1,30 @@
+// Delta sync between two content-addressed stores.
+//
+// `cachier sync <src> <dst>` walks every manifest in the source and
+// copies only the objects the destination lacks -- so after one full
+// sync, pushing a near-identical new run moves just the chunks of the
+// epochs that changed, not the whole trace.  Objects are re-verified as
+// they cross (a corrupt source object aborts the sync with a `store:`
+// error rather than propagating).
+#pragma once
+
+#include <cstdint>
+
+#include "cico/store/store.hpp"
+
+namespace cico::store {
+
+struct SyncStats {
+  std::uint64_t manifests_total = 0;   ///< manifests in the source
+  std::uint64_t manifests_copied = 0;  ///< written into the destination
+  std::uint64_t objects_copied = 0;
+  std::uint64_t objects_skipped = 0;  ///< already present in destination
+  std::uint64_t bytes_copied = 0;
+};
+
+/// Copies every artifact in `src` into `dst`, skipping objects `dst`
+/// already has.  A manifest is rewritten when the destination is missing
+/// it or disagrees (source wins; superseded objects become gc()-able).
+SyncStats sync_stores(const ObjectStore& src, ObjectStore& dst);
+
+}  // namespace cico::store

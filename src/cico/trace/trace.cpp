@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <tuple>
 #include <limits>
 #include <numeric>
 #include <type_traits>
@@ -11,6 +12,7 @@
 #include <stdexcept>
 
 #include "cico/common/parse_num.hpp"
+#include "cico/common/varint.hpp"
 
 namespace cico::trace {
 
@@ -24,10 +26,37 @@ const char* miss_kind_name(MissKind k) {
 }
 
 EpochId Trace::num_epochs() const {
-  EpochId n = 0;
-  for (const auto& m : misses) n = std::max(n, m.epoch + 1);
-  for (const auto& b : barriers) n = std::max(n, b.epoch + 1);
-  return n;
+  // `m.epoch + 1` wrapped to 0 for an epoch id of EpochId max, so a trace
+  // touching the last representable epoch reported zero epochs; track the
+  // maximum id instead and reject the one unrepresentable count.
+  bool any = false;
+  EpochId hi = 0;
+  for (const auto& m : misses) {
+    any = true;
+    hi = std::max(hi, m.epoch);
+  }
+  for (const auto& b : barriers) {
+    any = true;
+    hi = std::max(hi, b.epoch);
+  }
+  if (!any) return 0;
+  if (hi == std::numeric_limits<EpochId>::max()) {
+    throw std::runtime_error("trace: epoch count overflows EpochId");
+  }
+  return hi + 1;
+}
+
+void canonicalize(Trace& t) {
+  std::sort(t.misses.begin(), t.misses.end(),
+            [](const MissRecord& a, const MissRecord& b) {
+              return std::tie(a.epoch, a.node, a.addr, a.pc, a.kind, a.size) <
+                     std::tie(b.epoch, b.node, b.addr, b.pc, b.kind, b.size);
+            });
+  std::sort(t.barriers.begin(), t.barriers.end(),
+            [](const BarrierRecord& a, const BarrierRecord& b) {
+              return std::tie(a.epoch, a.node, a.vt, a.barrier_pc) <
+                     std::tie(b.epoch, b.node, b.vt, b.barrier_pc);
+            });
 }
 
 void Trace::validate_labels() const {
@@ -260,29 +289,26 @@ namespace {
 
 constexpr char kBinMagic[8] = {'c', 'i', 'c', 'o', 't', 'r', 'c', '1'};
 
-/// Unsigned LEB128: short for the small epoch/node/pc values that
-/// dominate a trace, at most 10 bytes for a full 64-bit address.
+/// Unsigned LEB128 via the shared canonical codec (common/varint.hpp):
+/// short for the small epoch/node/pc values that dominate a trace, at
+/// most 10 bytes for a full 64-bit address.  The reader rejects
+/// non-minimal encodings and overflow bits, so a binary trace is a
+/// bijective function of its records -- the invariant the
+/// content-addressed store's chunk hashes rely on.
 void put_varint(std::ostream& os, std::uint64_t v) {
-  while (v >= 0x80) {
-    os.put(static_cast<char>((v & 0x7f) | 0x80));
-    v >>= 7;
-  }
-  os.put(static_cast<char>(v));
+  common::put_varint(os, v);
 }
 
 std::uint64_t get_varint(std::istream& is) {
-  std::uint64_t v = 0;
-  int shift = 0;
-  for (;;) {
-    const int c = is.get();
-    if (c == std::char_traits<char>::eof()) {
-      throw std::runtime_error("trace: truncated binary input");
-    }
-    if (shift >= 64) throw std::runtime_error("trace: varint overflow");
-    v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
-    if ((c & 0x80) == 0) return v;
-    shift += 7;
-  }
+  return common::get_varint(is, "trace");
+}
+
+/// Range-checked narrowing: a varint that does not fit the destination
+/// field is malformed input, reported exactly like the text loader's
+/// parse_num path -- never silently truncated by a static_cast.
+template <typename T>
+T narrow(std::uint64_t v, const char* what) {
+  return common::narrow_varint<T>(v, "trace", what);
 }
 
 void put_string(std::ostream& os, const std::string& s) {
@@ -343,7 +369,11 @@ Trace load_binary(std::istream& is) {
     r.label = get_string(is);
     r.base = get_varint(is);
     r.bytes = get_varint(is);
-    r.regular = get_varint(is) != 0;
+    const auto reg = get_varint(is);
+    if (reg > 1) {
+      throw std::runtime_error("trace: regular flag must be 0 or 1");
+    }
+    r.regular = reg != 0;
     t.labels.push_back(std::move(r));
   }
   const auto nmisses = get_varint(is);
@@ -351,16 +381,16 @@ Trace load_binary(std::istream& is) {
   t.misses.reserve(nmisses);
   for (std::uint64_t i = 0; i < nmisses; ++i) {
     MissRecord m;
-    m.epoch = static_cast<EpochId>(get_varint(is));
-    m.node = static_cast<NodeId>(get_varint(is));
+    m.epoch = narrow<EpochId>(get_varint(is), "epoch");
+    m.node = narrow<NodeId>(get_varint(is), "node");
     const auto kind = get_varint(is);
     if (kind > static_cast<std::uint64_t>(MissKind::WriteFault)) {
       throw std::runtime_error("trace: bad miss kind");
     }
     m.kind = static_cast<MissKind>(kind);
     m.addr = get_varint(is);
-    m.size = static_cast<std::uint32_t>(get_varint(is));
-    m.pc = static_cast<PcId>(get_varint(is));
+    m.size = narrow<std::uint32_t>(get_varint(is), "size");
+    m.pc = narrow<PcId>(get_varint(is), "pc");
     t.misses.push_back(m);
   }
   const auto nbars = get_varint(is);
@@ -368,11 +398,16 @@ Trace load_binary(std::istream& is) {
   t.barriers.reserve(nbars);
   for (std::uint64_t i = 0; i < nbars; ++i) {
     BarrierRecord b;
-    b.epoch = static_cast<EpochId>(get_varint(is));
-    b.node = static_cast<NodeId>(get_varint(is));
-    b.barrier_pc = static_cast<PcId>(get_varint(is));
+    b.epoch = narrow<EpochId>(get_varint(is), "epoch");
+    b.node = narrow<NodeId>(get_varint(is), "node");
+    b.barrier_pc = narrow<PcId>(get_varint(is), "barrier pc");
     b.vt = get_varint(is);
     t.barriers.push_back(b);
+  }
+  // load_text rejects trailing junk; the binary loader used to stop at
+  // the barrier section and silently ignore whatever followed.
+  if (is.peek() != std::char_traits<char>::eof()) {
+    throw std::runtime_error("trace: trailing junk after barrier section");
   }
   t.validate_labels();
   return t;

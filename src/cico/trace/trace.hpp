@@ -82,6 +82,15 @@ struct Trace {
   mutable std::vector<std::uint32_t> label_index_;
 };
 
+/// Sorts misses and barriers into the canonical record order used by the
+/// epoch-chunked v2 format ((epoch, node, addr, pc, kind, size) for
+/// misses, (epoch, node, vt, pc) for barriers).  Accesses within an epoch
+/// carry no ordering (paper section 3.3), so this is semantics-preserving;
+/// it is what makes equal traces hash equally in the content-addressed
+/// store.  Labels keep their declaration order (they are part of the
+/// header, not the chunks).
+void canonicalize(Trace& t);
+
 /// Accumulates a trace during simulation.  Mirrors WWT's collection scheme:
 /// misses are gathered in a per-epoch hash table (deduplicating identical
 /// events) and appended at each barrier.

@@ -369,6 +369,57 @@ TEST(ResultCache, DiskTierSurvivesMemoryEvictionAndRestart) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(ResultCache, LargePayloadsDedupeThroughArtifactStore) {
+  // Payloads >= kInlineMax live in the content-addressed store tier, so
+  // two keys whose jobs produced the same bytes share one object -- and
+  // both still read back exactly.
+  const std::string dir = ::testing::TempDir() + "cachier_cache_store";
+  std::filesystem::remove_all(dir);
+  {
+    ResultCache cache(dir, /*max_entries=*/1);
+    JobResult r;
+    r.out = std::string(4096, 'x') + "payload";
+    r.report = "{\"big\": \"" + std::string(512, 'r') + "\"}";
+    cache.insert(std::string(32, 'a'), r);
+    cache.insert(std::string(32, 'b'), r);  // same bytes, second key
+    ASSERT_NE(cache.artifact_store(), nullptr);
+    // One object per distinct payload, not per key.
+    const auto hit = cache.lookup(std::string(32, 'a'));  // disk reload
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->out, r.out);
+    EXPECT_EQ(hit->report, r.report);
+  }
+  {
+    ResultCache fresh(dir);  // restart: refs resolve from the store tier
+    const auto hit = fresh.lookup(std::string(32, 'b'));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->out.substr(4096), "payload");
+  }
+  // The entry file itself carries a hash reference, not the bytes.
+  std::ifstream in(dir + "/" + std::string(32, 'a') + ".json");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("stdout_ref"), std::string::npos);
+  EXPECT_EQ(ss.str().find("payload"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCache, MissingStoreObjectIsAMiss) {
+  const std::string dir = ::testing::TempDir() + "cachier_cache_gone";
+  std::filesystem::remove_all(dir);
+  const std::string key(32, 'd');
+  {
+    ResultCache cache(dir, /*max_entries=*/1);
+    JobResult r;
+    r.out = std::string(4096, 'y');
+    cache.insert(key, r);
+  }
+  std::filesystem::remove_all(dir + "/store/objects");
+  ResultCache fresh(dir);
+  EXPECT_FALSE(fresh.lookup(key).has_value());
+  std::filesystem::remove_all(dir);
+}
+
 TEST(ResultCache, CorruptDiskFileIsAMiss) {
   const std::string dir = ::testing::TempDir() + "cachier_cache_corrupt";
   std::filesystem::remove_all(dir);

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iterator>
 #include <string>
@@ -429,6 +430,90 @@ TEST_F(CliErrorsTest, FaultedRunPrintsFaultCounters) {
   EXPECT_EQ(r.exit_code, 0) << r.output;
   EXPECT_NE(r.output.find("msg_dropped"), std::string::npos) << r.output;
   EXPECT_NE(r.output.find("retries"), std::string::npos) << r.output;
+}
+
+// --- store / sync: positional grammar and error contract --------------------
+
+class CliStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+    std::filesystem::remove_all(dir2_, ec);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+    std::filesystem::remove_all(dir2_, ec);
+  }
+  const std::string dir_ = "cli_errors_store1";
+  const std::string dir2_ = "cli_errors_store2";
+};
+
+TEST_F(CliStoreTest, MissingPositionalsAreUsageExit1) {
+  for (const char* args : {"store", "store put", "store put somedir",
+                           "store ls", "store gc", "sync", "sync onlysrc"}) {
+    const CmdResult r = run_cli(args);
+    EXPECT_EQ(r.exit_code, 1) << args << "\n" << r.output;
+    EXPECT_NE(r.output.find("usage:"), std::string::npos) << r.output;
+  }
+}
+
+TEST_F(CliStoreTest, UnknownSubcommandIsUsageExit1) {
+  const CmdResult r = run_cli("store frobnicate " + dir_);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos) << r.output;
+}
+
+TEST_F(CliStoreTest, GetFromNonStoreIsExit2) {
+  const CmdResult r = run_cli("store get " + dir_ + " nothing");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("cachier: error: store:"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(CliStoreTest, MalformedTraceFailsPutWithTraceError) {
+  // A file that *claims* to be a trace must go through the strict loader:
+  // rejecting it beats storing a corrupt artifact under a trace name.
+  write_file("cli_errors_bad_trace.txt", "cico-trace v1\nM 1 2\n");
+  const CmdResult r =
+      run_cli("store put " + dir_ + " cli_errors_bad_trace.txt");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("cachier: error: trace:"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(CliStoreTest, PutGetSyncRoundTrip) {
+  write_file("cli_errors_blob.bin", std::string(1000, 'z'));
+  const CmdResult put =
+      run_cli("store put " + dir_ + " cli_errors_blob.bin --name art1");
+  EXPECT_EQ(put.exit_code, 0) << put.output;
+  EXPECT_NE(put.output.find("store: put art1: kind=blob"), std::string::npos)
+      << put.output;
+
+  const CmdResult ls = run_cli("store ls " + dir_);
+  EXPECT_EQ(ls.exit_code, 0);
+  EXPECT_NE(ls.output.find("art1 kind=blob objects=1 bytes=1000"),
+            std::string::npos)
+      << ls.output;
+
+  const CmdResult sync = run_cli("sync " + dir_ + " " + dir2_);
+  EXPECT_EQ(sync.exit_code, 0) << sync.output;
+  EXPECT_NE(sync.output.find("objects copied=1"), std::string::npos)
+      << sync.output;
+
+  const CmdResult get =
+      run_cli("store get " + dir2_ + " art1 -o cli_errors_blob_out.bin");
+  EXPECT_EQ(get.exit_code, 0) << get.output;
+  std::ifstream in("cli_errors_blob_out.bin", std::ios::binary);
+  const std::string back((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_EQ(back, std::string(1000, 'z'));
+
+  const CmdResult resync = run_cli("sync " + dir_ + " " + dir2_);
+  EXPECT_EQ(resync.exit_code, 0);
+  EXPECT_NE(resync.output.find("objects copied=0"), std::string::npos)
+      << resync.output;
 }
 
 }  // namespace

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
+
+#include "cico/common/varint.hpp"
 
 namespace cico::trace {
 namespace {
@@ -261,6 +264,163 @@ TEST(TraceIoTest, RejectsTruncatedVarint) {
   std::stringstream cut(bytes.substr(0, bytes.size() - 3),
                         std::ios::in | std::ios::binary);
   EXPECT_THROW(load_binary(cut), std::runtime_error);
+}
+
+// --- hostile binary inputs (mirrors the hostile text suite above) ----------
+//
+// The binary loader used to static_cast 64-bit varints into 32-bit fields
+// and accept non-minimal LEB128, so two different byte streams could decode
+// to the same trace -- fatal for content addressing.  Every malformed
+// stream must fail with a `trace:`-prefixed error.
+
+/// Minimal-length LEB128 of v, as raw bytes.
+std::string enc(std::uint64_t v) {
+  std::ostringstream ss;
+  common::put_varint(ss, v);
+  return ss.str();
+}
+
+std::string bin_magic() { return "cicotrc1"; }
+
+/// Asserts that load_binary rejects `bytes` with a `trace:`-prefixed
+/// message containing `needle`.
+void expect_binary_error(const std::string& bytes, const std::string& needle) {
+  std::stringstream ss(bytes, std::ios::in | std::ios::binary);
+  try {
+    (void)load_binary(ss);
+    FAIL() << "expected rejection (" << needle << ")";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_EQ(msg.rfind("trace:", 0), 0u) << msg;
+    EXPECT_NE(msg.find(needle), std::string::npos) << msg;
+  }
+}
+
+TEST(TraceBinaryHostileTest, RejectsNonCanonicalVarint) {
+  // 0x80 0x00 decodes to 0 but is two bytes: a second spelling of the
+  // same value, which the canonical codec must reject.
+  const std::string bytes =
+      bin_magic() + std::string("\x80\x00", 2);  // nlabels = non-canonical 0
+  expect_binary_error(bytes, "non-canonical varint");
+}
+
+TEST(TraceBinaryHostileTest, RejectsVarintOverflowBitsAtShift63) {
+  // Ten bytes with a tenth group above 1 carry bits past bit 63.
+  const std::string bytes =
+      bin_magic() + std::string(9, '\xff') + std::string(1, '\x7f');
+  expect_binary_error(bytes, "overflows 64 bits");
+}
+
+TEST(TraceBinaryHostileTest, RejectsElevenByteVarint) {
+  const std::string bytes =
+      bin_magic() + std::string(10, '\x80') + std::string(1, '\x01');
+  expect_binary_error(bytes, "overflows 64 bits");
+}
+
+TEST(TraceBinaryHostileTest, RejectsOutOfRangeMissFields) {
+  const std::uint64_t too_big = 0x1'0000'0000ULL;  // > uint32 max
+  const auto miss_with = [&](int field) {
+    std::string b = bin_magic() + enc(0) + enc(1);  // no labels, one miss
+    const std::uint64_t fields[] = {0, 0, 0, 0x1000, 8, 1};
+    for (int i = 0; i < 6; ++i) b += enc(i == field ? too_big : fields[i]);
+    b += enc(0);  // no barriers
+    return b;
+  };
+  expect_binary_error(miss_with(0), "epoch out of range");
+  expect_binary_error(miss_with(1), "node out of range");
+  expect_binary_error(miss_with(4), "size out of range");
+  expect_binary_error(miss_with(5), "pc out of range");
+}
+
+TEST(TraceBinaryHostileTest, RejectsOutOfRangeBarrierFields) {
+  const std::uint64_t too_big = 0x1'0000'0000ULL;
+  const auto barrier_with = [&](int field) {
+    std::string b = bin_magic() + enc(0) + enc(0) + enc(1);
+    const std::uint64_t fields[] = {0, 0, 7, 555};
+    for (int i = 0; i < 4; ++i) b += enc(i == field ? too_big : fields[i]);
+    return b;
+  };
+  expect_binary_error(barrier_with(0), "epoch out of range");
+  expect_binary_error(barrier_with(1), "node out of range");
+  expect_binary_error(barrier_with(2), "barrier pc out of range");
+}
+
+TEST(TraceBinaryHostileTest, RejectsBadMissKind) {
+  std::string b = bin_magic() + enc(0) + enc(1);
+  b += enc(0) + enc(0) + enc(3) + enc(0x1000) + enc(8) + enc(1);
+  b += enc(0);
+  expect_binary_error(b, "bad miss kind");
+}
+
+TEST(TraceBinaryHostileTest, RejectsRegularFlagAboveOne) {
+  std::string b = bin_magic() + enc(1);
+  b += enc(1) + "A" + enc(0x1000) + enc(64) + enc(2);  // regular = 2
+  expect_binary_error(b, "regular flag");
+}
+
+TEST(TraceBinaryHostileTest, RejectsTrailingJunk) {
+  Trace t;
+  t.misses.push_back(MissRecord{0, 0, MissKind::ReadMiss, 0x10, 8, 1});
+  std::stringstream full(std::ios::in | std::ios::out | std::ios::binary);
+  save_binary(t, full);
+  expect_binary_error(full.str() + "x", "trailing junk");
+}
+
+TEST(TraceBinaryHostileTest, EveryStrictPrefixIsRejected) {
+  // Counts precede their records, so truncation at ANY byte offset is
+  // detectable -- no prefix may quietly decode to a shorter trace.
+  TraceWriter w;
+  w.set_labels({RegionLabel{"A", 0x1000, 256, true}});
+  w.record_miss(0, MissKind::ReadMiss, 0x1008, 8, 11, 0);
+  w.record_barrier(0, 2, 555, 0);
+  w.end_epoch();
+  w.record_miss(1, MissKind::WriteMiss, 0x1010, 4, 12, 1);
+  Trace t = w.take();
+  std::stringstream full(std::ios::in | std::ios::out | std::ios::binary);
+  save_binary(t, full);
+  const std::string bytes = full.str();
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::stringstream ss(bytes.substr(0, cut),
+                         std::ios::in | std::ios::binary);
+    EXPECT_THROW((void)load_binary(ss), std::runtime_error)
+        << "prefix of " << cut << " bytes decoded";
+  }
+}
+
+TEST(TraceTest, NumEpochsOverflowAtEpochIdMax) {
+  // `max_epoch + 1` used to wrap to 0 when a record sat at EpochId max.
+  Trace t;
+  t.misses.push_back(MissRecord{std::numeric_limits<EpochId>::max(), 0,
+                                MissKind::ReadMiss, 0x10, 8, 1});
+  try {
+    (void)t.num_epochs();
+    FAIL() << "expected overflow to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("trace:", 0), 0u) << e.what();
+  }
+  // One below the limit is representable.
+  t.misses[0].epoch = std::numeric_limits<EpochId>::max() - 1;
+  EXPECT_EQ(t.num_epochs(), std::numeric_limits<EpochId>::max());
+}
+
+TEST(TraceTest, CanonicalizeSortsAndPreservesMultiset) {
+  Trace t;
+  t.misses.push_back(MissRecord{1, 0, MissKind::ReadMiss, 0x20, 8, 2});
+  t.misses.push_back(MissRecord{0, 1, MissKind::WriteMiss, 0x10, 4, 1});
+  t.misses.push_back(MissRecord{0, 0, MissKind::ReadMiss, 0x30, 8, 3});
+  t.barriers.push_back(BarrierRecord{1, 0, 9, 100});
+  t.barriers.push_back(BarrierRecord{0, 1, 9, 50});
+  t.barriers.push_back(BarrierRecord{0, 0, 9, 50});
+  canonicalize(t);
+  EXPECT_EQ(t.misses[0].epoch, 0u);
+  EXPECT_EQ(t.misses[0].node, 0u);
+  EXPECT_EQ(t.misses[1].node, 1u);
+  EXPECT_EQ(t.misses[2].epoch, 1u);
+  EXPECT_EQ(t.barriers[0].node, 0u);
+  EXPECT_EQ(t.barriers[1].node, 1u);
+  EXPECT_EQ(t.barriers[2].epoch, 1u);
+  EXPECT_EQ(t.misses.size(), 3u);
+  EXPECT_EQ(t.barriers.size(), 3u);
 }
 
 }  // namespace

@@ -26,6 +26,18 @@
 //       leave a repro spec under a temp directory (printed); SIGINT /
 //       SIGTERM stops between runs, cleans the temp artifacts, reports
 //       the partial campaign and exits 3 (distinct from errors)
+//   cachier store put <dir> <file> [--name n]
+//   cachier store get <dir> <name> [-o file]
+//   cachier store ls <dir>
+//   cachier store gc <dir>
+//       local content-addressed artifact store (docs/trace_store.md):
+//       put chunks an artifact (traces are normalized to the epoch-chunked
+//       v2 form so near-identical runs share chunks), get reassembles it
+//       byte-for-byte with every chunk re-verified, ls lists manifests,
+//       gc removes unreferenced objects
+//   cachier sync <src-store> <dst-store>
+//       copy only the missing chunks (and changed manifests) from one
+//       store directory into another
 //   cachier version
 //       print the tool + schema versions as JSON (the same identity
 //       document the cachierd handshake exchanges)
@@ -97,6 +109,8 @@
 #include "cico/obs/stream.hpp"
 #include "cico/sim/plan_io.hpp"
 #include "cico/srcann/annotator.hpp"
+#include "cico/store/store.hpp"
+#include "cico/store/sync.hpp"
 
 using namespace cico;
 
@@ -105,7 +119,10 @@ namespace {
 struct Options {
   std::string command;
   std::string file;
-  std::string file2;            ///< diff: the candidate report
+  std::string file2;            ///< diff: candidate; store: dir; sync: dst
+  std::string file3;            ///< store put/get: the file / artifact name
+  std::string store_name;       ///< store put --name <n>
+  std::string out_file;         ///< store get -o <file>
   std::uint32_t nodes = 8;
   cachier::Mode mode = cachier::Mode::Performance;
   std::string faults;           ///< FaultSpec text; empty = faults disabled
@@ -145,7 +162,12 @@ void usage() {
       "               (exit 3 when interrupted by SIGINT/SIGTERM)\n"
       "       cachier diff baseline.json candidate.json\n"
       "               [--tolerances rules.toml] [--tol pattern=spec]...\n"
-      "               [--summary]\n");
+      "               [--summary]\n"
+      "       cachier store put <dir> <file> [--name n]\n"
+      "       cachier store get <dir> <name> [-o file]\n"
+      "       cachier store ls <dir>\n"
+      "       cachier store gc <dir>\n"
+      "       cachier sync <src-store> <dst-store>\n");
 }
 
 const char* protocol_name(sim::ProtocolKind k) {
@@ -161,6 +183,15 @@ std::ofstream open_out(const std::string& path) {
 
 std::string slurp(const std::string& path) {
   std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Binary-exact read for store artifacts (v1/v2 traces contain raw bytes).
+std::string slurp_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot open " + path);
   std::ostringstream ss;
   ss << in.rdbuf();
@@ -511,6 +542,78 @@ int do_diff(const Options& opt) {
   return static_cast<int>(result.outcome);
 }
 
+// --- store / sync: the content-addressed artifact store --------------------
+
+int do_store(const Options& opt) {
+  const std::string& sub = opt.file;
+  const std::string& dir = opt.file2;
+  if (sub == "put") {
+    store::ObjectStore s(dir, store::ObjectStore::Open::kCreate);
+    const std::string name =
+        opt.store_name.empty()
+            ? std::filesystem::path(opt.file3).filename().string()
+            : opt.store_name;
+    const store::PutStats st = s.put(name, slurp_bytes(opt.file3));
+    std::printf("store: put %s: kind=%s objects=%llu/%llu bytes=%llu/%llu\n",
+                st.name.c_str(), store::artifact_kind_name(st.kind),
+                static_cast<unsigned long long>(st.objects_new),
+                static_cast<unsigned long long>(st.objects_total),
+                static_cast<unsigned long long>(st.bytes_new),
+                static_cast<unsigned long long>(st.bytes_total));
+    return 0;
+  }
+  if (sub == "get") {
+    const store::ObjectStore s(dir, store::ObjectStore::Open::kExisting);
+    const std::string bytes = s.get(opt.file3);
+    if (opt.out_file.empty()) {
+      std::fwrite(bytes.data(), 1, bytes.size(), stdout);
+    } else {
+      std::ofstream out(opt.out_file, std::ios::binary);
+      if (!out) throw std::runtime_error("cannot write " + opt.out_file);
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+      std::printf("store: get %s: %llu bytes\n", opt.file3.c_str(),
+                  static_cast<unsigned long long>(bytes.size()));
+    }
+    return 0;
+  }
+  if (sub == "ls") {
+    const store::ObjectStore s(dir, store::ObjectStore::Open::kExisting);
+    for (const auto& m : s.ls()) {
+      std::printf("%s kind=%s objects=%llu bytes=%llu\n", m.name.c_str(),
+                  store::artifact_kind_name(m.kind),
+                  static_cast<unsigned long long>(m.objects),
+                  static_cast<unsigned long long>(m.bytes));
+    }
+    return 0;
+  }
+  if (sub == "gc") {
+    store::ObjectStore s(dir, store::ObjectStore::Open::kExisting);
+    const store::GcStats st = s.gc();
+    std::printf("store: gc: removed %llu objects, freed %llu bytes\n",
+                static_cast<unsigned long long>(st.objects_removed),
+                static_cast<unsigned long long>(st.bytes_freed));
+    return 0;
+  }
+  usage();
+  return 1;
+}
+
+int do_sync(const Options& opt) {
+  const store::ObjectStore src(opt.file, store::ObjectStore::Open::kExisting);
+  store::ObjectStore dst(opt.file2, store::ObjectStore::Open::kCreate);
+  const store::SyncStats st = store::sync_stores(src, dst);
+  std::printf(
+      "sync: %s -> %s: manifests=%llu/%llu objects copied=%llu "
+      "skipped=%llu bytes=%llu\n",
+      opt.file.c_str(), opt.file2.c_str(),
+      static_cast<unsigned long long>(st.manifests_copied),
+      static_cast<unsigned long long>(st.manifests_total),
+      static_cast<unsigned long long>(st.objects_copied),
+      static_cast<unsigned long long>(st.objects_skipped),
+      static_cast<unsigned long long>(st.bytes_copied));
+  return 0;
+}
+
 // --- daemon client mode: ship the job to a running cachierd ----------------
 
 int do_daemon_job(const Options& opt) {
@@ -560,6 +663,8 @@ int dispatch(const Options& opt) {
   if (!opt.daemon_sock.empty()) return do_daemon_job(opt);
   if (opt.command == "soak") return do_soak(opt);
   if (opt.command == "diff") return do_diff(opt);
+  if (opt.command == "store") return do_store(opt);
+  if (opt.command == "sync") return do_sync(opt);
 
   if (opt.command == "trace" && !opt.trace_load.empty()) {
     // Validate-and-reemit: a malformed file fails with exit 2 and a
@@ -768,6 +873,10 @@ int parse_args(int argc, char** argv, Options& opt) {
       opt.json_file = argv[++i];
     } else if (arg == "--load" && i + 1 < argc) {
       opt.trace_load = argv[++i];
+    } else if (arg == "--name" && i + 1 < argc) {
+      opt.store_name = argv[++i];
+    } else if (arg == "-o" && i + 1 < argc) {
+      opt.out_file = argv[++i];
     } else if (arg == "--daemon" && i + 1 < argc) {
       opt.daemon_sock = argv[++i];
     } else if (arg == "--deadline-ms" && i + 1 < argc) {
@@ -781,8 +890,12 @@ int parse_args(int argc, char** argv, Options& opt) {
       opt.command = arg;
     } else if (opt.file.empty()) {
       opt.file = arg;
-    } else if (opt.command == "diff" && opt.file2.empty()) {
+    } else if ((opt.command == "diff" || opt.command == "store" ||
+                opt.command == "sync") &&
+               opt.file2.empty()) {
       opt.file2 = arg;
+    } else if (opt.command == "store" && opt.file3.empty()) {
+      opt.file3 = arg;
     } else {
       usage();
       return 1;
@@ -799,10 +912,17 @@ int parse_args(int argc, char** argv, Options& opt) {
       opt.daemon_sock.empty() ||
       (daemon::known_command(opt.command) && opt.events_file.empty() &&
        !opt.stream_epochs && opt.json_file.empty() && opt.trace_load.empty());
+  // store's positional grammar: put/get take <dir> <arg>; ls/gc take <dir>.
+  const bool store_ok =
+      opt.command != "store" ||
+      (!opt.file2.empty() &&
+       ((opt.file == "put" || opt.file == "get") ? !opt.file3.empty()
+        : (opt.file == "ls" || opt.file == "gc") && opt.file3.empty()));
   if (opt.command.empty() || (needs_file && opt.file.empty()) ||
       opt.nodes == 0 || opt.boundary_threads == 0 ||
       (opt.command == "soak" && opt.campaigns == 0) ||
       (opt.command == "diff" && opt.file2.empty()) ||
+      (opt.command == "sync" && opt.file2.empty()) || !store_ok ||
       // Streaming only makes sense while a report is being written.
       (opt.stream_epochs && opt.report_file.empty()) || !daemon_ok ||
       (opt.deadline_ms != 0 && opt.daemon_sock.empty())) {
