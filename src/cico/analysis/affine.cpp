@@ -1,0 +1,226 @@
+#include "cico/analysis/affine.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "cico/lang/unparse.hpp"
+
+namespace cico::analysis {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// MiniPar's % (the interpreter uses fmod semantics on doubles).
+double minipar_mod(double a, double b) { return std::fmod(a, b); }
+
+std::optional<double> eval_const(const lang::Expr& e, const ConstEnv& env) {
+  const auto a = eval_affine(e, env);
+  if (!a || a->p != 0) return std::nullopt;
+  return a->c;
+}
+
+/// Canonical number rendering: integers without a fraction, everything
+/// else with enough digits to round-trip.
+std::string num_str(double v) {
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string affine_str(const Affine& a) {
+  if (a.p == 0) return num_str(a.c);
+  std::string s = num_str(a.p) + "*pid";
+  if (a.c != 0) s += "+" + num_str(a.c);
+  return s;
+}
+
+std::string bound_key(const lang::Expr& e, const ConstEnv& env) {
+  if (const auto a = eval_affine(e, env)) return affine_str(*a);
+  return "~" + lang::unparse_expr(e);  // conservative textual fallback
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ConstEnv
+// ---------------------------------------------------------------------------
+
+ConstEnv ConstEnv::from(const lang::Program& p, std::optional<double> nprocs) {
+  ConstEnv env;
+  env.nprocs = nprocs;
+  for (const auto& d : p.decls) {
+    if (d->kind != lang::StmtKind::ConstDecl || !d->rhs) continue;
+    if (const auto v = eval_const(*d->rhs, env)) env.consts[d->name] = *v;
+  }
+  return env;
+}
+
+// ---------------------------------------------------------------------------
+// Affine folding
+// ---------------------------------------------------------------------------
+
+std::optional<Affine> eval_affine(const lang::Expr& e, const ConstEnv& env) {  // NOLINT(readability-function-cognitive-complexity)
+  using lang::ExprKind;
+  switch (e.kind) {
+    case ExprKind::Number:
+      return Affine{e.number, 0};
+    case ExprKind::Pid:
+      return Affine{0, 1};
+    case ExprKind::Nprocs:
+      if (env.nprocs) return Affine{*env.nprocs, 0};
+      return std::nullopt;
+    case ExprKind::Var: {
+      const auto it = env.consts.find(e.name);
+      if (it == env.consts.end()) return std::nullopt;
+      return Affine{it->second, 0};
+    }
+    case ExprKind::Unary: {
+      if (e.uop != lang::UnOp::Neg) return std::nullopt;
+      const auto a = eval_affine(*e.args[0], env);
+      if (!a) return std::nullopt;
+      return Affine{-a->c, -a->p};
+    }
+    case ExprKind::MinMax: {
+      const auto a = eval_affine(*e.args[0], env);
+      const auto b = eval_affine(*e.args[1], env);
+      if (!a || !b) return std::nullopt;
+      if (*a == *b) return a;
+      if (a->p != 0 || b->p != 0) return std::nullopt;  // pid-dependent winner
+      return Affine{e.is_min ? std::min(a->c, b->c) : std::max(a->c, b->c), 0};
+    }
+    case ExprKind::Binary: {
+      const auto a = eval_affine(*e.args[0], env);
+      const auto b = eval_affine(*e.args[1], env);
+      if (!a || !b) return std::nullopt;
+      switch (e.bop) {
+        case lang::BinOp::Add:
+          return Affine{a->c + b->c, a->p + b->p};
+        case lang::BinOp::Sub:
+          return Affine{a->c - b->c, a->p - b->p};
+        case lang::BinOp::Mul:
+          if (b->p == 0) return Affine{a->c * b->c, a->p * b->c};
+          if (a->p == 0) return Affine{a->c * b->c, a->c * b->p};
+          return std::nullopt;  // pid*pid is not affine
+        case lang::BinOp::Div:
+          if (b->p != 0 || b->c == 0) return std::nullopt;
+          return Affine{a->c / b->c, a->p / b->c};
+        case lang::BinOp::Mod:
+          if (a->p != 0 || b->p != 0 || b->c == 0) return std::nullopt;
+          return Affine{minipar_mod(a->c, b->c), 0};
+        default:
+          return std::nullopt;  // comparisons / logic are not ranges
+      }
+    }
+    case ExprKind::Index:
+      return std::nullopt;  // data-dependent
+  }
+  return std::nullopt;
+}
+
+std::string region_key(const lang::ArrayRef& ref, const ConstEnv& env) {
+  std::string key = ref.name + "[";
+  bool first = true;
+  for (const lang::RangeExpr& r : ref.ranges) {
+    if (!first) key += ",";
+    first = false;
+    const std::string lo = r.lo ? bound_key(*r.lo, env) : "?";
+    key += lo + ":" + (r.hi ? bound_key(*r.hi, env) : lo);
+  }
+  key += "]";
+  return key;
+}
+
+// ---------------------------------------------------------------------------
+// Interval
+// ---------------------------------------------------------------------------
+
+Interval Interval::top() { return {-kInf, kInf}; }
+
+bool Interval::is_top() const { return lo == -kInf && hi == kInf; }
+
+bool Interval::subset_of(const Interval& o) const {
+  if (empty()) return true;
+  if (o.empty()) return false;
+  return o.lo <= lo && hi <= o.hi;
+}
+
+Interval Interval::join(const Interval& o) const {
+  if (empty()) return o;
+  if (o.empty()) return *this;
+  return {std::min(lo, o.lo), std::max(hi, o.hi)};
+}
+
+Interval Interval::widen(const Interval& o) const {
+  if (empty()) return o;
+  if (o.empty()) return *this;
+  return {o.lo < lo ? -kInf : lo, o.hi > hi ? kInf : hi};
+}
+
+Interval Interval::add(const Interval& o) const {
+  if (empty() || o.empty()) return {};
+  return {lo + o.lo, hi + o.hi};
+}
+
+Interval Interval::sub(const Interval& o) const {
+  if (empty() || o.empty()) return {};
+  return {lo - o.hi, hi - o.lo};
+}
+
+Interval Interval::mul(const Interval& o) const {
+  if (empty() || o.empty()) return {};
+  const double c[] = {lo * o.lo, lo * o.hi, hi * o.lo, hi * o.hi};
+  Interval r{c[0], c[0]};
+  for (double v : c) {
+    if (std::isnan(v)) return top();  // 0 * inf corner
+    r.lo = std::min(r.lo, v);
+    r.hi = std::max(r.hi, v);
+  }
+  return r;
+}
+
+Interval Interval::div(const Interval& o) const {
+  if (empty() || o.empty()) return {};
+  if (o.lo <= 0 && o.hi >= 0) return top();
+  const double c[] = {lo / o.lo, lo / o.hi, hi / o.lo, hi / o.hi};
+  Interval r{c[0], c[0]};
+  for (double v : c) {
+    r.lo = std::min(r.lo, v);
+    r.hi = std::max(r.hi, v);
+  }
+  return r;
+}
+
+Interval Interval::mod(const Interval& o) const {
+  if (empty() || o.empty()) return {};
+  if (!o.is_point() || o.lo == 0) return top();
+  const double m = std::abs(o.lo);
+  if (is_point() && !is_top()) return point(minipar_mod(lo, m * (o.lo < 0 ? -1 : 1)));
+  // fmod keeps the dividend's sign: non-negative dividends land in
+  // [0, m); mixed-sign hulls span (-m, m).
+  if (lo >= 0) return {0, std::min(hi, m - 1 < 0 ? 0 : m - 1)};
+  return {-(m - 1), m - 1};
+}
+
+Interval Interval::neg() const {
+  if (empty()) return {};
+  return {-hi, -lo};
+}
+
+Interval Interval::min_with(const Interval& o) const {
+  if (empty() || o.empty()) return {};
+  return {std::min(lo, o.lo), std::min(hi, o.hi)};
+}
+
+Interval Interval::max_with(const Interval& o) const {
+  if (empty() || o.empty()) return {};
+  return {std::max(lo, o.lo), std::max(hi, o.hi)};
+}
+
+}  // namespace cico::analysis

@@ -1,0 +1,124 @@
+// Affine range solver over MiniPar induction variables.
+//
+// The dynamic annotator recovers symbolic regions by fitting concrete
+// per-node rectangles to affine functions of `pid`
+// (srcann/annotator.cpp).  This header is the static mirror: it folds
+// MiniPar expressions into the exact affine form  c + p*pid  under the
+// program's const declarations, so region extents compare and join
+// SEMANTICALLY -- `A[0:N-1]` and `A[0:15]` are the same region when
+// `const N = 16`, and `B[pid*4 : pid*4+3]` is the same per-node slice
+// however it is spelled.  Two clients:
+//
+//   * the typestate checker keys checkout regions by region_key() so
+//     CICO004 (double checkout) catches semantically equal regions
+//     spelled differently, with the raw unparse text as a conservative
+//     fallback when a bound is not affine;
+//   * the static planner (static_plan.hpp) evaluates subscripts into
+//     Interval hulls per concrete pid to build its SW/SR epoch sets.
+//
+// Interval is a classic hull domain with join/widen, usable as a
+// dataflow lattice (widen jumps unstable bounds to +-infinity so
+// fixpoints terminate); arithmetic is hull-correct: the result interval
+// contains every value the operator can produce from the operands.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "cico/lang/ast.hpp"
+
+namespace cico::analysis {
+
+// ---------------------------------------------------------------------------
+// Const environment
+// ---------------------------------------------------------------------------
+
+/// Values of `const` declarations (MiniPar consts are program-wide and
+/// assigned once, in declaration order), plus the node count when the
+/// caller knows it (the planner does; the linter does not).
+struct ConstEnv {
+  std::map<std::string, double, std::less<>> consts;
+  std::optional<double> nprocs;
+
+  /// Folds the program's const declarations (each may reference the
+  /// previous ones).  Non-foldable consts are simply absent.
+  static ConstEnv from(const lang::Program& p,
+                       std::optional<double> nprocs = std::nullopt);
+};
+
+// ---------------------------------------------------------------------------
+// Affine form  c + p*pid
+// ---------------------------------------------------------------------------
+
+struct Affine {
+  double c = 0;  ///< constant term
+  double p = 0;  ///< pid coefficient
+
+  friend bool operator==(const Affine& a, const Affine& b) {
+    return a.c == b.c && a.p == b.p;
+  }
+};
+
+/// Folds `e` to its affine-in-pid normal form under `env`: consts and
+/// nprocs resolve to numbers, `pid` to the symbolic coefficient, and
+/// +, -, unary -, * / by a constant, and const-only %, min, max fold
+/// exactly.  nullopt when the expression is not affine in pid (array
+/// loads, loop variables, privates, pid*pid, ...).
+[[nodiscard]] std::optional<Affine> eval_affine(const lang::Expr& e,
+                                                const ConstEnv& env);
+
+/// Canonical semantic key for a directive region.  Every bound that folds
+/// to an affine form renders canonically ("0", "15", "4*pid+3"); bounds
+/// that do not fold keep their unparse text prefixed so a semantic key can
+/// never collide with a textual one.  Equal keys => equal regions; the
+/// fallback direction is conservative (textually different non-affine
+/// spellings stay different).
+[[nodiscard]] std::string region_key(const lang::ArrayRef& ref,
+                                     const ConstEnv& env);
+
+// ---------------------------------------------------------------------------
+// Interval hull domain
+// ---------------------------------------------------------------------------
+
+/// Inclusive interval [lo, hi] over doubles; empty when lo > hi (the
+/// lattice bottom).  Top is [-inf, +inf].
+struct Interval {
+  double lo = 1;
+  double hi = 0;  // default-constructed: empty
+
+  [[nodiscard]] static Interval point(double v) { return {v, v}; }
+  [[nodiscard]] static Interval of(double lo, double hi) { return {lo, hi}; }
+  [[nodiscard]] static Interval top();
+
+  [[nodiscard]] bool empty() const { return lo > hi; }
+  [[nodiscard]] bool is_point() const { return lo == hi; }
+  [[nodiscard]] bool is_top() const;
+  [[nodiscard]] bool contains(double v) const { return lo <= v && v <= hi; }
+  [[nodiscard]] bool subset_of(const Interval& o) const;
+
+  /// Convex hull; empty is the identity.
+  [[nodiscard]] Interval join(const Interval& o) const;
+  /// Widening: a bound that grew jumps to its infinity, so ascending
+  /// chains stabilise in one step per side.
+  [[nodiscard]] Interval widen(const Interval& o) const;
+
+  // Hull-correct arithmetic (result contains f(a, b) for all a in this,
+  // b in o).  Empty operands propagate to empty.
+  [[nodiscard]] Interval add(const Interval& o) const;
+  [[nodiscard]] Interval sub(const Interval& o) const;
+  [[nodiscard]] Interval mul(const Interval& o) const;
+  /// Division; top when the divisor straddles or touches zero.
+  [[nodiscard]] Interval div(const Interval& o) const;
+  /// Modulo by a constant-sign divisor; hull of the representative range.
+  [[nodiscard]] Interval mod(const Interval& o) const;
+  [[nodiscard]] Interval neg() const;
+  [[nodiscard]] Interval min_with(const Interval& o) const;
+  [[nodiscard]] Interval max_with(const Interval& o) const;
+
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return (a.empty() && b.empty()) || (a.lo == b.lo && a.hi == b.hi);
+  }
+};
+
+}  // namespace cico::analysis

@@ -49,6 +49,12 @@ struct Diagnostic {
   std::string array;    ///< shared array the diagnostic is about
   std::string message;  ///< one-line description
   std::string hint;     ///< suggested fix ("" = none)
+  /// Machine-applicable fix anchors (analysis/fix.hpp): the AstId of the
+  /// statement the diagnostic is about and an optional auxiliary statement
+  /// (e.g. CICO008's enclosing loop).  0 = none.  Not rendered: the text
+  /// and JSON documents are unchanged by these fields.
+  std::uint32_t stmt_id = 0;
+  std::uint32_t aux_id = 0;
 };
 
 struct LintResult {

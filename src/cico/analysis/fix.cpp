@@ -1,0 +1,243 @@
+#include "cico/analysis/fix.hpp"
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cico/analysis/typestate.hpp"
+
+namespace cico::analysis {
+namespace {
+
+using lang::AstId;
+using lang::Program;
+using lang::Stmt;
+using lang::StmtKind;
+using lang::StmtPtr;
+
+/// Everything one lint round asked for, deduplicated.  Precedence:
+/// deletion beats any other action on the same statement, and an X
+/// insertion beats an S insertion at the same site (a write implies the
+/// read coverage).
+struct PassPlan {
+  std::set<AstId> del;
+  std::set<std::string> flip;  ///< arrays whose check_out_S becomes X
+  std::map<AstId, std::map<std::string, sim::DirectiveKind>> ins;
+  std::set<AstId> delay;  ///< check_ins to move to their epoch's end
+  std::map<AstId, std::vector<AstId>> hoist;  ///< loop id -> directive ids
+  std::set<AstId> hoisted;                    ///< union of hoist values
+  std::set<std::string> end_ci;               ///< program-end check_ins
+
+  [[nodiscard]] bool empty() const {
+    return del.empty() && flip.empty() && ins.empty() && delay.empty() &&
+           hoist.empty() && end_ci.empty();
+  }
+};
+
+PassPlan build_plan(const LintResult& lint) {
+  PassPlan plan;
+  for (const Diagnostic& d : lint.diagnostics) {
+    switch (d.rule) {
+      case Rule::MissedCheckoutWrite:
+        if (d.stmt_id != 0) {
+          plan.ins[d.stmt_id][d.array] = sim::DirectiveKind::CheckOutX;
+        }
+        break;
+      case Rule::MissedCheckoutRead:
+        if (d.stmt_id != 0) {
+          auto& kind = plan.ins[d.stmt_id]
+                           .emplace(d.array, sim::DirectiveKind::CheckOutS)
+                           .first->second;
+          (void)kind;  // an existing CheckOutX entry wins
+        }
+        break;
+      case Rule::WriteUnderShared:
+        plan.flip.insert(d.array);
+        break;
+      case Rule::DoubleCheckout:
+      case Rule::CheckinWithoutCheckout:
+      case Rule::PrefetchAfterUse:
+        if (d.stmt_id != 0) plan.del.insert(d.stmt_id);
+        break;
+      case Rule::CheckoutLeak:
+        plan.end_ci.insert(d.array);
+        break;
+      case Rule::EarlyCheckin:
+        if (d.stmt_id != 0) plan.delay.insert(d.stmt_id);
+        break;
+      case Rule::RedundantLoopCheckout:
+        if (d.stmt_id != 0 && d.aux_id != 0) {
+          plan.hoist[d.aux_id].push_back(d.stmt_id);
+          plan.hoisted.insert(d.stmt_id);
+        }
+        break;
+    }
+  }
+  // Deleted statements take no other action.
+  for (AstId id : plan.del) {
+    plan.ins.erase(id);
+    plan.delay.erase(id);
+    if (plan.hoisted.erase(id) != 0) {
+      for (auto& [loop, dirs] : plan.hoist) {
+        std::erase(dirs, id);
+      }
+    }
+  }
+  return plan;
+}
+
+/// One rewrite pass over the statement tree.
+class Applier {
+ public:
+  Applier(Program& p, const PassPlan& plan, std::vector<std::string>& log)
+      : p_(p), plan_(plan), log_(log) {}
+
+  void run() {
+    walk(p_.body);
+    for (const std::string& array : plan_.end_ci) {
+      if (StmtPtr ci = make_whole_array(sim::DirectiveKind::CheckIn, array)) {
+        p_.body.push_back(std::move(ci));
+        ++applied_;
+        log_.push_back("CICO006: appended program-end check_in of '" + array +
+                       "'");
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t applied() const { return applied_; }
+
+ private:
+  /// `dir A[0:d0-1(, 0:d1-1)]` from the shared declaration's dim exprs.
+  /// Null when the array has no declared dims (nothing to build).
+  StmtPtr make_whole_array(sim::DirectiveKind kind, const std::string& array) {
+    const Stmt* decl = nullptr;
+    for (const auto& d : p_.decls) {
+      if (d->kind == StmtKind::SharedDecl && d->name == array) {
+        decl = d.get();
+        break;
+      }
+    }
+    if (decl == nullptr || decl->dims.empty()) return nullptr;
+    lang::ArrayRef ref;
+    ref.id = p_.next_id++;
+    ref.name = array;
+    for (const auto& dim : decl->dims) {
+      lang::RangeExpr r;
+      r.lo = lang::make_number(p_, 0);
+      r.hi = lang::make_binary(p_, lang::BinOp::Sub, dim->clone(),
+                               lang::make_number(p_, 1));
+      ref.ranges.push_back(std::move(r));
+    }
+    StmtPtr dir = lang::make_directive(p_, kind, std::move(ref));
+    // Fixed output is user source: it must survive a parse/unparse
+    // round-trip byte-for-byte (the `--fix` idempotence contract), and
+    // the parser does not preserve the synthesized marker comment.
+    dir->synthesized = false;
+    return dir;
+  }
+
+  void walk(std::vector<StmtPtr>& block) {  // NOLINT(misc-no-recursion)
+    std::vector<StmtPtr> out;
+    std::vector<StmtPtr> pending;  // delayed check_ins riding to the barrier
+    for (auto& sp : block) {
+      const AstId id = sp->id;
+      if (plan_.del.contains(id)) {
+        ++applied_;
+        log_.push_back("deleted directive at line " +
+                       std::to_string(sp->loc.line) + " ('" +
+                       (sp->ref ? sp->ref->name : sp->name) + "')");
+        continue;
+      }
+      walk(sp->body);
+      walk(sp->else_body);
+      if (plan_.hoisted.contains(id)) {
+        stash_[id] = std::move(sp);
+        continue;
+      }
+      if (auto it = plan_.hoist.find(id); it != plan_.hoist.end()) {
+        for (AstId did : it->second) {
+          auto st = stash_.find(did);
+          if (st == stash_.end()) continue;
+          log_.push_back("CICO008: hoisted checkout of '" +
+                         (st->second->ref ? st->second->ref->name
+                                          : std::string()) +
+                         "' out of the loop at line " +
+                         std::to_string(sp->loc.line));
+          out.push_back(std::move(st->second));
+          stash_.erase(st);
+          ++applied_;
+        }
+      }
+      if (auto it = plan_.ins.find(id); it != plan_.ins.end()) {
+        for (const auto& [array, kind] : it->second) {
+          if (StmtPtr dir = make_whole_array(kind, array)) {
+            log_.push_back(
+                std::string(kind == sim::DirectiveKind::CheckOutX ? "CICO001"
+                                                                  : "CICO002") +
+                ": inserted " +
+                (kind == sim::DirectiveKind::CheckOutX ? "check_out_X"
+                                                       : "check_out_S") +
+                " of '" + array + "' before line " +
+                std::to_string(sp->loc.line));
+            out.push_back(std::move(dir));
+            ++applied_;
+          }
+        }
+      }
+      if (sp->kind == StmtKind::Directive &&
+          sp->dir == sim::DirectiveKind::CheckOutS && sp->ref &&
+          plan_.flip.contains(sp->ref->name)) {
+        sp->dir = sim::DirectiveKind::CheckOutX;
+        ++applied_;
+        log_.push_back("CICO003: strengthened check_out_S of '" +
+                       sp->ref->name + "' to check_out_X at line " +
+                       std::to_string(sp->loc.line));
+      }
+      if (plan_.delay.contains(id)) {
+        ++applied_;
+        log_.push_back("CICO007: moved early check_in of '" +
+                       (sp->ref ? sp->ref->name : std::string()) +
+                       "' from line " + std::to_string(sp->loc.line) +
+                       " to its epoch's end");
+        pending.push_back(std::move(sp));
+        continue;
+      }
+      if (sp->kind == StmtKind::Barrier) {
+        for (auto& d : pending) out.push_back(std::move(d));
+        pending.clear();
+      }
+      out.push_back(std::move(sp));
+    }
+    for (auto& d : pending) out.push_back(std::move(d));
+    block = std::move(out);
+  }
+
+  Program& p_;
+  const PassPlan& plan_;
+  std::vector<std::string>& log_;
+  std::map<AstId, StmtPtr> stash_;
+  std::size_t applied_ = 0;
+};
+
+}  // namespace
+
+FixResult apply_fixes(const lang::Program& p, const FixOptions& opt) {
+  FixResult res;
+  res.program = p.clone();
+  res.lint = lint(res.program);
+  while (res.passes < opt.max_passes && !res.lint.diagnostics.empty()) {
+    const PassPlan plan = build_plan(res.lint);
+    if (plan.empty()) break;  // nothing here is machine-fixable
+    Applier ap(res.program, plan, res.log);
+    ap.run();
+    ++res.passes;
+    if (ap.applied() == 0) break;  // no progress; avoid spinning
+    res.applied += ap.applied();
+    res.lint = lint(res.program);
+  }
+  return res;
+}
+
+}  // namespace cico::analysis

@@ -1,0 +1,56 @@
+// Machine-applicable lint fixes (`cachier lint --fix`).
+//
+// Every CICO rule's hint has a mechanical realization, keyed by the
+// Diagnostic fix anchors (stmt_id / aux_id):
+//
+//   CICO001  insert `check_out_X A[whole]` before the offending write
+//   CICO002  insert `check_out_S A[whole]` before the offending read
+//   CICO003  strengthen the array's `check_out_S` directives to X
+//   CICO004  delete the redundant re-checkout
+//   CICO005  delete the unmatched check_in
+//   CICO006  append `check_in A[whole]` at program end
+//   CICO007  move the early check_in to the end of its epoch (before the
+//            next barrier in its block, or the end of the block)
+//   CICO008  hoist the loop-invariant checkout out of the loop (aux_id)
+//   CICO009  delete the late prefetch
+//
+// Fixes only ever strengthen, add, delete or delay annotations -- all
+// protocol-safe moves (annotations are hints) -- so applying them can
+// never break a program that ran correctly.  The driver iterates
+// lint -> apply -> lint until the program is clean, nothing more
+// applies, or the pass budget runs out; one fix can expose another
+// (hoisting out of an inner loop may be loop-invariant again in the
+// outer loop), which is why a single pass is not enough.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cico/analysis/diagnostics.hpp"
+#include "cico/lang/ast.hpp"
+
+namespace cico::analysis {
+
+struct FixOptions {
+  /// Upper bound on lint -> apply rounds (safety net against a fix
+  /// oscillation bug; well-formed inputs converge in 2-3 passes).
+  std::size_t max_passes = 8;
+};
+
+struct FixResult {
+  lang::Program program;        ///< fixed copy of the input
+  std::size_t applied = 0;      ///< individual fixes applied, all passes
+  std::size_t passes = 0;       ///< lint -> apply rounds executed
+  std::vector<std::string> log; ///< one line per applied fix
+  /// Lint of the fixed program.  Clean when every diagnostic had an
+  /// applicable fix; residual diagnostics mean some finding has no
+  /// mechanical repair (or the pass budget ran out).
+  LintResult lint;
+};
+
+/// Apply machine fixes for every diagnostic with a known repair.
+[[nodiscard]] FixResult apply_fixes(const lang::Program& p,
+                                    const FixOptions& opt = {});
+
+}  // namespace cico::analysis

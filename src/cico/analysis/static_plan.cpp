@@ -1,0 +1,1120 @@
+#include "cico/analysis/static_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <tuple>
+
+#include "cico/analysis/affine.hpp"
+
+namespace cico::analysis {
+
+namespace {
+
+using lang::AstId;
+using lang::Expr;
+using lang::ExprKind;
+using lang::Stmt;
+using lang::StmtKind;
+using lang::StmtPtr;
+
+// ---------------------------------------------------------------------------
+// Epoch graph construction
+// ---------------------------------------------------------------------------
+
+/// Structured walk threading the set of epoch anchors execution may be
+/// in.  Barriers collapse the set to themselves (recording epoch edges);
+/// loops iterate to a fixpoint because a barrier inside the body feeds
+/// anchors back to the top; branches union.  Anchor sets only grow per
+/// program point, bounded by the barrier count, so the fixpoint is
+/// cheap.
+struct EpochBuilder {
+  ConstEnv env;
+  std::vector<AstId> order;                 ///< anchors, discovery order
+  std::set<AstId> known;
+  std::map<AstId, std::set<AstId>> succ;
+  std::map<AstId, std::set<AstId>> members;  ///< anchor -> stmt ids
+
+  explicit EpochBuilder(const lang::Program& p) : env(ConstEnv::from(p)) {}
+
+  void ensure(AstId a) {
+    if (known.insert(a).second) order.push_back(a);
+  }
+
+  /// Constant bounds proving the loop runs at least once; anything
+  /// non-constant (pid/nprocs-dependent, data-dependent) is treated as
+  /// possibly zero-trip, which only over-approximates the epoch graph.
+  [[nodiscard]] bool at_least_one_trip(const Stmt& s) const {
+    const auto lo = eval_affine(*s.lo, env);
+    const auto hi = eval_affine(*s.hi, env);
+    if (!lo || !hi || lo->p != 0 || hi->p != 0) return false;
+    double step = 1;
+    if (s.step) {
+      const auto st = eval_affine(*s.step, env);
+      if (!st || st->p != 0) return false;
+      step = st->c;
+    }
+    if (step > 0) return lo->c <= hi->c;
+    if (step < 0) return lo->c >= hi->c;
+    return false;
+  }
+
+  std::set<AstId> walk(const std::vector<StmtPtr>& seq, std::set<AstId> cur) {
+    for (const auto& sp : seq) {
+      const Stmt& s = *sp;
+      for (AstId a : cur) members[a].insert(s.id);
+      switch (s.kind) {
+        case StmtKind::Barrier: {
+          ensure(s.id);
+          for (AstId a : cur) succ[a].insert(s.id);
+          cur = {s.id};
+          break;
+        }
+        case StmtKind::For: {
+          const std::set<AstId> in = cur;
+          std::set<AstId> x = in;
+          std::set<AstId> out;
+          for (;;) {
+            out = walk(s.body, x);
+            std::set<AstId> nx = in;
+            nx.insert(out.begin(), out.end());
+            if (nx == x) break;
+            x = std::move(nx);
+          }
+          if (at_least_one_trip(s)) {
+            cur = std::move(out);
+          } else {
+            cur = in;
+            cur.insert(out.begin(), out.end());
+          }
+          break;
+        }
+        case StmtKind::If: {
+          std::set<AstId> t = walk(s.body, cur);
+          std::set<AstId> e =
+              s.else_body.empty() ? cur : walk(s.else_body, cur);
+          t.insert(e.begin(), e.end());
+          cur = std::move(t);
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    return cur;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Element bitsets
+// ---------------------------------------------------------------------------
+
+using Bits = std::vector<std::uint64_t>;
+
+Bits make_bits(long long elems) {
+  return Bits(static_cast<std::size_t>((elems + 63) / 64), 0);
+}
+
+void set_bit(Bits& b, long long i) {
+  b[static_cast<std::size_t>(i >> 6)] |= 1ULL << (i & 63);
+}
+
+void bits_or(Bits& a, const Bits& b) {
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] |= b[i];
+}
+
+void bits_and(Bits& a, const Bits& b) {
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] &= b[i];
+}
+
+void bits_sub(Bits& a, const Bits& b) {
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] &= ~b[i];
+}
+
+Bits and_of(Bits a, const Bits& b) {
+  bits_and(a, b);
+  return a;
+}
+
+Bits sub_of(Bits a, const Bits& b) {
+  bits_sub(a, b);
+  return a;
+}
+
+bool any_bit(const Bits& b) {
+  for (std::uint64_t w : b) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+bool test_bit(const Bits& b, long long i) {
+  return ((b[static_cast<std::size_t>(i >> 6)] >> (i & 63)) & 1) != 0;
+}
+
+/// Widen the set to its bounding rectangle under the array shape (the
+/// whole index range for 1-D arrays).  Emission only renders EXACT
+/// rectangles; hulling plan-side trades a little extra coherence traffic
+/// (annotations are hints, over-checkout is protocol-safe) for never
+/// dropping a family.  Returns true when elements were added.
+bool hull_bits(Bits& b, const ArrayShape& shp) {
+  const long long elems = shp.elems();
+  const long long d1 = shp.two_d ? static_cast<long long>(shp.d1) : 1;
+  long long r0min = -1;
+  long long r0max = -1;
+  long long r1min = -1;
+  long long r1max = -1;
+  long long count = 0;
+  for (long long i = 0; i < elems; ++i) {
+    if (!test_bit(b, i)) continue;
+    ++count;
+    const long long r0 = i / d1;
+    const long long r1 = i % d1;
+    if (r0min < 0 || r0 < r0min) r0min = r0;
+    if (r0 > r0max) r0max = r0;
+    if (r1min < 0 || r1 < r1min) r1min = r1;
+    if (r1 > r1max) r1max = r1;
+  }
+  if (count == 0) return false;
+  const long long rect = (r0max - r0min + 1) * (r1max - r1min + 1);
+  if (count == rect) return false;
+  for (long long r0 = r0min; r0 <= r0max; ++r0) {
+    for (long long r1 = r1min; r1 <= r1max; ++r1) {
+      set_bit(b, r0 * d1 + r1);
+    }
+  }
+  return true;
+}
+
+constexpr std::size_t kMaxFamilyParts = 4;
+
+/// Decompose a set into disjoint row-band rectangles: maximal runs of
+/// consecutive rows sharing one contiguous column span (for 1-D arrays,
+/// maximal element intervals).  Falls back to the single bounding
+/// rectangle -- setting `widened` -- when some row's columns are not
+/// contiguous or the decomposition needs more than max_parts pieces.
+std::vector<Bits> split_rects(const Bits& b, const ArrayShape& shp,
+                              std::size_t max_parts, bool& widened) {
+  const long long elems = shp.elems();
+  const long long d1 = shp.two_d ? static_cast<long long>(shp.d1) : 1;
+  const long long d0 = elems / d1;
+  struct RowSpan {
+    long long lo = -1;
+    long long hi = -1;
+    bool any = false;
+  };
+  std::vector<RowSpan> rows(static_cast<std::size_t>(d0));
+  bool contiguous = true;
+  bool empty = true;
+  for (long long r0 = 0; r0 < d0; ++r0) {
+    RowSpan& row = rows[static_cast<std::size_t>(r0)];
+    long long count = 0;
+    for (long long r1 = 0; r1 < d1; ++r1) {
+      if (!test_bit(b, r0 * d1 + r1)) continue;
+      ++count;
+      if (row.lo < 0) row.lo = r1;
+      row.hi = r1;
+    }
+    row.any = count > 0;
+    empty = empty && !row.any;
+    if (row.any && count != row.hi - row.lo + 1) contiguous = false;
+  }
+  if (empty) return {};
+  std::vector<Bits> out;
+  if (contiguous) {
+    for (long long r0 = 0; r0 < d0; ++r0) {
+      const RowSpan& row = rows[static_cast<std::size_t>(r0)];
+      if (!row.any) continue;
+      const RowSpan* prev =
+          r0 > 0 ? &rows[static_cast<std::size_t>(r0 - 1)] : nullptr;
+      if (prev == nullptr || !prev->any || prev->lo != row.lo ||
+          prev->hi != row.hi) {
+        out.push_back(make_bits(elems));  // new band
+      }
+      for (long long r1 = row.lo; r1 <= row.hi; ++r1) {
+        set_bit(out.back(), r0 * d1 + r1);
+      }
+    }
+  }
+  if (!contiguous || out.size() > max_parts) {
+    Bits hull = b;
+    widened = widened || hull_bits(hull, shp);
+    return {std::move(hull)};
+  }
+  return out;
+}
+
+Bits universe_bits(long long elems) {
+  Bits b = make_bits(elems);
+  for (long long i = 0; i < elems; ++i) set_bit(b, i);
+  return b;
+}
+
+std::vector<std::uint32_t> bits_to_elems(const Bits& b, long long elems) {
+  std::vector<std::uint32_t> out;
+  for (long long i = 0; i < elems; ++i) {
+    if ((b[static_cast<std::size_t>(i >> 6)] >> (i & 63)) & 1) {
+      out.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Per-node abstract evaluation
+// ---------------------------------------------------------------------------
+
+/// Flow-sensitive scalar environment: every private/scalar tracks the
+/// Interval hull of its possible values for this concrete node.
+struct Env {
+  std::map<std::string, Interval, std::less<>> v;
+};
+
+enum class Tri : std::uint8_t { False, True, Unknown };
+
+Tri tri_not(Tri t) {
+  if (t == Tri::True) return Tri::False;
+  if (t == Tri::False) return Tri::True;
+  return Tri::Unknown;
+}
+
+/// One node's walk through the program, recording shared-array element
+/// accesses into the per-(epoch, array) masks.
+struct NodeWalk {
+  const StaticEpochs& ep;
+  const std::vector<ArrayShape>& shapes;
+  const std::map<std::string, int, std::less<>>& shape_index;
+  std::vector<std::vector<AccessMasks>>& masks;
+  int node = 0;
+  int nodes = 1;
+  Env env;
+
+  [[nodiscard]] Interval eval(const Expr& e) const {  // NOLINT(misc-no-recursion)
+    switch (e.kind) {
+      case ExprKind::Number:
+        return Interval::point(e.number);
+      case ExprKind::Pid:
+        return Interval::point(node);
+      case ExprKind::Nprocs:
+        return Interval::point(nodes);
+      case ExprKind::Var: {
+        auto it = env.v.find(e.name);
+        return it == env.v.end() ? Interval::top() : it->second;
+      }
+      case ExprKind::Index:
+        return Interval::top();  // data-dependent
+      case ExprKind::Unary:
+        if (e.uop == lang::UnOp::Neg) return eval(*e.args[0]).neg();
+        return Interval::top();
+      case ExprKind::MinMax: {
+        const Interval a = eval(*e.args[0]);
+        const Interval b = eval(*e.args[1]);
+        return e.is_min ? a.min_with(b) : a.max_with(b);
+      }
+      case ExprKind::Binary: {
+        const Interval a = eval(*e.args[0]);
+        const Interval b = eval(*e.args[1]);
+        switch (e.bop) {
+          case lang::BinOp::Add:
+            return a.add(b);
+          case lang::BinOp::Sub:
+            return a.sub(b);
+          case lang::BinOp::Mul:
+            return a.mul(b);
+          case lang::BinOp::Div:
+            return a.div(b);
+          case lang::BinOp::Mod:
+            return a.mod(b);
+          default:
+            return Interval::top();  // comparisons are not arithmetic
+        }
+      }
+    }
+    return Interval::top();
+  }
+
+  /// Tri-state condition evaluation; a decidable `if pid == k` guard is
+  /// what lets each node see only its own branch of the SPMD program.
+  [[nodiscard]] Tri cond(const Expr& e) const {  // NOLINT(misc-no-recursion)
+    if (e.kind == ExprKind::Unary && e.uop == lang::UnOp::Not) {
+      return tri_not(cond(*e.args[0]));
+    }
+    if (e.kind != ExprKind::Binary) return Tri::Unknown;
+    switch (e.bop) {
+      case lang::BinOp::And: {
+        const Tri a = cond(*e.args[0]);
+        const Tri b = cond(*e.args[1]);
+        if (a == Tri::False || b == Tri::False) return Tri::False;
+        if (a == Tri::True && b == Tri::True) return Tri::True;
+        return Tri::Unknown;
+      }
+      case lang::BinOp::Or: {
+        const Tri a = cond(*e.args[0]);
+        const Tri b = cond(*e.args[1]);
+        if (a == Tri::True || b == Tri::True) return Tri::True;
+        if (a == Tri::False && b == Tri::False) return Tri::False;
+        return Tri::Unknown;
+      }
+      default:
+        break;
+    }
+    const Interval a = eval(*e.args[0]);
+    const Interval b = eval(*e.args[1]);
+    if (a.empty() || b.empty()) return Tri::Unknown;
+    const auto lt = [](const Interval& x, const Interval& y) {
+      if (x.hi < y.lo) return Tri::True;
+      if (x.lo >= y.hi) return Tri::False;
+      return Tri::Unknown;
+    };
+    const auto le = [](const Interval& x, const Interval& y) {
+      if (x.hi <= y.lo) return Tri::True;
+      if (x.lo > y.hi) return Tri::False;
+      return Tri::Unknown;
+    };
+    switch (e.bop) {
+      case lang::BinOp::Eq:
+        if (a.is_point() && b.is_point() && a.lo == b.lo) return Tri::True;
+        if (a.hi < b.lo || b.hi < a.lo) return Tri::False;
+        return Tri::Unknown;
+      case lang::BinOp::Ne:
+        if (a.hi < b.lo || b.hi < a.lo) return Tri::True;
+        if (a.is_point() && b.is_point() && a.lo == b.lo) return Tri::False;
+        return Tri::Unknown;
+      case lang::BinOp::Lt:
+        return lt(a, b);
+      case lang::BinOp::Le:
+        return le(a, b);
+      case lang::BinOp::Gt:
+        return lt(b, a);
+      case lang::BinOp::Ge:
+        return le(b, a);
+      default:
+        return Tri::Unknown;
+    }
+  }
+
+  /// Rounds an interval hull to the element range it can touch (the
+  /// interpreter rounds subscripts with llround), clipped to the array
+  /// extent.  false = not statically evaluable (caller approximates).
+  [[nodiscard]] bool hull(const Expr& e, long long d, long long& lo,
+                          long long& hi) const {
+    const Interval iv = eval(e);
+    if (iv.empty() || !std::isfinite(iv.lo) || !std::isfinite(iv.hi)) {
+      return false;
+    }
+    lo = std::max(std::llround(iv.lo), 0LL);
+    hi = std::min(std::llround(iv.hi), d - 1);
+    return true;  // lo > hi: entirely out of range, touches nothing
+  }
+
+  void touch(const std::vector<int>& eps, const std::string& name,
+             const std::vector<lang::ExprPtr>& subs, bool write) {
+    const auto it = shape_index.find(name);
+    if (it == shape_index.end()) return;
+    const ArrayShape& sh = shapes[static_cast<std::size_t>(it->second)];
+    long long lo0 = 0;
+    long long hi0 = -1;
+    long long lo1 = 0;
+    long long hi1 = 0;
+    bool ok = subs.size() == (sh.two_d ? 2U : 1U);
+    if (ok) ok = hull(*subs[0], sh.d0, lo0, hi0);
+    if (ok && sh.two_d) ok = hull(*subs[1], sh.d1, lo1, hi1);
+    const std::uint64_t bit = 1ULL << node;
+    for (int e : eps) {
+      AccessMasks& m = masks[static_cast<std::size_t>(e)]
+                            [static_cast<std::size_t>(it->second)];
+      if (!ok) {
+        (write ? m.approx_w : m.approx_r) |= bit;
+        continue;
+      }
+      for (long long i = lo0; i <= hi0; ++i) {
+        if (sh.two_d) {
+          for (long long j = lo1; j <= hi1; ++j) {
+            (write ? m.w : m.r)[static_cast<std::size_t>(i * sh.d1 + j)] |=
+                bit;
+          }
+        } else {
+          (write ? m.w : m.r)[static_cast<std::size_t>(i)] |= bit;
+        }
+      }
+    }
+  }
+
+  void scan_reads(const Expr* e, const std::vector<int>& eps) {  // NOLINT(misc-no-recursion)
+    if (e == nullptr) return;
+    if (e->kind == ExprKind::Index) touch(eps, e->name, e->args, false);
+    for (const auto& a : e->args) scan_reads(a.get(), eps);
+  }
+
+  /// Env join at an undecidable branch merge: a name known on only one
+  /// side is unknown on the other (never assigned there), so it joins
+  /// to top.
+  static void join_env(Env& a, const Env& b) {
+    for (auto& [k, v] : a.v) {
+      const auto it = b.v.find(k);
+      v = it == b.v.end() ? Interval::top() : v.join(it->second);
+    }
+    for (const auto& [k, v] : b.v) {
+      if (a.v.find(k) == a.v.end()) a.v[k] = Interval::top();
+    }
+  }
+
+  void walk(const std::vector<StmtPtr>& seq) {  // NOLINT(misc-no-recursion)
+    for (const auto& sp : seq) {
+      const Stmt& s = *sp;
+      const std::vector<int>& eps = ep.epochs_of(s.id);
+      switch (s.kind) {
+        case StmtKind::Assign:
+          scan_reads(s.rhs.get(), eps);
+          for (const auto& sub : s.subs) scan_reads(sub.get(), eps);
+          if (!s.subs.empty()) {
+            touch(eps, s.name, s.subs, true);
+          } else {
+            env.v[s.name] = s.rhs ? eval(*s.rhs) : Interval::top();
+          }
+          break;
+        case StmtKind::Private:
+          scan_reads(s.rhs.get(), eps);
+          env.v[s.name] = s.rhs ? eval(*s.rhs) : Interval::top();
+          break;
+        case StmtKind::Compute:
+          scan_reads(s.rhs.get(), eps);
+          break;
+        case StmtKind::For: {
+          scan_reads(s.lo.get(), eps);
+          scan_reads(s.hi.get(), eps);
+          scan_reads(s.step.get(), eps);
+          const Interval lo = eval(*s.lo);
+          const Interval hi = eval(*s.hi);
+          double stepv = 1;
+          bool step_known = true;
+          if (s.step) {
+            const Interval st = eval(*s.step);
+            if (st.is_point()) {
+              stepv = st.lo;
+            } else {
+              step_known = false;
+            }
+          }
+          // Definite zero-trip loops contribute nothing.
+          if (step_known && !lo.empty() && !hi.empty() &&
+              ((stepv > 0 && lo.lo > hi.hi) ||
+               (stepv < 0 && lo.hi < hi.lo))) {
+            break;
+          }
+          const Interval var_hull = lo.join(hi);
+          // Body mini-fixpoint: scalars mutated by the body (running
+          // accumulators, per-iteration privates) are widened until the
+          // environment stabilises; accesses recorded on every pass
+          // union, so re-walking is safe.
+          for (int pass = 0; pass < 4; ++pass) {
+            env.v[s.name] = var_hull;
+            Env before = env;
+            walk(s.body);
+            env.v[s.name] = var_hull;
+            bool stable = true;
+            for (auto& [k, v] : env.v) {
+              const auto it = before.v.find(k);
+              const Interval prev =
+                  it == before.v.end() ? Interval{} : it->second;
+              if (!(v == prev)) {
+                stable = false;
+                v = pass >= 2 ? Interval::top() : prev.widen(v);
+              }
+            }
+            if (stable) break;
+          }
+          break;
+        }
+        case StmtKind::If: {
+          scan_reads(s.cond.get(), eps);
+          const Tri t = cond(*s.cond);
+          if (t == Tri::True) {
+            walk(s.body);
+          } else if (t == Tri::False) {
+            walk(s.else_body);
+          } else {
+            Env pre = env;
+            walk(s.body);
+            Env then_env = std::move(env);
+            env = std::move(pre);
+            walk(s.else_body);
+            join_env(env, then_env);
+          }
+          break;
+        }
+        case StmtKind::Directive:
+          // --static plans from unannotated programs; any directives
+          // already present are hints, invisible to the classifier.
+          break;
+        default:
+          break;  // Barrier / Lock / Unlock / decls
+      }
+    }
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// StaticEpochs
+// ---------------------------------------------------------------------------
+
+StaticEpochs::StaticEpochs(const lang::Program& p) {
+  EpochBuilder b(p);
+  b.ensure(0);
+  const std::set<AstId> final_anchors = b.walk(p.body, {0});
+
+  for (AstId a : b.order) {
+    index_[a] = static_cast<int>(epochs_.size());
+    StaticEpoch e;
+    e.anchor = a;
+    epochs_.push_back(std::move(e));
+  }
+  for (const auto& [a, ss] : b.succ) {
+    StaticEpoch& e = epochs_[static_cast<std::size_t>(index_[a])];
+    e.succ.assign(ss.begin(), ss.end());
+    for (AstId t : ss) {
+      epochs_[static_cast<std::size_t>(index_[t])].pred.push_back(a);
+    }
+  }
+  for (StaticEpoch& e : epochs_) {
+    std::sort(e.pred.begin(), e.pred.end());
+  }
+  for (AstId a : final_anchors) {
+    epochs_[static_cast<std::size_t>(index_[a])].ends_program = true;
+  }
+  for (const auto& [a, ss] : b.members) {
+    StaticEpoch& e = epochs_[static_cast<std::size_t>(index_[a])];
+    e.stmts.assign(ss.begin(), ss.end());
+    for (AstId sid : ss) of_stmt_[sid].push_back(index_[a]);
+  }
+  for (auto& [sid, eps] : of_stmt_) std::sort(eps.begin(), eps.end());
+}
+
+int StaticEpochs::index_of(AstId anchor) const {
+  const auto it = index_.find(anchor);
+  return it == index_.end() ? -1 : it->second;
+}
+
+const std::vector<int>& StaticEpochs::epochs_of(AstId stmt) const {
+  const auto it = of_stmt_.find(stmt);
+  return it == of_stmt_.end() ? none_ : it->second;
+}
+
+// ---------------------------------------------------------------------------
+// StaticSharing
+// ---------------------------------------------------------------------------
+
+StaticSharing::StaticSharing(const lang::Program& p, const StaticEpochs& ep,
+                             int nodes)
+    : nodes_(nodes) {
+  if (nodes < 1 || nodes > 64) {
+    throw std::runtime_error(
+        "static planner supports 1..64 nodes (one bit per node)");
+  }
+  const ConstEnv cenv = ConstEnv::from(p, nodes);
+  for (const auto& d : p.decls) {
+    if (d->kind != StmtKind::SharedDecl) continue;
+    if (d->dims.empty() || d->dims.size() > 2) continue;
+    ArrayShape sh;
+    sh.name = d->name;
+    sh.two_d = d->dims.size() == 2;
+    bool ok = true;
+    const auto fold = [&](const Expr& e, long long& out) {
+      const auto a = eval_affine(e, cenv);
+      if (!a || a->p != 0 || a->c < 1) {
+        ok = false;
+        return;
+      }
+      out = std::llround(a->c);
+    };
+    fold(*d->dims[0], sh.d0);
+    if (sh.two_d) fold(*d->dims[1], sh.d1);
+    if (!ok) continue;  // non-constant extent: left unclassified
+    shape_index_[sh.name] = static_cast<int>(shapes_.size());
+    shapes_.push_back(std::move(sh));
+  }
+
+  masks_.assign(ep.epochs().size(), {});
+  for (auto& row : masks_) {
+    row.resize(shapes_.size());
+    for (std::size_t a = 0; a < shapes_.size(); ++a) {
+      const auto elems = static_cast<std::size_t>(shapes_[a].elems());
+      row[a].w.assign(elems, 0);
+      row[a].r.assign(elems, 0);
+    }
+  }
+
+  for (int n = 0; n < nodes; ++n) {
+    NodeWalk w{ep, shapes_, shape_index_, masks_, n, nodes, {}};
+    for (const auto& [k, v] : cenv.consts) w.env.v[k] = Interval::point(v);
+    w.walk(p.body);
+  }
+}
+
+int StaticSharing::array_index(const std::string& name) const {
+  const auto it = shape_index_.find(name);
+  return it == shape_index_.end() ? -1 : it->second;
+}
+
+const AccessMasks& StaticSharing::masks(int epoch, int array) const {
+  return masks_[static_cast<std::size_t>(epoch)]
+               [static_cast<std::size_t>(array)];
+}
+
+ShareClass StaticSharing::classify(int epoch, int array,
+                                   std::uint32_t elem) const {
+  const AccessMasks& m = masks(epoch, array);
+  const std::uint64_t w = m.w[elem] | m.approx_w;
+  const std::uint64_t r = m.r[elem] | m.approx_r;
+  if (w == 0 && r == 0) return ShareClass::Untouched;
+  if (w == 0) return ShareClass::SharedRead;
+  if ((w & (w - 1)) == 0 && (r & ~w) == 0) return ShareClass::Exclusive;
+  return ShareClass::Conflict;
+}
+
+// ---------------------------------------------------------------------------
+// plan_static
+// ---------------------------------------------------------------------------
+
+StaticPlan plan_static(const lang::Program& p, int nodes,
+                       const StaticPlanOptions& opt) {
+  const StaticEpochs ep(p);
+  const StaticSharing sh(p, ep, nodes);
+
+  StaticPlan plan;
+  plan.nodes = nodes;
+  plan.shapes = sh.shapes();
+  const int num_epochs = static_cast<int>(ep.epochs().size());
+  const int num_arrays = static_cast<int>(plan.shapes.size());
+
+  // Per (epoch, array): per-node exclusive-write / shared-read / any-read
+  // element sets plus any-writer and other-reader summaries.  These are
+  // the static SW/SR/S sets the trace would have delivered.
+  struct Sets {
+    std::vector<Bits> sw, sr, rd, rother;
+    Bits wany;
+  };
+  std::vector<std::vector<Sets>> sets(
+      static_cast<std::size_t>(num_epochs),
+      std::vector<Sets>(static_cast<std::size_t>(num_arrays)));
+  std::vector<long long> conflict_elems(static_cast<std::size_t>(num_arrays),
+                                        0);
+  std::vector<bool> approx_any(static_cast<std::size_t>(num_arrays), false);
+
+  for (int e = 0; e < num_epochs; ++e) {
+    for (int a = 0; a < num_arrays; ++a) {
+      const long long elems = plan.shapes[static_cast<std::size_t>(a)].elems();
+      Sets& st = sets[static_cast<std::size_t>(e)][static_cast<std::size_t>(a)];
+      st.sw.assign(static_cast<std::size_t>(nodes), make_bits(elems));
+      st.sr = st.sw;
+      st.rd = st.sw;
+      st.rother = st.sw;
+      st.wany = make_bits(elems);
+      const AccessMasks& m = sh.masks(e, a);
+      if ((m.approx_w | m.approx_r) != 0) {
+        approx_any[static_cast<std::size_t>(a)] = true;
+      }
+      bool conflicted = false;
+      for (long long i = 0; i < elems; ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        const ShareClass cls =
+            sh.classify(e, a, static_cast<std::uint32_t>(i));
+        if ((m.w[idx] | m.approx_w) != 0) set_bit(st.wany, i);
+        if (cls == ShareClass::Conflict) {
+          ++conflict_elems[static_cast<std::size_t>(a)];
+          conflicted = true;
+        }
+        for (int n = 0; n < nodes; ++n) {
+          const std::uint64_t bit = 1ULL << n;
+          const auto ns = static_cast<std::size_t>(n);
+          if ((m.r[idx] & bit) != 0) set_bit(st.rd[ns], i);
+          if (((m.r[idx] | m.approx_r) & ~bit) != 0) {
+            set_bit(st.rother[ns], i);
+          }
+          if (cls == ShareClass::Exclusive && (m.w[idx] & bit) != 0) {
+            set_bit(st.sw[ns], i);
+          }
+          if (cls == ShareClass::SharedRead && (m.r[idx] & bit) != 0) {
+            set_bit(st.sr[ns], i);
+          }
+        }
+      }
+      (void)conflicted;
+    }
+  }
+
+  // Family accumulation keyed by (anchor, at_start, kind, array).
+  std::map<std::tuple<AstId, int, int, std::string>, std::vector<Bits>> fam;
+  const auto add = [&](AstId anchor, bool at_start, sim::DirectiveKind kind,
+                       int array, int node, const Bits& b) {
+    if (!any_bit(b)) return;
+    const std::string& name = plan.shapes[static_cast<std::size_t>(array)].name;
+    auto& pn = fam[{anchor, at_start ? 1 : 0, static_cast<int>(kind), name}];
+    if (pn.empty()) {
+      pn.assign(static_cast<std::size_t>(nodes),
+                make_bits(plan.shapes[static_cast<std::size_t>(array)].elems()));
+    }
+    bits_or(pn[static_cast<std::size_t>(node)], b);
+  };
+
+  const bool programmer = opt.mode == PlanMode::Programmer;
+
+  for (int a = 0; a < num_arrays; ++a) {
+    const long long elems = plan.shapes[static_cast<std::size_t>(a)].elems();
+    const Bits universe = universe_bits(elems);
+    for (int n = 0; n < nodes; ++n) {
+      const auto ns = static_cast<std::size_t>(n);
+      const auto at = [&](int e) -> const Sets& {
+        return sets[static_cast<std::size_t>(e)][static_cast<std::size_t>(a)];
+      };
+
+      // check_in sets per epoch (no fixpoint: only successor needs).
+      std::vector<Bits> ci(static_cast<std::size_t>(num_epochs));
+      for (int e = 0; e < num_epochs; ++e) {
+        const Sets& cur = at(e);
+        Bits succ_s = make_bits(elems);
+        Bits succ_w = make_bits(elems);
+        Bits succ_ro = make_bits(elems);
+        for (AstId banchor : ep.epochs()[static_cast<std::size_t>(e)].succ) {
+          const Sets& nxt = at(ep.index_of(banchor));
+          bits_or(succ_s, nxt.sw[ns]);
+          bits_or(succ_s, nxt.sr[ns]);
+          bits_or(succ_w, nxt.wany);
+          bits_or(succ_ro, nxt.rother[ns]);
+        }
+        if (programmer) {
+          Bits s = cur.sw[ns];
+          bits_or(s, cur.sr[ns]);
+          ci[static_cast<std::size_t>(e)] = sub_of(std::move(s), succ_s);
+        } else {
+          // Performance: release exclusives the node is done with,
+          // release shared copies a successor will write (cheapens the
+          // writer's upgrade), and push freshly produced exclusives
+          // that other nodes consume next epoch.
+          Bits out = sub_of(cur.sw[ns], succ_s);
+          bits_or(out, and_of(cur.sr[ns], succ_w));
+          bits_or(out, and_of(cur.sw[ns], succ_ro));
+          ci[static_cast<std::size_t>(e)] = std::move(out);
+        }
+      }
+
+      // Must-hold dataflow over the epoch graph: an element is held at
+      // epoch entry only if EVERY predecessor epoch left it held; that
+      // is what makes skipping a re-checkout safe.
+      std::vector<Bits> hx_in(static_cast<std::size_t>(num_epochs));
+      std::vector<Bits> hx_out(static_cast<std::size_t>(num_epochs));
+      std::vector<Bits> ha_in(static_cast<std::size_t>(num_epochs));
+      std::vector<Bits> ha_out(static_cast<std::size_t>(num_epochs));
+      for (int e = 0; e < num_epochs; ++e) {
+        const auto es = static_cast<std::size_t>(e);
+        hx_in[es] = e == 0 ? make_bits(elems) : universe;
+        ha_in[es] = hx_in[es];
+        hx_out[es] = universe;
+        ha_out[es] = universe;
+      }
+      for (bool changed = true; changed;) {
+        changed = false;
+        for (int e = 0; e < num_epochs; ++e) {
+          const auto es = static_cast<std::size_t>(e);
+          const StaticEpoch& epoch = ep.epochs()[es];
+          if (e != 0) {
+            Bits in = universe;
+            for (AstId panchor : epoch.pred) {
+              bits_and(in, hx_out[static_cast<std::size_t>(
+                             ep.index_of(panchor))]);
+            }
+            if (!(in == hx_in[es])) {
+              hx_in[es] = std::move(in);
+              changed = true;
+            }
+            Bits ain = universe;
+            for (AstId panchor : epoch.pred) {
+              bits_and(ain, ha_out[static_cast<std::size_t>(
+                              ep.index_of(panchor))]);
+            }
+            if (!(ain == ha_in[es])) {
+              ha_in[es] = std::move(ain);
+              changed = true;
+            }
+          }
+          // Writes acquire exclusive ownership whether or not a
+          // checkout was planned (performance mode's write-first).
+          Bits x = hx_in[es];
+          bits_or(x, at(e).sw[ns]);
+          bits_sub(x, ci[es]);
+          if (!(x == hx_out[es])) {
+            hx_out[es] = std::move(x);
+            changed = true;
+          }
+          Bits h = ha_in[es];
+          bits_or(h, at(e).sw[ns]);
+          if (programmer) bits_or(h, at(e).sr[ns]);
+          bits_sub(h, ci[es]);
+          if (!(h == ha_out[es])) {
+            ha_out[es] = std::move(h);
+            changed = true;
+          }
+        }
+      }
+
+      // Emit per-epoch families.
+      for (int e = 0; e < num_epochs; ++e) {
+        const auto es = static_cast<std::size_t>(e);
+        const StaticEpoch& epoch = ep.epochs()[es];
+        Bits need_x = at(e).sw[ns];
+        if (!programmer) bits_and(need_x, at(e).rd[ns]);  // write-first skip
+        add(epoch.anchor, true, sim::DirectiveKind::CheckOutX, a, n,
+            sub_of(std::move(need_x), hx_in[es]));
+        if (programmer) {
+          add(epoch.anchor, true, sim::DirectiveKind::CheckOutS, a, n,
+              sub_of(at(e).sr[ns], ha_in[es]));
+        } else if (opt.prefetch) {
+          add(epoch.anchor, true, sim::DirectiveKind::PrefetchS, a, n,
+              sub_of(at(e).sr[ns], hx_in[es]));
+        }
+        for (AstId banchor : epoch.succ) {
+          add(banchor, false, sim::DirectiveKind::CheckIn, a, n, ci[es]);
+        }
+        // A final epoch (no following barrier) releases at program end.
+        // Only its OWN sets are pushed there: elements still held from
+        // earlier epochs were last touched before a barrier, and a
+        // check_in of an untouched, never-checked-out array would itself
+        // lint as CICO005.  Termination reclaims ownership anyway.
+        if (epoch.succ.empty()) {
+          add(0, false, sim::DirectiveKind::CheckIn, a, n, ci[es]);
+        }
+      }
+    }
+  }
+
+  // ---- lint closure over the family map --------------------------------
+  //
+  // The emitted program must self-lint clean, and the linter's per-array
+  // typestate is coarser than the per-element plan: it joins pid-guarded
+  // directives conservatively and licenses an epoch's accesses either by
+  // a checkout at the epoch start or by a check_in of the array reaching
+  // the epoch's end (the backward `checkin_ahead` fact -- array-granular,
+  // so the check_in only has to exist, not cover the exact region).  Two
+  // structural rules close the plan against it; both only ADD or WIDEN
+  // annotations, which is always protocol-safe.
+
+  // (a) A check_out_S planned at an epoch where some node also writes the
+  //     array would leave the linter's array state shared at the write
+  //     (CICO003).  Plan the writers' check_out_X alongside; emission
+  //     orders S before X (cos_before_cox) so the joined state ends
+  //     exclusive.
+  {
+    struct CoxGuard {
+      AstId anchor;
+      int array;
+      int node;
+      Bits bits;
+    };
+    std::vector<CoxGuard> guards;
+    for (const auto& [key, pn] : fam) {
+      if (static_cast<sim::DirectiveKind>(std::get<2>(key)) !=
+              sim::DirectiveKind::CheckOutS ||
+          std::get<1>(key) != 1) {
+        continue;
+      }
+      const AstId anchor = std::get<0>(key);
+      const int a = sh.array_index(std::get<3>(key));
+      const int e = ep.index_of(anchor);
+      if (a < 0 || e < 0) continue;
+      const long long elems = plan.shapes[static_cast<std::size_t>(a)].elems();
+      const AccessMasks& m = sh.masks(e, a);
+      for (int n = 0; n < nodes; ++n) {
+        Bits wb = make_bits(elems);
+        for (long long i = 0; i < elems; ++i) {
+          if (((m.w[static_cast<std::size_t>(i)] | m.approx_w) >> n) & 1) {
+            set_bit(wb, i);
+          }
+        }
+        if (any_bit(wb)) guards.push_back({anchor, a, n, std::move(wb)});
+      }
+    }
+    for (const CoxGuard& g : guards) {
+      add(g.anchor, true, sim::DirectiveKind::CheckOutX, g.array, g.node,
+          g.bits);
+    }
+  }
+
+  // (b) Every epoch that touches a MANAGED array (one with any planned
+  //     checkout -- unmanaged arrays are exempt from the access rules)
+  //     must either start with a checkout of it or reach a check_in of it
+  //     at EVERY end boundary (each successor barrier; the program end
+  //     for a final epoch).  Add a check_in of each node's touched hull
+  //     at the boundaries that lack one.
+  {
+    std::set<std::string> managed;
+    for (const auto& [key, pn] : fam) {
+      const auto kind = static_cast<sim::DirectiveKind>(std::get<2>(key));
+      if (kind == sim::DirectiveKind::CheckOutX ||
+          kind == sim::DirectiveKind::CheckOutS) {
+        managed.insert(std::get<3>(key));
+      }
+    }
+    struct SuppCi {
+      AstId boundary;
+      int array;
+      int node;
+      Bits bits;
+    };
+    std::vector<SuppCi> supp;
+    for (int e = 0; e < num_epochs; ++e) {
+      const StaticEpoch& epoch = ep.epochs()[static_cast<std::size_t>(e)];
+      for (int a = 0; a < num_arrays; ++a) {
+        const auto as = static_cast<std::size_t>(a);
+        const std::string& name = plan.shapes[as].name;
+        if (!managed.contains(name)) continue;
+        const bool has_co =
+            fam.contains({epoch.anchor, 1,
+                          static_cast<int>(sim::DirectiveKind::CheckOutX),
+                          name}) ||
+            fam.contains({epoch.anchor, 1,
+                          static_cast<int>(sim::DirectiveKind::CheckOutS),
+                          name});
+        if (has_co) continue;
+        const long long elems = plan.shapes[as].elems();
+        const AccessMasks& m = sh.masks(e, a);
+        std::vector<Bits> touched(static_cast<std::size_t>(nodes));
+        bool any = false;
+        for (int n = 0; n < nodes; ++n) {
+          Bits tb = make_bits(elems);
+          if (((m.approx_w | m.approx_r) >> n) & 1) {
+            tb = universe_bits(elems);
+          } else {
+            for (long long i = 0; i < elems; ++i) {
+              const auto is = static_cast<std::size_t>(i);
+              if (((m.w[is] | m.r[is]) >> n) & 1) set_bit(tb, i);
+            }
+          }
+          if (any_bit(tb)) any = true;
+          touched[static_cast<std::size_t>(n)] = std::move(tb);
+        }
+        if (!any) continue;
+        std::vector<AstId> bounds(epoch.succ.begin(), epoch.succ.end());
+        if (bounds.empty()) bounds.push_back(0);
+        for (AstId b : bounds) {
+          if (fam.contains(
+                  {b, 0, static_cast<int>(sim::DirectiveKind::CheckIn),
+                   name})) {
+            continue;
+          }
+          for (int n = 0; n < nodes; ++n) {
+            const auto ns = static_cast<std::size_t>(n);
+            if (any_bit(touched[ns])) supp.push_back({b, a, n, touched[ns]});
+          }
+        }
+      }
+    }
+    for (const SuppCi& s : supp) {
+      add(s.boundary, false, sim::DirectiveKind::CheckIn, s.array, s.node,
+          s.bits);
+    }
+  }
+
+  // Pair every checked-out array with at least one check_in so the
+  // planned program cannot trip CICO006 (checkout leak): anything whose
+  // checkins all proved empty is released wholesale at program end.
+  for (int a = 0; a < num_arrays; ++a) {
+    const std::string& name = plan.shapes[static_cast<std::size_t>(a)].name;
+    std::vector<Bits> out;
+    bool has_ci = false;
+    for (const auto& [key, pn] : fam) {
+      if (std::get<3>(key) != name) continue;
+      const auto kind = static_cast<sim::DirectiveKind>(std::get<2>(key));
+      if (kind == sim::DirectiveKind::CheckIn) {
+        has_ci = true;
+      } else if (kind == sim::DirectiveKind::CheckOutX ||
+                 kind == sim::DirectiveKind::CheckOutS) {
+        if (out.empty()) {
+          out = pn;
+        } else {
+          for (std::size_t i = 0; i < pn.size(); ++i) bits_or(out[i], pn[i]);
+        }
+      }
+    }
+    if (!has_ci && !out.empty()) {
+      for (int n = 0; n < nodes; ++n) {
+        add(0, false, sim::DirectiveKind::CheckIn, a, n,
+            out[static_cast<std::size_t>(n)]);
+      }
+    }
+  }
+
+  // Rectangle normalization, last so it covers every family the closure
+  // passes and the leak fallback added.  Emission renders only exact
+  // rectangles (then fits them affinely in pid); a ragged set -- e.g. a
+  // block's two halo rows -- would be dropped there, losing the
+  // annotation entirely.  Each node's set is decomposed into row-band
+  // rectangles published as split `part`s of the family; sets too
+  // scattered to split cheaply are widened to their bounding rectangle
+  // instead (protocol-safe: annotations are hints).
+  std::set<std::string> widened;
+  for (const auto& [key, pn] : fam) {
+    const int a = sh.array_index(std::get<3>(key));
+    if (a < 0) continue;
+    const ArrayShape& shp = plan.shapes[static_cast<std::size_t>(a)];
+    const long long elems = shp.elems();
+    std::vector<std::vector<Bits>> parts(pn.size());
+    std::size_t nparts = 0;
+    for (std::size_t i = 0; i < pn.size(); ++i) {
+      bool w = false;
+      parts[i] = split_rects(pn[i], shp, kMaxFamilyParts, w);
+      if (w) widened.insert(std::get<3>(key));
+      nparts = std::max(nparts, parts[i].size());
+    }
+    for (std::size_t k = 0; k < std::max<std::size_t>(nparts, 1); ++k) {
+      StaticFamily f;
+      f.anchor = std::get<0>(key);
+      f.at_start = std::get<1>(key) != 0;
+      f.kind = static_cast<sim::DirectiveKind>(std::get<2>(key));
+      f.array = std::get<3>(key);
+      f.part = static_cast<int>(k);
+      f.per_node.reserve(pn.size());
+      bool any = false;
+      for (const std::vector<Bits>& np : parts) {
+        if (k < np.size()) {
+          f.per_node.push_back(bits_to_elems(np[k], elems));
+          any = any || !f.per_node.back().empty();
+        } else {
+          f.per_node.emplace_back();
+        }
+      }
+      if (any) plan.families.push_back(std::move(f));
+    }
+  }
+  for (const std::string& name : widened) {
+    plan.notes.push_back("static: '" + name +
+                         "': widened scattered region(s) to their bounding "
+                         "rectangle for emission");
+  }
+  std::sort(plan.families.begin(), plan.families.end(),
+            [](const StaticFamily& a, const StaticFamily& b) {
+              return std::tie(a.anchor, a.at_start, a.kind, a.array, a.part) <
+                     std::tie(b.anchor, b.at_start, b.kind, b.array, b.part);
+            });
+
+  for (int a = 0; a < num_arrays; ++a) {
+    const auto as = static_cast<std::size_t>(a);
+    if (conflict_elems[as] > 0) {
+      ++plan.conflict_pairs;
+      plan.notes.push_back("static: '" + plan.shapes[as].name + "': " +
+                           std::to_string(conflict_elems[as]) +
+                           " conflicting element-epochs left unannotated");
+    }
+    if (approx_any[as]) {
+      plan.notes.push_back("static: '" + plan.shapes[as].name +
+                           "': non-affine subscripts approximated to the "
+                           "whole array");
+    }
+  }
+
+  return plan;
+}
+
+}  // namespace cico::analysis

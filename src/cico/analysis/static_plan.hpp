@@ -1,0 +1,185 @@
+// Static annotation planner: epoch structure, per-pid sharing classes,
+// and directive planning without a trace.
+//
+// The trace-driven annotator derives its SW/SR/S epoch sets from a
+// Dir1SW miss trace (Cachier section 4).  This module is the static
+// stand-in: it recovers the same shape of facts from the program text
+// alone --
+//
+//   * StaticEpochs: the barrier structure as an epoch graph.  An epoch
+//     is anchored at the barrier that starts it (anchor 0 = program
+//     start); a statement may belong to several epochs when barriers
+//     sit inside loops, so membership is a fixpoint over the
+//     structured AST.
+//   * StaticSharing: a per-`pid` interleaving abstraction.  Every
+//     shared-array subscript is evaluated per concrete node into an
+//     Interval hull (affine.hpp) under that node's scalar environment
+//     (consts, pid, nprocs, flow-sensitively tracked privates, loop
+//     hulls, decidable `if pid == k` guards), and each element of each
+//     array is classified per epoch as Untouched / Exclusive(writer) /
+//     SharedRead / Conflict.  Subscripts that do not evaluate become
+//     whole-array approximations: they participate in classification
+//     (conservatively demoting elements towards Conflict) but never
+//     contribute to a node's exact sets, so over-approximation only
+//     ever drops annotations -- which is always protocol-safe.
+//   * plan_static(): checkout/checkin/prefetch planning over those
+//     facts.  A must-hold dataflow over the epoch graph decides where
+//     ownership survives a barrier, so checkouts are only planned
+//     where no predecessor epoch is guaranteed to still hold the
+//     region.  Performance mode adds a static producer-consumer rule
+//     the dynamic chooser cannot see: elements written exclusively
+//     this epoch and read by *other* nodes next epoch are checked in
+//     at the boundary so consumers never hit a dirty remote line.
+//
+// The plan is expressed as per-node element sets per (anchor,
+// placement, directive, array) family -- exactly what the srcann
+// emission machinery consumes through its PlanSource seam.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cico/lang/ast.hpp"
+#include "cico/lang/cfg.hpp"
+
+namespace cico::analysis {
+
+// ---------------------------------------------------------------------------
+// Epoch graph
+// ---------------------------------------------------------------------------
+
+/// One epoch of the barrier-structured program.  `anchor` is the AstId
+/// of the barrier that starts it (0 = program start); `succ` holds the
+/// anchors of every epoch that can follow, which are also exactly the
+/// barriers this epoch can end at.
+struct StaticEpoch {
+  lang::AstId anchor = 0;
+  std::vector<lang::AstId> stmts;  ///< statements that may run in it (sorted)
+  std::vector<lang::AstId> succ;   ///< anchors of possible next epochs
+  std::vector<lang::AstId> pred;   ///< anchors of possible previous epochs
+  bool ends_program = false;       ///< execution may end inside this epoch
+};
+
+class StaticEpochs {
+ public:
+  explicit StaticEpochs(const lang::Program& p);
+
+  /// Epochs in anchor discovery order (program start first).
+  [[nodiscard]] const std::vector<StaticEpoch>& epochs() const {
+    return epochs_;
+  }
+  /// Index into epochs() for an anchor, -1 if unknown.
+  [[nodiscard]] int index_of(lang::AstId anchor) const;
+  /// Epoch indices a statement may execute in (empty for decls/unknown).
+  [[nodiscard]] const std::vector<int>& epochs_of(lang::AstId stmt) const;
+
+ private:
+  std::vector<StaticEpoch> epochs_;
+  std::map<lang::AstId, int> index_;
+  std::map<lang::AstId, std::vector<int>> of_stmt_;
+  std::vector<int> none_;
+};
+
+// ---------------------------------------------------------------------------
+// Sharing classifier
+// ---------------------------------------------------------------------------
+
+/// Array geometry recovered from the shared declarations (const-folded
+/// dims); arrays with non-constant dims are not classified.
+struct ArrayShape {
+  std::string name;
+  long long d0 = 0;
+  long long d1 = 1;
+  bool two_d = false;
+
+  [[nodiscard]] long long elems() const { return d0 * (two_d ? d1 : 1); }
+};
+
+/// Per-epoch sharing class of one array element.
+enum class ShareClass : std::uint8_t {
+  Untouched,   ///< no node touches it this epoch
+  Exclusive,   ///< written by exactly one node, read by no other
+  SharedRead,  ///< read only (any number of readers)
+  Conflict,    ///< multiple writers, or a writer plus other readers
+};
+
+/// Per-(epoch, array) access record: one node bitmask per element for
+/// exact reads and writes, plus per-node whole-array approximation bits
+/// for subscripts that did not evaluate.
+struct AccessMasks {
+  std::vector<std::uint64_t> w;  ///< exact writers per element
+  std::vector<std::uint64_t> r;  ///< exact readers per element
+  std::uint64_t approx_w = 0;    ///< nodes with a non-evaluable write
+  std::uint64_t approx_r = 0;    ///< nodes with a non-evaluable read
+};
+
+class StaticSharing {
+ public:
+  /// Evaluates every node in [0, nodes) through the program.  nodes must
+  /// be in [1, 64] (one bit per node).
+  StaticSharing(const lang::Program& p, const StaticEpochs& ep, int nodes);
+
+  [[nodiscard]] int nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<ArrayShape>& shapes() const {
+    return shapes_;
+  }
+  [[nodiscard]] int array_index(const std::string& name) const;
+
+  /// Access record for (epoch index, array index).
+  [[nodiscard]] const AccessMasks& masks(int epoch, int array) const;
+  /// Classification of one element in one epoch (approximations count).
+  [[nodiscard]] ShareClass classify(int epoch, int array,
+                                    std::uint32_t elem) const;
+
+ private:
+  int nodes_ = 0;
+  std::vector<ArrayShape> shapes_;
+  std::map<std::string, int, std::less<>> shape_index_;
+  std::vector<std::vector<AccessMasks>> masks_;  ///< [epoch][array]
+};
+
+// ---------------------------------------------------------------------------
+// Planner
+// ---------------------------------------------------------------------------
+
+/// Mirrors the trace annotator's modes: Programmer checks out every
+/// access (X for exclusive writes, S for shared reads); Performance
+/// drops shared-read checkouts and write-first exclusive checkouts, and
+/// adds producer-consumer checkins.
+enum class PlanMode : std::uint8_t { Programmer, Performance };
+
+struct StaticPlanOptions {
+  PlanMode mode = PlanMode::Performance;
+  bool prefetch = false;  ///< plan prefetch_S of shared-read sets
+};
+
+/// One directive family: per-node element sets for one array at one
+/// placement.  anchor 0 + at_start means program start; anchor 0 +
+/// !at_start means program end; otherwise after/before that barrier.
+struct StaticFamily {
+  lang::AstId anchor = 0;
+  bool at_start = true;
+  sim::DirectiveKind kind = sim::DirectiveKind::CheckIn;
+  std::string array;
+  /// Rectangle index when one logical family was split into several
+  /// disjoint rectangles for emission (0 when unsplit).
+  int part = 0;
+  std::vector<std::vector<std::uint32_t>> per_node;  ///< sorted elements
+};
+
+struct StaticPlan {
+  int nodes = 0;
+  std::vector<ArrayShape> shapes;
+  std::vector<StaticFamily> families;  ///< sorted (anchor, end<start, kind, array)
+  std::vector<std::string> notes;      ///< conflict / approximation notes
+  int conflict_pairs = 0;  ///< (epoch, array) pairs with conflicting elements
+};
+
+/// Plans directives for `nodes` nodes from static analysis alone.
+/// Throws std::runtime_error when nodes is outside [1, 64].
+[[nodiscard]] StaticPlan plan_static(const lang::Program& p, int nodes,
+                                     const StaticPlanOptions& opt = {});
+
+}  // namespace cico::analysis

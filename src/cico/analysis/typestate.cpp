@@ -7,6 +7,7 @@
 #include <tuple>
 #include <vector>
 
+#include "cico/analysis/affine.hpp"
 #include "cico/analysis/dataflow.hpp"
 #include "cico/lang/cfg.hpp"
 #include "cico/lang/unparse.hpp"
@@ -50,7 +51,10 @@ struct TypestateDomain {
   const lang::Cfg* cfg = nullptr;
   const StmtIndex* stmts = nullptr;
   const SharedArrays* arrays = nullptr;
-  const std::map<std::string, int>* ref_ids = nullptr;
+  /// Region identity per checkout directive (by statement id), interned
+  /// from the affine solver's semantic region_key -- `A[0:N-1]` and
+  /// `A[0:15]` share an id under `const N = 16`.
+  const std::map<lang::AstId, int>* rid_of_stmt = nullptr;
 
   [[nodiscard]] State init() const { return {}; }
   [[nodiscard]] State boundary() const {
@@ -108,8 +112,8 @@ struct TypestateDomain {
             a.chk = s.dir == sim::DirectiveKind::CheckOutX ? Chk::CoX : Chk::CoS;
             a.may_out = true;
             a.co_epoch = true;
-            auto it = ref_ids->find(lang::unparse_ref(*s.ref));
-            a.ref = it == ref_ids->end() ? kRefConflict : it->second;
+            auto it = rid_of_stmt->find(s.id);
+            a.ref = it == rid_of_stmt->end() ? kRefConflict : it->second;
             break;
           }
           case sim::DirectiveKind::CheckIn:
@@ -298,11 +302,16 @@ LintResult lint(const lang::Program& program, const LintOptions& opts) {
 
   // Program-wide facts: which arrays have any check_out / check_in at all
   // (arrays managed by CICO), where the first check_out is (leak anchor),
-  // interned region texts (double-checkout identity).
+  // interned region identities (double-checkout).  Regions intern by the
+  // affine solver's semantic key, so `A[0:N-1]` and `A[0:15]` collide
+  // under `const N = 16`; non-affine bounds fall back to their unparse
+  // text, which is conservative (different spellings stay different).
+  const ConstEnv env = ConstEnv::from(program);
   std::vector<bool> has_checkout(arrays.size(), false);
   std::vector<bool> has_checkin(arrays.size(), false);
   std::vector<lang::SrcLoc> first_checkout(arrays.size());
   std::map<std::string, int> ref_ids;
+  std::map<lang::AstId, int> rid_of_stmt;
   {
     std::vector<const std::vector<lang::StmtPtr>*> todo = {&program.body};
     std::vector<const Stmt*> directives;
@@ -338,12 +347,14 @@ LintResult lint(const lang::Program& program, const LintOptions& opts) {
         has_checkout[i] = true;
         first_checkout[i] = d->loc;
       }
-      const std::string text = lang::unparse_ref(*d->ref);
-      if (ref_ids.emplace(text, next_ref).second) ++next_ref;
+      const std::string key = region_key(*d->ref, env);
+      const auto [it, fresh] = ref_ids.emplace(key, next_ref);
+      if (fresh) ++next_ref;
+      rid_of_stmt.emplace(d->id, it->second);
     }
   }
 
-  const TypestateDomain fwd{&cfg, &stmts, &arrays, &ref_ids};
+  const TypestateDomain fwd{&cfg, &stmts, &arrays, &rid_of_stmt};
   const auto fsol = solve(info, fwd, Direction::Forward, opts.widen_after);
 
   const EpochDomain bwd{&cfg, &stmts, &arrays};
@@ -351,9 +362,11 @@ LintResult lint(const lang::Program& program, const LintOptions& opts) {
 
   const auto emit = [&](Rule rule, Severity sev, lang::SrcLoc loc,
                         const std::string& array, std::string msg,
-                        std::string hint) {
-    result.diagnostics.push_back(
-        {rule, sev, loc.line, loc.col, array, std::move(msg), std::move(hint)});
+                        std::string hint, lang::AstId stmt_id = 0,
+                        lang::AstId aux_id = 0) {
+    result.diagnostics.push_back({rule, sev, loc.line, loc.col, array,
+                                  std::move(msg), std::move(hint), stmt_id,
+                                  aux_id});
   };
 
   // Replay each block from its solved in-state; at every statement the
@@ -386,14 +399,15 @@ LintResult lint(const lang::Program& program, const LintOptions& opts) {
           switch (s.dir) {
             case sim::DirectiveKind::CheckOutX:
             case sim::DirectiveKind::CheckOutS: {
-              auto it = ref_ids.find(lang::unparse_ref(*s.ref));
-              const int rid = it == ref_ids.end() ? kRefConflict : it->second;
+              auto it = rid_of_stmt.find(s.id);
+              const int rid =
+                  it == rid_of_stmt.end() ? kRefConflict : it->second;
               if ((a.chk == Chk::CoX || a.chk == Chk::CoS) && a.co_epoch &&
                   a.ref == rid && rid != kRefConflict) {
                 emit(Rule::DoubleCheckout, Severity::Warning, s.loc, name,
                      "re-checkout of '" + lang::unparse_ref(*s.ref) +
                          "' already checked out this epoch",
-                     "drop the redundant directive");
+                     "drop the redundant directive", s.id);
               }
               break;
             }
@@ -403,14 +417,16 @@ LintResult lint(const lang::Program& program, const LintOptions& opts) {
                      name,
                      "check_in of '" + name +
                          "' which was never checked out or written",
-                     "remove the check_in or add the matching check_out");
+                     "remove the check_in or add the matching check_out",
+                     s.id);
               }
               if (after[k].uncovered_use[i]) {
                 emit(Rule::EarlyCheckin, Severity::Warning, s.loc, name,
                      "check_in of '" + name +
                          "' before a later use in the same epoch",
                      "move the check_in after the last access of the epoch "
-                     "(Mp3d-style defect)");
+                     "(Mp3d-style defect)",
+                     s.id);
               }
               break;
             case sim::DirectiveKind::PrefetchX:
@@ -420,7 +436,8 @@ LintResult lint(const lang::Program& program, const LintOptions& opts) {
                      "prefetch of '" + name +
                          "' after it was already accessed this epoch",
                      "move the prefetch before the first access or delete "
-                     "it");
+                     "it",
+                     s.id);
               }
               break;
           }
@@ -435,18 +452,20 @@ LintResult lint(const lang::Program& program, const LintOptions& opts) {
               emit(Rule::WriteUnderShared, Severity::Error, acc.loc, name,
                    "write to '" + name +
                        "' while checked out shared (check_out_S)",
-                   "use check_out_X for regions that are written");
+                   "use check_out_X for regions that are written", s.id);
             } else if (a.chk == Chk::Idle && !a.locked &&
                        !after[k].checkin_ahead[acc.array]) {
               emit(Rule::MissedCheckoutWrite, Severity::Error, acc.loc, name,
                    "write to shared '" + name + "' with no checkout in effect",
-                   "insert check_out_X " + name + "[...] before this write");
+                   "insert check_out_X " + name + "[...] before this write",
+                   s.id);
             }
           } else if (a.chk == Chk::Idle && !a.locked &&
                      !after[k].checkin_ahead[acc.array]) {
             emit(Rule::MissedCheckoutRead, Severity::Warning, acc.loc, name,
                  "read of shared '" + name + "' with no checkout in effect",
-                 "insert check_out_S " + name + "[...] before this read");
+                 "insert check_out_S " + name + "[...] before this read",
+                 s.id);
           }
         }
       }
@@ -543,7 +562,8 @@ LintResult lint(const lang::Program& program, const LintOptions& opts) {
            d->ref->name,
            "loop-invariant checkout of '" + lang::unparse_ref(*d->ref) +
                "' inside loop over '" + loop->name + "'",
-           "hoist the directive out of the loop (MM-style defect)");
+           "hoist the directive out of the loop (MM-style defect)", d->id,
+           loop_id);
     }
   }
 

@@ -1,5 +1,7 @@
 #include "cico/lang/cfg.hpp"
 
+#include <algorithm>
+
 namespace cico::lang {
 
 Cfg::Cfg(const Program& p) {
@@ -28,6 +30,9 @@ std::uint32_t Cfg::build_seq(const std::vector<StmtPtr>& stmts,
     switch (s.kind) {
       case StmtKind::For: {
         loops_.push_back(s.id);
+        loop_info_.emplace(
+            s.id, LoopInfo{s.id, s.name, s.lo.get(), s.hi.get(), s.step.get(),
+                           loop, depth});
         // header block
         const std::uint32_t header = new_block();
         blocks_[cur].succ.push_back(header);
@@ -95,6 +100,20 @@ AstId Cfg::parent_of(AstId stmt) const {
 int Cfg::depth_of(AstId stmt) const {
   auto it = depth_of_.find(stmt);
   return it == depth_of_.end() ? 0 : it->second;
+}
+
+const LoopInfo* Cfg::loop_info(AstId loop) const {
+  auto it = loop_info_.find(loop);
+  return it == loop_info_.end() ? nullptr : &it->second;
+}
+
+std::vector<const LoopInfo*> Cfg::loop_chain(AstId stmt) const {
+  std::vector<const LoopInfo*> chain;
+  for (AstId cur = loop_of(stmt); cur != 0; cur = loop_of(cur)) {
+    if (const LoopInfo* li = loop_info(cur)) chain.push_back(li);
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
 }
 
 bool Cfg::nested_in(AstId inner, AstId outer) const {

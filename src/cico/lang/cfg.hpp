@@ -24,6 +24,20 @@ struct BasicBlock {
   std::vector<std::uint32_t> pred;   ///< predecessor block ids
 };
 
+/// Induction facts for one For loop: the variable it binds, its bound
+/// expressions, and its position in the loop tree.  Bounds stay as
+/// expressions -- clients fold them under whatever environment they have
+/// (the static planner uses analysis::eval_affine outer-to-inner).
+struct LoopInfo {
+  AstId id = 0;
+  std::string var;
+  const Expr* lo = nullptr;
+  const Expr* hi = nullptr;
+  const Expr* step = nullptr;  ///< null = step 1
+  AstId parent_loop = 0;       ///< innermost enclosing For (0 = none)
+  int depth = 0;               ///< 0 = outermost
+};
+
 class Cfg {
  public:
   /// Builds CFG + loop tree for the parallel body of `p`.
@@ -47,6 +61,13 @@ class Cfg {
   /// All For statements, outermost first.
   [[nodiscard]] const std::vector<AstId>& loops() const { return loops_; }
 
+  /// Induction facts for a For statement (nullptr for non-loop ids).
+  [[nodiscard]] const LoopInfo* loop_info(AstId loop) const;
+
+  /// Enclosing For loops of a statement, outermost first (empty at top
+  /// level; a For's chain excludes itself).
+  [[nodiscard]] std::vector<const LoopInfo*> loop_chain(AstId stmt) const;
+
   /// Barrier statements in source order.
   [[nodiscard]] const std::vector<AstId>& barriers() const { return barriers_; }
 
@@ -64,6 +85,7 @@ class Cfg {
   std::uint32_t exit_ = 0;
   std::vector<AstId> loops_;
   std::vector<AstId> barriers_;
+  std::unordered_map<AstId, LoopInfo> loop_info_;
   std::unordered_map<AstId, AstId> loop_of_;
   std::unordered_map<AstId, AstId> parent_of_;
   std::unordered_map<AstId, int> depth_of_;

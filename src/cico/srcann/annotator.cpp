@@ -5,6 +5,8 @@
 #include <set>
 #include <sstream>
 
+#include "cico/analysis/static_plan.hpp"
+
 namespace cico::srcann {
 
 namespace lang = cico::lang;
@@ -64,6 +66,8 @@ StmtPtr make_pid_guard(Program& p, NodeId node, std::vector<StmtPtr> body) {
 // Element-set bookkeeping
 // ---------------------------------------------------------------------------
 
+/// Trace-side array addressing (PlanShape plus the address window used
+/// to map blocks back to elements).
 struct ArrayLayout {
   std::string name;
   Addr base = 0;
@@ -106,7 +110,7 @@ struct Rect {
   bool ok = false;
 };
 
-Rect rect_of(const std::set<std::size_t>& elems, const ArrayLayout& a) {
+Rect rect_of(const std::set<std::size_t>& elems, const PlanShape& a) {
   Rect r;
   if (elems.empty()) return r;
   long long rmin = 1LL << 60, rmax = -1, cmin = 1LL << 60, cmax = -1;
@@ -130,7 +134,7 @@ Rect rect_of(const std::set<std::size_t>& elems, const ArrayLayout& a) {
 }
 
 // ---------------------------------------------------------------------------
-// The annotator
+// Family keys and placement
 // ---------------------------------------------------------------------------
 
 enum class Place : std::uint8_t {
@@ -145,152 +149,92 @@ struct FamilyKey {
   Place place;
   std::string array;
   sim::DirectiveKind kind;
+  int part = 0;  // planner-side split of one logical family into rects
+};
 
-  bool operator<(const FamilyKey& o) const {
-    return std::tie(anchor, place, array, kind) <
-           std::tie(o.anchor, o.place, o.array, o.kind);
+/// Emission order within an anchor.  The default kind order is the
+/// DirectiveKind enum (the historical trace-path order, pinned by
+/// goldens); cos_first hoists check_out_S ahead of check_out_X for plans
+/// that mix both on one array at one anchor.
+struct FamilyOrder {
+  bool cos_first = false;
+
+  [[nodiscard]] int rank(sim::DirectiveKind k) const {
+    if (!cos_first) return static_cast<int>(k);
+    if (k == sim::DirectiveKind::CheckOutS) return 0;
+    if (k == sim::DirectiveKind::CheckOutX) return 1;
+    return static_cast<int>(k) + 2;
+  }
+
+  bool operator()(const FamilyKey& a, const FamilyKey& b) const {
+    const int ra = rank(a.kind);
+    const int rb = rank(b.kind);
+    return std::tie(a.anchor, a.place, a.array, ra, a.part) <
+           std::tie(b.anchor, b.place, b.array, rb, b.part);
   }
 };
 
-class Annotator {
+// ---------------------------------------------------------------------------
+// The emitter: PlanSource -> annotated program
+// ---------------------------------------------------------------------------
+
+/// Shared back half of the pipeline: affine fitting, pid guards, loop
+/// generation, placement and insertion.  Consumes a PlanSource; mutates
+/// the output program in place.
+class Emitter {
  public:
-  Annotator(const Program& src, const trace::Trace& trace,
-            const lang::LoadedProgram& binding, const mem::CacheGeometry& geo,
-            const AnnotateOptions& opt)
-      : trace_(trace),
-        binding_(binding),
-        geo_(geo),
-        opt_(opt),
-        out_(src.clone()),
-        db_(trace, geo),
-        sharing_(trace, geo, opt.sharing),
-        chooser_(db_, sharing_, opt.chooser) {
-    for (const auto& l : trace.labels) {
-      ArrayLayout a;
-      a.name = l.label;
-      a.base = l.base;
-      a.bytes = l.bytes;
-      const auto [d0, d1] = binding.array_dims(l.label);
-      a.d0 = d0;
-      a.d1 = d1;
-      a.two_d = d1 > 1;
-      layouts_.push_back(std::move(a));
-    }
+  Emitter(Program& out, const PlanSource& plan, std::size_t max_pid_cases)
+      : out_(out),
+        plan_(plan),
+        max_pid_cases_(max_pid_cases),
+        families_(FamilyOrder{plan.cos_before_cox}) {
     build_stmt_maps();
-    build_epoch_anchors();
+    for (const PlanFamily& f : plan.families) {
+      const Place place =
+          f.anchor == 0
+              ? (f.at_start ? Place::ProgramStart : Place::ProgramEnd)
+              : (f.at_start ? Place::AfterBarrier : Place::BeforeBarrier);
+      const FamilyKey key{f.anchor, place, f.array, f.kind, f.part};
+      auto& per_node = families_[key];
+      for (NodeId n = 0; n < f.per_node.size(); ++n) {
+        for (std::uint32_t e : f.per_node[n]) per_node[n].insert(e);
+      }
+      if (per_node.empty()) families_.erase(key);
+    }
   }
 
-  AnnotateResult run() {
-    collect_families();
+  void run() {
     emit_families();
-    tight_drfs();
+    for (const PlanTightWrap& w : plan_.tight) tight_wrap(w);
     insert_all();
-    AnnotateResult res;
-    res.program = std::move(out_);
-    res.inserted = inserted_;
-    res.generated_loops = generated_loops_;
-    res.dropped = dropped_;
-    res.races = sharing_.races().size();
-    res.false_shares = sharing_.false_shares().size();
-    res.notes = notes_.str();
-    return res;
   }
+
+  [[nodiscard]] std::size_t inserted() const { return inserted_; }
+  [[nodiscard]] std::size_t generated_loops() const { return generated_loops_; }
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
+  [[nodiscard]] std::string notes() const { return notes_.str(); }
 
  private:
-  // --- source structure maps ------------------------------------------------
-
-  void map_expr(const lang::Expr& e, AstId stmt) {
-    stmt_of_expr_[e.id] = stmt;
-    for (const auto& a : e.args) map_expr(*a, stmt);
-  }
-
   void map_stmts(const std::vector<StmtPtr>& stmts) {
     for (const auto& sp : stmts) {
-      const Stmt& s = *sp;
-      if (s.rhs) map_expr(*s.rhs, s.id);
-      for (const auto& x : s.subs) map_expr(*x, s.id);
-      if (s.cond) map_expr(*s.cond, s.id);
-      if (s.lo) map_expr(*s.lo, s.id);
-      if (s.hi) map_expr(*s.hi, s.id);
-      if (s.step) map_expr(*s.step, s.id);
-      stmt_of_expr_[s.id] = s.id;  // a stmt maps to itself
-      stmt_by_id_[s.id] = sp.get();
-      map_stmts(s.body);
-      map_stmts(s.else_body);
+      stmt_by_id_[sp->id] = sp.get();
+      map_stmts(sp->body);
+      map_stmts(sp->else_body);
     }
   }
 
   void build_stmt_maps() { map_stmts(out_.body); }
 
-  void build_epoch_anchors() {
-    const EpochId epochs = trace_.num_epochs();
-    end_barrier_.assign(epochs, 0);
-    for (const auto& b : trace_.barriers) {
-      if (b.epoch < epochs && end_barrier_[b.epoch] == 0) {
-        end_barrier_[b.epoch] = binding_.ast_for(b.barrier_pc);
-      }
-    }
-  }
-
-  [[nodiscard]] AstId start_anchor(EpochId e) const {
-    return e == 0 ? 0 : end_barrier_[e - 1];
-  }
-  [[nodiscard]] AstId end_anchor(EpochId e) const {
-    return e < end_barrier_.size() ? end_barrier_[e] : 0;
-  }
-
-  // --- set collection --------------------------------------------------------
-
-  const ArrayLayout* layout_of_block(Block b) const {
-    const Addr addr = geo_.base_of(b);
-    for (const auto& a : layouts_) {
-      if (addr >= a.base && addr < a.base + a.bytes) return &a;
+  [[nodiscard]] const PlanShape* shape_of(const std::string& name) const {
+    for (const auto& s : plan_.shapes) {
+      if (s.name == name) return &s;
     }
     return nullptr;
   }
 
-  void add_blocks(const FamilyKey& proto, const BlockSet& blocks, NodeId n) {
-    for (Block b : blocks) {
-      const ArrayLayout* a = layout_of_block(b);
-      if (a == nullptr) continue;
-      FamilyKey key = proto;
-      key.array = a->name;
-      auto& per_node = families_[key];
-      const Addr lo = std::max(geo_.base_of(b), a->base);
-      const Addr hi = std::min(geo_.base_of(b) + geo_.block_bytes,
-                               a->base + a->bytes);
-      for (Addr x = lo; x < hi; x += sizeof(double)) {
-        per_node[n].insert(static_cast<std::size_t>((x - a->base) /
-                                                    sizeof(double)));
-      }
-    }
-  }
-
-  void collect_families() {
-    const std::uint32_t nodes = db_.nodes();
-    for (EpochId e = 0; e < db_.epochs(); ++e) {
-      for (NodeId n = 0; n < nodes; ++n) {
-        cachier::AnnotationSets s = chooser_.choose(e, n, opt_.mode);
-        const AstId sa = start_anchor(e);
-        const AstId ea = end_anchor(e);
-        const Place sp = sa == 0 ? Place::ProgramStart : Place::AfterBarrier;
-        const Place ep = ea == 0 ? Place::ProgramEnd : Place::BeforeBarrier;
-        add_blocks({sa, sp, "", sim::DirectiveKind::CheckOutX}, s.co_x_start,
-                   n);
-        add_blocks({sa, sp, "", sim::DirectiveKind::CheckOutS}, s.co_s_start,
-                   n);
-        add_blocks({ea, ep, "", sim::DirectiveKind::CheckIn}, s.ci_end, n);
-        // Tight sets are handled per-statement in tight_drfs(); remember
-        // them here keyed by epoch.
-        for (Block b : s.ci_tight) tight_ci_[e].insert(b);
-        for (Block b : s.fetch_exclusive) tight_cox_[e].insert(b);
-      }
-    }
-  }
-
   // --- emission ---------------------------------------------------------------
 
-  lang::ArrayRef build_ref(const ArrayLayout& a, const AffineVal& r0,
+  lang::ArrayRef build_ref(const PlanShape& a, const AffineVal& r0,
                            const AffineVal& r1, const AffineVal& c0,
                            const AffineVal& c1) {
     lang::ArrayRef ref;
@@ -315,10 +259,7 @@ class Annotator {
   std::vector<StmtPtr> emit_family(const FamilyKey& key,
                                    const std::map<NodeId, std::set<std::size_t>>& per_node) {
     std::vector<StmtPtr> stmts;
-    const ArrayLayout* a = nullptr;
-    for (const auto& l : layouts_) {
-      if (l.name == key.array) a = &l;
-    }
+    const PlanShape* a = shape_of(key.array);
     if (a == nullptr) return stmts;
 
     // Per-node rectangles.
@@ -344,7 +285,7 @@ class Annotator {
       }
       const AffineVal f0 = fit_affine(r0s), f1 = fit_affine(r1s),
                       g0 = fit_affine(c0s), g1 = fit_affine(c1s);
-      const bool covers_all_nodes = per_node.size() == db_.nodes();
+      const bool covers_all_nodes = per_node.size() == plan_.nodes;
       if (f0.ok && f1.ok && g0.ok && g1.ok) {
         StmtPtr dir = lang::make_directive(out_, key.kind,
                                            build_ref(*a, f0, f1, g0, g1));
@@ -356,7 +297,7 @@ class Annotator {
           body.push_back(std::move(dir));
           stmts.push_back(
               make_pid_guard(out_, per_node.begin()->first, std::move(body)));
-        } else if (per_node.size() <= opt_.max_pid_cases) {
+        } else if (per_node.size() <= max_pid_cases_) {
           for (const auto& [n, r] : rects) {
             std::vector<StmtPtr> body;
             const AffineVal cr0{r.r0, 0, true}, cr1{r.r1, 0, true},
@@ -395,7 +336,7 @@ class Annotator {
     }
 
     // Fallback: per-node concrete rectangles (small families only).
-    if (all_rect && per_node.size() <= opt_.max_pid_cases) {
+    if (all_rect && per_node.size() <= max_pid_cases_) {
       for (const auto& [n, r] : rects) {
         std::vector<StmtPtr> body;
         const AffineVal cr0{r.r0, 0, true}, cr1{r.r1, 0, true},
@@ -428,51 +369,33 @@ class Annotator {
 
   // --- tight DRFS annotations (section 4.4 placement) -------------------------
 
-  void tight_drfs() {
-    // Which statements touch DRFS blocks, and how?
-    std::map<AstId, std::pair<bool, bool>> wrap;  // stmt -> (co_x, ci)
-    for (const auto& m : trace_.misses) {
-      const Block b = geo_.block_of(m.addr);
-      const bool ci = tight_ci_.contains(m.epoch) &&
-                      tight_ci_[m.epoch].contains(b);
-      const bool cox = tight_cox_.contains(m.epoch) &&
-                       tight_cox_[m.epoch].contains(b);
-      if (!ci && !cox) continue;
-      const AstId ast = binding_.ast_for(m.pc);
-      auto it = stmt_of_expr_.find(ast);
-      if (it == stmt_of_expr_.end()) continue;
-      auto& w = wrap[it->second];
-      w.first |= cox;
-      w.second |= ci;
+  void tight_wrap(const PlanTightWrap& w) {
+    const Stmt* s = stmt_by_id_.contains(w.stmt) ? stmt_by_id_[w.stmt]
+                                                  : nullptr;
+    if (s == nullptr || s->kind != StmtKind::Assign || s->subs.empty()) {
+      return;  // only element writes get the 4.4 treatment
     }
-    for (const auto& [stmt_id, w] : wrap) {
-      const Stmt* s = stmt_by_id_.contains(stmt_id) ? stmt_by_id_[stmt_id]
-                                                    : nullptr;
-      if (s == nullptr || s->kind != StmtKind::Assign || s->subs.empty()) {
-        continue;  // only element writes get the 4.4 treatment
-      }
-      // Build the single-element ref from the lvalue.
-      lang::ArrayRef ref;
-      ref.id = out_.next_id++;
-      ref.name = s->name;
-      for (const auto& sub : s->subs) {
-        lang::RangeExpr r;
-        r.lo = sub->clone();
-        ref.ranges.push_back(std::move(r));
-      }
-      if (w.first) {
-        before_[stmt_id].push_back(lang::make_directive(
-            out_, sim::DirectiveKind::CheckOutX, ref.clone()));
-        ++inserted_;
-      }
-      if (w.second) {
-        after_[stmt_id].push_back(lang::make_directive(
-            out_, sim::DirectiveKind::CheckIn, ref.clone()));
-        ++inserted_;
-      }
-      notes_ << "tight DRFS annotations around statement at line "
-             << s->loc.line << " (" << s->name << ")\n";
+    // Build the single-element ref from the lvalue.
+    lang::ArrayRef ref;
+    ref.id = out_.next_id++;
+    ref.name = s->name;
+    for (const auto& sub : s->subs) {
+      lang::RangeExpr r;
+      r.lo = sub->clone();
+      ref.ranges.push_back(std::move(r));
     }
+    if (w.co_x) {
+      before_[w.stmt].push_back(lang::make_directive(
+          out_, sim::DirectiveKind::CheckOutX, ref.clone()));
+      ++inserted_;
+    }
+    if (w.ci) {
+      after_[w.stmt].push_back(lang::make_directive(
+          out_, sim::DirectiveKind::CheckIn, ref.clone()));
+      ++inserted_;
+    }
+    notes_ << "tight DRFS annotations around statement at line "
+           << s->loc.line << " (" << s->name << ")\n";
   }
 
   // --- insertion ----------------------------------------------------------------
@@ -548,26 +471,205 @@ class Annotator {
     ++generated_loops_;
   }
 
+  Program& out_;
+  const PlanSource& plan_;
+  std::size_t max_pid_cases_;
+
+  std::unordered_map<AstId, const Stmt*> stmt_by_id_;
+  std::map<FamilyKey, std::map<NodeId, std::set<std::size_t>>, FamilyOrder>
+      families_;
+  std::map<AstId, std::vector<StmtPtr>> before_, after_;
+
+  std::size_t inserted_ = 0, generated_loops_ = 0, dropped_ = 0;
+  int loop_counter_ = 0;
+  std::ostringstream notes_;
+};
+
+// ---------------------------------------------------------------------------
+// The trace-driven planner
+// ---------------------------------------------------------------------------
+
+/// Runs the section 4.1 equations per (epoch, node) over the trace and
+/// maps the chosen block sets back onto array element families -- the
+/// front half of the historical annotator, now producing a PlanSource.
+class TracePlanner {
+ public:
+  TracePlanner(const Program& src, const trace::Trace& trace,
+               const lang::LoadedProgram& binding,
+               const mem::CacheGeometry& geo, const AnnotateOptions& opt)
+      : trace_(trace),
+        binding_(binding),
+        geo_(geo),
+        opt_(opt),
+        db_(trace, geo),
+        sharing_(trace, geo, opt.sharing),
+        chooser_(db_, sharing_, opt.chooser) {
+    for (const auto& l : trace.labels) {
+      ArrayLayout a;
+      a.name = l.label;
+      a.base = l.base;
+      a.bytes = l.bytes;
+      const auto [d0, d1] = binding.array_dims(l.label);
+      a.d0 = d0;
+      a.d1 = d1;
+      a.two_d = d1 > 1;
+      layouts_.push_back(std::move(a));
+    }
+    map_stmts(src.body);
+    build_epoch_anchors();
+  }
+
+  PlanSource plan() {
+    collect_families();
+    PlanSource plan;
+    plan.nodes = db_.nodes();
+    for (const auto& a : layouts_) {
+      plan.shapes.push_back({a.name, a.d0, a.d1, a.two_d});
+    }
+    for (const auto& [key, per_node] : families_) {
+      PlanFamily f;
+      f.anchor = key.anchor;
+      f.at_start =
+          key.place == Place::ProgramStart || key.place == Place::AfterBarrier;
+      f.kind = key.kind;
+      f.array = key.array;
+      f.per_node.resize(db_.nodes());
+      for (const auto& [n, elems] : per_node) {
+        f.per_node[n].assign(elems.begin(), elems.end());
+      }
+      plan.families.push_back(std::move(f));
+    }
+    collect_tight(plan.tight);
+    plan.races = sharing_.races().size();
+    plan.false_shares = sharing_.false_shares().size();
+    return plan;
+  }
+
+ private:
+  // --- source structure maps ------------------------------------------------
+
+  void map_expr(const lang::Expr& e, AstId stmt) {
+    stmt_of_expr_[e.id] = stmt;
+    for (const auto& a : e.args) map_expr(*a, stmt);
+  }
+
+  void map_stmts(const std::vector<StmtPtr>& stmts) {
+    for (const auto& sp : stmts) {
+      const Stmt& s = *sp;
+      if (s.rhs) map_expr(*s.rhs, s.id);
+      for (const auto& x : s.subs) map_expr(*x, s.id);
+      if (s.cond) map_expr(*s.cond, s.id);
+      if (s.lo) map_expr(*s.lo, s.id);
+      if (s.hi) map_expr(*s.hi, s.id);
+      if (s.step) map_expr(*s.step, s.id);
+      stmt_of_expr_[s.id] = s.id;  // a stmt maps to itself
+      map_stmts(s.body);
+      map_stmts(s.else_body);
+    }
+  }
+
+  void build_epoch_anchors() {
+    const EpochId epochs = trace_.num_epochs();
+    end_barrier_.assign(epochs, 0);
+    for (const auto& b : trace_.barriers) {
+      if (b.epoch < epochs && end_barrier_[b.epoch] == 0) {
+        end_barrier_[b.epoch] = binding_.ast_for(b.barrier_pc);
+      }
+    }
+  }
+
+  [[nodiscard]] AstId start_anchor(EpochId e) const {
+    return e == 0 ? 0 : end_barrier_[e - 1];
+  }
+  [[nodiscard]] AstId end_anchor(EpochId e) const {
+    return e < end_barrier_.size() ? end_barrier_[e] : 0;
+  }
+
+  // --- set collection --------------------------------------------------------
+
+  const ArrayLayout* layout_of_block(Block b) const {
+    const Addr addr = geo_.base_of(b);
+    for (const auto& a : layouts_) {
+      if (addr >= a.base && addr < a.base + a.bytes) return &a;
+    }
+    return nullptr;
+  }
+
+  void add_blocks(const FamilyKey& proto, const BlockSet& blocks, NodeId n) {
+    for (Block b : blocks) {
+      const ArrayLayout* a = layout_of_block(b);
+      if (a == nullptr) continue;
+      FamilyKey key = proto;
+      key.array = a->name;
+      auto& per_node = families_[key];
+      const Addr lo = std::max(geo_.base_of(b), a->base);
+      const Addr hi = std::min(geo_.base_of(b) + geo_.block_bytes,
+                               a->base + a->bytes);
+      for (Addr x = lo; x < hi; x += sizeof(double)) {
+        per_node[n].insert(static_cast<std::size_t>((x - a->base) /
+                                                    sizeof(double)));
+      }
+    }
+  }
+
+  void collect_families() {
+    const std::uint32_t nodes = db_.nodes();
+    for (EpochId e = 0; e < db_.epochs(); ++e) {
+      for (NodeId n = 0; n < nodes; ++n) {
+        cachier::AnnotationSets s = chooser_.choose(e, n, opt_.mode);
+        const AstId sa = start_anchor(e);
+        const AstId ea = end_anchor(e);
+        const Place sp = sa == 0 ? Place::ProgramStart : Place::AfterBarrier;
+        const Place ep = ea == 0 ? Place::ProgramEnd : Place::BeforeBarrier;
+        add_blocks({sa, sp, "", sim::DirectiveKind::CheckOutX}, s.co_x_start,
+                   n);
+        add_blocks({sa, sp, "", sim::DirectiveKind::CheckOutS}, s.co_s_start,
+                   n);
+        add_blocks({ea, ep, "", sim::DirectiveKind::CheckIn}, s.ci_end, n);
+        // Tight sets are handled per-statement via PlanTightWrap; remember
+        // them here keyed by epoch.
+        for (Block b : s.ci_tight) tight_ci_[e].insert(b);
+        for (Block b : s.fetch_exclusive) tight_cox_[e].insert(b);
+      }
+    }
+  }
+
+  void collect_tight(std::vector<PlanTightWrap>& out) {
+    // Which statements touch DRFS blocks, and how?
+    std::map<AstId, std::pair<bool, bool>> wrap;  // stmt -> (co_x, ci)
+    for (const auto& m : trace_.misses) {
+      const Block b = geo_.block_of(m.addr);
+      const bool ci = tight_ci_.contains(m.epoch) &&
+                      tight_ci_[m.epoch].contains(b);
+      const bool cox = tight_cox_.contains(m.epoch) &&
+                       tight_cox_[m.epoch].contains(b);
+      if (!ci && !cox) continue;
+      const AstId ast = binding_.ast_for(m.pc);
+      auto it = stmt_of_expr_.find(ast);
+      if (it == stmt_of_expr_.end()) continue;
+      auto& w = wrap[it->second];
+      w.first |= cox;
+      w.second |= ci;
+    }
+    for (const auto& [stmt_id, w] : wrap) {
+      out.push_back({stmt_id, w.first, w.second});
+    }
+  }
+
   const trace::Trace& trace_;
   const lang::LoadedProgram& binding_;
   mem::CacheGeometry geo_;
   AnnotateOptions opt_;
-  Program out_;
   cachier::EpochDB db_;
   cachier::SharingAnalyzer sharing_;
   cachier::AnnotationChooser chooser_;
 
   std::vector<ArrayLayout> layouts_;
   std::unordered_map<AstId, AstId> stmt_of_expr_;
-  std::unordered_map<AstId, const Stmt*> stmt_by_id_;
   std::vector<AstId> end_barrier_;
-  std::map<FamilyKey, std::map<NodeId, std::set<std::size_t>>> families_;
+  std::map<FamilyKey, std::map<NodeId, std::set<std::size_t>>, FamilyOrder>
+      families_;
   std::unordered_map<EpochId, BlockSet> tight_ci_, tight_cox_;
-  std::map<AstId, std::vector<StmtPtr>> before_, after_;
-
-  std::size_t inserted_ = 0, generated_loops_ = 0, dropped_ = 0;
-  int loop_counter_ = 0;
-  std::ostringstream notes_;
 };
 
 void naive_block(Program& out, std::vector<StmtPtr>& block,
@@ -601,13 +703,56 @@ void naive_block(Program& out, std::vector<StmtPtr>& block,
 
 }  // namespace
 
+AnnotateResult annotate_from_source(const Program& src, const PlanSource& plan,
+                                    std::size_t max_pid_cases) {
+  AnnotateResult res;
+  res.program = src.clone();
+  Emitter em(res.program, plan, max_pid_cases);
+  em.run();
+  res.inserted = em.inserted();
+  res.generated_loops = em.generated_loops();
+  res.dropped = em.dropped();
+  res.races = plan.races;
+  res.false_shares = plan.false_shares;
+  std::string notes;
+  for (const std::string& n : plan.notes) notes += n + "\n";
+  res.notes = notes + em.notes();
+  res.lint = analysis::lint(res.program);
+  return res;
+}
+
 AnnotateResult annotate(const Program& src, const trace::Trace& trace,
                         const lang::LoadedProgram& binding,
                         const mem::CacheGeometry& geo,
                         const AnnotateOptions& opt) {
-  AnnotateResult res = Annotator(src, trace, binding, geo, opt).run();
-  res.lint = analysis::lint(res.program);
-  return res;
+  const PlanSource plan =
+      TracePlanner(src, trace, binding, geo, opt).plan();
+  return annotate_from_source(src, plan, opt.max_pid_cases);
+}
+
+AnnotateResult annotate_static(const Program& src, std::uint32_t nodes,
+                               const StaticAnnotateOptions& opt) {
+  analysis::StaticPlanOptions popt;
+  popt.mode = opt.mode == cachier::Mode::Programmer
+                  ? analysis::PlanMode::Programmer
+                  : analysis::PlanMode::Performance;
+  popt.prefetch = opt.prefetch;
+  const analysis::StaticPlan sp =
+      analysis::plan_static(src, static_cast<int>(nodes), popt);
+
+  PlanSource plan;
+  plan.nodes = nodes;
+  for (const auto& sh : sp.shapes) {
+    plan.shapes.push_back({sh.name, static_cast<std::size_t>(sh.d0),
+                           static_cast<std::size_t>(sh.d1), sh.two_d});
+  }
+  for (const auto& f : sp.families) {
+    plan.families.push_back({f.anchor, f.at_start, f.kind, f.array, f.part,
+                             f.per_node});
+  }
+  plan.cos_before_cox = true;
+  plan.notes = sp.notes;
+  return annotate_from_source(src, plan, opt.max_pid_cases);
 }
 
 Program annotate_naive(const Program& src) {

@@ -1,0 +1,206 @@
+// Affine range solver tests: const folding, the c + p*pid normal form,
+// semantic region keys (the CICO004 fix anchor), and the Interval hull
+// domain's join/widen/arithmetic contracts.
+#include "cico/analysis/affine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cico/analysis/typestate.hpp"
+#include "cico/lang/parser.hpp"
+
+namespace cico::analysis {
+namespace {
+
+/// Directive refs of the parallel body, in program order.
+std::vector<const lang::ArrayRef*> directive_refs(const lang::Program& p) {
+  std::vector<const lang::ArrayRef*> out;
+  for (const auto& s : p.body) {
+    if (s->kind == lang::StmtKind::Directive && s->ref) out.push_back(s->ref.get());
+  }
+  return out;
+}
+
+TEST(ConstEnvTest, FoldsChainedConsts) {
+  const lang::Program p = lang::parse(R"(
+    const N = 16;
+    const M = N / 2;
+    const K = M + N;
+    shared real A[N];
+    parallel
+      barrier;
+    end
+  )");
+  const ConstEnv env = ConstEnv::from(p);
+  EXPECT_EQ(env.consts.at("N"), 16);
+  EXPECT_EQ(env.consts.at("M"), 8);
+  EXPECT_EQ(env.consts.at("K"), 24);
+}
+
+TEST(AffineTest, FoldsConstAndPidForms) {
+  const lang::Program p = lang::parse(R"(
+    const N = 16;
+    shared real A[N];
+    parallel
+      check_out_X A[0:N - 1];
+      check_out_X A[pid * 4:pid * 4 + 3];
+      check_out_X A[N - N:N / 2];
+      barrier;
+    end
+  )");
+  const ConstEnv env = ConstEnv::from(p);
+  const auto refs = directive_refs(p);
+  ASSERT_EQ(refs.size(), 3u);
+
+  const auto hi0 = eval_affine(*refs[0]->ranges[0].hi, env);  // N - 1
+  ASSERT_TRUE(hi0.has_value());
+  EXPECT_EQ(*hi0, (Affine{15, 0}));
+
+  const auto lo1 = eval_affine(*refs[1]->ranges[0].lo, env);  // pid * 4
+  const auto hi1 = eval_affine(*refs[1]->ranges[0].hi, env);  // pid * 4 + 3
+  ASSERT_TRUE(lo1.has_value());
+  ASSERT_TRUE(hi1.has_value());
+  EXPECT_EQ(*lo1, (Affine{0, 4}));
+  EXPECT_EQ(*hi1, (Affine{3, 4}));
+
+  const auto lo2 = eval_affine(*refs[2]->ranges[0].lo, env);  // N - N
+  ASSERT_TRUE(lo2.has_value());
+  EXPECT_EQ(*lo2, (Affine{0, 0}));
+}
+
+TEST(AffineTest, RegionKeysCompareSemantically) {
+  const lang::Program p = lang::parse(R"(
+    const N = 16;
+    shared real A[N];
+    shared real B[N, N];
+    parallel
+      check_out_X A[0:N - 1];
+      check_out_X A[0:15];
+      check_out_X A[0:7];
+      check_out_X B[pid * 4:pid * 4 + 3, 0:N - 1];
+      check_out_X B[pid * 4:3 + pid * 4, 0:15];
+      barrier;
+    end
+  )");
+  const ConstEnv env = ConstEnv::from(p);
+  const auto refs = directive_refs(p);
+  ASSERT_EQ(refs.size(), 5u);
+  // Two spellings of the same region agree; a different extent differs.
+  EXPECT_EQ(region_key(*refs[0], env), region_key(*refs[1], env));
+  EXPECT_NE(region_key(*refs[0], env), region_key(*refs[2], env));
+  // Per-node affine slices agree across spellings, in both dims.
+  EXPECT_EQ(region_key(*refs[3], env), region_key(*refs[4], env));
+}
+
+TEST(AffineTest, NonAffineBoundsFallBackToTextConservatively) {
+  const lang::Program p = lang::parse(R"(
+    const N = 16;
+    shared real A[N];
+    parallel
+      check_out_X A[A[0]:A[0]];
+      check_out_X A[A[0]:A[0]];
+      check_out_X A[A[1]:A[1]];
+      barrier;
+    end
+  )");
+  const ConstEnv env = ConstEnv::from(p);
+  const auto refs = directive_refs(p);
+  ASSERT_EQ(refs.size(), 3u);
+  // Identical text still matches; different text never does (even if the
+  // runtime values could coincide -- the fallback is conservative).
+  EXPECT_EQ(region_key(*refs[0], env), region_key(*refs[1], env));
+  EXPECT_NE(region_key(*refs[0], env), region_key(*refs[2], env));
+}
+
+// CICO004 end to end: the re-checkout of the SAME region spelled
+// differently is caught; a different slice is not.
+TEST(AffineTest, DoubleCheckoutSeesThroughSpelling) {
+  const LintResult same = lint(lang::parse(R"(
+    const N = 16;
+    shared real A[N];
+    parallel
+      check_out_X A[0:N - 1];
+      A[0] = 1;
+      check_out_X A[0:15];
+      check_in A[0:N - 1];
+      barrier;
+    end
+  )"));
+  bool found = false;
+  for (const auto& d : same.diagnostics) {
+    found = found || d.rule == Rule::DoubleCheckout;
+  }
+  EXPECT_TRUE(found);
+
+  const LintResult diff = lint(lang::parse(R"(
+    const N = 16;
+    shared real A[N];
+    parallel
+      check_out_X A[0:7];
+      A[0] = 1;
+      check_out_X A[8:N - 1];
+      check_in A[0:N - 1];
+      barrier;
+    end
+  )"));
+  for (const auto& d : diff.diagnostics) {
+    EXPECT_NE(d.rule, Rule::DoubleCheckout) << d.message;
+  }
+}
+
+// --- Interval hull domain ---------------------------------------------------
+
+TEST(IntervalTest, JoinIsConvexHullWithEmptyIdentity) {
+  const Interval a = Interval::of(1, 4);
+  const Interval b = Interval::of(8, 9);
+  const Interval j = a.join(b);
+  EXPECT_EQ(j.lo, 1);
+  EXPECT_EQ(j.hi, 9);
+  EXPECT_EQ(Interval{}.join(a), a);
+  EXPECT_EQ(a.join(Interval{}), a);
+  EXPECT_TRUE(a.subset_of(j));
+  EXPECT_TRUE(b.subset_of(j));
+}
+
+TEST(IntervalTest, WidenJumpsGrowingBoundsToInfinity) {
+  const Interval a = Interval::of(0, 4);
+  const Interval grown = Interval::of(0, 5);
+  const Interval w = a.widen(grown);
+  EXPECT_EQ(w.lo, 0);          // stable bound keeps its value
+  EXPECT_TRUE(w.hi > 1e300);   // grown bound jumps to +inf
+  // A stable chain needs no widening.
+  EXPECT_EQ(a.widen(a), a);
+}
+
+TEST(IntervalTest, ArithmeticIsHullCorrect) {
+  const Interval a = Interval::of(2, 3);
+  const Interval b = Interval::of(-1, 4);
+  const Interval sum = a.add(b);
+  EXPECT_EQ(sum.lo, 1);
+  EXPECT_EQ(sum.hi, 7);
+  const Interval prod = a.mul(b);
+  EXPECT_EQ(prod.lo, -3);
+  EXPECT_EQ(prod.hi, 12);
+  // Division by a zero-straddling interval is Top, not garbage.
+  EXPECT_TRUE(a.div(b).is_top());
+  const Interval neg = b.neg();
+  EXPECT_EQ(neg.lo, -4);
+  EXPECT_EQ(neg.hi, 1);
+  // Empty operands propagate.
+  EXPECT_TRUE(Interval{}.add(a).empty());
+}
+
+TEST(IntervalTest, MinMaxClamp) {
+  const Interval a = Interval::of(0, 10);
+  const Interval lo = a.max_with(Interval::point(3));
+  EXPECT_EQ(lo.lo, 3);
+  EXPECT_EQ(lo.hi, 10);
+  const Interval hi = a.min_with(Interval::point(7));
+  EXPECT_EQ(hi.lo, 0);
+  EXPECT_EQ(hi.hi, 7);
+}
+
+}  // namespace
+}  // namespace cico::analysis

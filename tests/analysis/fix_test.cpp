@@ -1,0 +1,247 @@
+// `cachier lint --fix` engine tests: one mechanical repair per CICO
+// rule, the lint -> apply -> lint convergence loop, and the idempotence
+// contract (fixed output is user source that round-trips byte-for-byte
+// and re-fixes to zero applied changes).
+#include "cico/analysis/fix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "cico/analysis/typestate.hpp"
+#include "cico/lang/parser.hpp"
+#include "cico/lang/unparse.hpp"
+
+namespace cico::analysis {
+namespace {
+
+FixResult fix_src(const std::string& src) {
+  return apply_fixes(lang::parse(src));
+}
+
+bool has_rule(const LintResult& r, Rule rule) {
+  return std::any_of(r.diagnostics.begin(), r.diagnostics.end(),
+                     [&](const Diagnostic& d) { return d.rule == rule; });
+}
+
+TEST(FixTest, CleanProgramIsUntouched) {
+  const std::string src = R"(
+    shared real A[8];
+    parallel
+      check_out_X A[0:7];
+      A[0] = 1;
+      check_in A[0:7];
+      barrier;
+    end
+  )";
+  const FixResult r = fix_src(src);
+  EXPECT_EQ(r.applied, 0u);
+  EXPECT_TRUE(r.lint.diagnostics.empty());
+  EXPECT_EQ(lang::unparse(r.program), lang::unparse(lang::parse(src)));
+}
+
+TEST(FixTest, InsertsCheckoutForMissedWriteAndRead) {
+  // Both arrays are CICO-managed (first epoch), then accessed bare with
+  // no trailing check_in to license the idiom: CICO001 on the write,
+  // CICO002 on the read.
+  const FixResult r = fix_src(R"(
+    shared real A[8];
+    shared real B[8];
+    parallel
+      check_out_X A[0:7];
+      A[0] = 1;
+      check_in A[0:7];
+      check_out_S B[0:7];
+      private y = B[0];
+      check_in B[0:7];
+      barrier;
+      A[1] = 2;
+      private x = B[1];
+      barrier;
+    end
+  )");
+  EXPECT_GE(r.applied, 2u);
+  EXPECT_TRUE(r.lint.diagnostics.empty())
+      << r.lint.diagnostics[0].message;
+}
+
+TEST(FixTest, StrengthensSharedCheckoutUnderWrite) {
+  const FixResult r = fix_src(R"(
+    shared real A[8];
+    parallel
+      check_out_S A[0:7];
+      A[0] = 1;
+      check_in A[0:7];
+      barrier;
+    end
+  )");
+  EXPECT_GE(r.applied, 1u);
+  EXPECT_FALSE(has_rule(r.lint, Rule::WriteUnderShared));
+  EXPECT_TRUE(r.lint.diagnostics.empty());
+  // The S checkout was flipped, not duplicated.
+  const std::string out = lang::unparse(r.program);
+  EXPECT_EQ(out.find("check_out_S"), std::string::npos) << out;
+  EXPECT_NE(out.find("check_out_X"), std::string::npos) << out;
+}
+
+TEST(FixTest, DeletesRedundantRecheckout) {
+  const FixResult r = fix_src(R"(
+    shared real A[8];
+    parallel
+      check_out_X A[0:7];
+      check_out_X A[0:7];
+      A[0] = 1;
+      check_in A[0:7];
+      barrier;
+    end
+  )");
+  EXPECT_GE(r.applied, 1u);
+  EXPECT_TRUE(r.lint.diagnostics.empty());
+  const std::string out = lang::unparse(r.program);
+  // Exactly one checkout survives.
+  const auto first = out.find("check_out_X");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(out.find("check_out_X", first + 1), std::string::npos) << out;
+}
+
+TEST(FixTest, DeletesUnmatchedCheckin) {
+  const FixResult r = fix_src(R"(
+    shared real A[8];
+    shared real B[8];
+    parallel
+      check_out_X B[0:7];
+      B[0] = 1;
+      check_in B[0:7];
+      check_in A[0:7];
+      barrier;
+    end
+  )");
+  EXPECT_GE(r.applied, 1u);
+  EXPECT_FALSE(has_rule(r.lint, Rule::CheckinWithoutCheckout));
+  EXPECT_TRUE(r.lint.diagnostics.empty());
+}
+
+TEST(FixTest, AppendsProgramEndCheckinForLeak) {
+  const FixResult r = fix_src(R"(
+    shared real A[8];
+    parallel
+      check_out_X A[0:7];
+      A[0] = 1;
+      barrier;
+    end
+  )");
+  EXPECT_GE(r.applied, 1u);
+  EXPECT_FALSE(has_rule(r.lint, Rule::CheckoutLeak));
+  EXPECT_TRUE(r.lint.diagnostics.empty());
+  EXPECT_NE(lang::unparse(r.program).find("check_in"), std::string::npos);
+}
+
+TEST(FixTest, DelaysEarlyCheckinPastLastUse) {
+  const FixResult r = fix_src(R"(
+    shared real A[8];
+    parallel
+      check_out_X A[0:7];
+      A[0] = 1;
+      check_in A[0:7];
+      private x = A[0];
+      barrier;
+    end
+  )");
+  EXPECT_GE(r.applied, 1u);
+  EXPECT_FALSE(has_rule(r.lint, Rule::EarlyCheckin));
+  EXPECT_TRUE(r.lint.diagnostics.empty());
+  // The check_in now sits after the read.
+  const std::string out = lang::unparse(r.program);
+  EXPECT_LT(out.find("x = A[0]"), out.find("check_in")) << out;
+}
+
+TEST(FixTest, HoistsLoopInvariantCheckout) {
+  const FixResult r = fix_src(R"(
+    shared real A[8];
+    parallel
+      for i = 0 to 7 do
+        check_out_S A[0:7];
+        private x = A[i];
+      od
+      check_in A[0:7];
+      barrier;
+    end
+  )");
+  EXPECT_GE(r.applied, 1u);
+  EXPECT_FALSE(has_rule(r.lint, Rule::RedundantLoopCheckout));
+  EXPECT_TRUE(r.lint.diagnostics.empty());
+  const std::string out = lang::unparse(r.program);
+  EXPECT_LT(out.find("check_out_S"), out.find("for ")) << out;
+}
+
+TEST(FixTest, DeletesLatePrefetch) {
+  const FixResult r = fix_src(R"(
+    shared real A[8];
+    parallel
+      check_out_X A[0:7];
+      A[0] = 1;
+      prefetch_X A[0:7];
+      check_in A[0:7];
+      barrier;
+    end
+  )");
+  EXPECT_GE(r.applied, 1u);
+  EXPECT_FALSE(has_rule(r.lint, Rule::PrefetchAfterUse));
+  EXPECT_TRUE(r.lint.diagnostics.empty());
+  EXPECT_EQ(lang::unparse(r.program).find("prefetch"), std::string::npos);
+}
+
+TEST(FixTest, OneFixCanExposeAnotherAcrossPasses) {
+  // Hoisting the checkout out of the inner loop (pass 1) leaves it
+  // loop-invariant in the outer loop; convergence needs a second pass.
+  const FixResult r = fix_src(R"(
+    shared real A[8];
+    parallel
+      for i = 0 to 3 do
+        for j = 0 to 3 do
+          check_out_S A[0:7];
+          private x = A[j];
+        od
+      od
+      check_in A[0:7];
+      barrier;
+    end
+  )");
+  EXPECT_TRUE(r.lint.diagnostics.empty())
+      << r.lint.diagnostics[0].message;
+  EXPECT_GE(r.passes, 2u);
+  // The checkout ends up above BOTH loops.
+  const std::string out = lang::unparse(r.program);
+  EXPECT_LT(out.find("check_out_S"), out.find("for ")) << out;
+}
+
+TEST(FixTest, FixedOutputIsIdempotent) {
+  const char* kDirty = R"(
+    shared real A[8];
+    shared real B[8];
+    parallel
+      check_out_S A[0:7];
+      A[0] = 1;
+      B[0] = 2;
+      check_in A[0:7];
+      private x = A[1];
+      barrier;
+      check_in B[0:7];
+      barrier;
+    end
+  )";
+  const FixResult first = fix_src(kDirty);
+  ASSERT_TRUE(first.lint.diagnostics.empty())
+      << first.lint.diagnostics[0].message;
+  const std::string out1 = lang::unparse(first.program);
+  // Round 2 on the fixed source: nothing left to do, byte-identical
+  // output.  This is the `--fix` CLI contract (fix-inserted directives
+  // must not carry the synthesized marker, which a re-parse would drop).
+  const FixResult second = fix_src(out1);
+  EXPECT_EQ(second.applied, 0u);
+  EXPECT_EQ(lang::unparse(second.program), out1);
+}
+
+}  // namespace
+}  // namespace cico::analysis

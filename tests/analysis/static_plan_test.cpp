@@ -1,0 +1,238 @@
+// Static planner tests: the barrier epoch graph, the per-pid
+// interleaving classifier (Untouched / Exclusive / SharedRead /
+// Conflict, with whole-array approximation of non-affine subscripts),
+// and plan_static's directive families (write-first checkouts,
+// producer-consumer checkins, rectangle part-splitting).
+#include "cico/analysis/static_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "cico/lang/parser.hpp"
+
+namespace cico::analysis {
+namespace {
+
+lang::AstId barrier_id(const lang::Program& p, int which) {
+  int seen = 0;
+  for (const auto& s : p.body) {
+    if (s->kind == lang::StmtKind::Barrier && seen++ == which) return s->id;
+  }
+  return 0;
+}
+
+TEST(StaticEpochsTest, LoopBarrierFeedsBackAndEndsProgram) {
+  const lang::Program p = lang::parse(R"(
+    shared real A[8];
+    parallel
+      A[pid] = 1;
+      barrier;
+      for t = 1 to 2 do
+        A[pid] = A[pid] + 1;
+        barrier;
+      od
+    end
+  )");
+  const StaticEpochs ep(p);
+  ASSERT_EQ(ep.epochs().size(), 3u);  // entry, B1, loop barrier B2
+  const lang::AstId b1 = barrier_id(p, 0);
+  const int entry = ep.index_of(0);
+  const int e1 = ep.index_of(b1);
+  ASSERT_GE(entry, 0);
+  ASSERT_GE(e1, 0);
+  // Entry epoch ends at B1, never at program end.
+  EXPECT_EQ(ep.epochs()[entry].succ, std::vector<lang::AstId>{b1});
+  EXPECT_FALSE(ep.epochs()[entry].ends_program);
+  // The loop-body epoch (anchored at the barrier inside the loop) can
+  // loop back to itself, and execution ends inside it.
+  const StaticEpoch* loop_epoch = nullptr;
+  for (const auto& e : ep.epochs()) {
+    if (e.anchor != 0 && e.anchor != b1) loop_epoch = &e;
+  }
+  ASSERT_NE(loop_epoch, nullptr);
+  EXPECT_TRUE(loop_epoch->ends_program);
+  EXPECT_NE(std::find(loop_epoch->succ.begin(), loop_epoch->succ.end(),
+                      loop_epoch->anchor),
+            loop_epoch->succ.end());
+}
+
+TEST(StaticSharingTest, ClassifiesTheLattice) {
+  const lang::Program p = lang::parse(R"(
+    const N = 8;
+    shared real W[N];
+    shared real R[N];
+    shared real C[N];
+    parallel
+      private per = N / nprocs;
+      private lo = pid * per;
+      W[lo] = 1;
+      private x = R[0];
+      C[0] = C[0] + 1;
+      barrier;
+    end
+  )");
+  const StaticEpochs ep(p);
+  const StaticSharing sh(p, ep, 2);
+  const int w = sh.array_index("W");
+  const int r = sh.array_index("R");
+  const int c = sh.array_index("C");
+  ASSERT_GE(w, 0);
+  ASSERT_GE(r, 0);
+  ASSERT_GE(c, 0);
+  const int entry = ep.index_of(0);
+  // Per-node block starts: node 0 writes W[0], node 1 writes W[4].
+  EXPECT_EQ(sh.classify(entry, w, 0), ShareClass::Exclusive);
+  EXPECT_EQ(sh.classify(entry, w, 4), ShareClass::Exclusive);
+  EXPECT_EQ(sh.classify(entry, w, 1), ShareClass::Untouched);
+  // R[0] is read by every node and written by none.
+  EXPECT_EQ(sh.classify(entry, r, 0), ShareClass::SharedRead);
+  // C[0] is read-modify-written by every node.
+  EXPECT_EQ(sh.classify(entry, c, 0), ShareClass::Conflict);
+}
+
+TEST(StaticSharingTest, NonAffineSubscriptApproximatesToWholeArray) {
+  const lang::Program p = lang::parse(R"(
+    const N = 8;
+    shared real A[N];
+    shared real B[N];
+    parallel
+      A[B[0]] = 1;
+      barrier;
+    end
+  )");
+  const StaticEpochs ep(p);
+  const StaticSharing sh(p, ep, 2);
+  const int a = sh.array_index("A");
+  ASSERT_GE(a, 0);
+  const int entry = ep.index_of(0);
+  const AccessMasks& m = sh.masks(entry, a);
+  EXPECT_NE(m.approx_w, 0u);  // every node might write anywhere
+  // Approximated multi-writer access classifies as Conflict everywhere.
+  EXPECT_EQ(sh.classify(entry, a, 0), ShareClass::Conflict);
+  EXPECT_EQ(sh.classify(entry, a, 7), ShareClass::Conflict);
+}
+
+TEST(StaticPlanTest, WriteFirstCheckoutAndProducerConsumerCheckin) {
+  const lang::Program p = lang::parse(R"(
+    const N = 8;
+    shared real A[N];
+    parallel
+      private per = N / nprocs;
+      private lo = pid * per;
+      private hi = lo + per - 1;
+      for i = lo to hi do
+        A[i] = A[i] + 1;
+      od
+      barrier;
+      private s = 0;
+      for i = 0 to N - 1 do
+        s = s + A[i];
+      od
+      barrier;
+    end
+  )");
+  const StaticPlan plan = plan_static(p, 2, {});
+  ASSERT_EQ(plan.nodes, 2);
+  // The read-modify-write of each node's block plans an exclusive
+  // checkout at program start covering exactly the block.
+  const StaticFamily* cox = nullptr;
+  const StaticFamily* ci = nullptr;
+  for (const auto& f : plan.families) {
+    if (f.kind == sim::DirectiveKind::CheckOutX && f.array == "A") cox = &f;
+    if (f.kind == sim::DirectiveKind::CheckIn && f.array == "A" &&
+        ci == nullptr) {
+      ci = &f;
+    }
+  }
+  ASSERT_NE(cox, nullptr);
+  EXPECT_TRUE(cox->at_start);
+  EXPECT_EQ(cox->anchor, 0u);
+  ASSERT_EQ(cox->per_node.size(), 2u);
+  EXPECT_EQ(cox->per_node[0], (std::vector<std::uint32_t>{0, 1, 2, 3}));
+  EXPECT_EQ(cox->per_node[1], (std::vector<std::uint32_t>{4, 5, 6, 7}));
+  // The next epoch reads the WHOLE array on every node, so the produced
+  // blocks are checked in at the boundary for the consumers.
+  ASSERT_NE(ci, nullptr);
+  EXPECT_FALSE(ci->at_start);
+}
+
+TEST(StaticPlanTest, ScatteredRegionSplitsIntoParts) {
+  const lang::Program p = lang::parse(R"(
+    const N = 16;
+    shared real A[N];
+    parallel
+      private lo = pid * 2;
+      A[lo] = A[lo] + 1;
+      A[lo + 8] = A[lo + 8] + 1;
+      barrier;
+    end
+  )");
+  const StaticPlan plan = plan_static(p, 2, {});
+  // Each node touches two elements 8 apart: the checkout family must
+  // split into two rectangle parts instead of being dropped or hulled.
+  std::vector<int> parts;
+  for (const auto& f : plan.families) {
+    if (f.kind == sim::DirectiveKind::CheckOutX && f.array == "A") {
+      parts.push_back(f.part);
+      for (const auto& pn : f.per_node) EXPECT_LE(pn.size(), 1u);
+    }
+  }
+  std::sort(parts.begin(), parts.end());
+  EXPECT_EQ(parts, (std::vector<int>{0, 1}));
+}
+
+TEST(StaticPlanTest, ConflictsAreNotedAndLeftUnannotated) {
+  const lang::Program p = lang::parse(R"(
+    const N = 8;
+    shared real A[N];
+    parallel
+      A[0] = A[0] + 1;
+      barrier;
+    end
+  )");
+  const StaticPlan plan = plan_static(p, 2, {});
+  EXPECT_GT(plan.conflict_pairs, 0u);
+  for (const auto& f : plan.families) {
+    if (f.kind != sim::DirectiveKind::CheckOutX) continue;
+    for (const auto& pn : f.per_node) EXPECT_TRUE(pn.empty());
+  }
+  bool noted = false;
+  for (const auto& n : plan.notes) {
+    noted = noted || n.find("conflicting") != std::string::npos;
+  }
+  EXPECT_TRUE(noted);
+}
+
+TEST(StaticPlanTest, ProgrammerModePlansSharedCheckouts) {
+  const lang::Program p = lang::parse(R"(
+    const N = 8;
+    shared real A[N];
+    parallel
+      if pid == 0 then
+        for i = 0 to N - 1 do
+          A[i] = i;
+        od
+      fi
+      barrier;
+      private s = 0;
+      for i = 0 to N - 1 do
+        s = s + A[i];
+      od
+      barrier;
+    end
+  )");
+  StaticPlanOptions opt;
+  opt.mode = PlanMode::Programmer;
+  const StaticPlan plan = plan_static(p, 2, opt);
+  bool cos = false;
+  for (const auto& f : plan.families) {
+    cos = cos || (f.kind == sim::DirectiveKind::CheckOutS && f.array == "A");
+  }
+  EXPECT_TRUE(cos);
+}
+
+}  // namespace
+}  // namespace cico::analysis

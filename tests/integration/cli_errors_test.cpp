@@ -418,6 +418,75 @@ TEST_F(CliLintTest, AnnotateSelfLintReportsDefectsOnItsOutput) {
   EXPECT_NE(r.exit_code, 2) << r.output;
 }
 
+// --- lint --fix and annotate --static ---------------------------------------
+
+namespace {
+std::string slurp_file(const std::string& path) {
+  std::ifstream in(path);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+}  // namespace
+
+TEST_F(CliLintTest, FixOnCleanProgramIsIdentityExit0) {
+  const CmdResult r = run_cli("lint --fix " + prog_);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 fixes"), std::string::npos) << r.output;
+}
+
+TEST_F(CliLintTest, FixRepairsFindingsAndIsIdempotent) {
+  // Both hand defects (a CICO006 leak and a CICO003 write-under-S) have
+  // machine fixes, so --fix must reach exit 0 on each.
+  for (const std::string& src : {warn_, err_}) {
+    EXPECT_EQ(run_cli("lint --fix " + src).exit_code, 0) << src;
+  }
+  // Fixed output lints clean and re-fixes to the same bytes.  The pipe
+  // through cat keeps the fix log (stderr) out of the emitted program.
+  run_cli("lint --fix " + warn_ + " 2>/dev/null | cat > cli_fix1.mp");
+  EXPECT_EQ(run_cli("lint cli_fix1.mp").exit_code, 0);
+  run_cli("lint --fix cli_fix1.mp 2>/dev/null | cat > cli_fix2.mp");
+  const std::string pass1 = slurp_file("cli_fix1.mp");
+  const std::string pass2 = slurp_file("cli_fix2.mp");
+  ASSERT_FALSE(pass1.empty());
+  EXPECT_EQ(pass1, pass2) << "lint --fix must be idempotent";
+  const CmdResult again = run_cli("lint --fix cli_fix1.mp");
+  EXPECT_EQ(again.exit_code, 0) << again.output;
+  EXPECT_NE(again.output.find("0 fixes"), std::string::npos) << again.output;
+}
+
+TEST_F(CliErrorsTest, StaticAnnotateOutputLintsCleanExit0) {
+  ASSERT_EQ(run_cli("annotate --static " + prog_ +
+                    " -n 4 2>/dev/null | cat > cli_static_ann.mp")
+                .exit_code,
+            0);
+  EXPECT_EQ(run_cli("annotate --static " + prog_ + " -n 4").exit_code, 0);
+  const CmdResult r = run_cli("lint cli_static_ann.mp");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(CliErrorsTest, StaticAnnotateRejectsNodeCountBeyondMaskWidth) {
+  const CmdResult r = run_cli("annotate --static " + prog_ + " -n 65");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("cachier: error:"), std::string::npos) << r.output;
+}
+
+TEST_F(CliErrorsTest, StaticFlagOutsideAnnotateIsUsageExit1) {
+  const CmdResult r = run_cli("run " + prog_ + " --static -n 4");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos) << r.output;
+}
+
+TEST_F(CliErrorsTest, FixFlagOutsideLintIsUsageExit1) {
+  const CmdResult r = run_cli("annotate " + prog_ + " --fix -n 4");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos) << r.output;
+}
+
+TEST_F(CliErrorsTest, PrefetchWithoutStaticIsUsageExit1) {
+  const CmdResult r = run_cli("annotate " + prog_ + " --prefetch -n 4");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos) << r.output;
+}
+
 TEST_F(CliErrorsTest, CleanRunIsExit0) {
   const CmdResult r = run_cli("run " + prog_ + " -n 4");
   EXPECT_EQ(r.exit_code, 0) << r.output;

@@ -5,6 +5,11 @@
 //   cachier annotate prog.mp [-n nodes] [--mode programmer|performance]
 //       trace the unannotated program, insert CICO annotations, print the
 //       annotated source to stdout (the paper's core use case)
+//   cachier annotate --static prog.mp [-n nodes] [--mode ...] [--prefetch]
+//       trace-free Cachier: plan the annotations from static analysis
+//       alone (affine region solving + the static sharing classifier,
+//       docs/static_analysis.md) -- no simulation, no trace; --prefetch
+//       additionally plans prefetch_S of shared-read sets
 //   cachier run prog.mp [-n nodes] [--plan file] [--faults spec] [--paranoid]
 //       run a (possibly annotated) program and print execution statistics
 //   cachier plan prog.mp [-n nodes] [--mode ...]
@@ -54,6 +59,11 @@
 //       file:line:col diagnostics with stable CICO00x rule ids; --json
 //       writes the schema-versioned diagnostic document (diffable with
 //       `cachier diff`); exits 0 clean / 1 warnings / 2 errors
+//   cachier lint --fix prog.mp [--json diag.json]
+//       apply every machine-applicable fix (analysis/fix.hpp) and print
+//       the FIXED source to stdout; stderr gets a one-line summary and
+//       any residual diagnostics; exits 0 only when the fixed program
+//       lints clean, else 2
 //
 // Observability (run / compare): `--report out.json` writes the versioned
 // JSON run report and `--events out.json` the Chrome trace-event export
@@ -95,6 +105,7 @@
 #include "apps/matmul.hpp"
 #include "apps/ocean.hpp"
 #include "cico/analysis/diagnostics.hpp"
+#include "cico/analysis/fix.hpp"
 #include "cico/analysis/typestate.hpp"
 #include "cico/cachier/cachier.hpp"
 #include "cico/common/parse_num.hpp"
@@ -140,6 +151,9 @@ struct Options {
   std::vector<std::string> tol_flags;  ///< diff --tol pattern=spec
   bool diff_summary = false;    ///< diff --summary (one-line verdict)
   std::string json_file;        ///< lint --json <file>
+  bool static_mode = false;     ///< annotate --static (trace-free planning)
+  bool fix = false;             ///< lint --fix (apply machine fixes)
+  bool prefetch = false;        ///< annotate --static --prefetch
   std::string daemon_sock;      ///< --daemon <sock>: send to cachierd
   std::uint64_t deadline_ms = 0;  ///< --deadline-ms for daemon jobs
 };
@@ -155,7 +169,9 @@ void usage() {
       "               [--report out.json] [--events out.json]\n"
       "               [--stream-epochs]\n"
       "               [--daemon sock] [--deadline-ms N]\n"
-      "       cachier lint prog.mp [--json diag.json] [--daemon sock]\n"
+      "       cachier annotate --static prog.mp [-n nodes] [--mode ...]\n"
+      "               [--prefetch]   (trace-free planning)\n"
+      "       cachier lint prog.mp [--fix] [--json diag.json] [--daemon sock]\n"
       "       cachier trace --load trace.txt\n"
       "       cachier version\n"
       "       cachier soak [--campaigns N] [--seed s] [--faults spec]\n"
@@ -680,6 +696,28 @@ int dispatch(const Options& opt) {
   const bool want_obs = !opt.report_file.empty() || !opt.events_file.empty();
 
   if (opt.command == "lint") {
+    if (opt.fix) {
+      const analysis::FixResult res = analysis::apply_fixes(prog);
+      std::printf("%s", lang::unparse(res.program).c_str());
+      std::fprintf(stderr, "# cachier: fix: %zu fixes in %zu passes\n",
+                   res.applied, res.passes);
+      for (const std::string& line : res.log) {
+        std::fprintf(stderr, "# cachier: fix: %s\n", line.c_str());
+      }
+      if (!res.lint.diagnostics.empty()) {
+        std::ostringstream ss;
+        analysis::print_text(ss, opt.file, res.lint);
+        std::fprintf(stderr, "# cachier: fix: residual diagnostics:\n%s",
+                     ss.str().c_str());
+      }
+      if (!opt.json_file.empty()) {
+        std::ofstream out = open_out(opt.json_file);
+        analysis::lint_json(opt.file, res.lint).dump(out);
+      }
+      // The fix contract is all-or-nothing: anything left unfixed is a
+      // hard failure so CI can gate on it.
+      return res.lint.diagnostics.empty() ? 0 : 2;
+    }
     const analysis::LintResult res = analysis::lint(prog);
     analysis::print_text(std::cout, opt.file, res);
     if (!opt.json_file.empty()) {
@@ -749,7 +787,12 @@ int dispatch(const Options& opt) {
     return 0;
   }
   if (opt.command == "annotate") {
-    srcann::AnnotateResult res = annotate_program(prog, opt.nodes, opt.mode);
+    srcann::AnnotateResult res =
+        opt.static_mode
+            ? srcann::annotate_static(
+                  prog, opt.nodes,
+                  {.mode = opt.mode, .prefetch = opt.prefetch})
+            : annotate_program(prog, opt.nodes, opt.mode);
     std::printf("%s", lang::unparse(res.program).c_str());
     std::fprintf(stderr,
                  "# cachier: %zu annotations, %zu generated loops, %zu "
@@ -871,6 +914,12 @@ int parse_args(int argc, char** argv, Options& opt) {
       opt.diff_summary = true;
     } else if (arg == "--json" && i + 1 < argc) {
       opt.json_file = argv[++i];
+    } else if (arg == "--static") {
+      opt.static_mode = true;
+    } else if (arg == "--fix") {
+      opt.fix = true;
+    } else if (arg == "--prefetch") {
+      opt.prefetch = true;
     } else if (arg == "--load" && i + 1 < argc) {
       opt.trace_load = argv[++i];
     } else if (arg == "--name" && i + 1 < argc) {
@@ -911,7 +960,8 @@ int parse_args(int argc, char** argv, Options& opt) {
   const bool daemon_ok =
       opt.daemon_sock.empty() ||
       (daemon::known_command(opt.command) && opt.events_file.empty() &&
-       !opt.stream_epochs && opt.json_file.empty() && opt.trace_load.empty());
+       !opt.stream_epochs && opt.json_file.empty() && opt.trace_load.empty() &&
+       !opt.static_mode && !opt.fix && !opt.prefetch);
   // store's positional grammar: put/get take <dir> <arg>; ls/gc take <dir>.
   const bool store_ok =
       opt.command != "store" ||
@@ -925,6 +975,9 @@ int parse_args(int argc, char** argv, Options& opt) {
       (opt.command == "sync" && opt.file2.empty()) || !store_ok ||
       // Streaming only makes sense while a report is being written.
       (opt.stream_epochs && opt.report_file.empty()) || !daemon_ok ||
+      (opt.static_mode && opt.command != "annotate") ||
+      (opt.fix && opt.command != "lint") ||
+      (opt.prefetch && !opt.static_mode) ||
       (opt.deadline_ms != 0 && opt.daemon_sock.empty())) {
     usage();
     return 1;
